@@ -1,0 +1,205 @@
+package crest_test
+
+// ablation_bench_test.go benchmarks the design choices DESIGN.md calls
+// out: the fused single-pass metric computation, the block size k, the
+// mixture (vs single) regression, and the conformal calibration split.
+// The atomic-vs-mutex accumulation ablation lives with its subject in
+// internal/parallel.
+
+import (
+	"math"
+	"testing"
+
+	crest "github.com/crestlab/crest"
+)
+
+// BenchmarkAblationFusedMetrics compares the paper's fused single-pass
+// predictor computation (§IV-C) against the one-pass-per-metric reference.
+func BenchmarkAblationFusedMetrics(b *testing.B) {
+	ds := crest.HurricaneDataset(crest.DataOptions{NZ: 2, NY: 96, NX: 96, Seed: 1})
+	buf := ds.Field("TC").Buffers[0]
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := crest.ComputeDatasetFeatures(buf, crest.PredictorConfig{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := crest.ComputeDatasetFeaturesNaive(buf, crest.PredictorConfig{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationBlockSize sweeps the predictor block edge k; the
+// paper's complexity model O(p²/(k·n_c) + p·k/(n_c·γ) + k⁶/γ) predicts the
+// k⁶ eigendecomposition term dominating at large k.
+func BenchmarkAblationBlockSize(b *testing.B) {
+	ds := crest.HurricaneDataset(crest.DataOptions{NZ: 2, NY: 96, NX: 96, Seed: 1})
+	buf := ds.Field("W").Buffers[0]
+	for _, k := range []int{4, 6, 8, 12, 16} {
+		b.Run(sizeName(k), func(b *testing.B) {
+			cfg := crest.PredictorConfig{K: k}
+			for i := 0; i < b.N; i++ {
+				if _, err := crest.ComputeDatasetFeatures(buf, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(k int) string {
+	return "k" + string(rune('0'+k/10)) + string(rune('0'+k%10))
+}
+
+// BenchmarkAblationMixture compares the mixture regression against a
+// single-component fit on heterogeneous multi-field training data, the
+// situation Fig. 2 motivates.
+func BenchmarkAblationMixture(b *testing.B) {
+	ds := crest.HurricaneDataset(crest.DataOptions{NZ: 10, NY: 48, NX: 48, Seed: 1})
+	comp := crest.MustCompressor("szinterp")
+	cache := crest.NewCRCache()
+	var train, test []*crest.Buffer
+	for _, name := range []string{"CLOUD", "TC", "QSNOW", "W"} {
+		f := ds.Field(name)
+		train = append(train, f.Buffers[:7]...)
+		test = append(test, f.Buffers[7:]...)
+	}
+	run := func(b *testing.B, cfg crest.EstimatorConfig, label string) {
+		var medape float64
+		for i := 0; i < b.N; i++ {
+			m := crest.NewProposedMethod(cfg)
+			var err error
+			medape, _, err = crest.OutOfSampleEvaluate(m, train, test, comp, 1e-3, cache)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(medape, "medape-%")
+	}
+	b.Run("mixture-auto", func(b *testing.B) { run(b, crest.EstimatorConfig{}, "auto") })
+	b.Run("single-component", func(b *testing.B) {
+		cfg := crest.EstimatorConfig{}
+		cfg.Mixture.L = 1
+		run(b, cfg, "L1")
+	})
+}
+
+// BenchmarkAblationCalibSplit sweeps the conformal calibration fraction:
+// larger calibration sets tighten the quantile estimate but starve the
+// regression.
+func BenchmarkAblationCalibSplit(b *testing.B) {
+	ds := crest.HurricaneDataset(crest.DataOptions{NZ: 16, NY: 48, NX: 48, Seed: 1})
+	comp := crest.MustCompressor("szinterp")
+	field := ds.Field("TC")
+	samples, err := crest.CollectSamples(field.Buffers, comp, 1e-3, crest.PredictorConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var train, test []crest.Sample
+	for i, s := range samples {
+		if i%4 == 3 {
+			test = append(test, s)
+		} else {
+			train = append(train, s)
+		}
+	}
+	for _, frac := range []float64{0.2, 0.3, 0.5} {
+		name := "calib" + string(rune('0'+int(frac*10)))
+		b.Run(name, func(b *testing.B) {
+			cfg := crest.EstimatorConfig{}
+			cfg.Conformal.CalibFraction = frac
+			var width, cov float64
+			for i := 0; i < b.N; i++ {
+				est, err := crest.TrainEstimator(train, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cov = est.Coverage(test)
+				width = est.IntervalRadius()
+			}
+			b.ReportMetric(100*cov, "coverage-%")
+			b.ReportMetric(width, "radius-logcr")
+		})
+	}
+}
+
+// BenchmarkCompressorsThroughput measures compression throughput (MB/s of
+// input consumed) for every compressor at a representative bound.
+func BenchmarkCompressorsThroughput(b *testing.B) {
+	ds := crest.HurricaneDataset(crest.DataOptions{NZ: 2, NY: 96, NX: 96, Seed: 1})
+	buf := ds.Field("TC").Buffers[0]
+	mb := float64(buf.SizeBytes()) / (1 << 20)
+	for _, name := range crest.CompressorNames() {
+		comp := crest.MustCompressor(name)
+		b.Run(name+"/compress", func(b *testing.B) {
+			var cr float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				cr, err = crest.CompressionRatio(comp, buf, 1e-3)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(mb*float64(b.N)/b.Elapsed().Seconds(), "MB/s")
+			b.ReportMetric(cr, "CR")
+		})
+		data, err := comp.Compress(buf, 1e-3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name+"/decompress", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := comp.Decompress(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(mb*float64(b.N)/b.Elapsed().Seconds(), "MB/s")
+		})
+	}
+}
+
+// BenchmarkPredictorLatency measures the two predictor stages that §V's
+// models consume as μ_d and μ_e.
+func BenchmarkPredictorLatency(b *testing.B) {
+	ds := crest.HurricaneDataset(crest.DataOptions{NZ: 2, NY: 96, NX: 96, Seed: 1})
+	buf := ds.Field("CLOUD").Buffers[0]
+	b.Run("dataset-preds", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := crest.ComputeDatasetFeatures(buf, crest.PredictorConfig{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("eb-preds", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := crest.ComputeDistortion(buf, 1e-3, crest.PredictorConfig{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("model-estimate", func(b *testing.B) {
+		samples := make([]crest.Sample, 24)
+		for i := range samples {
+			samples[i] = crest.Sample{
+				Features: []float64{float64(i), 1, 2, 3, 4},
+				CR:       4 + math.Mod(float64(i), 7),
+			}
+		}
+		est, err := crest.TrainEstimator(samples, crest.EstimatorConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		feats := []float64{3, 1, 2, 3, 4}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := est.Estimate(feats); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package crest
+
+import (
+	"github.com/crestlab/crest/internal/kmeans"
+	"github.com/crestlab/crest/internal/linalg"
+)
+
+// PCAProject centers the rows of data (n×d) and projects them onto the top
+// ncomp principal components, returning the n×ncomp scores. It is the
+// dimensionality reduction behind the Fig. 2 latent-cluster visualization.
+func PCAProject(data [][]float64, ncomp int) [][]float64 {
+	n := len(data)
+	if n == 0 {
+		return nil
+	}
+	d := len(data[0])
+	m := linalg.NewMatrix(n, d)
+	for i, row := range data {
+		copy(m.Row(i), row)
+	}
+	p := linalg.PCA(m, ncomp)
+	scores := p.Transform(m)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = append([]float64(nil), scores.Row(i)...)
+	}
+	return out
+}
+
+// KMeansCluster clusters rows into k groups with deterministic k-means++
+// and returns the labels.
+func KMeansCluster(data [][]float64, k int, seed int64) []int {
+	return kmeans.Fit(data, k, seed).Labels
+}
+
+// SelectClusterCount picks a cluster count in [1, maxK] by silhouette —
+// the procedure the paper uses to set the mixture's latent dimension L.
+func SelectClusterCount(data [][]float64, maxK int, seed int64) int {
+	return kmeans.SelectK(data, maxK, 0.25, seed)
+}

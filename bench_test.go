@@ -1,0 +1,367 @@
+package crest_test
+
+// bench_test.go regenerates every table and figure of the paper at reduced
+// size as testing.B benchmarks, reporting the headline numbers via
+// b.ReportMetric. The full-fidelity versions live in cmd/experiments; the
+// experiment ↔ bench mapping is the per-experiment index in DESIGN.md.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	crest "github.com/crestlab/crest"
+)
+
+const (
+	benchNZ = 10
+	benchNY = 48
+	benchNX = 48
+	benchEB = 1e-3
+)
+
+func benchHurricane(b *testing.B) *crest.Dataset {
+	b.Helper()
+	return crest.HurricaneDataset(crest.DataOptions{NZ: benchNZ, NY: benchNY, NX: benchNX, Seed: 1})
+}
+
+// BenchmarkFig1Ablation measures the Fig. 1 leave-one-predictor-out study
+// on one field and reports the full-model and worst-ablated MedAPE.
+func BenchmarkFig1Ablation(b *testing.B) {
+	ds := benchHurricane(b)
+	comp := crest.MustCompressor("szinterp")
+	cache := crest.NewCRCache()
+	var full, worst float64
+	for i := 0; i < b.N; i++ {
+		rows, err := crest.AblationStudy([]*crest.Field{ds.Field("TC")}, comp, benchEB,
+			crest.EstimatorConfig{}, 3, 1, cache)
+		if err != nil {
+			b.Fatal(err)
+		}
+		full = rows[0].Full
+		worst = 0
+		for _, w := range rows[0].Without {
+			if w > worst {
+				worst = w
+			}
+		}
+	}
+	b.ReportMetric(full, "full-medape-%")
+	b.ReportMetric(worst, "worst-ablated-medape-%")
+}
+
+// BenchmarkFig2PCA measures the latent-clustering pipeline: features +
+// log-CR over four fields, PCA to 2D, silhouette-selected k-means.
+func BenchmarkFig2PCA(b *testing.B) {
+	ds := benchHurricane(b)
+	comp := crest.MustCompressor("szinterp")
+	var rows [][]float64
+	for _, name := range []string{"CLOUD", "TC", "QVAPOR", "V"} {
+		for _, buf := range ds.Field(name).Buffers {
+			feats, err := crest.ComputeFeatureVector(buf, benchEB, crest.PredictorConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cr, err := crest.CompressionRatio(comp, buf, benchEB)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = append(rows, append([]float64{math.Log(math.Min(cr, 100))}, feats...))
+		}
+	}
+	b.ResetTimer()
+	var k int
+	for i := 0; i < b.N; i++ {
+		scores := crest.PCAProject(rows, 2)
+		k = crest.SelectClusterCount(rows, 5, 1)
+		_ = crest.KMeansCluster(rows, k, 1)
+		_ = scores
+	}
+	b.ReportMetric(float64(k), "clusters")
+}
+
+// BenchmarkFig3ErrorInjection measures the use-case-A error-injection
+// study on an analytic CR curve and reports the degradation at 8% noise.
+func BenchmarkFig3ErrorInjection(b *testing.B) {
+	curve := func(eps float64) float64 { return 4 * math.Pow(eps/1e-6, 0.3) }
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		res := crest.ErrorInjectionStudy(curve, 20, 1e-8, 1e-1, 18,
+			[]float64{0.005, 0.01, 0.02, 0.04, 0.08}, 20, 1)
+		worst = res[len(res)-1].ErrPct
+	}
+	b.ReportMetric(worst, "err-at-8pct-noise-%")
+}
+
+// BenchmarkFig4Summary measures the accuracy-summary protocol on a
+// dataset × compressor slice and reports the median MedAPE.
+func BenchmarkFig4Summary(b *testing.B) {
+	ds := benchHurricane(b)
+	comp := crest.MustCompressor("szinterp")
+	cache := crest.NewCRCache()
+	var med float64
+	for i := 0; i < b.N; i++ {
+		m := crest.NewProposedMethod(crest.EstimatorConfig{})
+		q, _, err := crest.KFoldEvaluate(m, ds.Field("TC").Buffers, comp, benchEB, 4, 1, cache)
+		if err != nil {
+			b.Fatal(err)
+		}
+		med = q.Q50
+	}
+	b.ReportMetric(med, "medape-%")
+}
+
+// BenchmarkFig5MultiField measures similarity-ordered multi-field
+// training for one target field.
+func BenchmarkFig5MultiField(b *testing.B) {
+	ds := benchHurricane(b)
+	comp := crest.MustCompressor("szinterp")
+	cache := crest.NewCRCache()
+	sim, err := crest.FieldSimilarity(ds.Fields, crest.PredictorConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := sim.FieldIndex("CLOUD")
+	order := sim.Order(target)
+	b.ResetTimer()
+	var medape float64
+	for i := 0; i < b.N; i++ {
+		m := crest.NewProposedMethod(crest.EstimatorConfig{})
+		var train []*crest.Buffer
+		for _, oi := range order[:3] {
+			train = append(train, ds.Field(sim.Fields[oi]).Buffers...)
+		}
+		medape, _, err = crest.OutOfSampleEvaluate(m, train, ds.Field("CLOUD").Buffers, comp, benchEB, cache)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(medape, "oos-medape-%")
+}
+
+// BenchmarkFig6Conformal measures conformal calibration + coverage for an
+// in-sample split and reports the empirical coverage.
+func BenchmarkFig6Conformal(b *testing.B) {
+	ds := benchHurricane(b)
+	comp := crest.MustCompressor("szinterp")
+	field := ds.Field("CLOUD")
+	samples, err := crest.CollectSamples(field.Buffers, comp, benchEB, crest.PredictorConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Interleave the split so train and test span the whole z-range.
+	var train, test []crest.Sample
+	for i, s := range samples {
+		if i%3 == 2 {
+			test = append(test, s)
+		} else {
+			train = append(train, s)
+		}
+	}
+	b.ResetTimer()
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		est, err := crest.TrainEstimator(train, crest.EstimatorConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cov = est.Coverage(test)
+	}
+	b.ReportMetric(100*cov, "coverage-%")
+}
+
+// BenchmarkFig7Speedup measures the use-case-A search speedup of the
+// proposed method against no-estimation for one compressor.
+func BenchmarkFig7Speedup(b *testing.B) {
+	ds := benchHurricane(b)
+	comp := crest.MustCompressor("sperrlike")
+	field := ds.Field("CLOUD")
+	train := field.Buffers[:benchNZ-1]
+	testBuf := field.Buffers[benchNZ-1]
+	epses := []float64{1e-2, 1e-3, 1e-4}
+	crs := make([][]float64, len(train))
+	for i, buf := range train {
+		crs[i] = make([]float64, len(epses))
+		for j, e := range epses {
+			cr, err := crest.CompressionRatio(comp, buf, e)
+			if err != nil {
+				b.Fatal(err)
+			}
+			crs[i][j] = math.Min(cr, 100)
+		}
+	}
+	m := crest.NewProposedMethod(crest.EstimatorConfig{})
+	if err := m.FitMulti(train, crs, epses); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		sc, err := crest.CompareSearch(comp, testBuf, m, 10, 1e-6, 1e-1, 15)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = sc.Speedup
+	}
+	b.ReportMetric(speedup, "speedup-x")
+}
+
+// BenchmarkTable2Comparison measures the in-sample method comparison on
+// one field and reports each method's MedAPE.
+func BenchmarkTable2Comparison(b *testing.B) {
+	ds := crest.MirandaDataset(crest.DataOptions{NZ: benchNZ, NY: benchNY, NX: benchNX, Seed: 1})
+	comp := crest.MustCompressor("szinterp")
+	cache := crest.NewCRCache()
+	vx := ds.Field("velocityx")
+	methods := []crest.Method{
+		crest.NewProposedMethod(crest.EstimatorConfig{}),
+		crest.NewUnderwoodMethod(),
+		crest.NewTaoMethod(),
+	}
+	meds := make([]float64, len(methods))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for mi, m := range methods {
+			q, _, err := crest.KFoldEvaluate(m, vx.Buffers, comp, 1e-4, 3, 1, cache)
+			if err != nil {
+				b.Fatal(err)
+			}
+			meds[mi] = q.Q50
+		}
+	}
+	for mi, m := range methods {
+		b.ReportMetric(meds[mi], fmt.Sprintf("%s-medape-%%", m.Name()))
+	}
+}
+
+// BenchmarkTable3Similarity measures the field-similarity matrix and
+// reports the outlier/self-distance contrast.
+func BenchmarkTable3Similarity(b *testing.B) {
+	ds := benchHurricane(b)
+	var contrast float64
+	for i := 0; i < b.N; i++ {
+		sim, err := crest.FieldSimilarity(ds.Fields[:8], crest.PredictorConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var off float64
+		n := 0
+		for r := range sim.Fields {
+			for c := r + 1; c < len(sim.Fields); c++ {
+				off += sim.D[r][c]
+				n++
+			}
+		}
+		self := 0.0
+		for r := range sim.Fields {
+			self += sim.D[r][r]
+		}
+		contrast = (off / float64(n)) / (self/float64(len(sim.Fields)) + 1e-12)
+	}
+	b.ReportMetric(contrast, "offdiag-vs-selfdiag")
+}
+
+// BenchmarkUseCaseB measures the selection inversion model (the §V-D
+// worked example) plus an empirical selection round.
+func BenchmarkUseCaseB(b *testing.B) {
+	var p float64
+	for i := 0; i < b.N; i++ {
+		p = crest.SelectionInversionProbability(
+			[]float64{3, 2, 1}, []float64{.1, .1, .1}, []float64{.0625, .0625, .0625})
+	}
+	b.ReportMetric(100*p, "inversion-%")
+}
+
+// BenchmarkUseCaseC measures the parallel aggregated write with estimates
+// and reports misses per hundred buffers.
+func BenchmarkUseCaseC(b *testing.B) {
+	ds := benchHurricane(b)
+	comp := crest.MustCompressor("szinterp")
+	var train, write []*crest.Buffer
+	var crs []float64
+	for _, f := range ds.Fields[:6] {
+		for _, buf := range f.Buffers[:3] {
+			cr, err := crest.CompressionRatio(comp, buf, benchEB)
+			if err != nil {
+				b.Fatal(err)
+			}
+			train = append(train, buf)
+			crs = append(crs, math.Min(cr, 100))
+		}
+		write = append(write, f.Buffers[3:]...)
+	}
+	m := crest.NewProposedMethod(crest.EstimatorConfig{})
+	if err := m.Fit(train, crs, benchEB); err != nil {
+		b.Fatal(err)
+	}
+	est := crest.ConservativeEstimator(m, 1.0)
+	b.ResetTimer()
+	var missRate float64
+	for i := 0; i < b.N; i++ {
+		res, err := crest.ParallelWriteWithEstimate(write, comp, benchEB, 2, est)
+		if err != nil {
+			b.Fatal(err)
+		}
+		missRate = 100 * float64(res.Mispredicts) / float64(len(write))
+	}
+	b.ReportMetric(missRate, "miss-%")
+}
+
+// BenchmarkTrainingSpeedup measures the §VI-E training-cost comparison:
+// fused metrics + cover set vs unfused metrics + all fields.
+func BenchmarkTrainingSpeedup(b *testing.B) {
+	ds := benchHurricane(b)
+	buf := ds.Field("TC").Buffers[0]
+	comp := crest.MustCompressor("szinterp")
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		fused := timeOnce(func() {
+			if _, err := crest.ComputeDatasetFeatures(buf, crest.PredictorConfig{}); err != nil {
+				b.Fatal(err)
+			}
+		})
+		naive := timeOnce(func() {
+			if _, err := crest.ComputeDatasetFeaturesNaive(buf, crest.PredictorConfig{}); err != nil {
+				b.Fatal(err)
+			}
+		})
+		compT := timeOnce(func() {
+			if _, err := crest.CompressionRatio(comp, buf, benchEB); err != nil {
+				b.Fatal(err)
+			}
+		})
+		speedup = crest.TrainingSpeedup(crest.TrainingModel{
+			Pred0: crest.RuntimeDist{Mu: naive}, Pred1: crest.RuntimeDist{Mu: fused},
+			Compressor: crest.RuntimeDist{Mu: compT},
+			Buffers0:   9 * benchNZ, Buffers1: 5 * benchNZ, Procs: 4,
+		})
+	}
+	b.ReportMetric(speedup, "training-speedup-x")
+}
+
+// BenchmarkPerfModelA evaluates the §V-C analytic model at the paper's
+// worked-example parameters.
+func BenchmarkPerfModelA(b *testing.B) {
+	in := crest.UseCaseAModel{
+		Compressor: crest.RuntimeDist{Mu: 1, Sigma: 1},
+		DataPred:   crest.RuntimeDist{Mu: 1, Sigma: 1},
+		EBPred:     crest.RuntimeDist{Mu: 1, Sigma: 0.33},
+		Searches:   100000,
+		Procs:      40,
+	}
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s = crest.UseCaseASpeedup(in)
+	}
+	b.ReportMetric(s, "model-speedup-x")
+}
+
+func timeOnce(fn func()) float64 {
+	const reps = 3
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	return time.Since(start).Seconds() / reps
+}

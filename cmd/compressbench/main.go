@@ -1,0 +1,133 @@
+// Command compressbench measures compressor and predictor runtimes on the
+// synthetic datasets and summarizes them as the Gaussian runtime models
+// (μ, σ) consumed by the paper's §V speedup formulas, then evaluates those
+// formulas with the measured numbers. It is the measurement companion of
+// the perfmodel package.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	crest "github.com/crestlab/crest"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "hurricane", "dataset: hurricane|nyx|miranda|cesm")
+		field   = flag.String("field", "", "field (empty: first)")
+		eps     = flag.Float64("eps", 1e-3, "absolute error bound")
+		reps    = flag.Int("reps", 5, "repetitions per buffer")
+		ny      = flag.Int("ny", 96, "rows")
+		nx      = flag.Int("nx", 96, "cols")
+		nz      = flag.Int("nz", 12, "slices")
+		seed    = flag.Int64("seed", 1, "seed")
+		procs   = flag.Int("procs", 8, "processors assumed by the speedup models")
+	)
+	flag.Parse()
+
+	opts := crest.DataOptions{NZ: *nz, NY: *ny, NX: *nx, Seed: *seed}
+	var ds *crest.Dataset
+	switch *dataset {
+	case "hurricane":
+		ds = crest.HurricaneDataset(opts)
+	case "nyx":
+		ds = crest.NYXDataset(opts)
+	case "miranda":
+		ds = crest.MirandaDataset(opts)
+	case "cesm":
+		ds = crest.CESMDataset(opts)
+	default:
+		fmt.Printf("unknown dataset %q\n", *dataset)
+		return
+	}
+	f := ds.Fields[0]
+	if *field != "" {
+		if f = ds.Field(*field); f == nil {
+			fmt.Printf("no field %q\n", *field)
+			return
+		}
+	}
+
+	measure := func(fn func(b *crest.Buffer)) crest.RuntimeDist {
+		var samples []float64
+		for _, b := range f.Buffers {
+			for r := 0; r < *reps; r++ {
+				start := time.Now()
+				fn(b)
+				samples = append(samples, time.Since(start).Seconds())
+			}
+		}
+		return crest.MeasureRuntime(samples)
+	}
+
+	fmt.Printf("dataset=%s field=%s %dx%d eps=%g (times in ms)\n\n", ds.Name, f.Name, *ny, *nx, *eps)
+	fmt.Printf("%-14s %10s %10s %10s\n", "task", "mean", "stddev", "cv")
+
+	dPred := measure(func(b *crest.Buffer) {
+		if _, err := crest.ComputeDatasetFeatures(b, crest.PredictorConfig{}); err != nil {
+			panic(err)
+		}
+	})
+	report("dset-preds", dPred)
+	ePred := measure(func(b *crest.Buffer) {
+		if _, err := crest.ComputeDistortion(b, *eps, crest.PredictorConfig{}); err != nil {
+			panic(err)
+		}
+	})
+	report("eb-preds", ePred)
+
+	comps := map[string]crest.RuntimeDist{}
+	for _, name := range crest.CompressorNames() {
+		comp := crest.MustCompressor(name)
+		comps[name] = measure(func(b *crest.Buffer) {
+			if _, err := crest.CompressionRatio(comp, b, *eps); err != nil {
+				panic(err)
+			}
+		})
+		report(name, comps[name])
+	}
+
+	// Model estimate evaluation is effectively free compared to the
+	// above; the paper treats it as nanoseconds.
+	yEst := crest.RuntimeDist{Mu: 2e-7, Sigma: 5e-8}
+
+	fmt.Println("\nuse-case-A model speedups (50 searches):")
+	fmt.Printf("%-14s %10s\n", "compressor", "speedup")
+	for _, name := range crest.CompressorNames() {
+		in := crest.UseCaseAModel{
+			Compressor: comps[name],
+			DataPred:   dPred,
+			EBPred:     ePred,
+			Estimate:   yEst,
+			Searches:   50,
+			Procs:      *procs,
+		}
+		fmt.Printf("%-14s %9.2fx\n", name, crest.UseCaseASpeedup(in))
+	}
+
+	fmt.Println("\nuse-case-C model speedups (64 buffers, 4 in-memory, 2% miss):")
+	fmt.Printf("%-14s %10s\n", "compressor", "speedup")
+	for _, name := range crest.CompressorNames() {
+		in := crest.UseCaseCModel{
+			Compressor: comps[name],
+			DataPred:   dPred,
+			EBPred:     ePred,
+			Estimate:   yEst,
+			Buffers:    64,
+			MemBuffers: 4,
+			Procs:      *procs,
+			MissRate:   0.02,
+		}
+		fmt.Printf("%-14s %9.2fx\n", name, crest.UseCaseCSpeedup(in))
+	}
+}
+
+func report(name string, d crest.RuntimeDist) {
+	cv := 0.0
+	if d.Mu > 0 {
+		cv = d.Sigma / d.Mu
+	}
+	fmt.Printf("%-14s %10.3f %10.3f %10.2f\n", name, 1e3*d.Mu, 1e3*d.Sigma, cv)
+}

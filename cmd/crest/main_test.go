@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var tinyArgs = []string{"-nz", "6", "-ny", "24", "-nx", "24"}
+
+func TestCmdMetrics(t *testing.T) {
+	args := append([]string{"-dataset", "miranda", "-field", "density", "-eps", "1e-3"}, tinyArgs...)
+	if err := cmdMetrics(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdCompress(t *testing.T) {
+	args := append([]string{"-dataset", "cesm", "-compressor", "zfplike"}, tinyArgs...)
+	if err := cmdCompress(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdEstimate(t *testing.T) {
+	args := append([]string{"-dataset", "miranda", "-field", "pressure", "-train", "0.7"}, "-nz", "10", "-ny", "24", "-nx", "24")
+	if err := cmdEstimate(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdSimilarity(t *testing.T) {
+	args := append([]string{"-dataset", "nyx"}, tinyArgs...)
+	if err := cmdSimilarity(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdList(t *testing.T) {
+	if err := cmdList(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdRawFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.f64")
+	rows, cols := 16, 16
+	raw := make([]byte, 8*rows*cols)
+	for i := 0; i < rows*cols; i++ {
+		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(math.Sin(float64(i)/7)))
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.bin")
+	err := cmdRawFile([]string{"-file", path, "-rows", "16", "-cols", "16", "-compressor", "szinterp", "-o", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("output not written: %v", err)
+	}
+	// Shape mismatch rejected.
+	if err := cmdRawFile([]string{"-file", path, "-rows", "10", "-cols", "10"}); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	if err := cmdRawFile([]string{"-rows", "10", "-cols", "10"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestDatasetFlagErrors(t *testing.T) {
+	var df datasetFlags
+	df.dataset = "nope"
+	df.nz, df.ny, df.nx = 2, 8, 8
+	if _, _, err := df.load(); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	df.dataset = "nyx"
+	df.field = "missing"
+	if _, _, err := df.load(); err == nil {
+		t.Error("unknown field accepted")
+	}
+	df.field = ""
+	if _, f, err := df.load(); err != nil || f == nil {
+		t.Errorf("default field load failed: %v", err)
+	}
+}
+
+func TestCmdVolume(t *testing.T) {
+	args := append([]string{"-dataset", "miranda", "-field", "density", "-compressor", "zfplike"}, tinyArgs...)
+	if err := cmdVolume(args); err != nil {
+		t.Fatal(err)
+	}
+	// Relative-bound path.
+	args = append([]string{"-dataset", "miranda", "-rel", "1e-3"}, tinyArgs...)
+	if err := cmdVolume(args); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,230 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	crest "github.com/crestlab/crest"
+)
+
+// fig1Fields are the hurricane fields shown in the ablation study.
+var fig1Fields = []string{"CLOUD", "PRECIP", "TC", "W", "QRAIN", "QVAPOR"}
+
+func runFig1(cfg runConfig) error {
+	nz, ny, nx := cfg.sizes()
+	ds := crest.HurricaneDataset(crest.DataOptions{NZ: nz, NY: ny, NX: nx, Seed: cfg.seed})
+	var fields []*crest.Field
+	for _, name := range fig1Fields {
+		fields = append(fields, ds.Field(name))
+	}
+	comp := crest.MustCompressor("szinterp")
+	rows, err := crest.AblationStudy(fields, comp, 1e-3, crest.EstimatorConfig{}, 5, cfg.seed, crest.NewCRCache())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %8s", "field", "full")
+	header := []string{"field", "full_medape_pct"}
+	for _, n := range crest.FeatureNames {
+		fmt.Printf(" %11s", "-"+n)
+		header = append(header, "without_"+n)
+	}
+	fmt.Println()
+	var csvRows [][]string
+	for _, r := range rows {
+		fmt.Printf("%-8s %7.2f%%", r.Field, r.Full)
+		row := []string{r.Field, f64(r.Full)}
+		for _, w := range r.Without {
+			fmt.Printf(" %10.2f%%", w)
+			row = append(row, f64(w))
+		}
+		fmt.Println()
+		csvRows = append(csvRows, row)
+	}
+	if err := cfg.writeCSV("fig1_ablation", header, csvRows); err != nil {
+		return err
+	}
+	fmt.Println("(MedAPE of the full 5-predictor model vs each leave-one-out model;")
+	fmt.Println(" per the paper, different fields are hurt by dropping different predictors)")
+	return nil
+}
+
+// fig2Fields are the four hurricane fields of the clustering figure.
+var fig2Fields = []string{"CLOUD", "TC", "QVAPOR", "V"}
+
+func runFig2(cfg runConfig) error {
+	nz, ny, nx := cfg.sizes()
+	ds := crest.HurricaneDataset(crest.DataOptions{NZ: nz, NY: ny, NX: nx, Seed: cfg.seed})
+	comp := crest.MustCompressor("szinterp")
+	eps := 1e-3
+	var rows [][]float64
+	var owner []string
+	for _, name := range fig2Fields {
+		f := ds.Field(name)
+		for _, b := range f.Buffers {
+			feats, err := crest.ComputeFeatureVector(b, eps, crest.PredictorConfig{})
+			if err != nil {
+				return err
+			}
+			cr, err := crest.CompressionRatio(comp, b, eps)
+			if err != nil {
+				return err
+			}
+			if cr > 100 {
+				cr = 100
+			}
+			row := append([]float64{math.Log(cr)}, feats...)
+			rows = append(rows, row)
+			owner = append(owner, name)
+		}
+	}
+	// Standardize columns before PCA so no feature dominates.
+	standardizeColumns(rows)
+	scores := crest.PCAProject(rows, 2)
+	k := crest.SelectClusterCount(rows, 5, cfg.seed)
+	labels := crest.KMeansCluster(rows, k, cfg.seed)
+	fmt.Printf("selected cluster count L = %d\n", k)
+	fmt.Printf("%-8s %10s %10s %8s\n", "field", "PC1", "PC2", "cluster")
+	var csvRows [][]string
+	for i, s := range scores {
+		fmt.Printf("%-8s %10.3f %10.3f %8d\n", owner[i], s[0], s[1], labels[i])
+		csvRows = append(csvRows, []string{owner[i], f64(s[0]), f64(s[1]), fmt.Sprint(labels[i])})
+	}
+	if err := cfg.writeCSV("fig2_pca_clusters", []string{"field", "pc1", "pc2", "cluster"}, csvRows); err != nil {
+		return err
+	}
+	// Cluster-vs-field contingency: a visible grouping effect means the
+	// clusters align with (groups of) fields.
+	counts := map[string]int{}
+	for i := range labels {
+		counts[fmt.Sprintf("%s/c%d", owner[i], labels[i])]++
+	}
+	fmt.Println("field/cluster counts:")
+	for _, k := range sortedKeys(counts) {
+		fmt.Printf("  %-12s %d\n", k, counts[k])
+	}
+	return nil
+}
+
+func standardizeColumns(rows [][]float64) {
+	if len(rows) == 0 {
+		return
+	}
+	d := len(rows[0])
+	for j := 0; j < d; j++ {
+		var mean, m2 float64
+		for _, r := range rows {
+			mean += r[j]
+		}
+		mean /= float64(len(rows))
+		for _, r := range rows {
+			m2 += (r[j] - mean) * (r[j] - mean)
+		}
+		std := math.Sqrt(m2 / float64(len(rows)))
+		if std == 0 {
+			std = 1
+		}
+		for _, r := range rows {
+			r[j] = (r[j] - mean) / std
+		}
+	}
+}
+
+func runFig3(cfg runConfig) error {
+	nz, ny, nx := cfg.sizes()
+	ds := crest.HurricaneDataset(crest.DataOptions{NZ: nz, NY: ny, NX: nx, Seed: cfg.seed})
+	buf := ds.Field("CLOUD").Buffers[0]
+	comp := crest.MustCompressor("szinterp")
+	memo := map[float64]float64{}
+	truth := func(eps float64) float64 {
+		if v, ok := memo[eps]; ok {
+			return v
+		}
+		cr, err := crest.CompressionRatio(comp, buf, eps)
+		if err != nil {
+			cr = 1
+		}
+		memo[eps] = cr
+		return cr
+	}
+	trials := 40
+	if cfg.quick {
+		trials = 10
+	}
+	levels := []float64{0.005, 0.01, 0.02, 0.04, 0.08}
+	results := crest.ErrorInjectionStudy(truth, 20, 1e-6, 1e-1, 18, levels, trials, cfg.seed)
+	fmt.Printf("%-12s %-16s\n", "noise (%CR)", "search err (%CR)")
+	var csvRows [][]string
+	for _, r := range results {
+		fmt.Printf("%11.1f%% %15.2f%%\n", r.NoisePct, r.ErrPct)
+		csvRows = append(csvRows, []string{f64(r.NoisePct), f64(r.ErrPct)})
+	}
+	if err := cfg.writeCSV("fig3_error_injection", []string{"noise_pct", "search_err_pct"}, csvRows); err != nil {
+		return err
+	}
+	fmt.Println("(paper reports 9.9/10.3/11.2/17.4% style growth: error grows")
+	fmt.Println(" super-linearly with injected estimate noise, so use case A needs")
+	fmt.Println(" high-accuracy estimators)")
+	return nil
+}
+
+var fig4Fields = map[string][]string{
+	"hurricane": {"CLOUD", "TC", "W"},
+	"nyx":       {"baryon_density", "temperature", "velocity_x"},
+	"miranda":   {"density", "pressure", "velocityx"},
+	"cesm":      {"CLDHGH", "FLDS", "TS"},
+}
+
+func runFig4(cfg runConfig) error {
+	nz, ny, nx := cfg.sizes()
+	datasets := crest.AllDatasets(crest.DataOptions{NZ: nz, NY: ny, NX: nx, Seed: cfg.seed})
+	comps := []string{"szinterp", "zfplike", "sperrlike"}
+	bounds := []float64{1e-3, 1e-4}
+	cache := crest.NewCRCache()
+	type key struct {
+		comp string
+		eps  float64
+	}
+	sums := map[key][]float64{}
+	var csvRows [][]string
+	fmt.Printf("%-10s %-16s %-10s %-8s %8s %8s %8s\n",
+		"dataset", "field", "comp", "eps", "10%", "med", "90%")
+	for _, ds := range datasets {
+		for _, fieldName := range fig4Fields[ds.Name] {
+			field := ds.Field(fieldName)
+			for _, compName := range comps {
+				comp := crest.MustCompressor(compName)
+				for _, eps := range bounds {
+					m := crest.NewProposedMethod(crest.EstimatorConfig{})
+					q, _, err := crest.KFoldEvaluate(m, field.Buffers, comp, eps, 5, cfg.seed, cache)
+					if err != nil {
+						return fmt.Errorf("%s/%s %s %g: %w", ds.Name, fieldName, compName, eps, err)
+					}
+					fmt.Printf("%-10s %-16s %-10s %-8.0e %7.2f%% %7.2f%% %7.2f%%\n",
+						ds.Name, fieldName, compName, eps, q.Q10, q.Q50, q.Q90)
+					csvRows = append(csvRows, []string{ds.Name, fieldName, compName, f64(eps), f64(q.Q10), f64(q.Q50), f64(q.Q90)})
+					k := key{compName, eps}
+					sums[k] = append(sums[k], q.Q50)
+				}
+			}
+		}
+	}
+	if err := cfg.writeCSV("fig4_summary", []string{"dataset", "field", "compressor", "eps", "q10", "medape", "q90"}, csvRows); err != nil {
+		return err
+	}
+	fmt.Println("\nlegend (avg / max MedAPE per compressor+bound across all fields):")
+	for _, compName := range comps {
+		for _, eps := range bounds {
+			vals := sums[key{compName, eps}]
+			var avg, mx float64
+			for _, v := range vals {
+				avg += v
+				if v > mx {
+					mx = v
+				}
+			}
+			avg /= float64(len(vals))
+			fmt.Printf("  %-10s eps=%-8.0e avg=%.2f%% max=%.2f%%\n", compName, eps, avg, mx)
+		}
+	}
+	return nil
+}

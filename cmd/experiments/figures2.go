@@ -1,0 +1,257 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	crest "github.com/crestlab/crest"
+	"github.com/crestlab/crest/internal/stats"
+)
+
+// groupedMedAPE splits test pairs into ~5 groups and returns the 10/50/90
+// quantiles of the per-group MedAPEs, the Fig. 5/Table II uncertainty
+// summary for a single out-of-sample split.
+func groupedMedAPE(pairs []crest.PredPair) (q10, q50, q90 float64) {
+	const groups = 5
+	buckets := make([][]float64, groups)
+	for i, p := range pairs {
+		g := i % groups
+		buckets[g] = append(buckets[g], stats.AbsPercentageError(p.True, p.Pred))
+	}
+	meds := make([]float64, 0, groups)
+	for _, b := range buckets {
+		if len(b) > 0 {
+			meds = append(meds, stats.Median(b))
+		}
+	}
+	qs := stats.Quantiles(meds, 0.10, 0.50, 0.90)
+	return qs[0], qs[1], qs[2]
+}
+
+func runFig5(cfg runConfig) error {
+	nz, ny, nx := cfg.sizes()
+	ds := crest.HurricaneDataset(crest.DataOptions{NZ: nz, NY: ny, NX: nx, Seed: cfg.seed})
+	comp := crest.MustCompressor("szinterp")
+	eps := 1e-3
+	sim, err := crest.FieldSimilarity(ds.Fields, crest.PredictorConfig{})
+	if err != nil {
+		return err
+	}
+	cache := crest.NewCRCache()
+	targets := []string{"CLOUD", "PRECIP"}
+	var fig5CSV [][]string
+	maxFields := 8
+	if cfg.quick {
+		maxFields = 4
+	}
+	for _, target := range targets {
+		ti := sim.FieldIndex(target)
+		order := sim.Order(ti)
+		fmt.Printf("target field %s; training order:", target)
+		for _, oi := range order[:maxFields] {
+			fmt.Printf(" %s", sim.Fields[oi])
+		}
+		fmt.Println()
+		fmt.Printf("%-8s %8s %8s %8s\n", "#fields", "10%", "med", "90%")
+		method := crest.NewProposedMethod(crest.EstimatorConfig{})
+		var trainBufs []*crest.Buffer
+		for n := 1; n <= maxFields; n++ {
+			f := ds.Field(sim.Fields[order[n-1]])
+			trainBufs = append(trainBufs, f.Buffers...)
+			_, pairs, err := crest.OutOfSampleEvaluate(method, trainBufs, ds.Field(target).Buffers, comp, eps, cache)
+			if err != nil {
+				return err
+			}
+			q10, q50, q90 := groupedMedAPE(pairs)
+			fmt.Printf("%-8d %7.2f%% %7.2f%% %7.2f%%\n", n, q10, q50, q90)
+			fig5CSV = append(fig5CSV, []string{target, fmt.Sprint(n), f64(q10), f64(q50), f64(q90)})
+		}
+		fmt.Println()
+	}
+	if err := cfg.writeCSV("fig5_multifield", []string{"target", "num_fields", "q10", "medape", "q90"}, fig5CSV); err != nil {
+		return err
+	}
+	fmt.Println("(adding fields in similarity order generally tightens the error,")
+	fmt.Println(" the cheaper-to-train behavior of Fig. 5)")
+	return nil
+}
+
+func runFig6(cfg runConfig) error {
+	nz, ny, nx := cfg.sizes()
+	hur := crest.HurricaneDataset(crest.DataOptions{NZ: nz, NY: ny, NX: nx, Seed: cfg.seed})
+	nyx := crest.NYXDataset(crest.DataOptions{NZ: nz, NY: ny, NX: nx, Seed: cfg.seed})
+	comp := crest.MustCompressor("szinterp")
+	eps := 1e-3
+	cache := crest.NewCRCache()
+	sim, err := crest.FieldSimilarity(hur.Fields, crest.PredictorConfig{})
+	if err != nil {
+		return err
+	}
+
+	type panel struct {
+		name        string
+		train, test []*crest.Buffer
+	}
+	outTrain := func(target string) []*crest.Buffer {
+		ti := sim.FieldIndex(target)
+		var bufs []*crest.Buffer
+		for _, oi := range sim.Order(ti)[:4] {
+			bufs = append(bufs, hur.Field(sim.Fields[oi]).Buffers...)
+		}
+		return bufs
+	}
+	split := func(f *crest.Field) (train, test []*crest.Buffer) {
+		for i, b := range f.Buffers {
+			if i%3 == 0 {
+				test = append(test, b)
+			} else {
+				train = append(train, b)
+			}
+		}
+		return train, test
+	}
+	cloudTrain, cloudTest := split(hur.Field("CLOUD"))
+	nyxTrain, nyxTest := split(nyx.Field("baryon_density"))
+	// Pooled out-of-field panel: several held-out fields at once, the
+	// regime where field-level exchangeability (and hence the conformal
+	// guarantee) actually applies.
+	heldOut := map[string]bool{"QSNOW": true, "W": true, "QRAIN": true}
+	var pooledTrain, pooledTest []*crest.Buffer
+	for _, f := range hur.Fields {
+		if heldOut[f.Name] {
+			pooledTest = append(pooledTest, f.Buffers...)
+		} else {
+			pooledTrain = append(pooledTrain, f.Buffers...)
+		}
+	}
+	panels := []panel{
+		{"hurricane-CLOUD in-sample", cloudTrain, cloudTest},
+		{"hurricane-CLOUD out-of-sample", outTrain("CLOUD"), hur.Field("CLOUD").Buffers},
+		{"nyx-baryon in-sample", nyxTrain, nyxTest},
+		{"hurricane-PRECIP out-of-sample", outTrain("PRECIP"), hur.Field("PRECIP").Buffers},
+		{"hurricane pooled out-of-field (3 held-out fields)", pooledTrain, pooledTest},
+	}
+	var fig6CSV [][]string
+	for _, p := range panels {
+		m := crest.NewProposedMethod(crest.EstimatorConfig{})
+		medape, pairs, err := crest.OutOfSampleEvaluate(m, p.train, p.test, comp, eps, cache)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p.name, err)
+		}
+		for _, pr := range pairs {
+			fig6CSV = append(fig6CSV, []string{p.name, f64(pr.True), f64(pr.Pred), f64(pr.Lo), f64(pr.Hi)})
+		}
+		fmt.Printf("panel %s (MedAPE %.2f%%)\n", p.name, medape)
+		fmt.Printf("  %10s %10s %10s %10s %8s\n", "actual", "predicted", "lo", "hi", "covered")
+		covered, total := 0, 0
+		var width float64
+		for i, pr := range pairs {
+			in := pr.True >= pr.Lo && pr.True <= pr.Hi
+			if in {
+				covered++
+			}
+			total++
+			width += pr.Hi - pr.Lo
+			if i < 12 {
+				fmt.Printf("  %10.2f %10.2f %10.2f %10.2f %8v\n", pr.True, pr.Pred, pr.Lo, pr.Hi, in)
+			} else if i == 12 {
+				fmt.Printf("  ... (%d more)\n", len(pairs)-12)
+			}
+		}
+		fmt.Printf("  coverage %.1f%% (nominal 95%%), mean interval width %.2f\n\n",
+			100*float64(covered)/float64(total), width/float64(total))
+	}
+	if err := cfg.writeCSV("fig6_conformal", []string{"panel", "actual", "predicted", "lo", "hi"}, fig6CSV); err != nil {
+		return err
+	}
+	fmt.Println("(out-of-sample panels show visibly wider conformal intervals than")
+	fmt.Println(" in-sample ones, matching the paper's Fig. 6 observation)")
+	return nil
+}
+
+func runFig7(cfg runConfig) error {
+	nz, ny, nx := cfg.sizes()
+	ds := crest.HurricaneDataset(crest.DataOptions{NZ: nz, NY: ny, NX: nx, Seed: cfg.seed})
+	field := ds.Field("CLOUD")
+	testBuf := field.Buffers[len(field.Buffers)-1]
+	trainBufs := field.Buffers[:len(field.Buffers)-1]
+	comps := []string{"szlorenzo", "szinterp", "zfplike", "sperrlike", "mgardlike"}
+	iters := 50
+	if cfg.quick {
+		iters = 15
+	}
+	eps0 := 1e-3
+	trainEps := []float64{1e-2, 1e-3, 1e-4, 1e-5}
+	fmt.Printf("%-12s %-10s %10s %12s %10s\n", "compressor", "method", "speedup", "target err", "effective")
+	var fig7CSV [][]string
+	for _, compName := range comps {
+		comp := crest.MustCompressor(compName)
+		// Train methods for this compressor across several bounds so the
+		// bound search can interrogate them anywhere in the range.
+		crs := make([]float64, len(trainBufs))
+		multiCRs := make([][]float64, len(trainBufs))
+		for i, b := range trainBufs {
+			multiCRs[i] = make([]float64, len(trainEps))
+			for j, te := range trainEps {
+				cr, err := crest.CompressionRatio(comp, b, te)
+				if err != nil {
+					return err
+				}
+				multiCRs[i][j] = math.Min(cr, 100)
+				if te == eps0 {
+					crs[i] = multiCRs[i][j]
+				}
+			}
+		}
+		// Target: a ratio the compressor can reach on this data.
+		midCR, err := crest.CompressionRatio(comp, testBuf, 1e-2)
+		if err != nil {
+			return err
+		}
+		target := math.Min(midCR, 100) * 0.8
+		if target < 2 {
+			target = 2
+		}
+		methods := []crest.Method{
+			crest.NewProposedMethod(crest.EstimatorConfig{}),
+			crest.NewUnderwoodMethod(),
+			crest.NewTaoMethod(),
+			crest.NewLuMethod(),
+		}
+		for _, m := range methods {
+			if m.Name() == "lu" && compName != "szlorenzo" && compName != "zfplike" {
+				fmt.Printf("%-12s %-10s %10s %12s\n", compName, m.Name(), "n/a", "(SZ/ZFP only)")
+				continue
+			}
+			if mt, ok := m.(crest.MultiBoundTrainer); ok {
+				if err := mt.FitMulti(trainBufs, multiCRs, trainEps); err != nil {
+					return fmt.Errorf("%s/%s fit: %w", compName, m.Name(), err)
+				}
+			} else if err := m.Fit(trainBufs, crs, eps0); err != nil {
+				return fmt.Errorf("%s/%s fit: %w", compName, m.Name(), err)
+			}
+			sc, err := crest.CompareSearch(comp, testBuf, m, target, 1e-6, 1e-1, iters)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", compName, m.Name(), err)
+			}
+			// Effective speedup: an estimate-driven search that misses the
+			// target by more than 10% must fall back to the full
+			// compressor-driven search, so its estimate time is pure
+			// overhead — this is how inaccurate-but-fast methods end up
+			// below 1x in the paper's Fig. 7.
+			eff := sc.Speedup
+			if sc.TargetErrPct > 10 {
+				eff = sc.Speedup / (1 + sc.Speedup)
+			}
+			fmt.Printf("%-12s %-10s %9.2fx %11.2f%% %9.2fx\n", compName, m.Name(), sc.Speedup, sc.TargetErrPct, eff)
+			fig7CSV = append(fig7CSV, []string{compName, m.Name(), f64(sc.Speedup), f64(sc.TargetErrPct), f64(eff)})
+		}
+	}
+	if err := cfg.writeCSV("fig7_speedup", []string{"compressor", "method", "speedup", "target_err_pct", "effective_speedup"}, fig7CSV); err != nil {
+		return err
+	}
+	fmt.Println("(speedup = no-estimation search time / estimate-driven search time;")
+	fmt.Println(" 'target err' is the CR deviation cost of trusting the estimates;")
+	fmt.Println(" 'effective' folds a >10% miss back into a full re-search)")
+	return nil
+}

@@ -1,0 +1,143 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the synthetic substrate. Each experiment prints
+// the same rows/series the paper reports; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+//
+// Usage:
+//
+//	experiments -run fig1|fig2|fig3|fig4|fig5|fig6|fig7|table2|table3|
+//	            usecaseB|usecaseC|training|model-a|all [-seed N] [-quick]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(cfg runConfig) error
+}
+
+type runConfig struct {
+	seed   int64
+	quick  bool
+	outDir string
+}
+
+// writeCSV emits one experiment artifact as CSV when -out is set; the
+// printed tables remain the primary output.
+func (c runConfig) writeCSV(name string, header []string, rows [][]string) error {
+	if c.outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.outDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(c.outDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	fmt.Printf("[wrote %s]\n", filepath.Join(c.outDir, name+".csv"))
+	return f.Close()
+}
+
+// f64 formats a float for CSV cells.
+func f64(v float64) string { return fmt.Sprintf("%g", v) }
+
+var experiments = []experiment{
+	{"fig1", "Fig. 1: leave-one-predictor-out ablation (hurricane, szinterp)", runFig1},
+	{"fig2", "Fig. 2: latent clustering of (CR, features) via PCA", runFig2},
+	{"fig3", "Fig. 3: use-case-A estimate error injection", runFig3},
+	{"fig4", "Fig. 4: accuracy summary across 4 datasets x 3 compressors x 2 bounds", runFig4},
+	{"fig5", "Fig. 5: multi-field training curves in similarity order", runFig5},
+	{"fig6", "Fig. 6: in/out-of-sample predicted-vs-actual with conformal CIs", runFig6},
+	{"fig7", "Fig. 7: use-case-A speedup, 5 compressors x 4 methods", runFig7},
+	{"table2", "Table II: accuracy comparison vs Underwood/Tao/Lu", runTable2},
+	{"table3", "Table III: field-similarity matrix (hurricane)", runTable3},
+	{"usecaseB", "Sec. V-D: selection inversion probabilities + empirical", runUseCaseB},
+	{"usecaseC", "Sec. V-E: parallel aggregated write, model + empirical", runUseCaseC},
+	{"training", "Sec. VI-E: minimal training set + training speedup", runTraining},
+	{"model-a", "Sec. V-C/VI-G: analytic use-case-A speedup worked example", runModelA},
+	{"crossrun", "Extension: train on one run, predict a fresh run (out-of-run)", runCrossRun},
+}
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "experiment id or 'all'")
+		seed  = flag.Int64("seed", 1, "deterministic experiment seed")
+		quick = flag.Bool("quick", false, "reduced sizes for a fast pass")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		out   = flag.String("out", "", "also write per-experiment CSV artifacts into this directory")
+	)
+	flag.Parse()
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-10s %s\n", e.name, e.desc)
+		}
+		return
+	}
+	cfg := runConfig{seed: *seed, quick: *quick, outDir: *out}
+	names := map[string]experiment{}
+	for _, e := range experiments {
+		names[e.name] = e
+	}
+	var todo []experiment
+	if *run == "all" {
+		todo = experiments
+	} else {
+		e, ok := names[*run]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *run)
+			os.Exit(2)
+		}
+		todo = []experiment{e}
+	}
+	for _, e := range todo {
+		fmt.Printf("=== %s: %s ===\n", e.name, e.desc)
+		start := time.Now()
+		if err := e.run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- %s done in %v ---\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// sizes returns the dataset dimensions for the run mode.
+func (c runConfig) sizes() (nz, ny, nx int) {
+	if c.quick {
+		return 16, 48, 48
+	}
+	return 24, 96, 96
+}
+
+// sortedKeys returns map keys in sorted order for deterministic printing.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	crest "github.com/crestlab/crest"
+)
+
+func TestExperimentRegistryIntegrity(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments {
+		if e.name == "" || e.desc == "" || e.run == nil {
+			t.Errorf("incomplete experiment entry %+v", e)
+		}
+		if seen[e.name] {
+			t.Errorf("duplicate experiment id %q", e.name)
+		}
+		seen[e.name] = true
+	}
+	// Every experiment id promised by DESIGN.md's index must exist.
+	for _, want := range []string{
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"table2", "table3", "usecaseB", "usecaseC", "training", "model-a",
+	} {
+		if !seen[want] {
+			t.Errorf("missing experiment %q", want)
+		}
+	}
+}
+
+func TestRunConfigSizes(t *testing.T) {
+	quick := runConfig{quick: true}
+	full := runConfig{}
+	qz, qy, qx := quick.sizes()
+	fz, fy, fx := full.sizes()
+	if qz >= fz || qy >= fy || qx >= fx {
+		t.Errorf("quick sizes (%d,%d,%d) not smaller than full (%d,%d,%d)", qz, qy, qx, fz, fy, fx)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	keys := sortedKeys(m)
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Errorf("sortedKeys = %v", keys)
+	}
+}
+
+func TestGroupedMedAPE(t *testing.T) {
+	// Pairs with constant 10% over-prediction: every group's MedAPE is
+	// exactly 10, so all three quantiles are 10.
+	pairs := make([]crest.PredPair, 10)
+	for i := range pairs {
+		pairs[i] = crest.PredPair{True: 20, Pred: 22}
+	}
+	q10, q50, q90 := groupedMedAPE(pairs)
+	if q10 != 10 || q50 != 10 || q90 != 10 {
+		t.Errorf("quantiles = %g %g %g", q10, q50, q90)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	cfg := runConfig{outDir: dir}
+	err := cfg.writeCSV("sample", []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "sample.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\n3,4\n"
+	if string(data) != want {
+		t.Errorf("csv = %q, want %q", data, want)
+	}
+	// Disabled when no out dir is configured.
+	if err := (runConfig{}).writeCSV("x", nil, nil); err != nil {
+		t.Errorf("disabled writeCSV errored: %v", err)
+	}
+}

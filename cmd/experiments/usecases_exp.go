@@ -1,0 +1,386 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	crest "github.com/crestlab/crest"
+)
+
+func runUseCaseB(cfg runConfig) error {
+	// --- Analytic worked example of §V-D ---
+	fmt.Println("analytic inversion probabilities (CR means 1,2,3; CR var 0.1):")
+	fmt.Printf("%-14s %12s\n", "est err var", "P(inversion)")
+	crMean := []float64{3, 2, 1} // best first
+	crVar := []float64{0.1, 0.1, 0.1}
+	fmt.Printf("%-14s %11.1f%%\n", "none", 100*crest.SelectionInversionProbability(crMean, crVar, nil))
+	for _, ev := range []float64{0.0625, 0.125, 0.25, 0.5} {
+		errVar := []float64{ev, ev, ev}
+		p := crest.SelectionInversionProbability(crMean, crVar, errVar)
+		fmt.Printf("%-14.4f %11.1f%%\n", ev, 100*p)
+	}
+	fmt.Println("(paper's worked example: 3.9 / 6.9 / 12.3 / 20.8%)")
+	var ucbCSV [][]string
+	for _, ev := range []float64{0, 0.0625, 0.125, 0.25, 0.5} {
+		var errVar []float64
+		if ev > 0 {
+			errVar = []float64{ev, ev, ev}
+		}
+		ucbCSV = append(ucbCSV, []string{f64(ev),
+			f64(100 * crest.SelectionInversionProbability(crMean, crVar, errVar))})
+	}
+	if err := cfg.writeCSV("usecaseB_inversion", []string{"est_err_var", "inversion_pct"}, ucbCSV); err != nil {
+		return err
+	}
+
+	// --- Empirical selection accuracy + speedup on two regimes (§VI-G):
+	// QVAPOR has a clear per-compressor winner, TC is competitive (all
+	// candidates within a fraction of a percent), where the model predicts
+	// selection errors without CR cost. ---
+	nz, ny, nx := cfg.sizes()
+	ds := crest.HurricaneDataset(crest.DataOptions{NZ: nz, NY: ny, NX: nx, Seed: cfg.seed})
+	compNames := []string{"szlorenzo", "szinterp", "zfplike", "sperrlike", "mgardlike"}
+	eps := 1e-3
+	for _, fieldName := range []string{"QVAPOR", "TC"} {
+		field := ds.Field(fieldName)
+		nTrain := len(field.Buffers) * 3 / 5
+		trainBufs, testBufs := field.Buffers[:nTrain], field.Buffers[nTrain:]
+		comps := make([]crest.Compressor, len(compNames))
+		methods := map[string]crest.Method{}
+		shared := crest.NewFeatureCache(crest.EstimatorConfig{})
+		for i, name := range compNames {
+			comps[i] = crest.MustCompressor(name)
+			crs := make([]float64, len(trainBufs))
+			for j, b := range trainBufs {
+				cr, err := crest.CompressionRatio(comps[i], b, eps)
+				if err != nil {
+					return err
+				}
+				crs[j] = math.Min(cr, 100)
+			}
+			m := crest.NewProposedMethodShared(crest.EstimatorConfig{}, shared)
+			if err := m.Fit(trainBufs, crs, eps); err != nil {
+				return err
+			}
+			methods[name] = m
+		}
+		correct := 0
+		var tNo, tEst time.Duration
+		var crLoss float64
+		for _, b := range testBufs {
+			rNo, err := crest.SelectBestNoEstimate(comps, b, eps)
+			if err != nil {
+				return err
+			}
+			rEst, err := crest.SelectBestWithEstimate(comps, b, eps, methods)
+			if err != nil {
+				return err
+			}
+			if rEst.Correct {
+				correct++
+			}
+			crLoss += 100 * (rEst.BestCR - rEst.ChosenCR) / rEst.BestCR
+			tNo += rNo.Elapsed
+			tEst += rEst.Elapsed
+			fmt.Printf("%s step %2d: chose %-12s true best %-12s (CR %.2f vs %.2f)\n",
+				fieldName, b.Step, rEst.Chosen, rEst.TrueBest, rEst.ChosenCR, rEst.BestCR)
+		}
+		fmt.Printf("%s: correct %d/%d, mean CR loss %.2f%%, speedup %.2fx\n\n",
+			fieldName, correct, len(testBufs), crLoss/float64(len(testBufs)),
+			float64(tNo)/math.Max(float64(tEst), 1))
+	}
+	fmt.Println("(clear-winner fields select correctly; competitive fields mis-select")
+	fmt.Println(" between near-ties at negligible CR cost — the §VI-G regimes)")
+	return nil
+}
+
+func runUseCaseC(cfg runConfig) error {
+	nz, ny, nx := cfg.sizes()
+	ds := crest.HurricaneDataset(crest.DataOptions{NZ: nz, NY: ny, NX: nx, Seed: cfg.seed})
+	// Use a compressor whose cost dominates the predictors — the regime
+	// use case C targets (in-situ HPC compression of large buffers).
+	comp := crest.MustCompressor("sperrlike")
+	eps := 1e-3
+
+	// Train one estimator over a few buffers of every field so size
+	// estimates work for heterogeneous data.
+	var trainBufs, writeBufs []*crest.Buffer
+	for _, f := range ds.Fields {
+		k := len(f.Buffers) / 3
+		trainBufs = append(trainBufs, f.Buffers[:k]...)
+		writeBufs = append(writeBufs, f.Buffers[k:]...)
+	}
+	crs := make([]float64, len(trainBufs))
+	for i, b := range trainBufs {
+		cr, err := crest.CompressionRatio(comp, b, eps)
+		if err != nil {
+			return err
+		}
+		crs[i] = math.Min(cr, 100)
+	}
+	m := crest.NewProposedMethod(crest.EstimatorConfig{})
+	if err := m.Fit(trainBufs, crs, eps); err != nil {
+		return err
+	}
+
+	for _, workers := range []int{1, 4} {
+		base, err := crest.ParallelWriteNoEstimate(writeBufs, comp, eps, workers, 2)
+		if err != nil {
+			return err
+		}
+		// A fresh method per measurement keeps the feature cache cold: the
+		// timed section must pay the full per-buffer predictor cost,
+		// exactly as a real single-pass write would.
+		mc := crest.NewProposedMethod(crest.EstimatorConfig{})
+		if err := mc.Fit(trainBufs, crs, eps); err != nil {
+			return err
+		}
+		est, err := crest.ParallelWriteWithEstimate(writeBufs, comp, eps, workers,
+			crest.ConservativeEstimator(mc, 1.0))
+		if err != nil {
+			return err
+		}
+		speedup := float64(base.Elapsed) / math.Max(float64(est.Elapsed), 1)
+		fmt.Printf("workers=%d: no-est %v (%d compressions) | est %v (%d compressions, %d misses, %d overflow B, %d wasted B) | speedup %.2fx\n",
+			workers, base.Elapsed.Round(time.Millisecond), base.Compressions,
+			est.Elapsed.Round(time.Millisecond), est.Compressions, est.Mispredicts,
+			est.OverflowBytes, est.File.WastedBytes(), speedup)
+		// Round-trip validation: every entry decompresses within bound.
+		blob := est.File.Marshal()
+		f2, err := crest.UnmarshalAggFile(blob)
+		if err != nil {
+			return err
+		}
+		worst := 0.0
+		for i, b := range writeBufs {
+			dec, err := f2.Read(i, comp)
+			if err != nil {
+				return fmt.Errorf("read back entry %d: %w", i, err)
+			}
+			if d := b.MaxAbsDiff(dec); d > worst {
+				worst = d
+			}
+		}
+		fmt.Printf("  aggregated file: %d entries, %d bytes, max abs error %.2e (bound %.0e)\n",
+			len(f2.Entries), len(blob), worst, eps)
+	}
+	// The §V model with *measured* runtimes explains the empirical result:
+	// on this CPU-only substrate the predictors cost more than one
+	// sperrlike invocation, so estimation does not pay here — and the
+	// model quantifies what the paper's GPU offload (the γ factor of the
+	// §IV-C complexity model) would restore.
+	featT := timeIt(6, func() {
+		if _, err := crest.ComputeDatasetFeatures(writeBufs[0], crest.PredictorConfig{}); err != nil {
+			panic(err)
+		}
+	})
+	ebT := timeIt(6, func() {
+		if _, err := crest.ComputeDistortion(writeBufs[0], eps, crest.PredictorConfig{}); err != nil {
+			panic(err)
+		}
+	})
+	compT := timeIt(6, func() {
+		if _, err := crest.CompressionRatio(comp, writeBufs[0], eps); err != nil {
+			panic(err)
+		}
+	})
+	fmt.Printf("\nmeasured per buffer: dset-preds %.2fms, eb-preds %.2fms, %s %.2fms\n",
+		1e3*featT.Mu, 1e3*ebT.Mu, comp.Name(), 1e3*compT.Mu)
+	fmt.Printf("%-28s %10s\n", "Sec. V-E model", "speedup")
+	for _, gamma := range []float64{1, 4, 16} {
+		in := crest.UseCaseCModel{
+			Compressor: compT,
+			DataPred:   crest.RuntimeDist{Mu: featT.Mu / gamma, Sigma: featT.Sigma / gamma},
+			EBPred:     ebT,
+			Estimate:   crest.RuntimeDist{Mu: 2e-7},
+			Buffers:    len(writeBufs),
+			MemBuffers: 2,
+			Procs:      4,
+			MissRate:   0.02,
+		}
+		fmt.Printf("predictor accel gamma=%-5.0f %9.2fx\n", gamma, crest.UseCaseCSpeedup(in))
+	}
+	fmt.Println("(gamma=1 matches the measured CPU slowdown; the paper's GPU-class")
+	fmt.Println(" predictor acceleration restores the ~2x the model promises)")
+
+	// §VI-G: the conformal level dials the miss rate a priori, trading
+	// wasted reservation space against repair compressions.
+	var dialCSV [][]string
+	fmt.Println("\na-priori miss-rate dial (conformal lambda = 2*target):")
+	fmt.Printf("%-12s %10s %14s %14s\n", "target miss", "misses", "overflow B", "wasted B")
+	for _, target := range []float64{0.25, 0.10, 0.02} {
+		sized, err := crest.TargetMissEstimator(m, trainBufs, crs, eps, target)
+		if err != nil {
+			return err
+		}
+		res, err := crest.ParallelWriteWithEstimate(writeBufs, comp, eps, 4, sized)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%11.0f%% %7d/%-3d %14d %14d\n",
+			100*target, res.Mispredicts, len(writeBufs), res.OverflowBytes, res.File.WastedBytes())
+		dialCSV = append(dialCSV, []string{f64(100 * target),
+			fmt.Sprint(res.Mispredicts), fmt.Sprint(len(writeBufs)),
+			fmt.Sprint(res.OverflowBytes), fmt.Sprint(res.File.WastedBytes())})
+	}
+	if err := cfg.writeCSV("usecaseC_miss_dial", []string{"target_miss_pct", "misses", "buffers", "overflow_bytes", "wasted_bytes"}, dialCSV); err != nil {
+		return err
+	}
+	fmt.Println("(tighter targets reserve more space and miss less — the space")
+	fmt.Println(" vs speed trade-off chosen before writing anything)")
+	return nil
+}
+
+func runTraining(cfg runConfig) error {
+	nz, ny, nx := cfg.sizes()
+	ds := crest.HurricaneDataset(crest.DataOptions{NZ: nz, NY: ny, NX: nx, Seed: cfg.seed})
+	comp := crest.MustCompressor("szinterp")
+	eps := 1e-3
+	cache := crest.NewCRCache()
+	required := []string{"CLOUD", "QCLOUD", "PRECIP", "QGRAUP", "QRAIN", "QSNOW", "QICE", "TC", "V"}
+
+	// Coverage relation from actual pairwise out-of-field accuracy:
+	// training on field i covers field j when the MedAPE stays ≤ 8%.
+	idx := map[string]int{}
+	var fields []*crest.Field
+	for i, name := range required {
+		idx[name] = i
+		fields = append(fields, ds.Field(name))
+	}
+	n := len(fields)
+	covers := make([][]bool, n)
+	pairMedape := make([][]float64, n)
+	m := crest.NewProposedMethod(crest.EstimatorConfig{})
+	const accuracyTarget = 8.0
+	fmt.Printf("pairwise out-of-field MedAPE (train row -> predict col), %% :\n%-8s", "")
+	for _, f := range fields {
+		fmt.Printf(" %8s", truncName(f.Name, 8))
+	}
+	fmt.Println()
+	for i := range fields {
+		covers[i] = make([]bool, n)
+		covers[i][i] = true
+		pairMedape[i] = make([]float64, n)
+		fmt.Printf("%-8s", truncName(fields[i].Name, 8))
+		for j := range fields {
+			if i == j {
+				fmt.Printf(" %8s", "-")
+				continue
+			}
+			medape, _, err := crest.OutOfSampleEvaluate(m, fields[i].Buffers, fields[j].Buffers, comp, eps, cache)
+			if err != nil {
+				return err
+			}
+			covers[i][j] = medape <= accuracyTarget
+			pairMedape[i][j] = medape
+			fmt.Printf(" %8.1f", medape)
+		}
+		fmt.Println()
+	}
+	var pairCSV [][]string
+	for i := range fields {
+		for j := range fields {
+			if i != j {
+				pairCSV = append(pairCSV, []string{fields[i].Name, fields[j].Name, f64(pairMedape[i][j])})
+			}
+		}
+	}
+	if err := cfg.writeCSV("training_pairwise_medape", []string{"train_field", "predict_field", "medape_pct"}, pairCSV); err != nil {
+		return err
+	}
+	cover, err := crest.MinimalTrainingSet(covers, nil)
+	if err != nil {
+		return fmt.Errorf("no feasible cover at %.0f%% target: %w", accuracyTarget, err)
+	}
+	fmt.Printf("minimal training set at ≤%.0f%% accuracy: ", accuracyTarget)
+	for _, c := range cover {
+		fmt.Printf("%s ", fields[c].Name)
+	}
+	fmt.Printf("(%d of %d fields)\n", len(cover), n)
+
+	// Training speedup: measured predictor + compressor runtimes feed the
+	// §V-F model. The baseline trains on every field with unfused
+	// metrics; ours trains on the cover set with the fused pass.
+	buf := fields[0].Buffers[0]
+	fused := timeIt(8, func() {
+		if _, err := crest.ComputeDatasetFeatures(buf, crest.PredictorConfig{}); err != nil {
+			panic(err)
+		}
+		if _, err := crest.ComputeDistortion(buf, eps, crest.PredictorConfig{}); err != nil {
+			panic(err)
+		}
+	})
+	naive := timeIt(8, func() {
+		if _, err := crest.ComputeDatasetFeaturesNaive(buf, crest.PredictorConfig{}); err != nil {
+			panic(err)
+		}
+		if _, err := crest.ComputeDistortion(buf, eps, crest.PredictorConfig{}); err != nil {
+			panic(err)
+		}
+	})
+	compT := timeIt(8, func() {
+		if _, err := crest.CompressionRatio(comp, buf, eps); err != nil {
+			panic(err)
+		}
+	})
+	perField := len(fields[0].Buffers)
+	speedup := crest.TrainingSpeedup(crest.TrainingModel{
+		Fit0: crest.RuntimeDist{}, Fit1: crest.RuntimeDist{},
+		Pred0: naive, Pred1: fused,
+		Compressor: compT,
+		Buffers0:   n * perField, Buffers1: len(cover) * perField,
+		Procs: 4,
+	})
+	metricOnly := crest.TrainingSpeedup(crest.TrainingModel{
+		Pred0: naive, Pred1: fused, Compressor: compT,
+		Buffers0: n * perField, Buffers1: n * perField, Procs: 4,
+	})
+	fmt.Printf("fused metrics %.2fms vs unfused %.2fms per buffer; compressor %.2fms\n",
+		1e3*fused.Mu, 1e3*naive.Mu, 1e3*compT.Mu)
+	fmt.Printf("metric-speed-only training speedup: %.2fx (paper: 1.42x)\n", metricOnly)
+	fmt.Printf("cover-set + fused-metrics training speedup: %.2fx (paper: 2.56x)\n", speedup)
+	return nil
+}
+
+// timeIt measures reps runs of fn and returns the Gaussian runtime model.
+func timeIt(reps int, fn func()) crest.RuntimeDist {
+	samples := make([]float64, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		fn()
+		samples[i] = time.Since(start).Seconds()
+	}
+	return crest.MeasureRuntime(samples)
+}
+
+func runModelA(cfg runConfig) error {
+	// The §VI-G worked example: compressor and predictors with unit mean
+	// and unit variance, error-bound predictors with σ = 0.33, 100 000
+	// iterations on 40 processors.
+	in := crest.UseCaseAModel{
+		Compressor: crest.RuntimeDist{Mu: 1, Sigma: 1},
+		DataPred:   crest.RuntimeDist{Mu: 1, Sigma: 1},
+		EBPred:     crest.RuntimeDist{Mu: 1, Sigma: 0.33},
+		Estimate:   crest.RuntimeDist{},
+		Searches:   100000,
+		Procs:      40,
+	}
+	fmt.Printf("analytic use-case-A speedup (unit-cost predictors, sigma_e=0.33,\n")
+	fmt.Printf("100k iterations, 40 procs): %.2fx (paper reports 2.56x)\n", crest.UseCaseASpeedup(in))
+	fmt.Println("\nspeedup sensitivity to estimator consistency (sigma of eb-predictors):")
+	fmt.Printf("%-10s %10s\n", "sigma_e", "speedup")
+	var maCSV [][]string
+	for _, s := range []float64{1.0, 0.66, 0.33, 0.1, 0.01} {
+		in.EBPred.Sigma = s
+		sp := crest.UseCaseASpeedup(in)
+		fmt.Printf("%-10.2f %9.2fx\n", s, sp)
+		maCSV = append(maCSV, []string{f64(s), f64(sp)})
+	}
+	if err := cfg.writeCSV("modelA_sigma_sweep", []string{"sigma_e", "speedup"}, maCSV); err != nil {
+		return err
+	}
+	fmt.Println("(consistent-latency predictors buy speedup even at equal mean cost,")
+	fmt.Println(" the §VI-G observation)")
+	return nil
+}

@@ -1,0 +1,63 @@
+package crest
+
+import "github.com/crestlab/crest/internal/compressors"
+
+// Compressor is an error-bounded lossy compressor: reconstructed values
+// are guaranteed within the absolute bound ε of the originals.
+type Compressor = compressors.Compressor
+
+// NewCompressor returns a compressor by registry name. Available names:
+// szlorenzo, szinterp, zfplike, bitgroom, digitround, sperrlike,
+// tthreshlike, mgardlike.
+func NewCompressor(name string) (Compressor, error) { return compressors.New(name) }
+
+// MustCompressor is NewCompressor that panics on unknown names.
+func MustCompressor(name string) Compressor { return compressors.MustNew(name) }
+
+// CompressorNames lists all registered compressor names.
+func CompressorNames() []string { return compressors.Names() }
+
+// CompressionRatio compresses buf at bound eps and returns
+// uncompressed/compressed — the ground truth the estimators predict.
+func CompressionRatio(c Compressor, buf *Buffer, eps float64) (float64, error) {
+	return compressors.Ratio(c, buf, eps)
+}
+
+// VerifyErrorBound round-trips buf through c and reports the maximum
+// absolute error and whether it satisfies eps.
+func VerifyErrorBound(c Compressor, buf *Buffer, eps float64) (maxErr float64, ok bool, err error) {
+	return compressors.VerifyBound(c, buf, eps)
+}
+
+// CompressVolume compresses a native 3D volume slice-parallel (the §VI-A1
+// slicing convention) into a packed container.
+func CompressVolume(c Compressor, vol *Volume, eps float64, workers int) ([]byte, error) {
+	return compressors.CompressVolume(c, vol, eps, workers)
+}
+
+// DecompressVolume reverses CompressVolume.
+func DecompressVolume(c Compressor, data []byte, workers int) (*Volume, error) {
+	return compressors.DecompressVolume(c, data, workers)
+}
+
+// VolumeCompressor is an error-bounded lossy compressor operating on
+// native 3D volumes (as the real SZ3 does), rather than slicing to 2D.
+type VolumeCompressor interface {
+	Name() string
+	CompressVolume(vol *Volume, eps float64) ([]byte, error)
+	DecompressVolume(data []byte) (*Volume, error)
+}
+
+// NewSZInterp3D returns the native-3D SZ3-family compressor: the dyadic
+// interpolation hierarchy runs across all three dimensions, exploiting
+// the z-correlation that slice-wise compression discards (on z-correlated
+// data it compresses substantially better than CompressVolume with the 2D
+// szinterp).
+func NewSZInterp3D() VolumeCompressor { return compressors.NewSZInterp3D() }
+
+// RelativeBound converts a value-range-relative error bound (the "vrrel"
+// mode of real compressors) to the absolute bound the compressors take:
+// ε_abs = rel·(max−min).
+func RelativeBound(buf *Buffer, rel float64) float64 {
+	return compressors.RelativeBound(buf, rel)
+}

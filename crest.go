@@ -1,0 +1,33 @@
+// Package crest (Compression Ratio ESTimation) is a pure-Go
+// implementation of "A Lightweight, Effective Compressibility Estimation
+// Method for Error-bounded Lossy Compression" (IEEE CLUSTER 2023): it
+// predicts the compression ratio an error-bounded lossy compressor will
+// achieve on a scientific 2D buffer — without running the compressor —
+// using five spatial-statistics predictors fed into a
+// mixture-of-linear-regressions model wrapped in split conformal
+// prediction, so every estimate carries a distribution-free interval.
+//
+// The package also ships everything needed to reproduce the paper
+// end-to-end on a laptop: eight error-bounded lossy compressors (SZ2-,
+// SZ3-, ZFP-, BitGrooming-, DigitRounding-, SPERR-, TThresh- and
+// MGARD-family designs), deterministic synthetic datasets standing in for
+// SDRBench, the three prior estimation methods it compares against, the
+// k-fold evaluation protocol, field-similarity training-set selection, the
+// analytic speedup models of its three application use cases, and
+// executable use-case simulations.
+//
+// # Quick start
+//
+//	ds := crest.HurricaneDataset(crest.DataOptions{})
+//	comp := crest.MustCompressor("szinterp")
+//	field := ds.Field("TC")
+//
+//	// Collect training samples: features + true CR for some buffers.
+//	samples, _ := crest.CollectSamples(field.Buffers[:12], comp, 1e-3, crest.PredictorConfig{})
+//	est, _ := crest.TrainEstimator(samples, crest.EstimatorConfig{})
+//
+//	// Estimate an unseen buffer's ratio with a 95% conformal interval.
+//	feats, _ := crest.ComputeFeatureVector(field.Buffers[15], 1e-3, crest.PredictorConfig{})
+//	e, _ := est.Estimate(feats)
+//	fmt.Printf("CR ≈ %.1f in [%.1f, %.1f]\n", e.CR, e.Lo, e.Hi)
+package crest

@@ -1,0 +1,59 @@
+package crest
+
+import (
+	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/synthdata"
+)
+
+// Buffer is a single 2D float64 array belonging to one field and time-step
+// — the atomic unit of compression and estimation.
+type Buffer = grid.Buffer
+
+// Volume is a 3D array sliced along its slowest dimension into Buffers.
+type Volume = grid.Volume
+
+// Field groups one physical quantity's buffers across time-steps.
+type Field = grid.Field
+
+// Dataset is all fields from one application run.
+type Dataset = grid.Dataset
+
+// NewBuffer allocates a zeroed rows×cols buffer.
+func NewBuffer(rows, cols int) *Buffer { return grid.NewBuffer(rows, cols) }
+
+// BufferFromSlice wraps row-major data in a Buffer without copying.
+func BufferFromSlice(rows, cols int, data []float64) (*Buffer, error) {
+	return grid.FromSlice(rows, cols, data)
+}
+
+// NewVolume allocates a zeroed nz×ny×nx volume.
+func NewVolume(nz, ny, nx int) *Volume { return grid.NewVolume(nz, ny, nx) }
+
+// DataOptions sizes a generated synthetic dataset; zero values select the
+// defaults (20 slices of 96×96).
+type DataOptions = synthdata.Options
+
+// FieldSpec describes one synthetic field recipe.
+type FieldSpec = synthdata.FieldSpec
+
+// HurricaneDataset generates the deterministic 12-field hurricane-like
+// dataset (the paper's Hurricane ISABEL stand-in).
+func HurricaneDataset(o DataOptions) *Dataset { return synthdata.Hurricane(o) }
+
+// NYXDataset generates the cosmology-like dataset.
+func NYXDataset(o DataOptions) *Dataset { return synthdata.NYX(o) }
+
+// MirandaDataset generates the turbulence-like dataset.
+func MirandaDataset(o DataOptions) *Dataset { return synthdata.Miranda(o) }
+
+// CESMDataset generates the climate-like dataset.
+func CESMDataset(o DataOptions) *Dataset { return synthdata.CESM(o) }
+
+// AllDatasets generates the four evaluation datasets used by the Fig. 4
+// reproduction.
+func AllDatasets(o DataOptions) []*Dataset { return synthdata.All(o) }
+
+// GenerateDataset builds a custom synthetic dataset from field recipes.
+func GenerateDataset(name string, specs []FieldSpec, nz, ny, nx int, seed int64) *Dataset {
+	return synthdata.Generate(name, specs, nz, ny, nx, seed)
+}

@@ -1,0 +1,68 @@
+package crest
+
+import (
+	"github.com/crestlab/crest/internal/eval"
+	"github.com/crestlab/crest/internal/fieldsim"
+	"github.com/crestlab/crest/internal/predictors"
+)
+
+// Quantiles are the 10/50/90% quantiles of per-fold MedAPEs, the accuracy
+// summary of the paper's Algorithm 2.
+type Quantiles = eval.Quantiles
+
+// CRCache memoizes ground-truth compression ratios so several methods can
+// be compared without re-running compressors.
+type CRCache = eval.CRCache
+
+// NewCRCache returns an empty ground-truth cache.
+func NewCRCache() *CRCache { return eval.NewCRCache() }
+
+// PredPair is one predicted-vs-actual observation with an optional
+// conformal interval.
+type PredPair = eval.PredPair
+
+// KFoldEvaluate runs Algorithm 2: k-fold cross-validation of a method on
+// one set of buffers, returning MedAPE quantiles and per-fold MedAPEs.
+func KFoldEvaluate(m Method, bufs []*Buffer, comp Compressor, eps float64, k int, seed int64, cache *CRCache) (Quantiles, []float64, error) {
+	return eval.KFold(m, bufs, comp, eps, k, seed, cache)
+}
+
+// OutOfSampleEvaluate trains on buffers from other fields and evaluates on
+// a held-out field (the robustness protocol of §VI-C).
+func OutOfSampleEvaluate(m Method, trainBufs, testBufs []*Buffer, comp Compressor, eps float64, cache *CRCache) (float64, []PredPair, error) {
+	return eval.OutOfSample(m, trainBufs, testBufs, comp, eps, cache)
+}
+
+// AblationRow is one field's row of the Fig. 1 leave-one-predictor-out
+// study.
+type AblationRow = eval.AblationRow
+
+// AblationStudy reproduces Fig. 1 for the given fields.
+func AblationStudy(fields []*Field, comp Compressor, eps float64, cfg EstimatorConfig, k int, seed int64, cache *CRCache) ([]AblationRow, error) {
+	return eval.Ablation(fields, comp, eps, cfg, k, seed, cache)
+}
+
+// SimilarityMatrix is the labelled Mahalanobis field-dissimilarity matrix
+// of Table III.
+type SimilarityMatrix = fieldsim.Matrix
+
+// FieldSimilarity computes pairwise field dissimilarities from the
+// singular-value-decay profiles of their slices.
+func FieldSimilarity(fields []*Field, cfg PredictorConfig) (*SimilarityMatrix, error) {
+	return fieldsim.SimilarityMatrix(fields, cfg)
+}
+
+// MinimalTrainingSet solves the minimal covering training-set selection of
+// §VI-E on a coverage relation (exact for ≤ 20 fields, greedy beyond).
+func MinimalTrainingSet(covers [][]bool, required []int) ([]int, error) {
+	return fieldsim.MinimalCover(covers, required)
+}
+
+// FieldProfiles returns the per-slice singular-value decay signatures of a
+// field, the raw material of the similarity analysis.
+func FieldProfiles(field *Field, cfg PredictorConfig) ([][]float64, error) {
+	return fieldsim.Profiles(field, cfg)
+}
+
+// NumFeatures is the dimensionality of the model covariates.
+const NumFeatures = predictors.NumFeatures

@@ -1,0 +1,104 @@
+package crest_test
+
+import (
+	"fmt"
+
+	crest "github.com/crestlab/crest"
+)
+
+// Example demonstrates the core loop: train on a few buffers, estimate an
+// unseen one with a conformal interval, and check it against ground truth.
+func Example() {
+	ds := crest.HurricaneDataset(crest.DataOptions{NZ: 16, NY: 48, NX: 48, Seed: 9})
+	field := ds.Field("TC")
+	comp := crest.MustCompressor("szinterp")
+	const eps = 1e-3
+
+	samples, err := crest.CollectSamples(field.Buffers[:12], comp, eps, crest.PredictorConfig{})
+	if err != nil {
+		panic(err)
+	}
+	est, err := crest.TrainEstimator(samples, crest.EstimatorConfig{})
+	if err != nil {
+		panic(err)
+	}
+
+	feats, err := crest.ComputeFeatureVector(field.Buffers[13], eps, crest.PredictorConfig{})
+	if err != nil {
+		panic(err)
+	}
+	e, err := est.Estimate(feats)
+	if err != nil {
+		panic(err)
+	}
+	truth, err := crest.CompressionRatio(comp, field.Buffers[13], eps)
+	if err != nil {
+		panic(err)
+	}
+	if truth > 100 {
+		truth = 100 // the model's operational regime is CR ≤ 100 (§IV-B)
+	}
+	ape := 100 * (truth - e.CR) / truth
+	if ape < 0 {
+		ape = -ape
+	}
+	fmt.Printf("estimate within 5%% of truth: %v\n", ape < 5)
+	fmt.Printf("interval is proper: %v\n", e.Lo <= e.CR && e.CR <= e.Hi)
+	// Output:
+	// estimate within 5% of truth: true
+	// interval is proper: true
+}
+
+// ExampleCompressionRatio shows the ground-truth side: run a compressor
+// under an absolute bound and verify the bound held.
+func ExampleCompressionRatio() {
+	buf := crest.NewBuffer(32, 32)
+	for i := range buf.Data {
+		buf.Data[i] = float64(i%7) / 10
+	}
+	comp := crest.MustCompressor("zfplike")
+	cr, err := crest.CompressionRatio(comp, buf, 1e-4)
+	if err != nil {
+		panic(err)
+	}
+	_, ok, err := crest.VerifyErrorBound(comp, buf, 1e-4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("compresses: %v, bound held: %v\n", cr > 1, ok)
+	// Output:
+	// compresses: true, bound held: true
+}
+
+// ExampleSelectionInversionProbability evaluates the paper's §V-D worked
+// example analytically.
+func ExampleSelectionInversionProbability() {
+	p := crest.SelectionInversionProbability(
+		[]float64{3, 2, 1},       // CR means, best first
+		[]float64{0.1, 0.1, 0.1}, // CR variances
+		[]float64{0.5, 0.5, 0.5}, // estimate error variances
+	)
+	fmt.Printf("P(wrong compressor) = %.1f%%\n", 100*p)
+	// Output:
+	// P(wrong compressor) = 20.8%
+}
+
+// ExampleCompressVolume compresses a native 3D volume slice-parallel.
+func ExampleCompressVolume() {
+	vol := crest.NewVolume(4, 16, 16)
+	for i := range vol.Data {
+		vol.Data[i] = float64(i % 5)
+	}
+	comp := crest.MustCompressor("szlorenzo")
+	blob, err := crest.CompressVolume(comp, vol, 1e-3, 2)
+	if err != nil {
+		panic(err)
+	}
+	back, err := crest.DecompressVolume(comp, blob, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("round trip: %dx%dx%d\n", back.NZ, back.NY, back.NX)
+	// Output:
+	// round trip: 4x16x16
+}

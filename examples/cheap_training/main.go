@@ -1,0 +1,74 @@
+// Cheap training (paper §VI-E): instead of collecting training data from
+// every field of an application, measure field similarity from the
+// singular-value decay of block covariances, then pick a minimal set of
+// fields whose models cover the rest within an accuracy target.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	crest "github.com/crestlab/crest"
+)
+
+func main() {
+	ds := crest.HurricaneDataset(crest.DataOptions{Seed: 5})
+	comp := crest.MustCompressor("szinterp")
+	const eps = 1e-3
+	const accuracyTarget = 10.0 // % MedAPE
+
+	// Step 1: the field-similarity matrix (Table III of the paper).
+	sim, err := crest.FieldSimilarity(ds.Fields, crest.PredictorConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("field dissimilarity (Mahalanobis distance of singular decay profiles):")
+	fmt.Printf("%-8s", "")
+	for _, f := range sim.Fields {
+		fmt.Printf(" %7.7s", f)
+	}
+	fmt.Println()
+	for i := range sim.Fields {
+		fmt.Printf("%-8.8s", sim.Fields[i])
+		for j := range sim.Fields {
+			fmt.Printf(" %7.1f", sim.D[i][j])
+		}
+		fmt.Println()
+	}
+
+	// Step 2: actual pairwise transfer accuracy defines the coverage
+	// relation: field i covers field j when a model trained on i predicts
+	// j within the target.
+	n := len(ds.Fields)
+	covers := make([][]bool, n)
+	method := crest.NewProposedMethod(crest.EstimatorConfig{})
+	cache := crest.NewCRCache()
+	for i := range ds.Fields {
+		covers[i] = make([]bool, n)
+		covers[i][i] = true
+		for j := range ds.Fields {
+			if i == j {
+				continue
+			}
+			medape, _, err := crest.OutOfSampleEvaluate(method,
+				ds.Fields[i].Buffers, ds.Fields[j].Buffers, comp, eps, cache)
+			if err != nil {
+				log.Fatal(err)
+			}
+			covers[i][j] = medape <= accuracyTarget
+		}
+	}
+
+	// Step 3: minimal covering training set (exact set cover; the paper
+	// uses a SAT solver for the same job).
+	cover, err := crest.MinimalTrainingSet(covers, nil)
+	if err != nil {
+		log.Fatalf("no cover achieves ≤%.0f%%: %v", accuracyTarget, err)
+	}
+	fmt.Printf("\nminimal training set at ≤%.0f%% MedAPE: ", accuracyTarget)
+	for _, c := range cover {
+		fmt.Printf("%s ", ds.Fields[c].Name)
+	}
+	fmt.Printf("(%d of %d fields -> %.1fx less training data)\n",
+		len(cover), n, float64(n)/float64(len(cover)))
+}

@@ -1,0 +1,70 @@
+// Compressor selection (use case B): pick the candidate with the highest
+// compression ratio for each buffer. The naive approach runs every
+// compressor and re-runs the winner; the estimate-driven approach asks one
+// trained model per compressor and runs only the winner.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	crest "github.com/crestlab/crest"
+)
+
+func main() {
+	ds := crest.MirandaDataset(crest.DataOptions{Seed: 3})
+	field := ds.Field("pressure")
+	const eps = 1e-4
+	names := []string{"szlorenzo", "szinterp", "zfplike", "sperrlike", "mgardlike"}
+
+	nTrain := len(field.Buffers) * 2 / 3
+	train, test := field.Buffers[:nTrain], field.Buffers[nTrain:]
+
+	// One model per candidate compressor, sharing a feature cache: the
+	// five predictors are compressor-independent, so each buffer's
+	// features are computed once, not once per candidate.
+	shared := crest.NewFeatureCache(crest.EstimatorConfig{})
+	comps := make([]crest.Compressor, len(names))
+	methods := map[string]crest.Method{}
+	for i, name := range names {
+		comps[i] = crest.MustCompressor(name)
+		crs := make([]float64, len(train))
+		for j, b := range train {
+			cr, err := crest.CompressionRatio(comps[i], b, eps)
+			if err != nil {
+				log.Fatal(err)
+			}
+			crs[j] = math.Min(cr, 100)
+		}
+		m := crest.NewProposedMethodShared(crest.EstimatorConfig{}, shared)
+		if err := m.Fit(train, crs, eps); err != nil {
+			log.Fatal(err)
+		}
+		methods[name] = m
+	}
+
+	var tNo, tEst time.Duration
+	correct := 0
+	for _, b := range test {
+		noEst, err := crest.SelectBestNoEstimate(comps, b, eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		withEst, err := crest.SelectBestWithEstimate(comps, b, eps, methods)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tNo += noEst.Elapsed
+		tEst += withEst.Elapsed
+		if withEst.Correct {
+			correct++
+		}
+		fmt.Printf("slice %2d: estimate chose %-12s (true best %-12s, CR %.2f vs %.2f)\n",
+			b.Step, withEst.Chosen, withEst.TrueBest, withEst.ChosenCR, withEst.BestCR)
+	}
+	fmt.Printf("\ncorrect selections: %d/%d\n", correct, len(test))
+	fmt.Printf("time without estimates: %v, with: %v (speedup %.2fx)\n",
+		tNo, tEst, float64(tNo)/float64(tEst))
+}

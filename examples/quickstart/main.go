@@ -1,0 +1,57 @@
+// Quickstart: train a compressibility estimator on one field of the
+// hurricane-like dataset and predict the compression ratio of unseen
+// buffers — with conformal 95% intervals — without running the compressor.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	crest "github.com/crestlab/crest"
+)
+
+func main() {
+	// A deterministic synthetic dataset standing in for SDRBench
+	// Hurricane: 12 fields, 20 time-step slices of 96x96 each.
+	ds := crest.HurricaneDataset(crest.DataOptions{Seed: 42})
+	field := ds.Field("TC")
+	comp := crest.MustCompressor("szinterp") // SZ3-family compressor
+	const eps = 1e-3                         // absolute pointwise error bound
+
+	// Collect training data: the five statistical predictors plus the
+	// true ratio (one compressor run each) for the first 14 slices.
+	train := field.Buffers[:14]
+	samples, err := crest.CollectSamples(train, comp, eps, crest.PredictorConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fit the mixture-regression + conformal pipeline.
+	est, err := crest.TrainEstimator(samples, crest.EstimatorConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d buffers (conformal radius %.4f in log-CR)\n\n",
+		len(samples), est.IntervalRadius())
+
+	// Predict the remaining slices and compare against ground truth.
+	fmt.Printf("%-6s %9s %9s %19s %7s\n", "slice", "true CR", "est CR", "95% interval", "APE")
+	for _, buf := range field.Buffers[14:] {
+		feats, err := crest.ComputeFeatureVector(buf, eps, crest.PredictorConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		e, err := est.Estimate(feats)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth, err := crest.CompressionRatio(comp, buf, eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth = math.Min(truth, 100)
+		fmt.Printf("%-6d %9.2f %9.2f [%7.2f, %7.2f] %6.2f%%\n",
+			buf.Step, truth, e.CR, e.Lo, e.Hi, 100*math.Abs(truth-e.CR)/truth)
+	}
+}

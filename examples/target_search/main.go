@@ -1,0 +1,60 @@
+// Target search (use case A): find an error bound that achieves a desired
+// compression ratio. The naive approach re-runs the compressor at every
+// probe of a binary search; the estimate-driven approach answers probes
+// with the trained model and compresses exactly once at the end.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	crest "github.com/crestlab/crest"
+)
+
+func main() {
+	ds := crest.HurricaneDataset(crest.DataOptions{Seed: 7})
+	field := ds.Field("CLOUD")
+	comp := crest.MustCompressor("sperrlike") // a deliberately slow compressor
+	target := 15.0
+
+	// Train a rate-aware model: sample each training buffer at several
+	// error bounds so the search can interrogate the model anywhere.
+	trainEps := []float64{1e-2, 1e-3, 1e-4, 1e-5}
+	train := field.Buffers[:len(field.Buffers)-1]
+	testBuf := field.Buffers[len(field.Buffers)-1]
+	crs := make([][]float64, len(train))
+	for i, b := range train {
+		crs[i] = make([]float64, len(trainEps))
+		for j, te := range trainEps {
+			cr, err := crest.CompressionRatio(comp, b, te)
+			if err != nil {
+				log.Fatal(err)
+			}
+			crs[i][j] = math.Min(cr, 100)
+		}
+	}
+	method := crest.NewProposedMethod(crest.EstimatorConfig{})
+	if err := method.FitMulti(train, crs, trainEps); err != nil {
+		log.Fatal(err)
+	}
+
+	const iters = 30
+	base, err := crest.SearchTargetNoEstimate(comp, testBuf, target, 1e-6, 1e-1, iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := crest.SearchTargetWithEstimate(comp, testBuf, method, target, 1e-6, 1e-1, iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("target ratio: %.1f\n\n", target)
+	fmt.Printf("no estimates:   eps=%.3e achieved CR=%.2f  (%d compressions, %v)\n",
+		base.Eps, base.AchievedCR, base.Compressions, base.Elapsed)
+	fmt.Printf("with estimates: eps=%.3e achieved CR=%.2f  (%d compressions + %d estimations, %v)\n",
+		est.Eps, est.AchievedCR, est.Compressions, est.Estimations, est.Elapsed)
+	fmt.Printf("\nspeedup: %.2fx, achieved-ratio deviation %.2f%%\n",
+		float64(base.Elapsed)/float64(est.Elapsed),
+		100*math.Abs(est.AchievedCR-base.AchievedCR)/base.AchievedCR)
+}

@@ -1,0 +1,3 @@
+module github.com/crestlab/crest
+
+go 1.22

@@ -1,0 +1,84 @@
+package baselines
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/crestlab/crest/internal/compressors"
+	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/synthdata"
+)
+
+func TestRahmanUntrained(t *testing.T) {
+	ds := synthdata.Hurricane(synthdata.Options{NZ: 2, NY: 32, NX: 32, Seed: 1})
+	if _, err := NewRahman().Predict(ds.Fields[0].Buffers[0], 1e-3); !errors.Is(err, ErrUntrained) {
+		t.Errorf("untrained error = %v", err)
+	}
+}
+
+func TestRahmanInSampleAccuracy(t *testing.T) {
+	comp := compressors.MustNew("szinterp")
+	eps := 1e-3
+	train, trainCR, test, testCR := trainingData(t, "CLOUD", comp, eps)
+	r := NewRahman()
+	if err := r.Fit(train, trainCR, eps); err != nil {
+		t.Fatal(err)
+	}
+	m := medapeOf(t, r, test, testCR, eps)
+	t.Logf("rahman MedAPE = %.2f", m)
+	if m > 20 {
+		t.Errorf("rahman in-sample MedAPE %.2f", m)
+	}
+	// The tree must beat the training-free baselines on trained data.
+	tao := medapeOf(t, NewTao(), test, testCR, eps)
+	if m >= tao {
+		t.Errorf("rahman %.2f not better than tao %.2f", m, tao)
+	}
+}
+
+func TestRahmanCapturesGroups(t *testing.T) {
+	// Two fields with very different CR regimes: a depth-limited tree
+	// must separate them (piecewise-constant grouping) and predict each
+	// group's level for held-out buffers of both fields.
+	ds := synthdata.Hurricane(synthdata.Options{NZ: 12, NY: 48, NX: 48, Seed: 7})
+	comp := compressors.MustNew("szinterp")
+	eps := 1e-3
+	r := NewRahman()
+	var trainBufs []*grid.Buffer
+	var trainCRs []float64
+	type heldOut struct {
+		buf   *grid.Buffer
+		truth float64
+	}
+	var tests []heldOut
+	for _, name := range []string{"CLOUD", "TC"} {
+		f := ds.Field(name)
+		for i, b := range f.Buffers {
+			cr, err := compressors.Ratio(comp, b, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cr = math.Min(cr, 100)
+			if i < 9 {
+				trainBufs = append(trainBufs, b)
+				trainCRs = append(trainCRs, cr)
+			} else {
+				tests = append(tests, heldOut{b, cr})
+			}
+		}
+	}
+	if err := r.Fit(trainBufs, trainCRs, eps); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range tests {
+		pred, err := r.Predict(h.buf, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ape := 100 * math.Abs(h.truth-pred) / h.truth; ape > 30 {
+			t.Errorf("%s/%d: tree APE %.1f%% (true %.2f, pred %.2f)",
+				h.buf.Field, h.buf.Step, ape, h.truth, pred)
+		}
+	}
+}

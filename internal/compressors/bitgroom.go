@@ -1,0 +1,98 @@
+package compressors
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/crestlab/crest/internal/grid"
+)
+
+// BitGroom leverages the IEEE-754 representation (§II): it rounds away
+// low-order mantissa bits that are insignificant at the requested absolute
+// error bound, then byte-plane transposes the result and applies lossless
+// DEFLATE. The groomed mantissas are zero-heavy, which is exactly what the
+// lossless stage exploits.
+type BitGroom struct{}
+
+// NewBitGroom returns a BitGrooming-style compressor.
+func NewBitGroom() *BitGroom { return &BitGroom{} }
+
+// Name implements Compressor.
+func (c *BitGroom) Name() string { return "bitgroom" }
+
+// groom rounds v to the nearest value whose mantissa has its low bits
+// cleared such that the rounding error is ≤ eps/2. Values not
+// representable this way (NaN/Inf) pass through unchanged.
+func groom(v, eps float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return v
+	}
+	if math.Abs(v) <= eps {
+		return 0
+	}
+	ebExp := int(math.Floor(math.Log2(eps)))
+	bits := math.Float64bits(v)
+	exp := int(bits>>52&0x7ff) - 1023
+	if bits>>52&0x7ff == 0 {
+		// Subnormal: magnitude < 2^-1022; |v| > eps was already excluded
+		// above unless eps is also subnormal-scale — keep exact then.
+		return v
+	}
+	// Clearing j low mantissa bits incurs ≤ 2^(exp-52+j-1) rounding error.
+	j := 52 + ebExp - exp
+	if j <= 0 {
+		return v // already finer than the bound
+	}
+	if j > 52 {
+		j = 52
+	}
+	half := uint64(1) << (j - 1)
+	mask := ^(uint64(1)<<j - 1)
+	return math.Float64frombits((bits + half) & mask)
+}
+
+// Compress implements Compressor.
+func (c *BitGroom) Compress(buf *grid.Buffer, eps float64) ([]byte, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("bitgroom: error bound must be positive, got %g", eps)
+	}
+	n := len(buf.Data)
+	groomed := make([]uint64, n)
+	for i, v := range buf.Data {
+		g := groom(v, eps)
+		if math.Abs(v-g) > eps {
+			g = v // exact fallback; groom's bound makes this unreachable
+		}
+		groomed[i] = math.Float64bits(g)
+	}
+	// Byte-plane transposition: all byte-7s, then byte-6s, ... so DEFLATE
+	// sees long runs of identical exponent/cleared-mantissa bytes.
+	planes := make([]byte, 8*n)
+	for p := 0; p < 8; p++ {
+		for i, b := range groomed {
+			planes[p*n+i] = byte(b >> (8 * (7 - p)))
+		}
+	}
+	return sealStream(tagBitGroom, buf.Rows, buf.Cols, planes), nil
+}
+
+// Decompress implements Compressor.
+func (c *BitGroom) Decompress(data []byte) (*grid.Buffer, error) {
+	rows, cols, payload, err := openStream(tagBitGroom, data)
+	if err != nil {
+		return nil, err
+	}
+	n := rows * cols
+	if len(payload) != 8*n {
+		return nil, ErrCorrupt
+	}
+	out := grid.NewBuffer(rows, cols)
+	for i := 0; i < n; i++ {
+		var b uint64
+		for p := 0; p < 8; p++ {
+			b = b<<8 | uint64(payload[p*n+i])
+		}
+		out.Data[i] = math.Float64frombits(b)
+	}
+	return out, nil
+}

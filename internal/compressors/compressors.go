@@ -1,0 +1,120 @@
+// Package compressors implements a suite of error-bounded lossy
+// compressors for 2D float64 buffers, one per design family surveyed in
+// the paper's background section (§II):
+//
+//   - szlorenzo:  prediction-based with Lorenzo + block regression
+//     predictors, error-controlled quantization and Huffman coding
+//     (SZ2 family).
+//   - szinterp:   multi-level cubic/linear interpolation prediction
+//     (SZ3 family).
+//   - zfplike:    block-floating-point + orthogonal block transform +
+//     embedded bit-plane coding (ZFP family).
+//   - bitgroom:   IEEE-754 mantissa grooming + lossless coding
+//     (BitGrooming).
+//   - digitround: decimal rounding + lossless coding (DigitRounding).
+//   - sperrlike:  multi-level lifted wavelets + thresholded coefficient
+//     coding (SPERR family).
+//   - tthreshlike: tiled SVD truncation (TThresh family).
+//   - mgardlike:  multilevel hierarchical decomposition with per-level
+//     error budgets (MGARD family).
+//
+// Every compressor guarantees the absolute pointwise error bound
+// max|x−x̂| ≤ ε, enforced structurally and — for the transform coders —
+// by a verify-and-fallback pass that stores blocks exactly whenever the
+// transform path cannot certify the bound.
+package compressors
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/crestlab/crest/internal/grid"
+)
+
+// Compressor is an error-bounded lossy compressor for 2D buffers.
+type Compressor interface {
+	// Name returns the registry name of the compressor.
+	Name() string
+	// Compress encodes buf so that every reconstructed value is within
+	// eps of the original.
+	Compress(buf *grid.Buffer, eps float64) ([]byte, error)
+	// Decompress reverses Compress. The identity metadata (dataset,
+	// field, step) is not preserved.
+	Decompress(data []byte) (*grid.Buffer, error)
+}
+
+// ErrCorrupt reports an undecodable compressed stream.
+var ErrCorrupt = errors.New("compressors: corrupt stream")
+
+// ErrUnknown reports a compressor name absent from the registry.
+var ErrUnknown = errors.New("compressors: unknown compressor")
+
+// registry of all built-in compressors, keyed by name.
+var registry = map[string]func() Compressor{
+	"szlorenzo":   func() Compressor { return NewSZLorenzo() },
+	"szinterp":    func() Compressor { return NewSZInterp() },
+	"zfplike":     func() Compressor { return NewZFPLike() },
+	"bitgroom":    func() Compressor { return NewBitGroom() },
+	"digitround":  func() Compressor { return NewDigitRound() },
+	"sperrlike":   func() Compressor { return NewSperrLike() },
+	"tthreshlike": func() Compressor { return NewTThreshLike() },
+	"mgardlike":   func() Compressor { return NewMGARDLike() },
+}
+
+// New returns a fresh compressor by registry name.
+func New(name string) (Compressor, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	return f(), nil
+}
+
+// MustNew is New that panics on unknown names; for tests and examples.
+func MustNew(name string) Compressor {
+	c, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Names lists all registered compressor names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ratio compresses buf with c at bound eps and returns the compression
+// ratio uncompressed/compressed. It is the ground truth of Algorithm 2.
+func Ratio(c Compressor, buf *grid.Buffer, eps float64) (float64, error) {
+	data, err := c.Compress(buf, eps)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) == 0 {
+		return 0, fmt.Errorf("compressors: %s produced empty output", c.Name())
+	}
+	return float64(buf.SizeBytes()) / float64(len(data)), nil
+}
+
+// VerifyBound round-trips buf through c and reports the maximum absolute
+// error and whether it satisfies eps. It is the invariant checked by the
+// property-based tests.
+func VerifyBound(c Compressor, buf *grid.Buffer, eps float64) (maxErr float64, ok bool, err error) {
+	data, err := c.Compress(buf, eps)
+	if err != nil {
+		return 0, false, err
+	}
+	dec, err := c.Decompress(data)
+	if err != nil {
+		return 0, false, err
+	}
+	maxErr = buf.MaxAbsDiff(dec)
+	return maxErr, maxErr <= eps*(1+1e-12), nil
+}

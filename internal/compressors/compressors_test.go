@@ -1,0 +1,281 @@
+package compressors
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/crestlab/crest/internal/grid"
+)
+
+// testField builds a rows×cols buffer blending smooth structure and noise.
+func testField(rows, cols int, noise float64, seed int64) *grid.Buffer {
+	rng := rand.New(rand.NewSource(seed))
+	buf := grid.NewBuffer(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			v := math.Sin(float64(i)/9)*math.Cos(float64(j)/13) +
+				0.3*math.Sin(float64(i+j)/23) + noise*rng.NormFloat64()
+			buf.Set(i, j, v)
+		}
+	}
+	return buf
+}
+
+var testShapes = []struct{ rows, cols int }{
+	{1, 1}, {1, 17}, {17, 1}, {4, 4}, {7, 5}, {32, 32}, {33, 31}, {67, 95},
+}
+
+func TestErrorBoundAllCompressorsSmooth(t *testing.T) {
+	for _, name := range Names() {
+		c := MustNew(name)
+		for _, sh := range testShapes {
+			buf := testField(sh.rows, sh.cols, 0.02, 42)
+			for _, eps := range []float64{1e-1, 1e-3, 1e-6} {
+				maxErr, ok, err := VerifyBound(c, buf, eps)
+				if err != nil {
+					t.Fatalf("%s %dx%d eps=%g: %v", name, sh.rows, sh.cols, eps, err)
+				}
+				if !ok {
+					t.Errorf("%s %dx%d eps=%g: bound violated, maxErr=%g", name, sh.rows, sh.cols, eps, maxErr)
+				}
+			}
+		}
+	}
+}
+
+func TestErrorBoundPureNoise(t *testing.T) {
+	buf := testField(40, 40, 5.0, 99)
+	for _, name := range Names() {
+		c := MustNew(name)
+		maxErr, ok, err := VerifyBound(c, buf, 1e-4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !ok {
+			t.Errorf("%s: bound violated on noise, maxErr=%g", name, maxErr)
+		}
+	}
+}
+
+func TestErrorBoundExtremeValues(t *testing.T) {
+	buf := grid.NewBuffer(16, 16)
+	vals := []float64{0, 1e-300, -1e-300, 1e300, -1e300, 1e-12, 123456789.123, -0.5}
+	for i := range buf.Data {
+		buf.Data[i] = vals[i%len(vals)]
+	}
+	for _, name := range Names() {
+		c := MustNew(name)
+		maxErr, ok, err := VerifyBound(c, buf, 1e-3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !ok {
+			t.Errorf("%s: bound violated on extreme values, maxErr=%g", name, maxErr)
+		}
+	}
+}
+
+func TestErrorBoundConstantField(t *testing.T) {
+	for _, v := range []float64{0, 3.25, -1e6} {
+		buf := grid.NewBuffer(24, 24)
+		for i := range buf.Data {
+			buf.Data[i] = v
+		}
+		for _, name := range Names() {
+			c := MustNew(name)
+			maxErr, ok, err := VerifyBound(c, buf, 1e-5)
+			if err != nil {
+				t.Fatalf("%s const=%g: %v", name, v, err)
+			}
+			if !ok {
+				t.Errorf("%s const=%g: bound violated, maxErr=%g", name, v, maxErr)
+			}
+			cr, err := Ratio(MustNew(name), buf, 1e-5)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if cr < 1 {
+				t.Errorf("%s const=%g: constant field expanded, CR=%.2f", name, v, cr)
+			}
+		}
+	}
+}
+
+// TestErrorBoundProperty is the headline property-based test: for random
+// fields, shapes and bounds, every compressor must satisfy the absolute
+// error invariant.
+func TestErrorBoundProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in -short")
+	}
+	cfg := &quick.Config{MaxCount: 12, Rand: rand.New(rand.NewSource(7))}
+	for _, name := range Names() {
+		name := name
+		prop := func(seed int64, rowsRaw, colsRaw uint8, epsExp int8) bool {
+			rows := int(rowsRaw%48) + 1
+			cols := int(colsRaw%48) + 1
+			eps := math.Pow(10, -1-float64(uint8(epsExp)%6))
+			rng := rand.New(rand.NewSource(seed))
+			buf := grid.NewBuffer(rows, cols)
+			scale := math.Pow(10, float64(rng.Intn(7)-3))
+			for i := range buf.Data {
+				buf.Data[i] = scale * (math.Sin(float64(i)/7) + 0.1*rng.NormFloat64())
+			}
+			_, ok, err := VerifyBound(MustNew(name), buf, eps)
+			return err == nil && ok
+		}
+		if err := quick.Check(prop, cfg); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestSmoothCompressesBetterThanNoise(t *testing.T) {
+	smooth := testField(64, 64, 0.0, 1)
+	noisy := testField(64, 64, 1.0, 1)
+	for _, name := range []string{"szlorenzo", "szinterp", "zfplike", "sperrlike", "mgardlike"} {
+		c := MustNew(name)
+		crS, err := Ratio(c, smooth, 1e-4)
+		if err != nil {
+			t.Fatalf("%s smooth: %v", name, err)
+		}
+		crN, err := Ratio(c, noisy, 1e-4)
+		if err != nil {
+			t.Fatalf("%s noisy: %v", name, err)
+		}
+		if crS <= crN {
+			t.Errorf("%s: smooth CR %.2f not better than noisy CR %.2f", name, crS, crN)
+		}
+	}
+}
+
+func TestRatioImprovesWithLargerBound(t *testing.T) {
+	buf := testField(64, 64, 0.05, 3)
+	for _, name := range Names() {
+		c := MustNew(name)
+		crTight, err := Ratio(c, buf, 1e-6)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		crLoose, err := Ratio(c, buf, 1e-2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if crLoose < crTight*0.95 { // allow slack for container overhead
+			t.Errorf("%s: CR at 1e-2 (%.2f) worse than at 1e-6 (%.2f)", name, crLoose, crTight)
+		}
+	}
+}
+
+func TestDecompressRejectsForeignStreams(t *testing.T) {
+	buf := testField(16, 16, 0.1, 5)
+	szData, err := MustNew("szlorenzo").Compress(buf, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MustNew("zfplike").Decompress(szData); err == nil {
+		t.Error("zfplike decoded an szlorenzo stream without error")
+	}
+	if _, err := MustNew("szlorenzo").Decompress(nil); err == nil {
+		t.Error("decoded nil stream without error")
+	}
+	if _, err := MustNew("szlorenzo").Decompress([]byte{0x51}); err == nil {
+		t.Error("decoded truncated stream without error")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 8 {
+		t.Fatalf("expected 8 compressors, got %d: %v", len(names), names)
+	}
+	for _, n := range names {
+		c, err := New(n)
+		if err != nil {
+			t.Fatalf("New(%q): %v", n, err)
+		}
+		if c.Name() != n {
+			t.Errorf("Name() = %q, want %q", c.Name(), n)
+		}
+	}
+	if _, err := New("nope"); err == nil {
+		t.Error("New(nope) succeeded")
+	}
+}
+
+func TestInvalidErrorBound(t *testing.T) {
+	buf := testField(8, 8, 0.1, 5)
+	for _, name := range Names() {
+		c := MustNew(name)
+		if _, err := c.Compress(buf, 0); err == nil {
+			t.Errorf("%s: accepted eps=0", name)
+		}
+		if _, err := c.Compress(buf, -1); err == nil {
+			t.Errorf("%s: accepted eps<0", name)
+		}
+	}
+}
+
+// TestParameterSweeps: the error-bound invariant must hold for every
+// exposed compressor parameter, not only the defaults.
+func TestParameterSweeps(t *testing.T) {
+	buf := testField(40, 36, 0.05, 77)
+	eps := 1e-4
+	check := func(name string, c Compressor) {
+		t.Helper()
+		maxErr, ok, err := VerifyBound(c, buf, eps)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !ok {
+			t.Errorf("%s: bound violated, maxErr=%g", name, maxErr)
+		}
+	}
+	for _, bs := range []int{2, 4, 6, 8, 16, 64} {
+		check(fmt.Sprintf("szlorenzo/bs=%d", bs), &SZLorenzo{BlockSize: bs})
+	}
+	for _, radius := range []int{4, 256, 1 << 20} {
+		check(fmt.Sprintf("szlorenzo/radius=%d", radius), &SZLorenzo{BlockSize: 8, Radius: radius})
+		check(fmt.Sprintf("szinterp/radius=%d", radius), &SZInterp{Radius: radius})
+		check(fmt.Sprintf("mgardlike/radius=%d", radius), &MGARDLike{Radius: radius})
+	}
+	for _, tile := range []int{4, 16, 48, 128} {
+		check(fmt.Sprintf("tthreshlike/tile=%d", tile), &TThreshLike{Tile: tile})
+	}
+	for _, lv := range []int{1, 2, 6} {
+		check(fmt.Sprintf("sperrlike/levels=%d", lv), &SperrLike{Levels: lv})
+	}
+}
+
+// TestDoubleRoundTripIdempotent: decompress∘compress applied twice yields
+// the same bytes the second time — reconstructions are fixed points.
+func TestDoubleRoundTripIdempotent(t *testing.T) {
+	buf := testField(32, 32, 0.1, 13)
+	eps := 1e-3
+	for _, name := range Names() {
+		c := MustNew(name)
+		b1, err := c.Compress(buf, eps)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		d1, err := c.Decompress(b1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b2, err := c.Compress(d1, eps)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		d2, err := c.Decompress(b2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// d2 must stay within eps of d1 (and usually be identical).
+		if diff := d1.MaxAbsDiff(d2); diff > eps*(1+1e-12) {
+			t.Errorf("%s: second round trip drifted by %g", name, diff)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package compressors
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/crestlab/crest/internal/grid"
+)
+
+// DigitRound combines decimal rounding with lossless coding (§II): values
+// are rounded to the largest power of ten whose half-step fits inside the
+// error bound, stored as zig-zag delta varints of the rounded integers and
+// DEFLATE-compressed. Values the decimal grid cannot certify (overflow,
+// float round-off past the bound, NaN) escape to exact storage.
+type DigitRound struct{}
+
+// NewDigitRound returns a DigitRounding-style compressor.
+func NewDigitRound() *DigitRound { return &DigitRound{} }
+
+// Name implements Compressor.
+func (c *DigitRound) Name() string { return "digitround" }
+
+const drEscape = int64(math.MinInt64) // reserved delta marking an exact value
+
+// Compress implements Compressor.
+func (c *DigitRound) Compress(buf *grid.Buffer, eps float64) ([]byte, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("digitround: error bound must be positive, got %g", eps)
+	}
+	step := math.Pow(10, math.Floor(math.Log10(2*eps)))
+	// Guard against float pow landing just above 2ε.
+	for step/2 > eps {
+		step /= 10
+	}
+	var w wbuf
+	w.putFloat(step)
+	var prev int64
+	var escapes []float64
+	deltas := make([]int64, 0, len(buf.Data))
+	for _, v := range buf.Data {
+		q := math.Round(v / step)
+		k := int64(q)
+		ok := !math.IsNaN(v) && !math.IsInf(v, 0) &&
+			q >= -9.0e18 && q <= 9.0e18 &&
+			math.Abs(v-float64(k)*step) <= eps
+		if !ok {
+			deltas = append(deltas, drEscape)
+			escapes = append(escapes, v)
+			continue
+		}
+		d := k - prev
+		if d == drEscape { // collision with the escape marker
+			deltas = append(deltas, drEscape)
+			escapes = append(escapes, v)
+			continue
+		}
+		deltas = append(deltas, d)
+		prev = k
+	}
+	for _, d := range deltas {
+		w.putVarint(d)
+	}
+	w.putUvarint(uint64(len(escapes)))
+	w.putFloats(escapes)
+	return sealStream(tagDigitRnd, buf.Rows, buf.Cols, w.Bytes()), nil
+}
+
+// Decompress implements Compressor.
+func (c *DigitRound) Decompress(data []byte) (*grid.Buffer, error) {
+	rows, cols, payload, err := openStream(tagDigitRnd, data)
+	if err != nil {
+		return nil, err
+	}
+	r := newRbuf(payload)
+	step, err := r.getFloat()
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	n := rows * cols
+	if n > r.Len() { // each delta varint needs at least one byte
+		return nil, ErrCorrupt
+	}
+	deltas := make([]int64, n)
+	for i := range deltas {
+		d, err := r.getVarint()
+		if err != nil {
+			return nil, ErrCorrupt
+		}
+		deltas[i] = d
+	}
+	nesc, err := r.getUvarint()
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	escapes, err := r.getFloats(int(nesc))
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	out := grid.NewBuffer(rows, cols)
+	var prev int64
+	ei := 0
+	for i, d := range deltas {
+		if d == drEscape {
+			if ei >= len(escapes) {
+				return nil, ErrCorrupt
+			}
+			out.Data[i] = escapes[ei]
+			ei++
+			continue
+		}
+		prev += d
+		out.Data[i] = float64(prev) * step
+	}
+	return out, nil
+}

@@ -1,0 +1,211 @@
+package compressors
+
+import (
+	"fmt"
+
+	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/huffman"
+	"github.com/crestlab/crest/internal/quant"
+)
+
+// MGARDLike is the MGARD-family compressor: a multilevel hierarchical
+// decomposition over dyadic grids with *linear* interpolation basis
+// functions and per-level error budgets — coarse levels are coded with
+// finer quantizers because their corrections influence every finer level
+// of the hierarchy, the discrete analogue of MGARD distributing the error
+// bound across multilevel coefficients (§II).
+type MGARDLike struct {
+	// Radius is the quantization radius (default quant.DefaultRadius).
+	Radius int
+}
+
+// NewMGARDLike returns an MGARD-family compressor with defaults.
+func NewMGARDLike() *MGARDLike { return &MGARDLike{} }
+
+// Name implements Compressor.
+func (c *MGARDLike) Name() string { return "mgardlike" }
+
+// mgardVisit enumerates grid points level by level like szinterpVisit but
+// with linear prediction only, reporting the level index (0 = coarsest
+// refinement) so the caller can pick a per-level quantizer.
+func mgardVisit(recon []float64, rows, cols int, fn func(level, i, j int, pred float64)) {
+	s := 1
+	for s < rows || s < cols {
+		s <<= 1
+	}
+	level := 0
+	for ; s >= 2; s >>= 1 {
+		h := s / 2
+		for i := 0; i < rows; i += s {
+			for j := h; j < cols; j += s {
+				fn(level, i, j, linearPred(recon, cols, i, j, 0, h, cols))
+			}
+		}
+		for i := h; i < rows; i += s {
+			for j := 0; j < cols; j += h {
+				fn(level, i, j, linearPred(recon, cols, i, j, h, 0, rows))
+			}
+		}
+		level++
+	}
+}
+
+// linearPred predicts by averaging the two lattice neighbors along one
+// axis, falling back to the single available neighbor at boundaries.
+func linearPred(recon []float64, cols, i, j, di, dj, limit int) float64 {
+	at := func(k int) float64 { return recon[(i+k*di)*cols+(j+k*dj)] }
+	var pos int
+	if di > 0 {
+		pos = i
+	} else {
+		pos = j
+	}
+	h := maxInt(di, dj)
+	lo, hi := pos-h >= 0, pos+h < limit
+	switch {
+	case lo && hi:
+		return (at(-1) + at(1)) / 2
+	case lo:
+		return at(-1)
+	case hi:
+		return at(1)
+	default:
+		return 0
+	}
+}
+
+// levelEps returns the per-level error budget: the finest level uses the
+// full ε while each coarser level tightens by 2×, capped at ε/8.
+func levelEps(eps float64, level, nLevels int) float64 {
+	depth := nLevels - 1 - level // 0 at finest
+	e := eps
+	for d := 0; d < depth && d < 3; d++ {
+		e /= 2
+	}
+	return e
+}
+
+func mgardLevels(rows, cols int) int {
+	s, n := 1, 0
+	for s < rows || s < cols {
+		s <<= 1
+		n++
+	}
+	return n
+}
+
+// Compress implements Compressor.
+func (c *MGARDLike) Compress(buf *grid.Buffer, eps float64) ([]byte, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("mgardlike: error bound must be positive, got %g", eps)
+	}
+	rows, cols := buf.Rows, buf.Cols
+	nLev := mgardLevels(rows, cols)
+	quants := make([]*quant.Quantizer, maxInt(nLev, 1))
+	for l := range quants {
+		quants[l] = quant.New(levelEps(eps, l, nLev), c.Radius)
+	}
+	recon := make([]float64, rows*cols)
+	anchor := buf.Data[0]
+	recon[0] = anchor
+	codes := make([]uint32, 0, rows*cols)
+	var outliers []float64
+	mgardVisit(recon, rows, cols, func(level, i, j int, pred float64) {
+		q := quants[level]
+		x := buf.Data[i*cols+j]
+		code, ok := q.Quantize(x - pred)
+		if !ok {
+			codes = append(codes, quant.OutlierCode)
+			outliers = append(outliers, x)
+			recon[i*cols+j] = x
+			return
+		}
+		codes = append(codes, code)
+		recon[i*cols+j] = pred + q.Dequantize(code)
+	})
+	hblob, _ := huffman.Encode(codes)
+	var w wbuf
+	w.putFloat(eps)
+	w.putUvarint(uint64(quant.New(eps, c.Radius).Radius()))
+	w.putFloat(anchor)
+	w.putUvarint(uint64(len(hblob)))
+	w.Write(hblob)
+	w.putUvarint(uint64(len(outliers)))
+	w.putFloats(outliers)
+	return sealStream(tagMGARD, rows, cols, w.Bytes()), nil
+}
+
+// Decompress implements Compressor.
+func (c *MGARDLike) Decompress(data []byte) (*grid.Buffer, error) {
+	rows, cols, payload, err := openStream(tagMGARD, data)
+	if err != nil {
+		return nil, err
+	}
+	r := newRbuf(payload)
+	eps, err := r.getFloat()
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	radius, err := r.getUvarint()
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	anchor, err := r.getFloat()
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	hlen, err := r.getUvarint()
+	if err != nil || hlen > uint64(r.Len()) {
+		return nil, ErrCorrupt
+	}
+	hblob := make([]byte, hlen)
+	if _, err := r.Read(hblob); err != nil {
+		return nil, ErrCorrupt
+	}
+	codes, err := huffman.Decode(hblob)
+	if err != nil {
+		return nil, fmt.Errorf("mgardlike: %w", err)
+	}
+	nout, err := r.getUvarint()
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	outliers, err := r.getFloats(int(nout))
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	nLev := mgardLevels(rows, cols)
+	quants := make([]*quant.Quantizer, maxInt(nLev, 1))
+	for l := range quants {
+		quants[l] = quant.New(levelEps(eps, l, nLev), int(radius))
+	}
+	out := grid.NewBuffer(rows, cols)
+	out.Data[0] = anchor
+	ci, oi := 0, 0
+	var decodeErr error
+	mgardVisit(out.Data, rows, cols, func(level, i, j int, pred float64) {
+		if decodeErr != nil {
+			return
+		}
+		if ci >= len(codes) {
+			decodeErr = ErrCorrupt
+			return
+		}
+		code := codes[ci]
+		ci++
+		if code == quant.OutlierCode {
+			if oi >= len(outliers) {
+				decodeErr = ErrCorrupt
+				return
+			}
+			out.Data[i*cols+j] = outliers[oi]
+			oi++
+			return
+		}
+		out.Data[i*cols+j] = pred + quants[level].Dequantize(code)
+	})
+	if decodeErr != nil {
+		return nil, decodeErr
+	}
+	return out, nil
+}

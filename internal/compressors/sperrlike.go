@@ -1,0 +1,311 @@
+package compressors
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/crestlab/crest/internal/grid"
+)
+
+// SperrLike is the SPERR-family compressor: the buffer is quantized onto
+// an ε-proportional integer grid, transformed with a multi-level exactly
+// invertible CDF 5/3 lifted wavelet (the wavelet decomposition of §II),
+// thresholded, and losslessly coded. A certify loop shrinks the threshold
+// until the reconstruction provably meets the bound; a whole-buffer raw
+// fallback covers degenerate dynamic ranges. Like the real SPERR it is
+// comparatively slow but highly effective on smooth data.
+type SperrLike struct {
+	// Levels caps the wavelet decomposition depth (default: derived from
+	// the buffer shape).
+	Levels int
+}
+
+// NewSperrLike returns a SPERR-family compressor with default parameters.
+func NewSperrLike() *SperrLike { return &SperrLike{} }
+
+// Name implements Compressor.
+func (c *SperrLike) Name() string { return "sperrlike" }
+
+// fwd53 applies the integer CDF 5/3 lifting to x, writing the smoothed
+// subband to out[:ns] and details to out[ns:]. Exactly invertible for any
+// length ≥ 1.
+func fwd53(x, out []float64) {
+	n := len(x)
+	ns := (n + 1) / 2
+	nd := n / 2
+	s, d := out[:ns], out[ns:ns+nd]
+	xi := func(i int) int64 { return int64(x[i]) }
+	// Predict: d[i] = x[2i+1] − ⌊(x[2i]+x[2i+2])/2⌋ with symmetric edge.
+	for i := 0; i < nd; i++ {
+		left := xi(2 * i)
+		right := left
+		if 2*i+2 < n {
+			right = xi(2*i + 2)
+		}
+		d[i] = float64(xi(2*i+1) - floorDiv(left+right, 2))
+	}
+	// Update: s[i] = x[2i] + ⌊(d[i−1]+d[i]+2)/4⌋ with symmetric edge.
+	di := func(i int) int64 {
+		if nd == 0 {
+			return 0
+		}
+		if i < 0 {
+			i = 0
+		}
+		if i >= nd {
+			i = nd - 1
+		}
+		return int64(d[i])
+	}
+	for i := 0; i < ns; i++ {
+		s[i] = float64(xi(2*i) + floorDiv(di(i-1)+di(i)+2, 4))
+	}
+}
+
+// inv53 inverts fwd53.
+func inv53(in, x []float64) {
+	n := len(x)
+	ns := (n + 1) / 2
+	nd := n / 2
+	s, d := in[:ns], in[ns:ns+nd]
+	di := func(i int) int64 {
+		if nd == 0 {
+			return 0
+		}
+		if i < 0 {
+			i = 0
+		}
+		if i >= nd {
+			i = nd - 1
+		}
+		return int64(d[i])
+	}
+	// Undo update to recover evens.
+	for i := 0; i < ns; i++ {
+		x[2*i] = float64(int64(s[i]) - floorDiv(di(i-1)+di(i)+2, 4))
+	}
+	// Undo predict to recover odds.
+	for i := 0; i < nd; i++ {
+		left := int64(x[2*i])
+		right := left
+		if 2*i+2 < n {
+			right = int64(x[2*i+2])
+		}
+		x[2*i+1] = float64(int64(d[i]) + floorDiv(left+right, 2))
+	}
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// waveLevels returns the decomposition depth for a rows×cols buffer.
+func (c *SperrLike) waveLevels(rows, cols int) int {
+	l := 0
+	for (rows>>l) >= 8 && (cols>>l) >= 8 && l < 6 {
+		l++
+	}
+	if c.Levels > 0 && l > c.Levels {
+		l = c.Levels
+	}
+	return l
+}
+
+// fwdWave2D applies lv levels of the 2D wavelet in place over data
+// (rows×cols, row-major), recursing on the LL subband.
+func fwdWave2D(data []float64, rows, cols, lv int) {
+	rl, cl := rows, cols
+	tmp := make([]float64, maxInt(rows, cols))
+	for l := 0; l < lv; l++ {
+		for r := 0; r < rl; r++ {
+			row := data[r*cols : r*cols+cl]
+			fwd53(row, tmp[:cl])
+			copy(row, tmp[:cl])
+		}
+		col := make([]float64, rl)
+		for cc := 0; cc < cl; cc++ {
+			for r := 0; r < rl; r++ {
+				col[r] = data[r*cols+cc]
+			}
+			fwd53(col, tmp[:rl])
+			for r := 0; r < rl; r++ {
+				data[r*cols+cc] = tmp[r]
+			}
+		}
+		rl = (rl + 1) / 2
+		cl = (cl + 1) / 2
+	}
+}
+
+// invWave2D inverts fwdWave2D.
+func invWave2D(data []float64, rows, cols, lv int) {
+	// Precompute per-level extents.
+	rls := make([]int, lv+1)
+	cls := make([]int, lv+1)
+	rls[0], cls[0] = rows, cols
+	for l := 1; l <= lv; l++ {
+		rls[l] = (rls[l-1] + 1) / 2
+		cls[l] = (cls[l-1] + 1) / 2
+	}
+	tmp := make([]float64, maxInt(rows, cols))
+	for l := lv - 1; l >= 0; l-- {
+		rl, cl := rls[l], cls[l]
+		col := make([]float64, rl)
+		src := make([]float64, rl)
+		for cc := 0; cc < cl; cc++ {
+			for r := 0; r < rl; r++ {
+				src[r] = data[r*cols+cc]
+			}
+			inv53(src, col)
+			for r := 0; r < rl; r++ {
+				data[r*cols+cc] = col[r]
+			}
+		}
+		for r := 0; r < rl; r++ {
+			row := data[r*cols : r*cols+cl]
+			copy(tmp[:cl], row)
+			inv53(tmp[:cl], row)
+		}
+	}
+}
+
+// Compress implements Compressor.
+func (c *SperrLike) Compress(buf *grid.Buffer, eps float64) ([]byte, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("sperrlike: error bound must be positive, got %g", eps)
+	}
+	rows, cols := buf.Rows, buf.Cols
+	delta := eps // integer grid step; round-off ≤ δ/2 = ε/2
+	qv := make([]float64, len(buf.Data))
+	rawMode := false
+	for i, v := range buf.Data {
+		q := math.Round(v / delta)
+		if math.IsNaN(q) || math.Abs(q) > 1e15 { // keep lifting exact in float64
+			rawMode = true
+			break
+		}
+		qv[i] = q
+	}
+	var w wbuf
+	w.putFloat(eps)
+	if rawMode {
+		w.putByte(1)
+		w.putFloats(buf.Data)
+		return sealStream(tagSperr, rows, cols, w.Bytes()), nil
+	}
+	lv := c.waveLevels(rows, cols)
+	coeffs := make([]float64, len(qv))
+	copy(coeffs, qv)
+	fwdWave2D(coeffs, rows, cols, lv)
+
+	// Threshold certify loop: zero small details, verify the bound on the
+	// exact reconstruction path, shrink the threshold on failure. t = 0
+	// is lossless on the integer grid, so the loop always terminates
+	// within the bound.
+	thresh := math.Floor(eps / (2 * delta) * 4) // optimistic start
+	work := make([]float64, len(coeffs))
+	rec := make([]float64, len(coeffs))
+	for {
+		copy(work, coeffs)
+		if thresh > 0 {
+			applyThreshold(work, rows, cols, lv, thresh)
+		}
+		copy(rec, work)
+		invWave2D(rec, rows, cols, lv)
+		ok := true
+		for i, v := range buf.Data {
+			if math.Abs(v-rec[i]*delta) > eps {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			break
+		}
+		if thresh == 0 {
+			// Unreachable: t=0 leaves only the ≤δ/2 rounding error.
+			return nil, fmt.Errorf("sperrlike: internal error, lossless path exceeded bound")
+		}
+		thresh = math.Floor(thresh / 2)
+	}
+
+	w.putByte(0)
+	w.putUvarint(uint64(lv))
+	for _, v := range work {
+		w.putVarint(int64(v))
+	}
+	return sealStream(tagSperr, rows, cols, w.Bytes()), nil
+}
+
+// applyThreshold zeroes detail coefficients with |c| ≤ t. The LL subband
+// of the deepest level (top-left block) is preserved.
+func applyThreshold(coeffs []float64, rows, cols, lv int, t float64) {
+	rl, cl := rows, cols
+	for l := 0; l < lv; l++ {
+		rl = (rl + 1) / 2
+		cl = (cl + 1) / 2
+	}
+	for r := 0; r < rows; r++ {
+		for cc := 0; cc < cols; cc++ {
+			if r < rl && cc < cl {
+				continue
+			}
+			i := r*cols + cc
+			if math.Abs(coeffs[i]) <= t {
+				coeffs[i] = 0
+			}
+		}
+	}
+}
+
+// Decompress implements Compressor.
+func (c *SperrLike) Decompress(data []byte) (*grid.Buffer, error) {
+	rows, cols, payload, err := openStream(tagSperr, data)
+	if err != nil {
+		return nil, err
+	}
+	r := newRbuf(payload)
+	eps, err := r.getFloat()
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	mode, err := r.getByte()
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	out := grid.NewBuffer(rows, cols)
+	if mode == 1 {
+		fs, err := r.getFloats(rows * cols)
+		if err != nil {
+			return nil, ErrCorrupt
+		}
+		copy(out.Data, fs)
+		return out, nil
+	}
+	lv64, err := r.getUvarint()
+	if err != nil || lv64 > 16 {
+		return nil, ErrCorrupt
+	}
+	// Each coefficient varint occupies at least one payload byte.
+	if rows*cols > r.Len() {
+		return nil, ErrCorrupt
+	}
+	coeffs := make([]float64, rows*cols)
+	for i := range coeffs {
+		v, err := r.getVarint()
+		if err != nil {
+			return nil, ErrCorrupt
+		}
+		coeffs[i] = float64(v)
+	}
+	invWave2D(coeffs, rows, cols, int(lv64))
+	delta := eps
+	for i, v := range coeffs {
+		out.Data[i] = v * delta
+	}
+	return out, nil
+}

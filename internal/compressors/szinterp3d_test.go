@@ -1,0 +1,120 @@
+package compressors
+
+import (
+	"math"
+	"testing"
+
+	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/synthdata"
+)
+
+func TestSZInterp3DVisitCoversAllPointsOnce(t *testing.T) {
+	for _, sh := range []struct{ nz, ny, nx int }{
+		{1, 1, 1}, {1, 1, 9}, {1, 9, 1}, {9, 1, 1}, {2, 3, 4}, {5, 8, 7}, {8, 16, 12},
+	} {
+		recon := make([]float64, sh.nz*sh.ny*sh.nx)
+		seen := make([]int, len(recon))
+		szinterp3dVisit(recon, sh.nz, sh.ny, sh.nx, func(z, y, x int, pred float64) {
+			seen[(z*sh.ny+y)*sh.nx+x]++
+		})
+		if seen[0] != 0 {
+			t.Errorf("%v: anchor visited", sh)
+		}
+		for i := 1; i < len(seen); i++ {
+			if seen[i] != 1 {
+				t.Fatalf("%v: point %d visited %d times", sh, i, seen[i])
+			}
+		}
+	}
+}
+
+func TestSZInterp3DErrorBound(t *testing.T) {
+	vol := testVolume(6, 20, 24)
+	c := NewSZInterp3D()
+	for _, eps := range []float64{1e-2, 1e-4, 1e-6} {
+		blob, err := c.CompressVolume(vol, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := c.DecompressVolume(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var worst float64
+		for i := range vol.Data {
+			if d := math.Abs(vol.Data[i] - back.Data[i]); d > worst {
+				worst = d
+			}
+		}
+		if worst > eps*(1+1e-12) {
+			t.Errorf("eps=%g: max error %g", eps, worst)
+		}
+	}
+	if _, err := c.CompressVolume(vol, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+}
+
+func TestSZInterp3DRejectsCorrupt(t *testing.T) {
+	c := NewSZInterp3D()
+	if _, err := c.DecompressVolume(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := c.DecompressVolume([]byte("CR3D1")); err == nil {
+		t.Error("empty body accepted")
+	}
+	vol := testVolume(2, 8, 8)
+	blob, err := c.CompressVolume(vol, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DecompressVolume(blob[:len(blob)-4]); err == nil {
+		t.Error("truncated accepted")
+	}
+}
+
+// TestNative3DBeatsSlicedOnZCorrelatedData: the point of the native 3D
+// hierarchy — with strong correlation along z, predicting across slices
+// must compress better than compressing each slice independently.
+func TestNative3DBeatsSlicedOnZCorrelatedData(t *testing.T) {
+	ds := synthdata.Miranda(synthdata.Options{NZ: 16, NY: 48, NX: 48, Seed: 5})
+	f := ds.Field("density")
+	vol := grid.NewVolume(len(f.Buffers), 48, 48)
+	for z, b := range f.Buffers {
+		copy(vol.Data[z*48*48:], b.Data)
+	}
+	eps := 1e-4
+	c3d := NewSZInterp3D()
+	blob3d, err := c3d.CompressVolume(vol, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob2d, err := CompressVolume(MustNew("szinterp"), vol, eps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr3d := float64(8*len(vol.Data)) / float64(len(blob3d))
+	cr2d := float64(8*len(vol.Data)) / float64(len(blob2d))
+	t.Logf("native 3D CR %.2f vs sliced 2D CR %.2f", cr3d, cr2d)
+	if cr3d <= cr2d {
+		t.Errorf("native 3D CR %.2f not above sliced CR %.2f on z-correlated data", cr3d, cr2d)
+	}
+}
+
+func FuzzDecompressSZInterp3D(f *testing.F) {
+	vol := testVolume(2, 6, 6)
+	c := NewSZInterp3D()
+	blob, err := c.CompressVolume(vol, 1e-3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add([]byte("CR3D1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if v, err := c.DecompressVolume(data); err == nil {
+			if v == nil || len(v.Data) != v.NZ*v.NY*v.NX {
+				t.Fatal("accepted stream yielded invalid volume")
+			}
+		}
+	})
+}

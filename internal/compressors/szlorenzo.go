@@ -1,0 +1,324 @@
+package compressors
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/huffman"
+	"github.com/crestlab/crest/internal/quant"
+)
+
+// SZLorenzo is the SZ2-family compressor: per-block selection between a 2D
+// Lorenzo predictor and a least-squares plane (block regression) predictor,
+// error-controlled quantization of the residuals, Huffman coding and a
+// DEFLATE back end. The paper singles SZ2 out as one of the hardest
+// compressors to estimate because of exactly this multi-predictor design
+// (§II).
+type SZLorenzo struct {
+	// BlockSize is the edge length of prediction blocks (default 8).
+	BlockSize int
+	// Radius is the quantization radius (default quant.DefaultRadius).
+	Radius int
+}
+
+// NewSZLorenzo returns an SZ2-family compressor with default parameters.
+func NewSZLorenzo() *SZLorenzo { return &SZLorenzo{BlockSize: 8} }
+
+// Name implements Compressor.
+func (c *SZLorenzo) Name() string { return "szlorenzo" }
+
+const (
+	modeLorenzo byte = 0
+	modeRegress byte = 1
+)
+
+// Compress implements Compressor.
+func (c *SZLorenzo) Compress(buf *grid.Buffer, eps float64) ([]byte, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("szlorenzo: error bound must be positive, got %g", eps)
+	}
+	bs := c.BlockSize
+	if bs <= 0 {
+		bs = 8
+	}
+	q := quant.New(eps, c.Radius)
+	rows, cols := buf.Rows, buf.Cols
+	recon := make([]float64, rows*cols)
+
+	nbr := (rows + bs - 1) / bs
+	nbc := (cols + bs - 1) / bs
+	modes := make([]byte, 0, nbr*nbc)
+	var coefs []float64 // 3 per regression block, stored at float32 precision
+	codes := make([]uint32, 0, rows*cols)
+	var outliers []float64
+
+	for br := 0; br < nbr; br++ {
+		for bc := 0; bc < nbc; bc++ {
+			r0, c0 := br*bs, bc*bs
+			r1, c1 := minInt(r0+bs, rows), minInt(c0+bs, cols)
+			mode, b0, b1, b2 := c.chooseMode(buf, r0, c0, r1, c1)
+			modes = append(modes, mode)
+			if mode == modeRegress {
+				// Round-trip through float32 so encoder and decoder use
+				// identical coefficients.
+				b0 = float64(float32(b0))
+				b1 = float64(float32(b1))
+				b2 = float64(float32(b2))
+				coefs = append(coefs, b0, b1, b2)
+			}
+			for i := r0; i < r1; i++ {
+				for j := c0; j < c1; j++ {
+					var pred float64
+					if mode == modeRegress {
+						pred = b0 + b1*float64(i-r0) + b2*float64(j-c0)
+					} else {
+						pred = lorenzo2D(recon, cols, i, j)
+					}
+					x := buf.Data[i*cols+j]
+					code, ok := q.Quantize(x - pred)
+					if !ok {
+						codes = append(codes, quant.OutlierCode)
+						outliers = append(outliers, x)
+						recon[i*cols+j] = x
+						continue
+					}
+					codes = append(codes, code)
+					recon[i*cols+j] = pred + q.Dequantize(code)
+				}
+			}
+		}
+	}
+
+	hblob, _ := huffman.Encode(codes)
+
+	var w wbuf
+	w.putFloat(eps)
+	w.putUvarint(uint64(q.Radius()))
+	w.putUvarint(uint64(bs))
+	w.putUvarint(uint64(len(modes)))
+	w.Write(packBits(modes))
+	w.putUvarint(uint64(len(coefs)))
+	for _, f := range coefs {
+		w.putUvarint(uint64(math.Float32bits(float32(f))))
+	}
+	w.putUvarint(uint64(len(hblob)))
+	w.Write(hblob)
+	w.putUvarint(uint64(len(outliers)))
+	w.putFloats(outliers)
+	return sealStream(tagSZLorenzo, rows, cols, w.Bytes()), nil
+}
+
+// chooseMode picks the predictor with the smaller sampled absolute
+// residual, using original (not reconstructed) neighbors as SZ2 does when
+// sampling.
+func (c *SZLorenzo) chooseMode(buf *grid.Buffer, r0, c0, r1, c1 int) (mode byte, b0, b1, b2 float64) {
+	b0, b1, b2 = fitPlane(buf, r0, c0, r1, c1)
+	var lorErr, regErr float64
+	cols := buf.Cols
+	for i := r0; i < r1; i++ {
+		for j := c0; j < c1; j++ {
+			x := buf.Data[i*cols+j]
+			lorErr += math.Abs(x - lorenzo2D(buf.Data, cols, i, j))
+			regErr += math.Abs(x - (b0 + b1*float64(i-r0) + b2*float64(j-c0)))
+		}
+	}
+	if regErr < lorErr {
+		return modeRegress, b0, b1, b2
+	}
+	return modeLorenzo, 0, 0, 0
+}
+
+// fitPlane least-squares fits x ≈ b0 + b1·di + b2·dj over the block. On a
+// regular grid the normal equations decouple around the centroid.
+func fitPlane(buf *grid.Buffer, r0, c0, r1, c1 int) (b0, b1, b2 float64) {
+	h, w := r1-r0, c1-c0
+	n := float64(h * w)
+	cols := buf.Cols
+	var sum, sumI, sumJ float64
+	for i := r0; i < r1; i++ {
+		for j := c0; j < c1; j++ {
+			v := buf.Data[i*cols+j]
+			sum += v
+			sumI += v * float64(i-r0)
+			sumJ += v * float64(j-c0)
+		}
+	}
+	mi := float64(h-1) / 2
+	mj := float64(w-1) / 2
+	// Σ(di-mi)² over block = w·Σ(di-mi)² over rows, etc.
+	sii := float64(w) * sumSqCentered(h)
+	sjj := float64(h) * sumSqCentered(w)
+	mean := sum / n
+	if sii > 0 {
+		b1 = (sumI - mi*sum) / sii
+	}
+	if sjj > 0 {
+		b2 = (sumJ - mj*sum) / sjj
+	}
+	b0 = mean - b1*mi - b2*mj
+	return b0, b1, b2
+}
+
+// sumSqCentered returns Σ_{t=0}^{n-1} (t - (n-1)/2)² = n(n²−1)/12.
+func sumSqCentered(n int) float64 {
+	fn := float64(n)
+	return fn * (fn*fn - 1) / 12
+}
+
+// lorenzo2D is the first-order 2D Lorenzo predictor over the (partially
+// filled) reconstruction plane: x̂[i,j] = x[i−1,j] + x[i,j−1] − x[i−1,j−1],
+// with zero outside the domain.
+func lorenzo2D(data []float64, cols, i, j int) float64 {
+	var a, b, d float64
+	if i > 0 {
+		a = data[(i-1)*cols+j]
+	}
+	if j > 0 {
+		b = data[i*cols+j-1]
+	}
+	if i > 0 && j > 0 {
+		d = data[(i-1)*cols+j-1]
+	}
+	return a + b - d
+}
+
+// Decompress implements Compressor.
+func (c *SZLorenzo) Decompress(data []byte) (*grid.Buffer, error) {
+	rows, cols, payload, err := openStream(tagSZLorenzo, data)
+	if err != nil {
+		return nil, err
+	}
+	r := newRbuf(payload)
+	eps, err := r.getFloat()
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	radius, err := r.getUvarint()
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	bs64, err := r.getUvarint()
+	if err != nil || bs64 == 0 {
+		return nil, ErrCorrupt
+	}
+	bs := int(bs64)
+	nmodes, err := r.getUvarint()
+	if err != nil || nmodes > uint64(rows*cols) {
+		return nil, ErrCorrupt
+	}
+	modeBytes := make([]byte, (nmodes+7)/8)
+	if _, err := r.Read(modeBytes); err != nil {
+		return nil, ErrCorrupt
+	}
+	modes := unpackBits(modeBytes, int(nmodes))
+	ncoef, err := r.getUvarint()
+	if err != nil || ncoef > 3*nmodes || ncoef > uint64(r.Len()) {
+		return nil, ErrCorrupt
+	}
+	coefs := make([]float64, ncoef)
+	for i := range coefs {
+		u, err := r.getUvarint()
+		if err != nil {
+			return nil, ErrCorrupt
+		}
+		coefs[i] = float64(math.Float32frombits(uint32(u)))
+	}
+	hlen, err := r.getUvarint()
+	if err != nil || hlen > uint64(r.Len()) {
+		return nil, ErrCorrupt
+	}
+	hblob := make([]byte, hlen)
+	if _, err := r.Read(hblob); err != nil {
+		return nil, ErrCorrupt
+	}
+	codes, err := huffman.Decode(hblob)
+	if err != nil {
+		return nil, fmt.Errorf("szlorenzo: %w", err)
+	}
+	nout, err := r.getUvarint()
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	outliers, err := r.getFloats(int(nout))
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+
+	q := quant.New(eps, int(radius))
+	out := grid.NewBuffer(rows, cols)
+	nbr := (rows + bs - 1) / bs
+	nbc := (cols + bs - 1) / bs
+	if int(nmodes) != nbr*nbc {
+		return nil, ErrCorrupt
+	}
+	ci, oi, bi, coefI := 0, 0, 0, 0
+	for br := 0; br < nbr; br++ {
+		for bc := 0; bc < nbc; bc++ {
+			r0, c0 := br*bs, bc*bs
+			r1, c1 := minInt(r0+bs, rows), minInt(c0+bs, cols)
+			mode := modes[bi]
+			bi++
+			var b0, b1v, b2 float64
+			if mode == modeRegress {
+				if coefI+3 > len(coefs) {
+					return nil, ErrCorrupt
+				}
+				b0, b1v, b2 = coefs[coefI], coefs[coefI+1], coefs[coefI+2]
+				coefI += 3
+			}
+			for i := r0; i < r1; i++ {
+				for j := c0; j < c1; j++ {
+					if ci >= len(codes) {
+						return nil, ErrCorrupt
+					}
+					code := codes[ci]
+					ci++
+					if code == quant.OutlierCode {
+						if oi >= len(outliers) {
+							return nil, ErrCorrupt
+						}
+						out.Data[i*cols+j] = outliers[oi]
+						oi++
+						continue
+					}
+					var pred float64
+					if mode == modeRegress {
+						pred = b0 + b1v*float64(i-r0) + b2*float64(j-c0)
+					} else {
+						pred = lorenzo2D(out.Data, cols, i, j)
+					}
+					out.Data[i*cols+j] = pred + q.Dequantize(code)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func packBits(bits []byte) []byte {
+	out := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b != 0 {
+			out[i/8] |= 1 << (7 - i%8)
+		}
+	}
+	return out
+}
+
+func unpackBits(b []byte, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		if i/8 < len(b) && b[i/8]&(1<<(7-i%8)) != 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

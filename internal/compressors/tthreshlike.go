@@ -1,0 +1,245 @@
+package compressors
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/linalg"
+)
+
+// TThreshLike is the TThresh-family compressor: each tile is decomposed
+// with a singular value decomposition and truncated to the smallest rank
+// whose certified reconstruction — including the float32 quantization of
+// the stored factors — satisfies the error bound. Mirroring the real
+// TThresh (§II), it is slow but highly effective on data with low-rank
+// spatial structure.
+type TThreshLike struct {
+	// Tile is the square tile edge (default 32).
+	Tile int
+}
+
+// NewTThreshLike returns a TThresh-family compressor with default
+// parameters.
+func NewTThreshLike() *TThreshLike { return &TThreshLike{Tile: 32} }
+
+// Name implements Compressor.
+func (c *TThreshLike) Name() string { return "tthreshlike" }
+
+// Compress implements Compressor.
+func (c *TThreshLike) Compress(buf *grid.Buffer, eps float64) ([]byte, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("tthreshlike: error bound must be positive, got %g", eps)
+	}
+	t := c.Tile
+	if t <= 0 {
+		t = 32
+	}
+	rows, cols := buf.Rows, buf.Cols
+	var w wbuf
+	w.putFloat(eps)
+	w.putUvarint(uint64(t))
+	for r0 := 0; r0 < rows; r0 += t {
+		for c0 := 0; c0 < cols; c0 += t {
+			r1, c1 := minInt(r0+t, rows), minInt(c0+t, cols)
+			encodeSVDTile(&w, buf, r0, c0, r1, c1, eps)
+		}
+	}
+	return sealStream(tagTThresh, rows, cols, w.Bytes()), nil
+}
+
+// encodeSVDTile writes one tile: mode 0 = truncated SVD, mode 1 = raw.
+func encodeSVDTile(w *wbuf, buf *grid.Buffer, r0, c0, r1, c1 int, eps float64) {
+	h, wd := r1-r0, c1-c0
+	a := linalg.NewMatrix(h, wd)
+	var mean float64
+	for i := 0; i < h; i++ {
+		for j := 0; j < wd; j++ {
+			v := buf.At(r0+i, c0+j)
+			a.Set(i, j, v)
+			mean += v
+		}
+	}
+	mean /= float64(h * wd)
+	mean = float64(float32(mean)) // stored precision
+	for i := 0; i < h; i++ {
+		for j := 0; j < wd; j++ {
+			a.Add(i, j, -mean)
+		}
+	}
+
+	// Right singular vectors and values via the Gram matrix.
+	gram := linalg.NewMatrix(wd, wd)
+	for i := 0; i < h; i++ {
+		gram.AddOuter(a.Row(i), 1)
+	}
+	vals, vecs := linalg.SymEigen(gram)
+
+	maxRank := minInt(h, wd)
+	// u_k = A v_k / σ_k; quantize factors to float32 and certify ranks
+	// incrementally.
+	us := make([][]float64, 0, maxRank)
+	vs := make([][]float64, 0, maxRank)
+	sigs := make([]float64, 0, maxRank)
+	rec := make([]float64, h*wd)
+	okRank := -1
+	for k := 0; k < maxRank; k++ {
+		sigma := math.Sqrt(math.Max(vals[k], 0))
+		if sigma == 0 {
+			// Remaining energy is zero; certification below decides.
+			break
+		}
+		v := make([]float64, wd)
+		for j := 0; j < wd; j++ {
+			v[j] = float64(float32(vecs.At(j, k)))
+		}
+		u := make([]float64, h)
+		for i := 0; i < h; i++ {
+			var s float64
+			arow := a.Row(i)
+			for j := 0; j < wd; j++ {
+				s += arow[j] * vecs.At(j, k)
+			}
+			u[i] = float64(float32(s / sigma))
+		}
+		sq := float64(float32(sigma))
+		us, vs, sigs = append(us, u), append(vs, v), append(sigs, sq)
+		for i := 0; i < h; i++ {
+			for j := 0; j < wd; j++ {
+				rec[i*wd+j] += sq * u[i] * v[j]
+			}
+		}
+		if tileCertified(a, rec, eps) {
+			okRank = k + 1
+			break
+		}
+	}
+	if okRank < 0 && tileCertified(a, rec, eps) {
+		okRank = len(sigs) // zero-residual tile (e.g. constant)
+	}
+	// Compare encoded sizes: SVD payload vs raw; keep the smaller or fall
+	// back when certification failed.
+	svdBytes := 4 * okRank * (h + wd + 1)
+	if okRank < 0 || svdBytes >= 8*h*wd {
+		w.putByte(1)
+		for i := 0; i < h; i++ {
+			for j := 0; j < wd; j++ {
+				w.putFloat(buf.At(r0+i, c0+j))
+			}
+		}
+		return
+	}
+	w.putByte(0)
+	w.putFloat(mean)
+	w.putUvarint(uint64(okRank))
+	for k := 0; k < okRank; k++ {
+		w.putUvarint(uint64(math.Float32bits(float32(sigs[k]))))
+		for _, x := range us[k] {
+			w.putUvarint(uint64(math.Float32bits(float32(x))))
+		}
+		for _, x := range vs[k] {
+			w.putUvarint(uint64(math.Float32bits(float32(x))))
+		}
+	}
+}
+
+func tileCertified(a *linalg.Matrix, rec []float64, eps float64) bool {
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		for j := 0; j < a.Cols; j++ {
+			if math.Abs(arow[j]-rec[i*a.Cols+j]) > eps {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Decompress implements Compressor.
+func (c *TThreshLike) Decompress(data []byte) (*grid.Buffer, error) {
+	rows, cols, payload, err := openStream(tagTThresh, data)
+	if err != nil {
+		return nil, err
+	}
+	r := newRbuf(payload)
+	if _, err := r.getFloat(); err != nil { // eps, informational
+		return nil, ErrCorrupt
+	}
+	t64, err := r.getUvarint()
+	if err != nil || t64 == 0 {
+		return nil, ErrCorrupt
+	}
+	t := int(t64)
+	out := grid.NewBuffer(rows, cols)
+	for r0 := 0; r0 < rows; r0 += t {
+		for c0 := 0; c0 < cols; c0 += t {
+			r1, c1 := minInt(r0+t, rows), minInt(c0+t, cols)
+			h, wd := r1-r0, c1-c0
+			mode, err := r.getByte()
+			if err != nil {
+				return nil, ErrCorrupt
+			}
+			switch mode {
+			case 1:
+				for i := 0; i < h; i++ {
+					for j := 0; j < wd; j++ {
+						v, err := r.getFloat()
+						if err != nil {
+							return nil, ErrCorrupt
+						}
+						out.Set(r0+i, c0+j, v)
+					}
+				}
+			case 0:
+				mean, err := r.getFloat()
+				if err != nil {
+					return nil, ErrCorrupt
+				}
+				rank64, err := r.getUvarint()
+				if err != nil || rank64 > uint64(minInt(h, wd)) {
+					return nil, ErrCorrupt
+				}
+				rec := make([]float64, h*wd)
+				for k := 0; k < int(rank64); k++ {
+					sig, err := readF32(r)
+					if err != nil {
+						return nil, ErrCorrupt
+					}
+					u := make([]float64, h)
+					for i := range u {
+						if u[i], err = readF32(r); err != nil {
+							return nil, ErrCorrupt
+						}
+					}
+					v := make([]float64, wd)
+					for j := range v {
+						if v[j], err = readF32(r); err != nil {
+							return nil, ErrCorrupt
+						}
+					}
+					for i := 0; i < h; i++ {
+						for j := 0; j < wd; j++ {
+							rec[i*wd+j] += sig * u[i] * v[j]
+						}
+					}
+				}
+				for i := 0; i < h; i++ {
+					for j := 0; j < wd; j++ {
+						out.Set(r0+i, c0+j, rec[i*wd+j]+mean)
+					}
+				}
+			default:
+				return nil, ErrCorrupt
+			}
+		}
+	}
+	return out, nil
+}
+
+func readF32(r *rbuf) (float64, error) {
+	u, err := r.getUvarint()
+	if err != nil {
+		return 0, err
+	}
+	return float64(math.Float32frombits(uint32(u))), nil
+}

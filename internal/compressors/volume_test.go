@@ -1,0 +1,89 @@
+package compressors
+
+import (
+	"math"
+	"testing"
+
+	"github.com/crestlab/crest/internal/grid"
+)
+
+func testVolume(nz, ny, nx int) *grid.Volume {
+	v := grid.NewVolume(nz, ny, nx)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				v.Set(z, y, x, math.Sin(float64(x)/7+float64(z)/3)*math.Cos(float64(y)/9))
+			}
+		}
+	}
+	return v
+}
+
+func TestVolumeRoundTripAllCompressors(t *testing.T) {
+	vol := testVolume(5, 24, 20)
+	eps := 1e-4
+	for _, name := range Names() {
+		c := MustNew(name)
+		blob, err := CompressVolume(c, vol, eps, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := DecompressVolume(c, blob, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.NZ != vol.NZ || got.NY != vol.NY || got.NX != vol.NX {
+			t.Fatalf("%s: shape %dx%dx%d", name, got.NZ, got.NY, got.NX)
+		}
+		var worst float64
+		for i := range vol.Data {
+			if d := math.Abs(vol.Data[i] - got.Data[i]); d > worst {
+				worst = d
+			}
+		}
+		if worst > eps*(1+1e-12) {
+			t.Errorf("%s: volume max error %g > eps", name, worst)
+		}
+	}
+}
+
+func TestVolumeRejectsCorrupt(t *testing.T) {
+	c := MustNew("szinterp")
+	if _, err := DecompressVolume(c, nil, 1); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := DecompressVolume(c, []byte("CRVL1"), 1); err == nil {
+		t.Error("empty body accepted")
+	}
+	vol := testVolume(3, 8, 8)
+	blob, err := CompressVolume(c, vol, 1e-3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecompressVolume(c, blob[:len(blob)/2], 1); err == nil {
+		t.Error("truncated volume accepted")
+	}
+	// Foreign compressor rejects the slice streams.
+	if _, err := DecompressVolume(MustNew("zfplike"), blob, 1); err == nil {
+		t.Error("foreign compressor accepted")
+	}
+}
+
+func TestRelativeBound(t *testing.T) {
+	buf := grid.NewBuffer(2, 2)
+	copy(buf.Data, []float64{0, 5, 10, 2})
+	if got := RelativeBound(buf, 0.01); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelativeBound = %g, want 0.1", got)
+	}
+	constant := grid.NewBuffer(2, 2)
+	if got := RelativeBound(constant, 0.01); got != 0 {
+		t.Errorf("constant RelativeBound = %g", got)
+	}
+	// Relative bound composes with the absolute-bound invariant.
+	data := testVolume(1, 16, 16).Slice(0)
+	eps := RelativeBound(data, 1e-3)
+	maxErr, ok, err := VerifyBound(MustNew("szlorenzo"), data, eps)
+	if err != nil || !ok {
+		t.Errorf("relative-bound roundtrip: err=%v ok=%v maxErr=%g", err, ok, maxErr)
+	}
+}

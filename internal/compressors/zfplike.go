@@ -1,0 +1,343 @@
+package compressors
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/huffman"
+)
+
+// ZFPLike is the ZFP-family compressor: independent 4×4 blocks are aligned
+// to a common exponent (block-floating point), transformed with an exactly
+// invertible integer wavelet (S-transform along rows then columns — the
+// "near optimal block transform" role of §II), and entropy-coded by
+// embedded bit planes from the most significant down to an error-bound
+// cutoff. A verify-and-fallback pass lowers the cutoff (or stores the
+// block exactly) whenever the certified reconstruction would exceed the
+// bound, so the absolute error invariant always holds.
+type ZFPLike struct{}
+
+// NewZFPLike returns a ZFP-family compressor.
+func NewZFPLike() *ZFPLike { return &ZFPLike{} }
+
+// Name implements Compressor.
+func (c *ZFPLike) Name() string { return "zfplike" }
+
+const (
+	zfpBlock = 4  // block edge
+	zfpQ     = 48 // integer quantization precision in bits
+)
+
+// fwdLift4 applies the two-level integer S-transform to a 4-vector in
+// place: exactly invertible with arithmetic shifts.
+func fwdLift4(v *[4]int64) {
+	l0 := (v[0] + v[1]) >> 1
+	h0 := v[0] - v[1]
+	l1 := (v[2] + v[3]) >> 1
+	h1 := v[2] - v[3]
+	ll := (l0 + l1) >> 1
+	lh := l0 - l1
+	v[0], v[1], v[2], v[3] = ll, lh, h0, h1
+}
+
+// invLift4 inverts fwdLift4.
+func invLift4(v *[4]int64) {
+	ll, lh, h0, h1 := v[0], v[1], v[2], v[3]
+	l0 := ll + ((lh + 1) >> 1)
+	l1 := l0 - lh
+	a0 := l0 + ((h0 + 1) >> 1)
+	a1 := a0 - h0
+	a2 := l1 + ((h1 + 1) >> 1)
+	a3 := a2 - h1
+	v[0], v[1], v[2], v[3] = a0, a1, a2, a3
+}
+
+// fwdTransform2D applies the lifting along rows then columns of a 4×4
+// block stored row-major.
+func fwdTransform2D(b *[16]int64) {
+	var t [4]int64
+	for r := 0; r < 4; r++ {
+		copy(t[:], b[4*r:4*r+4])
+		fwdLift4(&t)
+		copy(b[4*r:4*r+4], t[:])
+	}
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			t[r] = b[4*r+c]
+		}
+		fwdLift4(&t)
+		for r := 0; r < 4; r++ {
+			b[4*r+c] = t[r]
+		}
+	}
+}
+
+// invTransform2D inverts fwdTransform2D (columns then rows).
+func invTransform2D(b *[16]int64) {
+	var t [4]int64
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			t[r] = b[4*r+c]
+		}
+		invLift4(&t)
+		for r := 0; r < 4; r++ {
+			b[4*r+c] = t[r]
+		}
+	}
+	for r := 0; r < 4; r++ {
+		copy(t[:], b[4*r:4*r+4])
+		invLift4(&t)
+		copy(b[4*r:4*r+4], t[:])
+	}
+}
+
+// encodePlanes writes the coefficients' bit planes [maxPlane, cutoff] with
+// a per-plane all-zero skip flag and on-first-significance sign bits.
+func encodePlanes(w *huffman.BitWriter, coefs *[16]int64, maxPlane, cutoff int) {
+	var mag [16]uint64
+	var neg [16]bool
+	for i, v := range coefs {
+		if v < 0 {
+			neg[i] = true
+			mag[i] = uint64(-v)
+		} else {
+			mag[i] = uint64(v)
+		}
+	}
+	var sig [16]bool
+	for p := maxPlane; p >= cutoff; p-- {
+		var any uint64
+		for i := 0; i < 16; i++ {
+			any |= (mag[i] >> uint(p)) & 1
+		}
+		if any == 0 {
+			w.WriteBits(0, 1)
+			continue
+		}
+		w.WriteBits(1, 1)
+		for i := 0; i < 16; i++ {
+			bit := (mag[i] >> uint(p)) & 1
+			w.WriteBits(bit, 1)
+			if bit == 1 && !sig[i] {
+				sig[i] = true
+				if neg[i] {
+					w.WriteBits(1, 1)
+				} else {
+					w.WriteBits(0, 1)
+				}
+			}
+		}
+	}
+}
+
+// decodePlanes reverses encodePlanes, returning coefficients truncated at
+// the cutoff plane.
+func decodePlanes(r *huffman.BitReader, maxPlane, cutoff int) [16]int64 {
+	var mag [16]uint64
+	var neg, sig [16]bool
+	for p := maxPlane; p >= cutoff; p-- {
+		if r.ReadBits(1) == 0 {
+			continue
+		}
+		for i := 0; i < 16; i++ {
+			bit := r.ReadBits(1)
+			mag[i] |= bit << uint(p)
+			if bit == 1 && !sig[i] {
+				sig[i] = true
+				neg[i] = r.ReadBits(1) == 1
+			}
+		}
+	}
+	var out [16]int64
+	for i := range out {
+		v := int64(mag[i])
+		if neg[i] {
+			v = -v
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// blockEncode encodes one block and returns the reconstruction it
+// certifies. mode: 0 zero-block, 1 coded, 2 raw.
+func zfpBlockEncode(w *huffman.BitWriter, vals *[16]float64, eps float64) (recon [16]float64) {
+	maxAbs := 0.0
+	for _, v := range vals {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs <= eps {
+		// Entire block reconstructs as zero within bound.
+		w.WriteBits(0, 2)
+		return recon
+	}
+	_, emax := math.Frexp(maxAbs)
+	scale := math.Ldexp(1, zfpQ-emax)
+	var q [16]int64
+	quantOK := true
+	for i, v := range vals {
+		f := v * scale
+		if f > math.MaxInt64/4 || f < math.MinInt64/4 || math.IsNaN(f) {
+			quantOK = false
+			break
+		}
+		q[i] = int64(math.Round(f))
+	}
+	if quantOK {
+		coefs := q
+		fwdTransform2D(&coefs)
+		maxPlane := 0
+		for _, v := range coefs {
+			a := v
+			if a < 0 {
+				a = -a
+			}
+			for p := 63; p >= maxPlane; p-- {
+				if a>>uint(p)&1 == 1 {
+					maxPlane = p
+					break
+				}
+			}
+		}
+		// Initial cutoff from the error budget, then certify by exact
+		// reconstruction; lower until the bound holds.
+		intEps := eps * scale
+		cutoff := 0
+		if intEps > 16 {
+			cutoff = int(math.Floor(math.Log2(intEps / 16)))
+		}
+		if cutoff > maxPlane {
+			cutoff = maxPlane
+		}
+		for ; cutoff >= 0; cutoff-- {
+			rec := truncReconstruct(&coefs, cutoff, scale)
+			ok := true
+			for i := range vals {
+				if math.Abs(vals[i]-rec[i]) > eps {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				w.WriteBits(1, 2)
+				w.WriteBits(uint64(emax+1024), 12)
+				w.WriteBits(uint64(maxPlane), 6)
+				w.WriteBits(uint64(cutoff), 6)
+				encodePlanes(w, &coefs, maxPlane, cutoff)
+				return rec
+			}
+		}
+	}
+	// Raw fallback: exact storage.
+	w.WriteBits(2, 2)
+	for _, v := range vals {
+		w.WriteBits(math.Float64bits(v), 57)
+		w.WriteBits(math.Float64bits(v)>>57, 7)
+	}
+	return *vals
+}
+
+// truncReconstruct drops bit planes below cutoff, inverts the transform
+// and rescales — exactly what the decoder will compute.
+func truncReconstruct(coefs *[16]int64, cutoff int, scale float64) [16]float64 {
+	var tr [16]int64
+	mask := int64(-1) << uint(cutoff)
+	for i, v := range coefs {
+		if v >= 0 {
+			tr[i] = v & mask
+		} else {
+			tr[i] = -((-v) & mask)
+		}
+	}
+	invTransform2D(&tr)
+	var out [16]float64
+	inv := 1 / scale
+	for i, v := range tr {
+		out[i] = float64(v) * inv
+	}
+	return out
+}
+
+// Compress implements Compressor.
+func (c *ZFPLike) Compress(buf *grid.Buffer, eps float64) ([]byte, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("zfplike: error bound must be positive, got %g", eps)
+	}
+	rows, cols := buf.Rows, buf.Cols
+	w := huffman.NewBitWriter()
+	var vals [16]float64
+	for r0 := 0; r0 < rows; r0 += zfpBlock {
+		for c0 := 0; c0 < cols; c0 += zfpBlock {
+			// Gather with edge replication for partial blocks.
+			for i := 0; i < zfpBlock; i++ {
+				ri := minInt(r0+i, rows-1)
+				for j := 0; j < zfpBlock; j++ {
+					cj := minInt(c0+j, cols-1)
+					vals[i*zfpBlock+j] = buf.Data[ri*cols+cj]
+				}
+			}
+			zfpBlockEncode(w, &vals, eps)
+		}
+	}
+	var out wbuf
+	out.putFloat(eps)
+	out.Write(w.Bytes())
+	return sealStream(tagZFPLike, rows, cols, out.Bytes()), nil
+}
+
+// Decompress implements Compressor.
+func (c *ZFPLike) Decompress(data []byte) (*grid.Buffer, error) {
+	rows, cols, payload, err := openStream(tagZFPLike, data)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) < 8 {
+		return nil, ErrCorrupt
+	}
+	r := huffman.NewBitReader(payload[8:])
+	out := grid.NewBuffer(rows, cols)
+	for r0 := 0; r0 < rows; r0 += zfpBlock {
+		for c0 := 0; c0 < cols; c0 += zfpBlock {
+			var rec [16]float64
+			mode := r.ReadBits(2)
+			switch mode {
+			case 0:
+				// zero block
+			case 1:
+				emax := int(r.ReadBits(12)) - 1024
+				maxPlane := int(r.ReadBits(6))
+				cutoff := int(r.ReadBits(6))
+				if maxPlane > 63 || cutoff > maxPlane {
+					return nil, ErrCorrupt
+				}
+				coefs := decodePlanes(r, maxPlane, cutoff)
+				rec = truncReconstruct(&coefs, 0, math.Ldexp(1, zfpQ-emax))
+			case 2:
+				for i := 0; i < 16; i++ {
+					lo := r.ReadBits(57)
+					hi := r.ReadBits(7)
+					rec[i] = math.Float64frombits(hi<<57 | lo)
+				}
+			default:
+				return nil, ErrCorrupt
+			}
+			for i := 0; i < zfpBlock; i++ {
+				ri := r0 + i
+				if ri >= rows {
+					break
+				}
+				for j := 0; j < zfpBlock; j++ {
+					cj := c0 + j
+					if cj >= cols {
+						break
+					}
+					out.Data[ri*cols+cj] = rec[i*zfpBlock+j]
+				}
+			}
+		}
+	}
+	return out, nil
+}

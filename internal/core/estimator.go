@@ -1,0 +1,282 @@
+// Package core assembles the paper's primary contribution: a
+// compressibility estimator that maps the five statistical predictors of
+// internal/predictors through a mixture-of-linear-regressions model
+// (internal/mixreg) wrapped in split conformal prediction
+// (internal/conformal), producing a point estimate and a statistically
+// valid interval for the compression ratio of an error-bounded lossy
+// compressor on a buffer — without running the compressor.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/crestlab/crest/internal/compressors"
+	"github.com/crestlab/crest/internal/conformal"
+	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/mixreg"
+	"github.com/crestlab/crest/internal/predictors"
+	"github.com/crestlab/crest/internal/stats"
+)
+
+// DefaultCRCap caps compression ratios during training; the paper focuses
+// on CR ≤ 100 as the operational regime (§IV-B).
+const DefaultCRCap = 100
+
+// Config tunes the full estimation pipeline.
+type Config struct {
+	// Predictors configures the feature computation.
+	Predictors predictors.Config
+	// Mixture configures the regression mixture.
+	Mixture mixreg.Config
+	// Conformal configures the interval calibration.
+	Conformal conformal.Config
+	// CRCap clamps training compression ratios (default 100).
+	CRCap float64
+	// FeatureMask enables a subset of the five features; nil enables all.
+	// Used by the Fig. 1 ablation study.
+	FeatureMask []bool
+	// ConformalSplits > 1 enables multi-split conformal prediction
+	// (median radius over independent splits); default 1 (single split).
+	ConformalSplits int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CRCap <= 0 {
+		c.CRCap = DefaultCRCap
+	}
+	return c
+}
+
+// Sample is one training observation: the covariates of a buffer at an
+// error bound, plus the observed compression ratio.
+type Sample struct {
+	Features []float64
+	CR       float64
+}
+
+// Estimate is a conformal compression-ratio estimate: the point value and
+// a (1−λ) interval, all on the CR scale.
+type Estimate struct {
+	CR, Lo, Hi float64
+}
+
+// Contains reports whether the true ratio lies in the interval.
+func (e Estimate) Contains(cr float64) bool { return cr >= e.Lo && cr <= e.Hi }
+
+// Estimator is a trained compressibility model for one (compressor, error
+// bound regime) pairing.
+type Estimator struct {
+	cfg   Config
+	model *conformal.Model
+	// Standardization parameters of the masked feature space.
+	mask  []bool
+	mean  []float64
+	std   []float64
+	nKept int
+}
+
+// ErrNoSamples reports an empty training set.
+var ErrNoSamples = errors.New("core: no training samples")
+
+// Train fits the mixture + conformal pipeline on the samples.
+func Train(samples []Sample, cfg Config) (*Estimator, error) {
+	return TrainGrouped(samples, nil, cfg)
+}
+
+// TrainGrouped is Train with an exchangeability group label per sample
+// (typically the source field): conformal calibration then holds out whole
+// groups, keeping the coverage guarantee meaningful for out-of-field
+// prediction (§VI-C/§VI-D).
+func TrainGrouped(samples []Sample, groups []int, cfg Config) (*Estimator, error) {
+	cfg = cfg.withDefaults()
+	if len(samples) == 0 {
+		return nil, ErrNoSamples
+	}
+	d := len(samples[0].Features)
+	mask := cfg.FeatureMask
+	if mask == nil {
+		mask = make([]bool, d)
+		for i := range mask {
+			mask[i] = true
+		}
+	}
+	if len(mask) != d {
+		return nil, fmt.Errorf("core: feature mask length %d != %d features", len(mask), d)
+	}
+	nKept := 0
+	for _, m := range mask {
+		if m {
+			nKept++
+		}
+	}
+	if nKept == 0 {
+		return nil, errors.New("core: feature mask disables every feature")
+	}
+
+	// Standardize kept features; targets are log(CR) with the CR cap.
+	x := make([][]float64, len(samples))
+	y := make([]float64, len(samples))
+	for i, s := range samples {
+		if len(s.Features) != d {
+			return nil, fmt.Errorf("core: sample %d has %d features, want %d", i, len(s.Features), d)
+		}
+		row := make([]float64, 0, nKept)
+		for j, keep := range mask {
+			if keep {
+				row = append(row, s.Features[j])
+			}
+		}
+		x[i] = row
+		cr := s.CR
+		if cr > cfg.CRCap {
+			cr = cfg.CRCap
+		}
+		if cr <= 0 || math.IsNaN(cr) {
+			return nil, fmt.Errorf("core: sample %d has invalid CR %g", i, s.CR)
+		}
+		y[i] = math.Log(cr)
+	}
+	mean := make([]float64, nKept)
+	std := make([]float64, nKept)
+	col := make([]float64, len(x))
+	for j := 0; j < nKept; j++ {
+		for i := range x {
+			col[i] = x[i][j]
+		}
+		mean[j], std[j] = stats.MeanStd(col)
+		if std[j] == 0 {
+			std[j] = 1
+		}
+	}
+	for i := range x {
+		for j := 0; j < nKept; j++ {
+			x[i][j] = (x[i][j] - mean[j]) / std[j]
+		}
+	}
+
+	fitter := func(tx [][]float64, ty []float64) (conformal.Predictor, error) {
+		return mixreg.Fit(tx, ty, cfg.Mixture)
+	}
+	ccfg := cfg.Conformal
+	if ccfg.CalibFraction == 0 && len(samples) < 30 {
+		// Small training sets: keep more points for the regression; the
+		// interval is correspondingly more conservative.
+		ccfg.CalibFraction = 0.25
+	}
+	var cm *conformal.Model
+	var err error
+	if cfg.ConformalSplits > 1 {
+		cm, err = conformal.FitMultiSplit(x, y, groups, fitter, ccfg, cfg.ConformalSplits)
+	} else {
+		cm, err = conformal.FitGrouped(x, y, groups, fitter, ccfg)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Estimator{cfg: cfg, model: cm, mask: mask, mean: mean, std: std, nKept: nKept}, nil
+}
+
+// standardize masks and standardizes one feature vector.
+func (e *Estimator) standardize(features []float64) ([]float64, error) {
+	if len(features) != len(e.mask) {
+		return nil, fmt.Errorf("core: %d features, want %d", len(features), len(e.mask))
+	}
+	row := make([]float64, 0, e.nKept)
+	for j, keep := range e.mask {
+		if keep {
+			row = append(row, features[j])
+		}
+	}
+	for j := range row {
+		row[j] = (row[j] - e.mean[j]) / e.std[j]
+	}
+	return row, nil
+}
+
+// Estimate predicts the compression ratio and its conformal interval for
+// one covariate vector, back-transforming from the log scale and clamping
+// to [1, CRCap] on the point estimate's natural range.
+func (e *Estimator) Estimate(features []float64) (Estimate, error) {
+	row, err := e.standardize(features)
+	if err != nil {
+		return Estimate{}, err
+	}
+	iv := e.model.Predict(row)
+	// The model is trained on CR ∈ (0, CRCap]; predictions outside that
+	// range are extrapolations, so the point estimate is clamped to the
+	// training regime (the interval keeps its raw width).
+	point := math.Exp(iv.Point)
+	if point > e.cfg.CRCap {
+		point = e.cfg.CRCap
+	}
+	if point < 1 {
+		point = 1
+	}
+	return Estimate{
+		CR: point,
+		Lo: math.Exp(iv.Lo),
+		Hi: math.Exp(iv.Hi),
+	}, nil
+}
+
+// IntervalRadius returns the conformal half-width on the log(CR) scale.
+func (e *Estimator) IntervalRadius() float64 { return e.model.Radius() }
+
+// Coverage returns the empirical interval coverage over samples, for
+// comparison against the nominal 1−λ (§VI-D).
+func (e *Estimator) Coverage(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	hits := 0
+	for _, s := range samples {
+		est, err := e.Estimate(s.Features)
+		if err != nil {
+			continue
+		}
+		cr := math.Min(s.CR, e.cfg.CRCap)
+		if est.Contains(cr) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(samples))
+}
+
+// FeaturesOf computes the model covariates for one buffer and error bound.
+func FeaturesOf(buf *grid.Buffer, eps float64, cfg predictors.Config) ([]float64, error) {
+	f, err := predictors.Compute(buf, eps, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return f.Vector(), nil
+}
+
+// BuildSample computes both the covariates and the ground-truth CR by
+// running the compressor once — the training-data collection step of
+// Algorithm 2 lines 4–7.
+func BuildSample(buf *grid.Buffer, comp compressors.Compressor, eps float64, cfg predictors.Config) (Sample, error) {
+	feats, err := FeaturesOf(buf, eps, cfg)
+	if err != nil {
+		return Sample{}, err
+	}
+	cr, err := compressors.Ratio(comp, buf, eps)
+	if err != nil {
+		return Sample{}, err
+	}
+	return Sample{Features: feats, CR: cr}, nil
+}
+
+// BuildSamples maps BuildSample over buffers.
+func BuildSamples(bufs []*grid.Buffer, comp compressors.Compressor, eps float64, cfg predictors.Config) ([]Sample, error) {
+	out := make([]Sample, len(bufs))
+	for i, b := range bufs {
+		s, err := BuildSample(b, comp, eps, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: buffer %d (%s/%s step %d): %w", i, b.Dataset, b.Field, b.Step, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/crestlab/crest/internal/compressors"
+	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/predictors"
+	"github.com/crestlab/crest/internal/synthdata"
+)
+
+// synthSamples builds samples whose log(CR) is a noisy linear function of
+// five synthetic features.
+func synthSamples(n int, noise float64, seed int64) []Sample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Sample, n)
+	for i := range out {
+		f := make([]float64, 5)
+		for j := range f {
+			f[j] = rng.NormFloat64()
+		}
+		// Coefficients chosen so CR stays below the cap for typical draws.
+		logCR := 1.0 + 0.4*f[0] - 0.2*f[2] + 0.3*f[4] + noise*rng.NormFloat64()
+		out[i] = Sample{Features: f, CR: math.Exp(logCR)}
+	}
+	return out
+}
+
+func TestTrainEstimateRecoversRelation(t *testing.T) {
+	train := synthSamples(300, 0.02, 1)
+	test := synthSamples(100, 0.02, 2)
+	est, err := Train(train, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apes []float64
+	for _, s := range test {
+		e, err := est.Estimate(s.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr := math.Min(s.CR, 100)
+		apes = append(apes, 100*math.Abs(cr-e.CR)/cr)
+	}
+	var mean float64
+	for _, a := range apes {
+		mean += a
+	}
+	mean /= float64(len(apes))
+	if mean > 8 {
+		t.Errorf("mean APE = %.2f%% on a near-linear relation", mean)
+	}
+}
+
+func TestEstimateClampsToTrainingRegime(t *testing.T) {
+	train := synthSamples(100, 0.05, 3)
+	est, err := Train(train, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extreme extrapolation input.
+	e, err := est.Estimate([]float64{100, -100, 100, -100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.CR < 1 || e.CR > DefaultCRCap {
+		t.Errorf("point estimate %g escaped [1, %d]", e.CR, DefaultCRCap)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	train := synthSamples(400, 0.1, 4)
+	test := synthSamples(200, 0.1, 5)
+	est, err := Train(train, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := est.Coverage(test)
+	if cov < 0.9 {
+		t.Errorf("coverage %.2f below nominal 0.95 minus tolerance", cov)
+	}
+	if est.IntervalRadius() <= 0 {
+		t.Error("zero interval radius on noisy data")
+	}
+	if !math.IsNaN(est.Coverage(nil)) {
+		t.Error("empty coverage not NaN")
+	}
+}
+
+func TestFeatureMask(t *testing.T) {
+	train := synthSamples(200, 0.05, 6)
+	mask := []bool{true, false, true, false, true}
+	est, err := Train(train, Config{FeatureMask: mask})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.Estimate(train[0].Features); err != nil {
+		t.Fatal(err)
+	}
+	// Bad masks.
+	if _, err := Train(train, Config{FeatureMask: []bool{true}}); err == nil {
+		t.Error("short mask accepted")
+	}
+	if _, err := Train(train, Config{FeatureMask: make([]bool, 5)}); err == nil {
+		t.Error("all-false mask accepted")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, Config{}); err == nil {
+		t.Error("empty training set accepted")
+	}
+	bad := synthSamples(10, 0.1, 7)
+	bad[3].CR = -1
+	if _, err := Train(bad, Config{}); err == nil {
+		t.Error("negative CR accepted")
+	}
+	ragged := synthSamples(10, 0.1, 8)
+	ragged[2].Features = ragged[2].Features[:3]
+	if _, err := Train(ragged, Config{}); err == nil {
+		t.Error("ragged features accepted")
+	}
+}
+
+func TestEstimateWrongArity(t *testing.T) {
+	est, err := Train(synthSamples(50, 0.1, 9), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.Estimate([]float64{1, 2}); err == nil {
+		t.Error("wrong feature arity accepted")
+	}
+}
+
+func TestCRCapApplied(t *testing.T) {
+	// Samples all above the cap: the model learns log(cap) exactly.
+	samples := make([]Sample, 40)
+	rng := rand.New(rand.NewSource(10))
+	for i := range samples {
+		f := make([]float64, 5)
+		for j := range f {
+			f[j] = rng.NormFloat64()
+		}
+		samples[i] = Sample{Features: f, CR: 5000}
+	}
+	est, err := Train(samples, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := est.Estimate(samples[0].Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.CR-DefaultCRCap) > 1 {
+		t.Errorf("capped training predicted %g, want ≈%d", e.CR, DefaultCRCap)
+	}
+}
+
+func TestTrainGroupedRuns(t *testing.T) {
+	train := synthSamples(120, 0.1, 11)
+	groups := make([]int, len(train))
+	for i := range groups {
+		groups[i] = i % 4
+	}
+	est, err := TrainGrouped(train, groups, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.Estimate(train[0].Features); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildSamplesEndToEnd(t *testing.T) {
+	ds := synthdata.Miranda(synthdata.Options{NZ: 3, NY: 32, NX: 32, Seed: 12})
+	bufs := ds.Fields[0].Buffers
+	comp := compressors.MustNew("szinterp")
+	samples, err := BuildSamples(bufs, comp, 1e-3, predictors.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != len(bufs) {
+		t.Fatalf("%d samples", len(samples))
+	}
+	for i, s := range samples {
+		if len(s.Features) != predictors.NumFeatures {
+			t.Fatalf("sample %d has %d features", i, len(s.Features))
+		}
+		if s.CR <= 0 {
+			t.Fatalf("sample %d CR = %g", i, s.CR)
+		}
+	}
+	// FeaturesOf matches the features embedded in BuildSample.
+	f, err := FeaturesOf(bufs[0], 1e-3, predictors.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range f {
+		if f[j] != samples[0].Features[j] {
+			t.Fatal("FeaturesOf differs from BuildSample features")
+		}
+	}
+	// Errors propagate: a non-tileable buffer fails cleanly.
+	tiny := grid.NewBuffer(2, 2)
+	if _, err := BuildSample(tiny, comp, 1e-3, predictors.Config{}); err == nil {
+		t.Error("tiny buffer accepted")
+	}
+}

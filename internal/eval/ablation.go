@@ -1,0 +1,52 @@
+package eval
+
+import (
+	"github.com/crestlab/crest/internal/baselines"
+	"github.com/crestlab/crest/internal/compressors"
+	"github.com/crestlab/crest/internal/core"
+	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/predictors"
+)
+
+// AblationRow is one field's row of the Fig. 1 study: the in-sample MedAPE
+// of the fully specified model and of each leave-one-predictor-out model.
+type AblationRow struct {
+	Field   string
+	Full    float64
+	Without [predictors.NumFeatures]float64
+}
+
+// Ablation reproduces Fig. 1: for each field, train in-sample with the
+// full five-predictor model and with each predictor excluded in turn, and
+// report the median per-fold MedAPE from Algorithm 2.
+func Ablation(fields []*grid.Field, comp compressors.Compressor, eps float64, cfg core.Config, k int, seed int64, cache *CRCache) ([]AblationRow, error) {
+	if cache == nil {
+		cache = NewCRCache()
+	}
+	rows := make([]AblationRow, 0, len(fields))
+	for _, field := range fields {
+		row := AblationRow{Field: field.Name}
+		full := cfg
+		full.FeatureMask = nil
+		q, _, err := KFold(baselines.NewProposed(full), field.Buffers, comp, eps, k, seed, cache)
+		if err != nil {
+			return nil, err
+		}
+		row.Full = q.Q50
+		for drop := 0; drop < predictors.NumFeatures; drop++ {
+			mask := make([]bool, predictors.NumFeatures)
+			for i := range mask {
+				mask[i] = i != drop
+			}
+			ablated := cfg
+			ablated.FeatureMask = mask
+			q, _, err := KFold(baselines.NewProposed(ablated), field.Buffers, comp, eps, k, seed, cache)
+			if err != nil {
+				return nil, err
+			}
+			row.Without[drop] = q.Q50
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,209 @@
+// Package eval implements the paper's evaluation protocol: Algorithm 2
+// (k-fold cross-validated median absolute percentage error with 10/50/90%
+// quantiles), the out-of-sample field-transfer protocol of §VI-C, and the
+// leave-one-predictor-out ablation of Fig. 1. Ground-truth compression
+// ratios are memoized so that comparing several methods never re-runs a
+// compressor on the same buffer.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/crestlab/crest/internal/baselines"
+	"github.com/crestlab/crest/internal/compressors"
+	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/stats"
+)
+
+// CRCap is the operational compression-ratio cap of the protocol (§IV-B).
+const CRCap = 100
+
+// Quantiles are the 10%, 50% and 90% quantiles of the per-fold MedAPEs,
+// the summary Algorithm 2 line 18 reports.
+type Quantiles struct {
+	Q10, Q50, Q90 float64
+}
+
+func (q Quantiles) String() string {
+	return fmt.Sprintf("10%%=%.3g med=%.3g 90%%=%.3g", q.Q10, q.Q50, q.Q90)
+}
+
+// CRCache memoizes ground-truth compression ratios per (buffer,
+// compressor, bound), already capped at CRCap.
+type CRCache struct {
+	m map[crKey]float64
+}
+
+type crKey struct {
+	buf  *grid.Buffer
+	comp string
+	eps  float64
+}
+
+// NewCRCache returns an empty cache.
+func NewCRCache() *CRCache { return &CRCache{m: make(map[crKey]float64)} }
+
+// Ratio returns the capped true compression ratio, compressing on first
+// use.
+func (c *CRCache) Ratio(comp compressors.Compressor, buf *grid.Buffer, eps float64) (float64, error) {
+	k := crKey{buf, comp.Name(), eps}
+	if v, ok := c.m[k]; ok {
+		return v, nil
+	}
+	cr, err := compressors.Ratio(comp, buf, eps)
+	if err != nil {
+		return 0, err
+	}
+	if cr > CRCap {
+		cr = CRCap
+	}
+	c.m[k] = cr
+	return cr, nil
+}
+
+// Ratios maps Ratio over buffers.
+func (c *CRCache) Ratios(comp compressors.Compressor, bufs []*grid.Buffer, eps float64) ([]float64, error) {
+	out := make([]float64, len(bufs))
+	for i, b := range bufs {
+		cr, err := c.Ratio(comp, b, eps)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s on %s/%s step %d: %w", comp.Name(), b.Dataset, b.Field, b.Step, err)
+		}
+		out[i] = cr
+	}
+	return out, nil
+}
+
+// KFold runs Algorithm 2: k-fold cross-validation of method m on bufs with
+// compressor comp at bound eps, returning the MedAPE quantiles and the raw
+// per-fold MedAPEs.
+func KFold(m baselines.Method, bufs []*grid.Buffer, comp compressors.Compressor, eps float64, k int, seed int64, cache *CRCache) (Quantiles, []float64, error) {
+	n := len(bufs)
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	if n < 2 {
+		return Quantiles{}, nil, fmt.Errorf("eval: need at least 2 buffers, got %d", n)
+	}
+	if cache == nil {
+		cache = NewCRCache()
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	folds := make([][]int, k)
+	for i, p := range perm {
+		folds[i%k] = append(folds[i%k], p)
+	}
+	medapes := make([]float64, 0, k)
+	for f := 0; f < k; f++ {
+		var trainIdx []int
+		for g := 0; g < k; g++ {
+			if g != f {
+				trainIdx = append(trainIdx, folds[g]...)
+			}
+		}
+		trainBufs := pick(bufs, trainIdx)
+		trainCRs, err := cache.Ratios(comp, trainBufs, eps)
+		if err != nil {
+			return Quantiles{}, nil, err
+		}
+		if err := m.Fit(trainBufs, trainCRs, eps); err != nil {
+			return Quantiles{}, nil, fmt.Errorf("eval: fold %d fit: %w", f, err)
+		}
+		apes := make([]float64, 0, len(folds[f]))
+		for _, ti := range folds[f] {
+			truth, err := cache.Ratio(comp, bufs[ti], eps)
+			if err != nil {
+				return Quantiles{}, nil, err
+			}
+			pred, err := m.Predict(bufs[ti], eps)
+			if err != nil {
+				return Quantiles{}, nil, fmt.Errorf("eval: fold %d predict: %w", f, err)
+			}
+			apes = append(apes, stats.AbsPercentageError(truth, pred))
+		}
+		medapes = append(medapes, stats.Median(apes))
+	}
+	qs := stats.Quantiles(medapes, 0.10, 0.50, 0.90)
+	return Quantiles{Q10: qs[0], Q50: qs[1], Q90: qs[2]}, medapes, nil
+}
+
+func pick(bufs []*grid.Buffer, idx []int) []*grid.Buffer {
+	out := make([]*grid.Buffer, len(idx))
+	for i, j := range idx {
+		out[i] = bufs[j]
+	}
+	return out
+}
+
+// PredPair is one test observation for predicted-vs-actual plots (Fig. 6).
+type PredPair struct {
+	True, Pred float64
+	Lo, Hi     float64 // conformal interval when available, else NaN
+}
+
+// OutOfSample fits on buffers from training fields and evaluates on a held
+// -out field (§VI-C), returning the MedAPE and the per-buffer pairs.
+func OutOfSample(m baselines.Method, trainBufs, testBufs []*grid.Buffer, comp compressors.Compressor, eps float64, cache *CRCache) (float64, []PredPair, error) {
+	if cache == nil {
+		cache = NewCRCache()
+	}
+	trainCRs, err := cache.Ratios(comp, trainBufs, eps)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := m.Fit(trainBufs, trainCRs, eps); err != nil {
+		return 0, nil, fmt.Errorf("eval: out-of-sample fit: %w", err)
+	}
+	pairs := make([]PredPair, 0, len(testBufs))
+	apes := make([]float64, 0, len(testBufs))
+	prop, isProposed := m.(*baselines.Proposed)
+	for _, b := range testBufs {
+		truth, err := cache.Ratio(comp, b, eps)
+		if err != nil {
+			return 0, nil, err
+		}
+		pair := PredPair{True: truth, Lo: math.NaN(), Hi: math.NaN()}
+		if isProposed {
+			est, err := prop.Interval(b, eps)
+			if err != nil {
+				return 0, nil, err
+			}
+			pair.Pred, pair.Lo, pair.Hi = est.CR, est.Lo, est.Hi
+		} else {
+			pred, err := m.Predict(b, eps)
+			if err != nil {
+				return 0, nil, err
+			}
+			pair.Pred = pred
+		}
+		apes = append(apes, stats.AbsPercentageError(truth, pair.Pred))
+		pairs = append(pairs, pair)
+	}
+	return stats.Median(apes), pairs, nil
+}
+
+// InSamplePairs runs a single train/test split within one field's buffers
+// and returns predicted-vs-actual pairs with conformal intervals, the
+// in-sample panels of Fig. 6.
+func InSamplePairs(m baselines.Method, bufs []*grid.Buffer, comp compressors.Compressor, eps float64, testFraction float64, seed int64, cache *CRCache) (float64, []PredPair, error) {
+	n := len(bufs)
+	if testFraction <= 0 || testFraction >= 1 {
+		testFraction = 0.3
+	}
+	nTest := int(math.Round(testFraction * float64(n)))
+	if nTest < 1 {
+		nTest = 1
+	}
+	if nTest >= n {
+		nTest = n - 1
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	test := pick(bufs, perm[:nTest])
+	train := pick(bufs, perm[nTest:])
+	return OutOfSample(m, train, test, comp, eps, cache)
+}

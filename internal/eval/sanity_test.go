@@ -1,0 +1,45 @@
+package eval
+
+import (
+	"testing"
+
+	"github.com/crestlab/crest/internal/baselines"
+	"github.com/crestlab/crest/internal/compressors"
+	"github.com/crestlab/crest/internal/core"
+	"github.com/crestlab/crest/internal/synthdata"
+)
+
+// TestSanityPipeline is a development smoke test printing method accuracy
+// on one field; kept as a cheap regression guard on the end-to-end shape:
+// proposed must beat Tao by a wide margin in-sample.
+func TestSanityPipeline(t *testing.T) {
+	ds := synthdata.Hurricane(synthdata.Options{NZ: 16, NY: 64, NX: 64, Seed: 1})
+	comp := compressors.MustNew("szinterp")
+	cache := NewCRCache()
+	eps := 1e-3
+	field := ds.Field("TC")
+	for _, m := range []baselines.Method{
+		baselines.NewProposed(core.Config{}),
+		baselines.NewUnderwood(),
+		baselines.NewTao(),
+		baselines.NewLu(),
+	} {
+		q, folds, err := KFold(m, field.Buffers, comp, eps, 5, 7, cache)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		t.Logf("%-10s %v folds=%v", m.Name(), q, folds)
+	}
+	// Shape assertion: proposed beats tao.
+	prop, _, err := KFold(baselines.NewProposed(core.Config{}), field.Buffers, comp, eps, 5, 7, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tao, _, err := KFold(baselines.NewTao(), field.Buffers, comp, eps, 5, 7, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prop.Q50 >= tao.Q50 {
+		t.Errorf("proposed MedAPE %.2f not better than tao %.2f", prop.Q50, tao.Q50)
+	}
+}

@@ -1,0 +1,264 @@
+// Package grid provides the data-model vocabulary of the paper: buffers,
+// fields, time-steps, datasets, and the block tiling used by all
+// compressibility predictors.
+//
+// A Buffer is a single 2D array of float64 belonging to one field and one
+// time-step of a dataset (paper §II). Native 3D volumes are converted to 2D
+// buffers by slicing along the slowest-varying dimension (paper §VI-A1).
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Buffer is a dense, row-major 2D array identified by dataset, field and
+// time-step. It is the atomic unit of compression and prediction.
+type Buffer struct {
+	// Dataset, Field and Step identify the buffer within a run (§II).
+	Dataset string
+	Field   string
+	Step    int
+
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewBuffer allocates a zeroed rows×cols buffer.
+func NewBuffer(rows, cols int) *Buffer {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("grid: invalid buffer shape %dx%d", rows, cols))
+	}
+	return &Buffer{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (row-major, len rows*cols) in a Buffer without
+// copying. The caller must not alias data afterwards.
+func FromSlice(rows, cols int, data []float64) (*Buffer, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("grid: invalid shape %dx%d", rows, cols)
+	}
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("grid: data length %d != %d*%d", len(data), rows, cols)
+	}
+	return &Buffer{Rows: rows, Cols: cols, Data: data}, nil
+}
+
+// At returns the element at row r, column c.
+func (b *Buffer) At(r, c int) float64 { return b.Data[r*b.Cols+c] }
+
+// Set assigns the element at row r, column c.
+func (b *Buffer) Set(r, c int, v float64) { b.Data[r*b.Cols+c] = v }
+
+// Len returns the number of elements.
+func (b *Buffer) Len() int { return len(b.Data) }
+
+// SizeBytes returns the uncompressed size in bytes (8 bytes per element).
+func (b *Buffer) SizeBytes() int { return 8 * len(b.Data) }
+
+// Clone returns a deep copy of the buffer.
+func (b *Buffer) Clone() *Buffer {
+	c := *b
+	c.Data = make([]float64, len(b.Data))
+	copy(c.Data, b.Data)
+	return &c
+}
+
+// Range returns the minimum and maximum values. For an empty buffer both
+// are zero.
+func (b *Buffer) Range() (lo, hi float64) {
+	if len(b.Data) == 0 {
+		return 0, 0
+	}
+	lo, hi = b.Data[0], b.Data[0]
+	for _, v := range b.Data[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// MaxAbsDiff returns max_i |b_i - o_i|, the metric bounded by error-bounded
+// compressors. It returns +Inf when shapes differ.
+func (b *Buffer) MaxAbsDiff(o *Buffer) float64 {
+	if b.Rows != o.Rows || b.Cols != o.Cols {
+		return math.Inf(1)
+	}
+	var m float64
+	for i, v := range b.Data {
+		d := math.Abs(v - o.Data[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Volume is a dense, row-major 3D array (slowest dimension first). Volumes
+// are sliced to 2D buffers for prediction and compression.
+type Volume struct {
+	Dataset string
+	Field   string
+
+	NZ, NY, NX int
+	Data       []float64 // len == NZ*NY*NX, z-major
+}
+
+// NewVolume allocates a zeroed nz×ny×nx volume.
+func NewVolume(nz, ny, nx int) *Volume {
+	if nz <= 0 || ny <= 0 || nx <= 0 {
+		panic(fmt.Sprintf("grid: invalid volume shape %dx%dx%d", nz, ny, nx))
+	}
+	return &Volume{NZ: nz, NY: ny, NX: nx, Data: make([]float64, nz*ny*nx)}
+}
+
+// At returns the element at (z, y, x).
+func (v *Volume) At(z, y, x int) float64 { return v.Data[(z*v.NY+y)*v.NX+x] }
+
+// Set assigns the element at (z, y, x).
+func (v *Volume) Set(z, y, x int, val float64) { v.Data[(z*v.NY+y)*v.NX+x] = val }
+
+// Slice returns the z-th 2D slice as a buffer sharing the volume's storage.
+// Slicing along the slowest dimension mirrors the paper's conversion of 3D
+// SDRBench data to 2D buffers (§VI-A1).
+func (v *Volume) Slice(z int) *Buffer {
+	if z < 0 || z >= v.NZ {
+		panic(fmt.Sprintf("grid: slice %d out of range [0,%d)", z, v.NZ))
+	}
+	return &Buffer{
+		Dataset: v.Dataset,
+		Field:   v.Field,
+		Step:    z,
+		Rows:    v.NY,
+		Cols:    v.NX,
+		Data:    v.Data[z*v.NY*v.NX : (z+1)*v.NY*v.NX],
+	}
+}
+
+// Slices returns all NZ slices of the volume.
+func (v *Volume) Slices() []*Buffer {
+	out := make([]*Buffer, v.NZ)
+	for z := 0; z < v.NZ; z++ {
+		out[z] = v.Slice(z)
+	}
+	return out
+}
+
+// Field groups the buffers of one physical quantity across time-steps.
+type Field struct {
+	Dataset string
+	Name    string
+	Buffers []*Buffer
+}
+
+// Dataset is all data from one run of an application: a set of fields.
+type Dataset struct {
+	Name   string
+	Fields []*Field
+}
+
+// Field returns the named field, or nil when absent.
+func (d *Dataset) Field(name string) *Field {
+	for _, f := range d.Fields {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// FieldNames lists field names in declaration order.
+func (d *Dataset) FieldNames() []string {
+	names := make([]string, len(d.Fields))
+	for i, f := range d.Fields {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// Buffers returns every buffer of every field, field-major.
+func (d *Dataset) Buffers() []*Buffer {
+	var out []*Buffer
+	for _, f := range d.Fields {
+		out = append(out, f.Buffers...)
+	}
+	return out
+}
+
+// ErrNotTileable reports a buffer whose dimensions are not divisible by the
+// requested block size.
+var ErrNotTileable = errors.New("grid: buffer dimensions not divisible by block size")
+
+// Blocking is the decomposition of a buffer into B = Br×Bc spatially
+// connected k×k blocks (§IV-A). Block b = r*Bc + c covers rows
+// [r*k,(r+1)*k) and columns [c*k,(c+1)*k).
+type Blocking struct {
+	K      int // block edge length
+	Br, Bc int // rows and columns of blocks
+	buf    *Buffer
+}
+
+// NewBlocking tiles buf into k×k blocks. The buffer is cropped to the
+// largest multiple of k in each dimension, matching the paper's row-wise
+// division of X ∈ R^{p×p} into B blocks with p² = B·k².
+func NewBlocking(buf *Buffer, k int) (*Blocking, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("grid: invalid block size %d", k)
+	}
+	br, bc := buf.Rows/k, buf.Cols/k
+	if br == 0 || bc == 0 {
+		return nil, fmt.Errorf("%w: %dx%d buffer with k=%d", ErrNotTileable, buf.Rows, buf.Cols, k)
+	}
+	return &Blocking{K: k, Br: br, Bc: bc, buf: buf}, nil
+}
+
+// NumBlocks returns B = Br*Bc.
+func (t *Blocking) NumBlocks() int { return t.Br * t.Bc }
+
+// BlockPos returns the (row, col) block coordinates of block b.
+func (t *Blocking) BlockPos(b int) (br, bc int) { return b / t.Bc, b % t.Bc }
+
+// ManhattanDist returns the Manhattan distance between the locations of
+// blocks a and b, the D^s_{b,b'} term of the paper's inter-block weights.
+func (t *Blocking) ManhattanDist(a, b int) float64 {
+	ar, ac := t.BlockPos(a)
+	br, bc := t.BlockPos(b)
+	return math.Abs(float64(ar-br)) + math.Abs(float64(ac-bc))
+}
+
+// Vec copies block b into dst (len ≥ k²) row-wise and returns dst[:k²],
+// producing the vectorized block X^b = vec(X_b) of §IV-A. When dst is nil a
+// fresh slice is allocated.
+func (t *Blocking) Vec(b int, dst []float64) []float64 {
+	k := t.K
+	if dst == nil {
+		dst = make([]float64, k*k)
+	}
+	dst = dst[:k*k]
+	br, bc := t.BlockPos(b)
+	r0, c0 := br*k, bc*k
+	for r := 0; r < k; r++ {
+		row := t.buf.Data[(r0+r)*t.buf.Cols+c0 : (r0+r)*t.buf.Cols+c0+k]
+		copy(dst[r*k:(r+1)*k], row)
+	}
+	return dst
+}
+
+// VecAll vectorizes every block, returning a B×k² row-major matrix backed
+// by one allocation.
+func (t *Blocking) VecAll() [][]float64 {
+	b := t.NumBlocks()
+	k2 := t.K * t.K
+	backing := make([]float64, b*k2)
+	out := make([][]float64, b)
+	for i := 0; i < b; i++ {
+		out[i] = backing[i*k2 : (i+1)*k2]
+		t.Vec(i, out[i])
+	}
+	return out
+}

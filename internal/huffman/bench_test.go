@@ -1,0 +1,49 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchStream(n, alphabet int) []uint32 {
+	rng := rand.New(rand.NewSource(7))
+	syms := make([]uint32, n)
+	for i := range syms {
+		// Geometric-ish skew, like quantization codes around the center.
+		s := 0
+		for rng.Float64() < 0.6 && s < alphabet-1 {
+			s++
+		}
+		syms[i] = uint32(s)
+	}
+	return syms
+}
+
+func BenchmarkEncode(b *testing.B) {
+	syms := benchStream(1<<16, 64)
+	b.SetBytes(int64(len(syms) * 4))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(syms)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	syms := benchStream(1<<16, 64)
+	blob, _ := Encode(syms)
+	b.SetBytes(int64(len(syms) * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodedBits(b *testing.B) {
+	syms := benchStream(1<<16, 64)
+	for i := 0; i < b.N; i++ {
+		EncodedBits(syms)
+	}
+}

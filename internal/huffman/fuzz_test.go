@@ -1,0 +1,46 @@
+package huffman
+
+import "testing"
+
+// FuzzDecode hardens the canonical Huffman decoder: arbitrary bytes must
+// yield an error or a valid symbol stream — never a panic.
+func FuzzDecode(f *testing.F) {
+	for _, syms := range [][]uint32{
+		{}, {1}, {1, 1, 2, 3, 1}, {65535, 0, 65535}, {7, 7, 7, 7},
+	} {
+		blob, _ := Encode(syms)
+		f.Add(blob)
+	}
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Decode(data)
+	})
+}
+
+// FuzzRoundTrip checks Encode∘Decode identity on arbitrary symbol
+// streams derived from fuzz bytes.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 1, 2, 1})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 1<<16 {
+			raw = raw[:1<<16]
+		}
+		syms := make([]uint32, len(raw))
+		for i, b := range raw {
+			syms[i] = uint32(b)
+		}
+		blob, _ := Encode(syms)
+		out, err := Decode(blob)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if len(out) != len(syms) {
+			t.Fatalf("length %d != %d", len(out), len(syms))
+		}
+		for i := range syms {
+			if out[i] != syms[i] {
+				t.Fatalf("mismatch at %d", i)
+			}
+		}
+	})
+}

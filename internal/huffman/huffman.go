@@ -1,0 +1,281 @@
+// Package huffman implements a canonical Huffman entropy coder over uint32
+// symbol streams together with MSB-first bit I/O. It is the lossless
+// encoding backend of the SZ-family compressors in internal/compressors,
+// and its tree statistics (node count, depth) feed the Lu white-box
+// baseline estimator.
+package huffman
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// MaxCodeLen caps canonical code lengths; codes longer than this are
+// flattened by the Kraft-repair pass.
+const MaxCodeLen = 32
+
+// ErrCorrupt reports an undecodable Huffman stream.
+var ErrCorrupt = errors.New("huffman: corrupt stream")
+
+// Stats summarizes the code built for a stream. The Lu baseline uses these
+// internals (paper §III: "the number of nodes in the Huffman tree").
+type Stats struct {
+	Symbols  int     // distinct symbols
+	Nodes    int     // internal + leaf nodes of the tree
+	MaxDepth int     // longest code length
+	AvgBits  float64 // expected code length under the empirical distribution
+}
+
+type hnode struct {
+	freq        int
+	sym         uint32
+	left, right *hnode
+}
+
+type hheap []*hnode
+
+func (h hheap) Len() int { return len(h) }
+func (h hheap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].sym < h[j].sym // deterministic tie-break
+}
+func (h hheap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *hheap) Push(x any)   { *h = append(*h, x.(*hnode)) }
+func (h *hheap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// codeLengths returns the canonical code length for each distinct symbol.
+func codeLengths(freqs map[uint32]int) (map[uint32]uint8, Stats) {
+	var stats Stats
+	stats.Symbols = len(freqs)
+	if len(freqs) == 0 {
+		return map[uint32]uint8{}, stats
+	}
+	if len(freqs) == 1 {
+		for s := range freqs {
+			stats.Nodes = 1
+			stats.MaxDepth = 1
+			stats.AvgBits = 1
+			return map[uint32]uint8{s: 1}, stats
+		}
+	}
+	h := make(hheap, 0, len(freqs))
+	for s, f := range freqs {
+		h = append(h, &hnode{freq: f, sym: s})
+	}
+	heap.Init(&h)
+	nodes := len(h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*hnode)
+		b := heap.Pop(&h).(*hnode)
+		heap.Push(&h, &hnode{freq: a.freq + b.freq, sym: min32(a.sym, b.sym), left: a, right: b})
+		nodes++
+	}
+	stats.Nodes = nodes
+	lengths := make(map[uint32]uint8, len(freqs))
+	var walk func(n *hnode, depth uint8)
+	walk = func(n *hnode, depth uint8) {
+		if n.left == nil {
+			if depth == 0 {
+				depth = 1
+			}
+			lengths[n.sym] = depth
+			if int(depth) > stats.MaxDepth {
+				stats.MaxDepth = int(depth)
+			}
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(h[0], 0)
+	repairLengths(lengths)
+	var total, bits float64
+	for s, f := range freqs {
+		total += float64(f)
+		bits += float64(f) * float64(lengths[s])
+	}
+	if total > 0 {
+		stats.AvgBits = bits / total
+	}
+	if stats.MaxDepth > MaxCodeLen {
+		stats.MaxDepth = MaxCodeLen
+	}
+	return lengths, stats
+}
+
+func min32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// repairLengths clamps code lengths to MaxCodeLen and restores the Kraft
+// inequality by lengthening the shortest codes as needed.
+func repairLengths(lengths map[uint32]uint8) {
+	over := false
+	for _, l := range lengths {
+		if l > MaxCodeLen {
+			over = true
+			break
+		}
+	}
+	if !over {
+		return
+	}
+	syms := make([]uint32, 0, len(lengths))
+	for s := range lengths {
+		if lengths[s] > MaxCodeLen {
+			lengths[s] = MaxCodeLen
+		}
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return lengths[syms[i]] < lengths[syms[j]] })
+	// Kraft sum in units of 2^-MaxCodeLen.
+	kraft := uint64(0)
+	for _, s := range syms {
+		kraft += 1 << (MaxCodeLen - lengths[s])
+	}
+	limit := uint64(1) << MaxCodeLen
+	for i := 0; kraft > limit && i < len(syms); {
+		s := syms[i]
+		if lengths[s] < MaxCodeLen {
+			kraft -= 1 << (MaxCodeLen - lengths[s] - 1)
+			lengths[s]++
+		} else {
+			i++
+		}
+	}
+}
+
+// canonicalCodes assigns canonical codes from lengths: shorter codes first,
+// ties broken by symbol value.
+func canonicalCodes(lengths map[uint32]uint8) (codes map[uint32]uint32, order []uint32) {
+	order = make([]uint32, 0, len(lengths))
+	for s := range lengths {
+		order = append(order, s)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		li, lj := lengths[order[i]], lengths[order[j]]
+		if li != lj {
+			return li < lj
+		}
+		return order[i] < order[j]
+	})
+	codes = make(map[uint32]uint32, len(lengths))
+	var code uint32
+	var prevLen uint8
+	for _, s := range order {
+		l := lengths[s]
+		code <<= l - prevLen
+		codes[s] = code
+		code++
+		prevLen = l
+	}
+	return codes, order
+}
+
+// Encode entropy-codes syms and returns the serialized stream (table +
+// payload) plus code statistics. The table stores the distinct symbols and
+// their canonical code lengths.
+func Encode(syms []uint32) ([]byte, Stats) {
+	freqs := make(map[uint32]int, 256)
+	for _, s := range syms {
+		freqs[s]++
+	}
+	lengths, stats := codeLengths(freqs)
+	codes, order := canonicalCodes(lengths)
+
+	w := NewBitWriter()
+	w.WriteUvarint(uint64(len(syms)))
+	w.WriteUvarint(uint64(len(order)))
+	for _, s := range order {
+		w.WriteUvarint(uint64(s))
+		w.WriteBits(uint64(lengths[s]), 6)
+	}
+	for _, s := range syms {
+		w.WriteBits(uint64(codes[s]), uint(lengths[s]))
+	}
+	return w.Bytes(), stats
+}
+
+// Decode reverses Encode.
+func Decode(data []byte) ([]uint32, error) {
+	r := NewBitReader(data)
+	n := int(r.ReadUvarint())
+	nsym := int(r.ReadUvarint())
+	// Every decoded symbol consumes at least one payload bit, so the
+	// declared count cannot exceed the bitstream length.
+	if n < 0 || n > 8*len(data) || nsym < 0 || nsym > 1<<24 || nsym > len(data) {
+		return nil, ErrCorrupt
+	}
+	if n == 0 {
+		return []uint32{}, nil
+	}
+	if nsym == 0 {
+		return nil, ErrCorrupt
+	}
+	lengths := make(map[uint32]uint8, nsym)
+	order := make([]uint32, nsym)
+	for i := 0; i < nsym; i++ {
+		s := uint32(r.ReadUvarint())
+		l := uint8(r.ReadBits(6))
+		if l == 0 || l > MaxCodeLen {
+			return nil, fmt.Errorf("%w: bad code length %d", ErrCorrupt, l)
+		}
+		lengths[s] = l
+		order[i] = s
+	}
+	_, sorted := canonicalCodes(lengths)
+	// Canonical decode tables: per length, the first code, the count of
+	// codes and the offset into the length-sorted symbol list.
+	var count [MaxCodeLen + 1]uint32
+	for _, s := range sorted {
+		count[lengths[s]]++
+	}
+	var firstCode, offset [MaxCodeLen + 1]uint32
+	var code, off uint32
+	for l := 1; l <= MaxCodeLen; l++ {
+		code <<= 1
+		firstCode[l] = code
+		offset[l] = off
+		code += count[l]
+		off += count[l]
+	}
+	out := make([]uint32, 0, n)
+	for len(out) < n {
+		var cur uint32
+		matched := false
+		for l := 1; l <= MaxCodeLen; l++ {
+			cur = cur<<1 | uint32(r.ReadBits(1))
+			if count[l] > 0 && cur >= firstCode[l] && cur-firstCode[l] < count[l] {
+				out = append(out, sorted[offset[l]+cur-firstCode[l]])
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("%w: unmatched code", ErrCorrupt)
+		}
+	}
+	return out, nil
+}
+
+// EncodedBits estimates the payload size in bits of entropy-coding syms
+// without materializing the stream, used by white-box estimators.
+func EncodedBits(syms []uint32) float64 {
+	freqs := make(map[uint32]int, 256)
+	for _, s := range syms {
+		freqs[s]++
+	}
+	lengths, _ := codeLengths(freqs)
+	var bits float64
+	for s, f := range freqs {
+		bits += float64(f) * float64(lengths[s])
+	}
+	return bits
+}

@@ -1,0 +1,209 @@
+// Package kmeans implements deterministic k-means++ clustering and a
+// silhouette-based selection of the cluster count. The paper sets the
+// latent class dimension L of its mixture regression "by fitting a
+// clustering method like k-means" (§IV-B1); this package is that fitting,
+// and also provides the cluster labels for the Fig. 2 visualization.
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Result is a fitted clustering.
+type Result struct {
+	K          int
+	Centers    [][]float64
+	Labels     []int
+	Inertia    float64 // total within-cluster squared distance
+	Iterations int
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Fit clusters the n×d points into k clusters with k-means++ seeding and
+// Lloyd iterations, deterministically from seed.
+func Fit(points [][]float64, k int, seed int64) *Result {
+	n := len(points)
+	if n == 0 || k <= 0 {
+		return &Result{K: 0}
+	}
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// k-means++ seeding.
+	centers := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centers = append(centers, append([]float64(nil), points[first]...))
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = sqDist(points[i], centers[0])
+	}
+	for len(centers) < k {
+		var total float64
+		for _, v := range dist {
+			total += v
+		}
+		var next int
+		if total <= 0 {
+			next = rng.Intn(n)
+		} else {
+			r := rng.Float64() * total
+			cum := 0.0
+			next = n - 1
+			for i, v := range dist {
+				cum += v
+				if cum >= r {
+					next = i
+					break
+				}
+			}
+		}
+		c := append([]float64(nil), points[next]...)
+		centers = append(centers, c)
+		for i := range dist {
+			if d2 := sqDist(points[i], c); d2 < dist[i] {
+				dist[i] = d2
+			}
+		}
+	}
+
+	labels := make([]int, n)
+	counts := make([]int, k)
+	const maxIter = 100
+	var iter int
+	for iter = 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range centers {
+				if d2 := sqDist(p, centers[c]); d2 < bestD {
+					best, bestD = c, d2
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		for c := range centers {
+			for j := range centers[c] {
+				centers[c][j] = 0
+			}
+			counts[c] = 0
+		}
+		for i, p := range points {
+			c := labels[i]
+			counts[c]++
+			for j, v := range p {
+				centers[c][j] += v
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				// Re-seed empty cluster at the farthest point.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if d2 := sqDist(p, centers[labels[i]]); d2 > farD {
+						far, farD = i, d2
+					}
+				}
+				copy(centers[c], points[far])
+				continue
+			}
+			for j := range centers[c] {
+				centers[c][j] /= float64(counts[c])
+			}
+		}
+	}
+	var inertia float64
+	for i, p := range points {
+		inertia += sqDist(p, centers[labels[i]])
+	}
+	return &Result{K: k, Centers: centers, Labels: labels, Inertia: inertia, Iterations: iter}
+}
+
+// Silhouette returns the mean silhouette coefficient of a clustering,
+// in [−1, 1]; higher means better-separated clusters.
+func Silhouette(points [][]float64, labels []int, k int) float64 {
+	n := len(points)
+	if n == 0 || k < 2 {
+		return 0
+	}
+	var total float64
+	var counted int
+	for i := range points {
+		// Mean distance to own cluster (a) and nearest other cluster (b).
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		for j := range points {
+			if i == j {
+				continue
+			}
+			d := math.Sqrt(sqDist(points[i], points[j]))
+			sums[labels[j]] += d
+			counts[labels[j]]++
+		}
+		own := labels[i]
+		if counts[own] == 0 {
+			continue // singleton cluster: silhouette undefined
+		}
+		a := sums[own] / float64(counts[own])
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || counts[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(counts[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+			counted++
+		}
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// SelectK picks the latent class count L ∈ [1, maxK] by maximizing the
+// silhouette over k ≥ 2, falling back to 1 when no multi-cluster fit
+// reaches minSilhouette (weakly clustered data is best served by a single
+// regression component).
+func SelectK(points [][]float64, maxK int, minSilhouette float64, seed int64) int {
+	n := len(points)
+	if maxK < 1 {
+		maxK = 1
+	}
+	if maxK > n {
+		maxK = n
+	}
+	bestK, bestS := 1, minSilhouette
+	for k := 2; k <= maxK; k++ {
+		res := Fit(points, k, seed)
+		s := Silhouette(points, res.Labels, k)
+		if s > bestS {
+			bestK, bestS = k, s
+		}
+	}
+	return bestK
+}

@@ -1,0 +1,143 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// blobs generates k well-separated Gaussian clusters.
+func blobs(k, perCluster int, sep float64, seed int64) (points [][]float64, truth []int) {
+	rng := rand.New(rand.NewSource(seed))
+	for c := 0; c < k; c++ {
+		cx := float64(c) * sep
+		cy := float64(c%2) * sep
+		for i := 0; i < perCluster; i++ {
+			points = append(points, []float64{cx + rng.NormFloat64()*0.3, cy + rng.NormFloat64()*0.3})
+			truth = append(truth, c)
+		}
+	}
+	return points, truth
+}
+
+func TestFitRecoverSeparatedBlobs(t *testing.T) {
+	points, truth := blobs(3, 40, 10, 1)
+	res := Fit(points, 3, 7)
+	if res.K != 3 {
+		t.Fatalf("K = %d", res.K)
+	}
+	// Cluster labels must be a permutation of truth: same-cluster pairs
+	// stay together.
+	perm := map[int]int{}
+	for i, l := range res.Labels {
+		if want, ok := perm[truth[i]]; ok {
+			if l != want {
+				t.Fatalf("point %d: cluster %d, want %d", i, l, want)
+			}
+		} else {
+			perm[truth[i]] = l
+		}
+	}
+	if len(perm) != 3 {
+		t.Errorf("recovered %d clusters", len(perm))
+	}
+}
+
+func TestFitDeterministic(t *testing.T) {
+	points, _ := blobs(4, 25, 6, 2)
+	a := Fit(points, 4, 11)
+	b := Fit(points, 4, 11)
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("labels differ across identical runs")
+		}
+	}
+	if a.Inertia != b.Inertia {
+		t.Error("inertia differs across identical runs")
+	}
+}
+
+func TestFitEdgeCases(t *testing.T) {
+	if res := Fit(nil, 3, 1); res.K != 0 {
+		t.Error("empty input did not degenerate")
+	}
+	// k > n clamps to n.
+	points := [][]float64{{0, 0}, {1, 1}}
+	res := Fit(points, 10, 1)
+	if res.K != 2 {
+		t.Errorf("K = %d, want 2", res.K)
+	}
+	// k = 1: all one cluster, inertia = total variance·n.
+	res1 := Fit(points, 1, 1)
+	for _, l := range res1.Labels {
+		if l != 0 {
+			t.Error("k=1 produced multiple labels")
+		}
+	}
+}
+
+func TestInertiaDecreasesWithK(t *testing.T) {
+	points, _ := blobs(4, 30, 5, 3)
+	prev := math.Inf(1)
+	for k := 1; k <= 5; k++ {
+		res := Fit(points, k, 13)
+		if res.Inertia > prev+1e-9 {
+			t.Errorf("inertia increased at k=%d: %g > %g", k, res.Inertia, prev)
+		}
+		prev = res.Inertia
+	}
+}
+
+func TestSilhouetteSeparatedVsUniform(t *testing.T) {
+	sepPoints, _ := blobs(2, 40, 12, 4)
+	sepRes := Fit(sepPoints, 2, 17)
+	sSep := Silhouette(sepPoints, sepRes.Labels, 2)
+	if sSep < 0.7 {
+		t.Errorf("separated blobs silhouette = %g", sSep)
+	}
+	rng := rand.New(rand.NewSource(5))
+	var uni [][]float64
+	for i := 0; i < 80; i++ {
+		uni = append(uni, []float64{rng.Float64(), rng.Float64()})
+	}
+	uniRes := Fit(uni, 2, 17)
+	sUni := Silhouette(uni, uniRes.Labels, 2)
+	if sUni >= sSep {
+		t.Errorf("uniform silhouette %g not below separated %g", sUni, sSep)
+	}
+	if s := Silhouette(sepPoints, sepRes.Labels, 1); s != 0 {
+		t.Errorf("k=1 silhouette = %g", s)
+	}
+}
+
+func TestSelectK(t *testing.T) {
+	points, _ := blobs(3, 40, 15, 6)
+	if k := SelectK(points, 6, 0.25, 19); k != 3 {
+		t.Errorf("SelectK on 3 blobs = %d", k)
+	}
+	// Unclustered data falls back to 1.
+	rng := rand.New(rand.NewSource(7))
+	var uni [][]float64
+	for i := 0; i < 60; i++ {
+		uni = append(uni, []float64{rng.NormFloat64(), rng.NormFloat64()})
+	}
+	if k := SelectK(uni, 6, 0.5, 19); k != 1 {
+		t.Errorf("SelectK on one Gaussian = %d, want 1 at high threshold", k)
+	}
+}
+
+func TestEmptyClusterReseeding(t *testing.T) {
+	// Duplicate points force empty clusters; Fit must not panic and must
+	// still label everything.
+	points := make([][]float64, 20)
+	for i := range points {
+		points[i] = []float64{1, 2}
+	}
+	res := Fit(points, 4, 23)
+	if len(res.Labels) != 20 {
+		t.Fatal("labels missing")
+	}
+	if res.Inertia != 0 {
+		t.Errorf("identical points inertia = %g", res.Inertia)
+	}
+}

@@ -1,0 +1,64 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSym(n int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	return randSym(n, rng)
+}
+
+func BenchmarkSymEigen64(b *testing.B) {
+	a := benchSym(64, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SymEigen(a)
+	}
+}
+
+func BenchmarkSymEigenValues64(b *testing.B) {
+	a := benchSym(64, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SymEigenValues(a)
+	}
+}
+
+func BenchmarkSymEigenValues16(b *testing.B) {
+	a := benchSym(16, 2)
+	for i := 0; i < b.N; i++ {
+		SymEigenValues(a)
+	}
+}
+
+func BenchmarkCholeskySolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a := randSPD(32, rng)
+	rhs := make([]float64, 32)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := Cholesky(a, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		SolveCholesky(l, rhs)
+	}
+}
+
+func BenchmarkPCA(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := NewMatrix(500, 6)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := PCA(x, 2)
+		p.Transform(x)
+	}
+}

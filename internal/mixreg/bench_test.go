@@ -1,0 +1,36 @@
+package mixreg
+
+import "testing"
+
+func BenchmarkFitAuto(b *testing.B) {
+	x, y, _ := twoLineData(300, 0.1, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(x, y, Config{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitL1(b *testing.B) {
+	x, y, _ := twoLineData(300, 0.1, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(x, y, Config{L: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	x, y, _ := twoLineData(300, 0.1, 11)
+	m, err := Fit(x, y, Config{L: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := []float64{5, 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(q)
+	}
+}

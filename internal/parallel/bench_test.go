@@ -1,0 +1,77 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+)
+
+// BenchmarkAblationAtomics reproduces the paper's §IV-C profiling
+// decision: scalar sums shared between threads use CAS atomics, but the
+// per-block *vector* addition in the CovSVD accumulation is cheaper under
+// a single mutex than as a sequence of atomic adds.
+func BenchmarkAblationAtomics(b *testing.B) {
+	const vecLen = 64
+	vec := make([]float64, vecLen)
+	for i := range vec {
+		vec[i] = float64(i)
+	}
+
+	b.Run("scalar-atomic", func(b *testing.B) {
+		var acc Float64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				acc.Add(1.5)
+			}
+		})
+	})
+	b.Run("scalar-mutex", func(b *testing.B) {
+		var mu sync.Mutex
+		var sum float64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				mu.Lock()
+				sum += 1.5
+				mu.Unlock()
+			}
+		})
+		_ = sum
+	})
+	b.Run("vector-atomic-elementwise", func(b *testing.B) {
+		accs := make([]Float64, vecLen)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				for i, v := range vec {
+					accs[i].Add(v)
+				}
+			}
+		})
+	})
+	b.Run("vector-single-mutex", func(b *testing.B) {
+		acc := NewVecAccumulator(vecLen)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				acc.Add(vec)
+			}
+		})
+	})
+}
+
+func BenchmarkForEach(b *testing.B) {
+	work := func(i int) {
+		x := float64(i)
+		for k := 0; k < 50; k++ {
+			x = x*1.0000001 + 1
+		}
+		_ = x
+	}
+	b.Run("static", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ForEach(1024, 0, work)
+		}
+	})
+	b.Run("dynamic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ForEachDynamic(1024, 0, work)
+		}
+	})
+}

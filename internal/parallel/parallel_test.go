@@ -1,0 +1,153 @@
+package parallel
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(4); w != 4 {
+		t.Errorf("Workers(4) = %d", w)
+	}
+	if w := Workers(0); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d", w)
+	}
+	if w := Workers(-3); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d", w)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		n := 1000
+		var hits = make([]int64, n)
+		ForEach(n, workers, func(i int) {
+			atomic.AddInt64(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+	// n <= 0 is a no-op.
+	ForEach(0, 4, func(i int) { t.Fatal("called for n=0") })
+	ForEach(-5, 4, func(i int) { t.Fatal("called for n<0") })
+}
+
+func TestForEachDynamicCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		n := 500
+		var hits = make([]int64, n)
+		ForEachDynamic(n, workers, func(i int) {
+			atomic.AddInt64(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+	ForEachDynamic(0, 4, func(i int) { t.Fatal("called for n=0") })
+}
+
+func TestFloat64ConcurrentSum(t *testing.T) {
+	var acc Float64
+	n := 10000
+	ForEach(n, 8, func(i int) {
+		acc.Add(0.5)
+	})
+	if got := acc.Load(); math.Abs(got-float64(n)/2) > 1e-9 {
+		t.Errorf("sum = %g, want %g", got, float64(n)/2)
+	}
+	acc.Store(3.5)
+	if acc.Load() != 3.5 {
+		t.Error("Store/Load failed")
+	}
+}
+
+// TestFloat64SumMatchesSerial: concurrent accumulation of arbitrary values
+// matches the serial sum to floating-point reordering tolerance.
+func TestFloat64SumMatchesSerial(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]float64, 500)
+		var serial float64
+		for i := range vals {
+			vals[i] = rng.NormFloat64()
+			serial += vals[i]
+		}
+		var acc Float64
+		ForEachDynamic(len(vals), 8, func(i int) { acc.Add(vals[i]) })
+		return math.Abs(acc.Load()-serial) < 1e-9*(1+math.Abs(serial))*100
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecAccumulator(t *testing.T) {
+	acc := NewVecAccumulator(3)
+	ForEach(100, 8, func(i int) {
+		acc.Add([]float64{1, 2, 3})
+	})
+	sum := acc.Sum()
+	want := []float64{100, 200, 300}
+	for i := range want {
+		if math.Abs(sum[i]-want[i]) > 1e-9 {
+			t.Fatalf("sum = %v", sum)
+		}
+	}
+	// Sum returns a copy.
+	sum[0] = -1
+	if acc.Sum()[0] == -1 {
+		t.Error("Sum aliases internal state")
+	}
+}
+
+func TestVecAccumulatorAddOuterLower(t *testing.T) {
+	// Accumulate x·xᵀ lower triangle for two vectors; compare to direct.
+	n := 4
+	acc := NewVecAccumulator(n * (n + 1) / 2)
+	xs := [][]float64{{1, 2, 3, 4}, {0.5, -1, 2, 0}}
+	for _, x := range xs {
+		acc.AddOuterLower(x, 2)
+	}
+	got := acc.Sum()
+	idx := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			var want float64
+			for _, x := range xs {
+				want += 2 * x[i] * x[j]
+			}
+			if math.Abs(got[idx]-want) > 1e-12 {
+				t.Fatalf("entry (%d,%d) = %g, want %g", i, j, got[idx], want)
+			}
+			idx++
+		}
+	}
+}
+
+func TestForEachStripesAreContiguous(t *testing.T) {
+	// With striped scheduling, each worker sees a contiguous range; we
+	// verify indirectly: the set of goroutine-observed predecessors in a
+	// stripe are i-1 (no interleaving within a stripe is observable from
+	// fn order per goroutine). Here we just confirm order within a single
+	// worker run (workers=1) is strictly ascending.
+	var last int64 = -1
+	ok := true
+	ForEach(100, 1, func(i int) {
+		if int64(i) != last+1 {
+			ok = false
+		}
+		last = int64(i)
+	})
+	if !ok {
+		t.Error("single-worker ForEach not in order")
+	}
+}

@@ -1,0 +1,71 @@
+package perfmodel
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/crestlab/crest/internal/stats"
+)
+
+// errorinject.go reproduces the Fig. 3 study: prediction errors are
+// modeled as Gaussian noise proportional to the true compression ratio and
+// injected into the CR oracle driving a use-case-A target search; the
+// deviation of the achieved ratio from the unperturbed solution measures
+// how estimate inaccuracy degrades the search exponentially.
+
+// Curve maps an error bound to the (true) compression ratio; it must be
+// nondecreasing in the bound, as error-bounded compressors are.
+type Curve func(eps float64) float64
+
+// SearchEB binary-searches [loEps, hiEps] (log scale) for the bound whose
+// oracle CR is closest to target, using iters oracle calls.
+func SearchEB(oracle Curve, target, loEps, hiEps float64, iters int) float64 {
+	lo, hi := math.Log(loEps), math.Log(hiEps)
+	for i := 0; i < iters; i++ {
+		mid := (lo + hi) / 2
+		if oracle(math.Exp(mid)) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Exp((lo + hi) / 2)
+}
+
+// InjectionResult is one noise level of the Fig. 3 study.
+type InjectionResult struct {
+	NoisePct float64 // injected error std as % of true CR
+	ErrPct   float64 // median |achieved − unperturbed| as % of true CR
+}
+
+// ErrorInjection runs the study: for each noise level (a fraction of the
+// true CR, e.g. 0.005 for 0.5%), repeat the noisy search trials times and
+// report the median deviation of the achieved CR from the noise-free
+// solution, as a percentage of the noise-free solution.
+func ErrorInjection(truth Curve, target, loEps, hiEps float64, iters int, levels []float64, trials int, seed int64) []InjectionResult {
+	cleanEB := SearchEB(truth, target, loEps, hiEps, iters)
+	cleanCR := truth(cleanEB)
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]InjectionResult, 0, len(levels))
+	for _, level := range levels {
+		devs := make([]float64, trials)
+		for t := 0; t < trials; t++ {
+			noisy := func(eps float64) float64 {
+				cr := truth(eps)
+				return cr + rng.NormFloat64()*level*cr
+			}
+			eb := SearchEB(noisy, target, loEps, hiEps, iters)
+			achieved := truth(eb)
+			devs[t] = 100 * math.Abs(achieved-cleanCR) / math.Max(cleanCR, 1e-12)
+		}
+		out = append(out, InjectionResult{NoisePct: 100 * level, ErrPct: stats.Median(devs)})
+	}
+	return out
+}
+
+// MeasureDist summarizes timing samples (seconds) as a Gaussian runtime
+// model, the measurement step feeding the §V formulas.
+func MeasureDist(samples []float64) Dist {
+	mu, sd := stats.MeanStd(samples)
+	return Dist{Mu: mu, Sigma: sd}
+}

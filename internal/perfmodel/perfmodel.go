@@ -1,0 +1,296 @@
+// Package perfmodel implements the analytic speedup models of §V: the
+// Elfving expected-maximum of Gaussian task times, the parallel completion
+// time W(μ, σ, n_t, n_p), minimal-makespan scheduling (exact for realistic
+// compressor counts, LPT list scheduling with the classic 2−1/m bound
+// otherwise), the use-case A/B/C speedup formulas, the training-time
+// model, and the use-case-B inversion probability of picking the wrong
+// compressor under estimate noise.
+package perfmodel
+
+import (
+	"math"
+	"sort"
+
+	"github.com/crestlab/crest/internal/stats"
+)
+
+// Dist is a Gaussian runtime model N(Mu, Sigma) for a task family
+// (Table I).
+type Dist struct {
+	Mu, Sigma float64
+}
+
+// Add returns the distribution of the sum of independent Gaussians.
+func (d Dist) Add(o Dist) Dist {
+	return Dist{Mu: d.Mu + o.Mu, Sigma: math.Sqrt(d.Sigma*d.Sigma + o.Sigma*o.Sigma)}
+}
+
+// ElfvingMax returns the asymptotic expected maximum of n samples from
+// N(μ, σ): μ + σ·Φ⁻¹((n − π/8)/(n − π/4 + 1)) (Elfving 1947, §V-B).
+func ElfvingMax(d Dist, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	p := (float64(n) - math.Pi/8) / (float64(n) - math.Pi/4 + 1)
+	if p <= 0 {
+		p = 1e-9
+	}
+	if p >= 1 {
+		p = 1 - 1e-9
+	}
+	return d.Mu + d.Sigma*stats.NormalQuantile(p)
+}
+
+// W returns the expected time to run nt i.i.d. Gaussian tasks on np
+// processors: W(μ, σ, n_t, n_p) = ⌈n_t/n_p⌉·(μ + σ·Φ⁻¹((n_p−π/8)/(n_p−π/4+1))).
+func W(d Dist, nt, np int) float64 {
+	if nt <= 0 || np <= 0 {
+		return 0
+	}
+	waves := (nt + np - 1) / np
+	perWave := np
+	if nt < np {
+		perWave = nt
+	}
+	return float64(waves) * ElfvingMax(d, perWave)
+}
+
+// LPTMakespan schedules tasks with longest-processing-time-first list
+// scheduling on np processors and returns the makespan; the classic
+// Graham bound guarantees ≤ (2 − 1/np)·OPT (§V-D).
+func LPTMakespan(tasks []float64, np int) float64 {
+	if len(tasks) == 0 || np <= 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), tasks...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	loads := make([]float64, np)
+	for _, t := range sorted {
+		mi := 0
+		for i := 1; i < np; i++ {
+			if loads[i] < loads[mi] {
+				mi = i
+			}
+		}
+		loads[mi] += t
+	}
+	var m float64
+	for _, l := range loads {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// ExactMakespan returns the minimal makespan of tasks on np processors by
+// branch and bound, practical for the ≤ 30 compressors of real use cases
+// (§V-D notes open-source solvers handle these sizes in under a second).
+// It falls back to LPT beyond 24 tasks.
+func ExactMakespan(tasks []float64, np int) float64 {
+	n := len(tasks)
+	if n == 0 || np <= 0 {
+		return 0
+	}
+	if np == 1 {
+		var s float64
+		for _, t := range tasks {
+			s += t
+		}
+		return s
+	}
+	if np >= n {
+		var m float64
+		for _, t := range tasks {
+			if t > m {
+				m = t
+			}
+		}
+		return m
+	}
+	if n > 24 {
+		return LPTMakespan(tasks, np)
+	}
+	sorted := append([]float64(nil), tasks...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	best := LPTMakespan(sorted, np) // upper bound; also a feasible answer
+	loads := make([]float64, np)
+	var lower float64
+	var total float64
+	for _, t := range sorted {
+		total += t
+	}
+	lower = math.Max(sorted[0], total/float64(np))
+	var dfs func(i int)
+	dfs = func(i int) {
+		if best <= lower*(1+1e-12) {
+			return // cannot beat the theoretical lower bound
+		}
+		if i == len(sorted) {
+			var m float64
+			for _, l := range loads {
+				if l > m {
+					m = l
+				}
+			}
+			if m < best {
+				best = m
+			}
+			return
+		}
+		seen := map[float64]bool{} // symmetric loads prune
+		for p := 0; p < np; p++ {
+			if seen[loads[p]] {
+				continue
+			}
+			seen[loads[p]] = true
+			if loads[p]+sorted[i] >= best {
+				continue
+			}
+			loads[p] += sorted[i]
+			dfs(i + 1)
+			loads[p] -= sorted[i]
+		}
+	}
+	dfs(0)
+	return best
+}
+
+// UseCaseAInput parameterizes the CR-target-search model (§V-C).
+type UseCaseAInput struct {
+	Compressor Dist // c: one compressor invocation
+	DataPred   Dist // d: dataset-specific predictors (error-bound agnostic)
+	EBPred     Dist // e: error-bound-specific predictors
+	Estimate   Dist // y: computing one model estimate
+	Searches   int  // n_s
+	Procs      int  // n_p
+}
+
+// UseCaseASpeedup returns the expected parallel speedup of estimate-driven
+// target search over compressor-driven search:
+//
+//	W(μ_c, σ_c, n_s, n_p) / (μ_d + μ_c + W(μ_e+μ_y, √(σ_e²+σ_y²), n_s, n_p)).
+func UseCaseASpeedup(in UseCaseAInput) float64 {
+	num := W(in.Compressor, in.Searches, in.Procs)
+	den := in.DataPred.Mu + in.Compressor.Mu + W(in.EBPred.Add(in.Estimate), in.Searches, in.Procs)
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return num / den
+}
+
+// UseCaseBInput parameterizes the best-compressor-selection model (§V-D).
+type UseCaseBInput struct {
+	Compressors []Dist // c_i: per-compressor invocation times
+	OptIndex    int    // index of the compressor that will be re-run
+	DataPred    Dist
+	EBPred      Dist
+	Estimate    Dist
+	Procs       int
+}
+
+// UseCaseBSpeedup returns
+//
+//	(M(μ_{c_i}, n_p) + μ_{c_opt}) / (μ_e + μ_d + W(μ_y, σ_y, n_c, n_p) + μ_{c_opt}).
+func UseCaseBSpeedup(in UseCaseBInput) float64 {
+	mus := make([]float64, len(in.Compressors))
+	for i, c := range in.Compressors {
+		mus[i] = c.Mu
+	}
+	muOpt := 0.0
+	if in.OptIndex >= 0 && in.OptIndex < len(mus) {
+		muOpt = mus[in.OptIndex]
+	}
+	num := ExactMakespan(mus, in.Procs) + muOpt
+	den := in.EBPred.Mu + in.DataPred.Mu + W(in.Estimate, len(mus), in.Procs) + muOpt
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return num / den
+}
+
+// InversionProbability returns the probability of selecting a suboptimal
+// compressor in use case B: compressor 0 must be the true best;
+// crVar[i] is the CR sampling variance and errVar[i] the estimate error
+// variance added when switching to estimates (zero slice for the
+// no-estimate case):
+//
+//	1 − Π_{i≥1} Φ((μ_0 − μ_i)/√(σ_0² + σ_i² + σ_err0² + σ_erri²)).
+func InversionProbability(crMean, crVar, errVar []float64) float64 {
+	if len(crMean) < 2 {
+		return 0
+	}
+	pCorrect := 1.0
+	for i := 1; i < len(crMean); i++ {
+		v := crVar[0] + crVar[i]
+		if errVar != nil {
+			v += errVar[0] + errVar[i]
+		}
+		if v <= 0 {
+			if crMean[0] > crMean[i] {
+				continue
+			}
+			return 1
+		}
+		pCorrect *= stats.NormalCDF((crMean[0] - crMean[i]) / math.Sqrt(v))
+	}
+	return 1 - pCorrect
+}
+
+// UseCaseCInput parameterizes the parallel-aggregated-write model (§V-E).
+type UseCaseCInput struct {
+	Compressor Dist
+	DataPred   Dist
+	EBPred     Dist
+	Estimate   Dist
+	Buffers    int     // n_b
+	MemBuffers int     // n_m: compressed buffers that fit per processor
+	Procs      int     // n_p
+	MissRate   float64 // m: probability of under-prediction
+}
+
+// UseCaseCSpeedup returns
+//
+//	(W(c, n_b, n_p) + W(c, n_b−n_m, n_p)) / (T_est + W(c, n_b, n_p) + T_miss)
+//
+// with T_est = W(μ_e+μ_d+μ_y, √(σ_e²+σ_d²+σ_y²), n_b, n_p) and
+// T_miss = W(c, max(0, ⌈m·n_b/n_p − n_m⌉), n_p).
+func UseCaseCSpeedup(in UseCaseCInput) float64 {
+	c := in.Compressor
+	num := W(c, in.Buffers, in.Procs) + W(c, in.Buffers-in.MemBuffers, in.Procs)
+	tEst := W(in.EBPred.Add(in.DataPred).Add(in.Estimate), in.Buffers, in.Procs)
+	nMiss := int(math.Ceil(in.MissRate*float64(in.Buffers)/float64(in.Procs) - float64(in.MemBuffers)))
+	if nMiss < 0 {
+		nMiss = 0
+	}
+	tMiss := W(c, nMiss, in.Procs)
+	den := tEst + W(c, in.Buffers, in.Procs) + tMiss
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return num / den
+}
+
+// TrainingInput parameterizes the model-production-time comparison (§V-F):
+// the baseline strategy (suffix 0) versus a cheaper strategy (suffix 1)
+// differing in predictor speed and training-set size.
+type TrainingInput struct {
+	Fit0, Fit1         Dist // μ_t: model fitting time
+	Pred0, Pred1       Dist // combined d+e predictor time per buffer
+	Compressor         Dist
+	Buffers0, Buffers1 int // n_b vs n_b'
+	Procs              int
+}
+
+// TrainingSpeedup returns
+//
+//	(μ_t + W(μ_d+μ_e+μ_c, √(σ_d²+σ_e²+σ_c²), n_b, n_p)) /
+//	(μ_t' + W(μ_d'+μ_e'+μ_c, √(σ_d'²+σ_e'²+σ_c²), n_b', n_p)).
+func TrainingSpeedup(in TrainingInput) float64 {
+	num := in.Fit0.Mu + W(in.Pred0.Add(in.Compressor), in.Buffers0, in.Procs)
+	den := in.Fit1.Mu + W(in.Pred1.Add(in.Compressor), in.Buffers1, in.Procs)
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return num / den
+}

@@ -1,0 +1,280 @@
+// Package synthdata generates the deterministic synthetic stand-ins for
+// the SDRBench datasets used in the paper's evaluation (NYX, Hurricane,
+// Miranda, plus a fourth CESM-like set for Fig. 4). Each field is a 3D
+// volume synthesized as a sum of random spectral modes with a tunable
+// power-law slope — smoothness, anisotropy, sparsity, dynamic range and
+// cross-field coupling are the knobs the paper's five predictors measure,
+// so the generated families exhibit the same in-field homogeneity and
+// cross-field heterogeneity the evaluation protocol depends on. Volumes
+// are sliced along the slowest dimension into 2D buffers exactly as the
+// paper converts its 3D datasets (§VI-A1).
+package synthdata
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"github.com/crestlab/crest/internal/grid"
+)
+
+// Transform selects a pointwise nonlinearity applied after spectral
+// synthesis.
+type Transform int
+
+const (
+	// TransformNone leaves the Gaussian-like field unchanged.
+	TransformNone Transform = iota
+	// TransformExp exponentiates, producing log-normal high-dynamic-range
+	// fields (e.g. cosmology baryon density).
+	TransformExp
+	// TransformSparse thresholds at zero, producing fields that are
+	// exactly zero over much of the domain (e.g. hydrometeor mixing
+	// ratios such as QRAIN).
+	TransformSparse
+)
+
+// FieldSpec describes one synthetic field of a dataset.
+type FieldSpec struct {
+	Name string
+	// Slope is the spectral power-law decay: larger ⇒ smoother field.
+	Slope float64
+	// Modes is the number of random spectral modes summed.
+	Modes int
+	// Noise is the white-noise amplitude relative to unit signal.
+	Noise float64
+	// Scale and Offset map the synthesized field to physical range.
+	Scale, Offset float64
+	// Transform is the pointwise nonlinearity.
+	Transform Transform
+	// ExpGain scales the argument of TransformExp.
+	ExpGain float64
+	// SparseBias shifts the field before TransformSparse: more negative
+	// bias ⇒ sparser field.
+	SparseBias float64
+	// AnisoY stretches wavevectors in y, creating banded structure.
+	AnisoY float64
+	// CoupleWith mixes in a previously generated field of the dataset;
+	// CoupleMix ∈ [0,1] is the blend weight.
+	CoupleWith string
+	CoupleMix  float64
+}
+
+type mode struct {
+	amp, kx, ky, kz, phase float64
+}
+
+// fieldSeed derives a stable per-field seed.
+func fieldSeed(dataset, field string, seed int64) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(dataset))
+	h.Write([]byte{0})
+	h.Write([]byte(field))
+	return seed ^ int64(h.Sum64())
+}
+
+// synthesize generates one field volume.
+func synthesize(dataset string, spec FieldSpec, nz, ny, nx int, seed int64, prior map[string]*grid.Volume) *grid.Volume {
+	rng := rand.New(rand.NewSource(fieldSeed(dataset, spec.Name, seed)))
+	nModes := spec.Modes
+	if nModes <= 0 {
+		nModes = 48
+	}
+	aniso := spec.AnisoY
+	if aniso == 0 {
+		aniso = 1
+	}
+	modes := make([]mode, nModes)
+	for m := range modes {
+		// Log-uniform spatial frequency in cycles per domain length.
+		f := math.Exp(rng.Float64() * math.Log(float64(minInt(ny, nx))/2))
+		amp := math.Pow(f, -spec.Slope) * (0.5 + rng.Float64())
+		theta := rng.Float64() * 2 * math.Pi
+		kx := 2 * math.Pi * f * math.Cos(theta) / float64(nx)
+		ky := 2 * math.Pi * f * math.Sin(theta) * aniso / float64(ny)
+		kz := 2 * math.Pi * (0.2 + 0.8*rng.Float64()) * f / float64(4*nz)
+		modes[m] = mode{amp: amp, kx: kx, ky: ky, kz: kz, phase: rng.Float64() * 2 * math.Pi}
+	}
+	vol := grid.NewVolume(nz, ny, nx)
+	vol.Dataset = dataset
+	vol.Field = spec.Name
+	// Normalize mode amplitudes to unit total power.
+	var pow float64
+	for _, m := range modes {
+		pow += m.amp * m.amp / 2
+	}
+	norm := 1.0
+	if pow > 0 {
+		norm = 1 / math.Sqrt(pow)
+	}
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				var v float64
+				for _, m := range modes {
+					v += m.amp * math.Cos(m.kx*float64(x)+m.ky*float64(y)+m.kz*float64(z)+m.phase)
+				}
+				v *= norm
+				if spec.Noise > 0 {
+					v += spec.Noise * rng.NormFloat64()
+				}
+				vol.Set(z, y, x, v)
+			}
+		}
+	}
+	if spec.CoupleWith != "" {
+		if p, ok := prior[spec.CoupleWith]; ok && len(p.Data) == len(vol.Data) {
+			mix := spec.CoupleMix
+			for i := range vol.Data {
+				vol.Data[i] = (1-mix)*vol.Data[i] + mix*p.Data[i]
+			}
+		}
+	}
+	switch spec.Transform {
+	case TransformExp:
+		g := spec.ExpGain
+		if g == 0 {
+			g = 1
+		}
+		for i, v := range vol.Data {
+			vol.Data[i] = math.Exp(g * v)
+		}
+	case TransformSparse:
+		for i, v := range vol.Data {
+			v += spec.SparseBias
+			if v < 0 {
+				v = 0
+			}
+			vol.Data[i] = v
+		}
+	}
+	scale := spec.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	for i, v := range vol.Data {
+		vol.Data[i] = v*scale + spec.Offset
+	}
+	return vol
+}
+
+// Generate builds a dataset of nz slices of ny×nx buffers per field,
+// deterministically from seed.
+func Generate(name string, specs []FieldSpec, nz, ny, nx int, seed int64) *grid.Dataset {
+	ds := &grid.Dataset{Name: name}
+	prior := make(map[string]*grid.Volume, len(specs))
+	for _, spec := range specs {
+		vol := synthesize(name, spec, nz, ny, nx, seed, prior)
+		prior[spec.Name] = vol
+		f := &grid.Field{Dataset: name, Name: spec.Name, Buffers: vol.Slices()}
+		ds.Fields = append(ds.Fields, f)
+	}
+	return ds
+}
+
+// HurricaneSpecs returns the 12-field recipe mirroring the Hurricane
+// ISABEL fields of Table III: smooth dynamical fields (TC, U, V, W),
+// sparse hydrometeors (QCLOUD…QICE, PRECIP, CLOUD) and the deliberately
+// dissimilar QVAPOR/V outliers the paper's similarity table exposes.
+func HurricaneSpecs() []FieldSpec {
+	return []FieldSpec{
+		{Name: "CLOUD", Slope: 1.4, Noise: 0.02, Transform: TransformSparse, SparseBias: -0.25, Scale: 1.2},
+		{Name: "QCLOUD", Slope: 1.5, Noise: 0.02, Transform: TransformSparse, SparseBias: -0.30, Scale: 0.8, CoupleWith: "CLOUD", CoupleMix: 0.25},
+		{Name: "PRECIP", Slope: 1.3, Noise: 0.05, Transform: TransformSparse, SparseBias: -0.35, Scale: 2.4},
+		{Name: "QGRAUP", Slope: 1.5, Noise: 0.03, Transform: TransformSparse, SparseBias: -0.40, Scale: 0.6},
+		{Name: "QRAIN", Slope: 1.45, Noise: 0.03, Transform: TransformSparse, SparseBias: -0.38, Scale: 0.7, CoupleWith: "QGRAUP", CoupleMix: 0.2},
+		{Name: "QSNOW", Slope: 1.5, Noise: 0.025, Transform: TransformSparse, SparseBias: -0.35, Scale: 0.5},
+		{Name: "QICE", Slope: 1.4, Noise: 0.02, Transform: TransformSparse, SparseBias: -0.25, Scale: 0.9, CoupleWith: "CLOUD", CoupleMix: 0.3},
+		{Name: "TC", Slope: 2.2, Noise: 0.004, Scale: 25, Offset: 15},
+		{Name: "U", Slope: 2.0, Noise: 0.006, Scale: 30, CoupleWith: "TC", CoupleMix: 0.15},
+		{Name: "V", Slope: 0.8, Noise: 0.25, Scale: 30, AnisoY: 3},
+		{Name: "W", Slope: 1.1, Noise: 0.08, Scale: 3},
+		{Name: "QVAPOR", Slope: 3.0, Noise: 0.0005, Transform: TransformExp, ExpGain: 2.5, Scale: 20},
+	}
+}
+
+// NYXSpecs returns the cosmology-like recipe: a log-normal baryon density
+// with extreme dynamic range, a smoother temperature and a velocity field.
+func NYXSpecs() []FieldSpec {
+	return []FieldSpec{
+		{Name: "baryon_density", Slope: 1.2, Noise: 0.05, Transform: TransformExp, ExpGain: 3, Scale: 1e8},
+		{Name: "temperature", Slope: 1.6, Noise: 0.02, Transform: TransformExp, ExpGain: 1.2, Scale: 1e4},
+		{Name: "velocity_x", Slope: 1.8, Noise: 0.01, Scale: 1e6},
+	}
+}
+
+// MirandaSpecs returns the hydrodynamics-turbulence recipe: relatively
+// smooth fields with mild noise, the regime where interpolation-based
+// compressors shine.
+func MirandaSpecs() []FieldSpec {
+	return []FieldSpec{
+		{Name: "density", Slope: 2.1, Noise: 0.003, Scale: 2, Offset: 1.5},
+		{Name: "pressure", Slope: 2.3, Noise: 0.002, Scale: 5, Offset: 10, CoupleWith: "density", CoupleMix: 0.4},
+		{Name: "velocityx", Slope: 1.9, Noise: 0.006, Scale: 1.2},
+	}
+}
+
+// CESMSpecs returns the climate-like recipe used as the fourth dataset of
+// Fig. 4: 2D-ish banded atmospheric fields.
+func CESMSpecs() []FieldSpec {
+	return []FieldSpec{
+		{Name: "CLDHGH", Slope: 1.3, Noise: 0.04, AnisoY: 2.5, Transform: TransformSparse, SparseBias: -0.1, Scale: 0.9},
+		{Name: "FLDS", Slope: 1.9, Noise: 0.008, AnisoY: 2, Scale: 80, Offset: 300},
+		{Name: "TS", Slope: 2.1, Noise: 0.004, AnisoY: 1.5, Scale: 30, Offset: 285},
+	}
+}
+
+// Options sizes a generated dataset.
+type Options struct {
+	NZ, NY, NX int
+	Seed       int64
+}
+
+func (o Options) withDefaults(nz, ny, nx int) Options {
+	if o.NZ == 0 {
+		o.NZ = nz
+	}
+	if o.NY == 0 {
+		o.NY = ny
+	}
+	if o.NX == 0 {
+		o.NX = nx
+	}
+	return o
+}
+
+// Hurricane generates the 12-field hurricane-like dataset.
+func Hurricane(o Options) *grid.Dataset {
+	o = o.withDefaults(20, 96, 96)
+	return Generate("hurricane", HurricaneSpecs(), o.NZ, o.NY, o.NX, o.Seed)
+}
+
+// NYX generates the cosmology-like dataset.
+func NYX(o Options) *grid.Dataset {
+	o = o.withDefaults(20, 96, 96)
+	return Generate("nyx", NYXSpecs(), o.NZ, o.NY, o.NX, o.Seed)
+}
+
+// Miranda generates the turbulence-like dataset.
+func Miranda(o Options) *grid.Dataset {
+	o = o.withDefaults(20, 96, 96)
+	return Generate("miranda", MirandaSpecs(), o.NZ, o.NY, o.NX, o.Seed)
+}
+
+// CESM generates the climate-like dataset.
+func CESM(o Options) *grid.Dataset {
+	o = o.withDefaults(20, 96, 96)
+	return Generate("cesm", CESMSpecs(), o.NZ, o.NY, o.NX, o.Seed)
+}
+
+// All generates the four evaluation datasets of Fig. 4.
+func All(o Options) []*grid.Dataset {
+	return []*grid.Dataset{Hurricane(o), NYX(o), Miranda(o), CESM(o)}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

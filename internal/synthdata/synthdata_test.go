@@ -1,0 +1,202 @@
+package synthdata
+
+import (
+	"math"
+	"testing"
+
+	"github.com/crestlab/crest/internal/stats"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := Hurricane(Options{NZ: 4, NY: 32, NX: 32, Seed: 9})
+	b := Hurricane(Options{NZ: 4, NY: 32, NX: 32, Seed: 9})
+	for fi, f := range a.Fields {
+		for bi, buf := range f.Buffers {
+			other := b.Fields[fi].Buffers[bi]
+			for i := range buf.Data {
+				if buf.Data[i] != other.Data[i] {
+					t.Fatalf("field %s slice %d differs at %d", f.Name, bi, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := Hurricane(Options{NZ: 2, NY: 16, NX: 16, Seed: 1})
+	b := Hurricane(Options{NZ: 2, NY: 16, NX: 16, Seed: 2})
+	same := true
+	bufA := a.Fields[0].Buffers[0]
+	bufB := b.Fields[0].Buffers[0]
+	for i := range bufA.Data {
+		if bufA.Data[i] != bufB.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestShapesAndIdentity(t *testing.T) {
+	ds := NYX(Options{NZ: 3, NY: 20, NX: 24, Seed: 5})
+	if ds.Name != "nyx" || len(ds.Fields) != 3 {
+		t.Fatalf("dataset %q with %d fields", ds.Name, len(ds.Fields))
+	}
+	for _, f := range ds.Fields {
+		if len(f.Buffers) != 3 {
+			t.Errorf("%s has %d slices", f.Name, len(f.Buffers))
+		}
+		for z, b := range f.Buffers {
+			if b.Rows != 20 || b.Cols != 24 {
+				t.Errorf("%s slice %d shape %dx%d", f.Name, z, b.Rows, b.Cols)
+			}
+			if b.Dataset != "nyx" || b.Field != f.Name || b.Step != z {
+				t.Errorf("identity %q/%q step %d", b.Dataset, b.Field, b.Step)
+			}
+		}
+	}
+}
+
+func TestHurricaneHasTwelveFields(t *testing.T) {
+	ds := Hurricane(Options{NZ: 2, NY: 16, NX: 16})
+	if len(ds.Fields) != 12 {
+		t.Fatalf("%d fields", len(ds.Fields))
+	}
+	for _, want := range []string{"CLOUD", "QVAPOR", "TC", "U", "V", "W", "PRECIP"} {
+		if ds.Field(want) == nil {
+			t.Errorf("missing field %s", want)
+		}
+	}
+}
+
+func TestSparseTransformProducesZeros(t *testing.T) {
+	ds := Hurricane(Options{NZ: 2, NY: 48, NX: 48, Seed: 3})
+	for _, name := range []string{"CLOUD", "QRAIN", "QSNOW"} {
+		buf := ds.Field(name).Buffers[0]
+		zeros := 0
+		for _, v := range buf.Data {
+			if v == 0 {
+				zeros++
+			}
+			if v < 0 {
+				t.Fatalf("%s has negative value %g after sparse transform", name, v)
+			}
+		}
+		if frac := float64(zeros) / float64(len(buf.Data)); frac < 0.1 {
+			t.Errorf("%s only %.0f%% zeros; expected a sparse hydrometeor field", name, 100*frac)
+		}
+	}
+}
+
+func TestExpTransformIsPositiveWithDynamicRange(t *testing.T) {
+	ds := NYX(Options{NZ: 2, NY: 48, NX: 48, Seed: 3})
+	buf := ds.Field("baryon_density").Buffers[0]
+	lo, hi := buf.Range()
+	if lo <= 0 {
+		t.Fatalf("log-normal field has non-positive min %g", lo)
+	}
+	if hi/lo < 100 {
+		t.Errorf("dynamic range %.1f too small for a baryon-density analogue", hi/lo)
+	}
+}
+
+func TestCouplingCorrelatesFields(t *testing.T) {
+	ds := Hurricane(Options{NZ: 2, NY: 48, NX: 48, Seed: 4})
+	u := ds.Field("U").Buffers[0]
+	tc := ds.Field("TC").Buffers[0]
+	v := ds.Field("V").Buffers[0]
+	rUT := math.Abs(stats.Pearson(u.Data, tc.Data))
+	rVT := math.Abs(stats.Pearson(v.Data, tc.Data))
+	if rUT <= rVT {
+		t.Errorf("coupled U-TC correlation %.3f not above uncoupled V-TC %.3f", rUT, rVT)
+	}
+}
+
+func TestSmoothnessOrdering(t *testing.T) {
+	// QVAPOR (slope 3.0) must be smoother than V (slope 0.8): measured by
+	// the variance of first differences relative to total variance.
+	ds := Hurricane(Options{NZ: 2, NY: 64, NX: 64, Seed: 6})
+	rough := func(buf interface{ At(int, int) float64 }, rows, cols int) float64 {
+		var diff2, tot float64
+		var mean float64
+		n := 0
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				mean += buf.At(i, j)
+				n++
+			}
+		}
+		mean /= float64(n)
+		for i := 0; i < rows; i++ {
+			for j := 1; j < cols; j++ {
+				d := buf.At(i, j) - buf.At(i, j-1)
+				diff2 += d * d
+				tot += (buf.At(i, j) - mean) * (buf.At(i, j) - mean)
+			}
+		}
+		if tot == 0 {
+			return 0
+		}
+		return diff2 / tot
+	}
+	qv := ds.Field("QVAPOR").Buffers[0]
+	vv := ds.Field("V").Buffers[0]
+	if rq, rv := rough(qv, qv.Rows, qv.Cols), rough(vv, vv.Rows, vv.Cols); rq >= rv {
+		t.Errorf("QVAPOR roughness %.4f not below V roughness %.4f", rq, rv)
+	}
+}
+
+func TestSlicesAreZCorrelated(t *testing.T) {
+	// Adjacent slices of the same field must correlate strongly (the
+	// time-step structure k-fold relies on).
+	ds := Miranda(Options{NZ: 4, NY: 48, NX: 48, Seed: 7})
+	f := ds.Field("density")
+	r := stats.Pearson(f.Buffers[0].Data, f.Buffers[1].Data)
+	if r < 0.8 {
+		t.Errorf("adjacent-slice correlation %.3f too low", r)
+	}
+}
+
+func TestAllReturnsFourDatasets(t *testing.T) {
+	all := All(Options{NZ: 2, NY: 16, NX: 16})
+	if len(all) != 4 {
+		t.Fatalf("All returned %d datasets", len(all))
+	}
+	names := map[string]bool{}
+	for _, ds := range all {
+		names[ds.Name] = true
+	}
+	for _, want := range []string{"hurricane", "nyx", "miranda", "cesm"} {
+		if !names[want] {
+			t.Errorf("missing dataset %s", want)
+		}
+	}
+}
+
+func TestDefaultSizes(t *testing.T) {
+	ds := CESM(Options{})
+	if len(ds.Fields[0].Buffers) != 20 {
+		t.Errorf("default NZ = %d", len(ds.Fields[0].Buffers))
+	}
+	b := ds.Fields[0].Buffers[0]
+	if b.Rows != 96 || b.Cols != 96 {
+		t.Errorf("default shape %dx%d", b.Rows, b.Cols)
+	}
+}
+
+func TestGenerateCustomSpecs(t *testing.T) {
+	specs := []FieldSpec{
+		{Name: "flat", Slope: 5, Modes: 4},
+		{Name: "offset", Slope: 1, Offset: 42, Scale: 1e-9},
+	}
+	ds := Generate("custom", specs, 2, 8, 8, 1)
+	if len(ds.Fields) != 2 || ds.Field("offset") == nil {
+		t.Fatal("custom fields missing")
+	}
+	lo, hi := ds.Field("offset").Buffers[0].Range()
+	if lo < 41.9 || hi > 42.1 {
+		t.Errorf("offset field range [%g, %g]", lo, hi)
+	}
+}

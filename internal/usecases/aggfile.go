@@ -1,0 +1,161 @@
+// Package usecases implements executable versions of the paper's three
+// application use cases (§I, §V): (A) searching for an error bound that
+// meets a compression-ratio target, (B) selecting the best compressor
+// under constraints, and (C) writing many compressed buffers into one
+// aggregated file in parallel, where each writer must know its offset
+// before compressing — the HDF5-style scenario. The aggfile container in
+// this file is the aggregated-file substrate for use case C.
+package usecases
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/crestlab/crest/internal/compressors"
+	"github.com/crestlab/crest/internal/grid"
+)
+
+// aggMagic identifies an aggregated file.
+var aggMagic = []byte("CRAG1")
+
+// AggEntry is the directory record of one compressed buffer in an
+// aggregated file.
+type AggEntry struct {
+	Field    string
+	Step     int
+	Eps      float64
+	Offset   uint64 // payload offset from the start of the data region
+	Size     uint64 // actual compressed size
+	Reserved uint64 // space reserved at planning time (≥ Size when planned)
+	Overflow bool   // true when the payload lives in the overflow region
+}
+
+// AggFile is an in-memory aggregated file: a directory plus the packed
+// data region. It stands in for the parallel-HDF5 target of use case C.
+type AggFile struct {
+	Entries []AggEntry
+	Data    []byte
+}
+
+// ErrBadAggFile reports an unparseable aggregated file.
+var ErrBadAggFile = errors.New("usecases: bad aggregated file")
+
+// Marshal serializes the aggregated file.
+func (f *AggFile) Marshal() []byte {
+	var buf bytes.Buffer
+	buf.Write(aggMagic)
+	writeUvarint(&buf, uint64(len(f.Entries)))
+	for _, e := range f.Entries {
+		writeUvarint(&buf, uint64(len(e.Field)))
+		buf.WriteString(e.Field)
+		writeUvarint(&buf, uint64(e.Step))
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(e.Eps))
+		buf.Write(tmp[:])
+		writeUvarint(&buf, e.Offset)
+		writeUvarint(&buf, e.Size)
+		writeUvarint(&buf, e.Reserved)
+		if e.Overflow {
+			buf.WriteByte(1)
+		} else {
+			buf.WriteByte(0)
+		}
+	}
+	buf.Write(f.Data)
+	return buf.Bytes()
+}
+
+// UnmarshalAggFile parses a serialized aggregated file.
+func UnmarshalAggFile(b []byte) (*AggFile, error) {
+	if len(b) < len(aggMagic) || !bytes.Equal(b[:len(aggMagic)], aggMagic) {
+		return nil, ErrBadAggFile
+	}
+	r := bytes.NewReader(b[len(aggMagic):])
+	n, err := binary.ReadUvarint(r)
+	if err != nil || n > 1<<24 {
+		return nil, ErrBadAggFile
+	}
+	f := &AggFile{Entries: make([]AggEntry, n)}
+	for i := range f.Entries {
+		var e AggEntry
+		fl, err := binary.ReadUvarint(r)
+		if err != nil || fl > 4096 {
+			return nil, ErrBadAggFile
+		}
+		name := make([]byte, fl)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, ErrBadAggFile
+		}
+		e.Field = string(name)
+		st, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, ErrBadAggFile
+		}
+		e.Step = int(st)
+		var tmp [8]byte
+		if _, err := io.ReadFull(r, tmp[:]); err != nil {
+			return nil, ErrBadAggFile
+		}
+		e.Eps = math.Float64frombits(binary.LittleEndian.Uint64(tmp[:]))
+		if e.Offset, err = binary.ReadUvarint(r); err != nil {
+			return nil, ErrBadAggFile
+		}
+		if e.Size, err = binary.ReadUvarint(r); err != nil {
+			return nil, ErrBadAggFile
+		}
+		if e.Reserved, err = binary.ReadUvarint(r); err != nil {
+			return nil, ErrBadAggFile
+		}
+		ov, err := r.ReadByte()
+		if err != nil {
+			return nil, ErrBadAggFile
+		}
+		e.Overflow = ov == 1
+		f.Entries[i] = e
+	}
+	f.Data = make([]byte, r.Len())
+	if _, err := io.ReadFull(r, f.Data); err != nil {
+		return nil, ErrBadAggFile
+	}
+	return f, nil
+}
+
+// Read decompresses entry i with the given compressor.
+func (f *AggFile) Read(i int, comp compressors.Compressor) (*grid.Buffer, error) {
+	if i < 0 || i >= len(f.Entries) {
+		return nil, fmt.Errorf("usecases: entry %d out of range", i)
+	}
+	e := f.Entries[i]
+	if e.Offset+e.Size > uint64(len(f.Data)) {
+		return nil, ErrBadAggFile
+	}
+	buf, err := comp.Decompress(f.Data[e.Offset : e.Offset+e.Size])
+	if err != nil {
+		return nil, err
+	}
+	buf.Field = e.Field
+	buf.Step = e.Step
+	return buf, nil
+}
+
+// WastedBytes returns the reserved-but-unused space, the storage cost of
+// over-allocation in estimate-driven writes.
+func (f *AggFile) WastedBytes() uint64 {
+	var w uint64
+	for _, e := range f.Entries {
+		if !e.Overflow && e.Reserved > e.Size {
+			w += e.Reserved - e.Size
+		}
+	}
+	return w
+}
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}

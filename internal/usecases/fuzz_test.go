@@ -1,0 +1,22 @@
+package usecases
+
+import "testing"
+
+// FuzzUnmarshalAggFile hardens the aggregated-file parser.
+func FuzzUnmarshalAggFile(f *testing.F) {
+	good := (&AggFile{
+		Entries: []AggEntry{{Field: "x", Step: 1, Eps: 1e-3, Size: 2, Reserved: 2}},
+		Data:    []byte{1, 2},
+	}).Marshal()
+	f.Add(good)
+	f.Add([]byte("CRAG1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if af, err := UnmarshalAggFile(data); err == nil {
+			if af == nil {
+				t.Fatal("nil file without error")
+			}
+			_ = af.WastedBytes()
+		}
+	})
+}

@@ -1,0 +1,239 @@
+package usecases
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/crestlab/crest/internal/baselines"
+	"github.com/crestlab/crest/internal/compressors"
+	"github.com/crestlab/crest/internal/grid"
+)
+
+// WriteResult reports one use-case-C run.
+type WriteResult struct {
+	File          *AggFile
+	Elapsed       time.Duration
+	Compressions  int // total compressor invocations
+	Mispredicts   int // buffers whose reserved space was too small
+	OverflowBytes uint64
+}
+
+// ParallelWriteNoEstimate builds an aggregated file the baseline way:
+// compress every buffer once to learn sizes (discarding payloads beyond
+// the memory budget of memBuffers per worker), lay out offsets, then
+// compress again and write (§V-E: "run compression of each buffer twice").
+func ParallelWriteNoEstimate(bufs []*grid.Buffer, comp compressors.Compressor, eps float64, workers, memBuffers int) (WriteResult, error) {
+	start := time.Now()
+	res := WriteResult{}
+	n := len(bufs)
+	sizes := make([]uint64, n)
+	kept := make([][]byte, n) // payloads retained within the memory budget
+
+	var mu sync.Mutex
+	var firstErr error
+	held := 0
+	runParallel(n, workers, func(i int) {
+		data, err := comp.Compress(bufs[i], eps)
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+			return
+		}
+		res.Compressions++
+		sizes[i] = uint64(len(data))
+		if held < memBuffers*maxInt(workers, 1) {
+			kept[i] = data
+			held++
+		}
+	})
+	if firstErr != nil {
+		return res, fmt.Errorf("usecases: first pass: %w", firstErr)
+	}
+
+	f := &AggFile{Entries: make([]AggEntry, n)}
+	var off uint64
+	for i, b := range bufs {
+		f.Entries[i] = AggEntry{Field: b.Field, Step: b.Step, Eps: eps, Offset: off, Size: sizes[i], Reserved: sizes[i]}
+		off += sizes[i]
+	}
+	f.Data = make([]byte, off)
+
+	runParallel(n, workers, func(i int) {
+		data := kept[i]
+		if data == nil {
+			var err error
+			data, err = comp.Compress(bufs[i], eps)
+			mu.Lock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			res.Compressions++
+			mu.Unlock()
+			if err != nil {
+				return
+			}
+		}
+		copy(f.Data[f.Entries[i].Offset:], data)
+	})
+	if firstErr != nil {
+		return res, fmt.Errorf("usecases: second pass: %w", firstErr)
+	}
+	res.File = f
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// SizeEstimator predicts a reserved byte count for a buffer before
+// compressing it.
+type SizeEstimator func(buf *grid.Buffer, eps float64) (uint64, error)
+
+// ConservativeEstimator reserves space from a method's CR estimate divided
+// by the over-allocation factor alpha ≥ 1 (§VI-G: "the user can
+// over-allocate storage relative to the prediction"); for the proposed
+// method the conformal lower bound replaces the point estimate, making the
+// miss rate a dialable quantity.
+func ConservativeEstimator(m baselines.Method, alpha float64) SizeEstimator {
+	if alpha < 1 {
+		alpha = 1
+	}
+	return func(buf *grid.Buffer, eps float64) (uint64, error) {
+		var cr float64
+		if p, ok := m.(*baselines.Proposed); ok {
+			est, err := p.Interval(buf, eps)
+			if err != nil {
+				return 0, err
+			}
+			cr = est.Lo // conformal lower CR bound ⇒ upper size bound
+		} else {
+			var err error
+			cr, err = m.Predict(buf, eps)
+			if err != nil {
+				return 0, err
+			}
+		}
+		cr /= alpha
+		if cr < 1 {
+			cr = 1
+		}
+		return uint64(float64(buf.SizeBytes())/cr) + 64, nil
+	}
+}
+
+// TargetMissEstimator builds a size estimator whose under-prediction
+// probability is dialed a priori through the conformal level (§VI-G:
+// "With our approach based on conformal prediction, we can easily choose
+// this parameter and determine a priori our space vs speed trade-offs").
+// The method is retrained with λ = 2·missRate, so the lower CR bound is
+// exceeded downward — i.e. the reservation is too small — with
+// probability ≈ missRate on exchangeable data.
+func TargetMissEstimator(p *baselines.Proposed, bufs []*grid.Buffer, crs []float64, eps, missRate float64) (SizeEstimator, error) {
+	if missRate <= 0 || missRate >= 0.5 {
+		return nil, fmt.Errorf("usecases: miss rate %g outside (0, 0.5)", missRate)
+	}
+	cfg := p.Cfg
+	cfg.Conformal.Lambda = 2 * missRate
+	tuned := baselines.NewProposed(cfg)
+	if err := tuned.Fit(bufs, crs, eps); err != nil {
+		return nil, err
+	}
+	return ConservativeEstimator(tuned, 1.0), nil
+}
+
+// ParallelWriteWithEstimate builds the aggregated file the paper's way:
+// reserve offsets from size estimates, compress each buffer exactly once
+// and write it at its reserved offset; buffers that overflow their
+// reservation are appended to an overflow region in a repair pass (§V-E).
+func ParallelWriteWithEstimate(bufs []*grid.Buffer, comp compressors.Compressor, eps float64, workers int, estimate SizeEstimator) (WriteResult, error) {
+	start := time.Now()
+	res := WriteResult{}
+	n := len(bufs)
+
+	f := &AggFile{Entries: make([]AggEntry, n)}
+	var off uint64
+	for i, b := range bufs {
+		reserve, err := estimate(b, eps)
+		if err != nil {
+			return res, fmt.Errorf("usecases: estimate: %w", err)
+		}
+		f.Entries[i] = AggEntry{Field: b.Field, Step: b.Step, Eps: eps, Offset: off, Reserved: reserve}
+		off += reserve
+	}
+	base := off
+
+	payloads := make([][]byte, n)
+	var mu sync.Mutex
+	var firstErr error
+	runParallel(n, workers, func(i int) {
+		data, err := comp.Compress(bufs[i], eps)
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+			return
+		}
+		res.Compressions++
+		payloads[i] = data
+	})
+	if firstErr != nil {
+		return res, fmt.Errorf("usecases: compress: %w", firstErr)
+	}
+
+	// Repair pass: misses move to the overflow region.
+	var overflow uint64
+	for i := range bufs {
+		size := uint64(len(payloads[i]))
+		f.Entries[i].Size = size
+		if size > f.Entries[i].Reserved {
+			res.Mispredicts++
+			f.Entries[i].Overflow = true
+			f.Entries[i].Offset = base + overflow
+			overflow += size
+		}
+	}
+	f.Data = make([]byte, base+overflow)
+	runParallel(n, workers, func(i int) {
+		copy(f.Data[f.Entries[i].Offset:], payloads[i])
+	})
+	res.OverflowBytes = overflow
+	res.File = f
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// runParallel executes fn(i) for i in [0,n) on up to workers goroutines
+// with dynamic scheduling, matching irregular compression costs.
+func runParallel(n, workers int, fn func(i int)) {
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

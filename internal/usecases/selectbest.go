@@ -1,0 +1,111 @@
+package usecases
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/crestlab/crest/internal/baselines"
+	"github.com/crestlab/crest/internal/compressors"
+	"github.com/crestlab/crest/internal/grid"
+)
+
+// SelectionResult reports one use-case-B run: which compressor was chosen
+// for a buffer, whether the choice matched the true optimum, and the work
+// performed.
+type SelectionResult struct {
+	Chosen    string
+	TrueBest  string
+	Correct   bool
+	ChosenCR  float64 // true CR of the chosen compressor
+	BestCR    float64 // true CR of the optimal compressor
+	Elapsed   time.Duration
+	FinalData []byte // the buffer compressed with the chosen compressor
+}
+
+// trueBest runs every compressor and returns the best name and per-name
+// true ratios.
+func trueBest(comps []compressors.Compressor, buf *grid.Buffer, eps float64) (string, map[string]float64, error) {
+	crs := make(map[string]float64, len(comps))
+	best, bestCR := "", -1.0
+	for _, c := range comps {
+		cr, err := compressors.Ratio(c, buf, eps)
+		if err != nil {
+			return "", nil, fmt.Errorf("usecases: %s: %w", c.Name(), err)
+		}
+		crs[c.Name()] = cr
+		if cr > bestCR {
+			best, bestCR = c.Name(), cr
+		}
+	}
+	return best, crs, nil
+}
+
+// SelectBestNoEstimate runs every candidate once, picks the highest true
+// ratio, and re-runs the winner to produce the stored stream (§V-D
+// no-estimation case).
+func SelectBestNoEstimate(comps []compressors.Compressor, buf *grid.Buffer, eps float64) (SelectionResult, error) {
+	start := time.Now()
+	best, crs, err := trueBest(comps, buf, eps)
+	if err != nil {
+		return SelectionResult{}, err
+	}
+	var winner compressors.Compressor
+	for _, c := range comps {
+		if c.Name() == best {
+			winner = c
+		}
+	}
+	data, err := winner.Compress(buf, eps)
+	if err != nil {
+		return SelectionResult{}, err
+	}
+	return SelectionResult{
+		Chosen: best, TrueBest: best, Correct: true,
+		ChosenCR: crs[best], BestCR: crs[best],
+		Elapsed: time.Since(start), FinalData: data,
+	}, nil
+}
+
+// SelectBestWithEstimate estimates every candidate's ratio with the
+// per-compressor trained methods, picks the highest estimate, and runs
+// only that compressor (§V-D estimation case). methods maps compressor
+// name to a method already trained for that compressor.
+func SelectBestWithEstimate(comps []compressors.Compressor, buf *grid.Buffer, eps float64, methods map[string]baselines.Method) (SelectionResult, error) {
+	start := time.Now()
+	chosen, bestEst := "", -1.0
+	for _, c := range comps {
+		m, ok := methods[c.Name()]
+		if !ok {
+			return SelectionResult{}, fmt.Errorf("usecases: no method trained for %s", c.Name())
+		}
+		est, err := m.Predict(buf, eps)
+		if err != nil {
+			return SelectionResult{}, fmt.Errorf("usecases: estimate %s: %w", c.Name(), err)
+		}
+		if est > bestEst {
+			chosen, bestEst = c.Name(), est
+		}
+	}
+	var winner compressors.Compressor
+	for _, c := range comps {
+		if c.Name() == chosen {
+			winner = c
+		}
+	}
+	data, err := winner.Compress(buf, eps)
+	if err != nil {
+		return SelectionResult{}, err
+	}
+	elapsed := time.Since(start)
+
+	// Ground truth for scoring (not charged to the measured time).
+	best, crs, err := trueBest(comps, buf, eps)
+	if err != nil {
+		return SelectionResult{}, err
+	}
+	return SelectionResult{
+		Chosen: chosen, TrueBest: best, Correct: chosen == best,
+		ChosenCR: crs[chosen], BestCR: crs[best],
+		Elapsed: elapsed, FinalData: data,
+	}, nil
+}

@@ -1,0 +1,117 @@
+package usecases
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/crestlab/crest/internal/baselines"
+	"github.com/crestlab/crest/internal/compressors"
+	"github.com/crestlab/crest/internal/grid"
+)
+
+// SearchResult reports one use-case-A run: the bound found for the CR
+// target, the ratio it actually achieves, and the work performed.
+type SearchResult struct {
+	Eps          float64
+	AchievedCR   float64
+	Compressions int
+	Estimations  int
+	Elapsed      time.Duration
+}
+
+// SearchTargetNoEstimate binary-searches the error bound whose true
+// compression ratio meets target, running the compressor at every
+// iteration — the baseline the paper's use case A replaces (§V-C).
+func SearchTargetNoEstimate(comp compressors.Compressor, buf *grid.Buffer, target, loEps, hiEps float64, iters int) (SearchResult, error) {
+	start := time.Now()
+	res := SearchResult{}
+	lo, hi := math.Log(loEps), math.Log(hiEps)
+	for i := 0; i < iters; i++ {
+		mid := (lo + hi) / 2
+		cr, err := compressors.Ratio(comp, buf, math.Exp(mid))
+		if err != nil {
+			return res, fmt.Errorf("usecases: search compress: %w", err)
+		}
+		res.Compressions++
+		if cr < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	res.Eps = math.Exp((lo + hi) / 2)
+	cr, err := compressors.Ratio(comp, buf, res.Eps)
+	if err != nil {
+		return res, err
+	}
+	res.Compressions++
+	res.AchievedCR = cr
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// SearchTargetWithEstimate runs the same search but answers every probe
+// with the trained estimation method, compressing only once at the end to
+// realize the chosen bound (§V-C: predictors per iteration, compressor
+// once).
+func SearchTargetWithEstimate(comp compressors.Compressor, buf *grid.Buffer, m baselines.Method, target, loEps, hiEps float64, iters int) (SearchResult, error) {
+	start := time.Now()
+	res := SearchResult{}
+	lo, hi := math.Log(loEps), math.Log(hiEps)
+	for i := 0; i < iters; i++ {
+		mid := (lo + hi) / 2
+		cr, err := m.Predict(buf, math.Exp(mid))
+		if err != nil {
+			return res, fmt.Errorf("usecases: search estimate: %w", err)
+		}
+		res.Estimations++
+		if cr < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	res.Eps = math.Exp((lo + hi) / 2)
+	cr, err := compressors.Ratio(comp, buf, res.Eps)
+	if err != nil {
+		return res, err
+	}
+	res.Compressions++
+	res.AchievedCR = cr
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// SearchComparison is the Fig. 7 measurement for one (compressor, method)
+// pair.
+type SearchComparison struct {
+	Compressor string
+	Method     string
+	Speedup    float64 // no-estimate time / with-estimate time
+	// TargetErrPct is |achieved − baselineAchieved| as % of the baseline,
+	// the accuracy cost of using estimates.
+	TargetErrPct float64
+}
+
+// CompareSearch measures the use-case-A speedup of a trained method
+// against the no-estimation baseline on one buffer.
+func CompareSearch(comp compressors.Compressor, buf *grid.Buffer, m baselines.Method, target, loEps, hiEps float64, iters int) (SearchComparison, error) {
+	base, err := SearchTargetNoEstimate(comp, buf, target, loEps, hiEps, iters)
+	if err != nil {
+		return SearchComparison{}, err
+	}
+	est, err := SearchTargetWithEstimate(comp, buf, m, target, loEps, hiEps, iters)
+	if err != nil {
+		return SearchComparison{}, err
+	}
+	sc := SearchComparison{
+		Compressor: comp.Name(),
+		Method:     m.Name(),
+		Speedup:    float64(base.Elapsed) / math.Max(float64(est.Elapsed), 1),
+	}
+	if base.AchievedCR > 0 {
+		sc.TargetErrPct = 100 * math.Abs(est.AchievedCR-base.AchievedCR) / base.AchievedCR
+	}
+	return sc, nil
+}

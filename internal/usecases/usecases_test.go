@@ -1,0 +1,374 @@
+package usecases
+
+import (
+	"math"
+	"testing"
+
+	"github.com/crestlab/crest/internal/baselines"
+	"github.com/crestlab/crest/internal/compressors"
+	"github.com/crestlab/crest/internal/core"
+	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/synthdata"
+)
+
+func hurricane(t *testing.T) *grid.Dataset {
+	t.Helper()
+	return synthdata.Hurricane(synthdata.Options{NZ: 10, NY: 48, NX: 48, Seed: 55})
+}
+
+func TestAggFileRoundTrip(t *testing.T) {
+	f := &AggFile{
+		Entries: []AggEntry{
+			{Field: "a", Step: 3, Eps: 1e-3, Offset: 0, Size: 4, Reserved: 6},
+			{Field: "b", Step: 0, Eps: 1e-4, Offset: 6, Size: 3, Reserved: 3, Overflow: true},
+		},
+		Data: []byte{1, 2, 3, 4, 0, 0, 7, 8, 9},
+	}
+	blob := f.Marshal()
+	got, err := UnmarshalAggFile(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 2 {
+		t.Fatalf("%d entries", len(got.Entries))
+	}
+	for i := range f.Entries {
+		if got.Entries[i] != f.Entries[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, got.Entries[i], f.Entries[i])
+		}
+	}
+	if string(got.Data) != string(f.Data) {
+		t.Error("data region differs")
+	}
+	if w := f.WastedBytes(); w != 2 {
+		t.Errorf("wasted = %d", w)
+	}
+}
+
+func TestAggFileRejectsCorrupt(t *testing.T) {
+	if _, err := UnmarshalAggFile(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := UnmarshalAggFile([]byte("WRONG...")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	good := (&AggFile{Entries: []AggEntry{{Field: "x", Size: 1}}, Data: []byte{9}}).Marshal()
+	if _, err := UnmarshalAggFile(good[:len(good)-3]); err == nil {
+		t.Error("truncated file accepted")
+	}
+}
+
+func TestAggFileReadBoundsChecks(t *testing.T) {
+	comp := compressors.MustNew("szinterp")
+	f := &AggFile{Entries: []AggEntry{{Field: "x", Offset: 0, Size: 100}}, Data: []byte{1, 2}}
+	if _, err := f.Read(0, comp); err == nil {
+		t.Error("out-of-bounds entry accepted")
+	}
+	if _, err := f.Read(5, comp); err == nil {
+		t.Error("bad index accepted")
+	}
+}
+
+func trainedMethod(t *testing.T, ds *grid.Dataset, comp compressors.Compressor, eps float64) *baselines.Proposed {
+	t.Helper()
+	var bufs []*grid.Buffer
+	var crs []float64
+	for _, f := range ds.Fields {
+		for _, b := range f.Buffers[:4] {
+			cr, err := compressors.Ratio(comp, b, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bufs = append(bufs, b)
+			crs = append(crs, math.Min(cr, 100))
+		}
+	}
+	m := baselines.NewProposed(core.Config{})
+	if err := m.Fit(bufs, crs, eps); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParallelWriteEquivalence(t *testing.T) {
+	ds := hurricane(t)
+	comp := compressors.MustNew("szinterp")
+	eps := 1e-3
+	var write []*grid.Buffer
+	for _, f := range ds.Fields[:6] {
+		write = append(write, f.Buffers[4:8]...)
+	}
+	m := trainedMethod(t, ds, comp, eps)
+
+	base, err := ParallelWriteNoEstimate(write, comp, eps, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := ParallelWriteWithEstimate(write, comp, eps, 3, ConservativeEstimator(m, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both files must decompress every buffer within the bound.
+	for name, res := range map[string]WriteResult{"base": base, "est": est} {
+		if len(res.File.Entries) != len(write) {
+			t.Fatalf("%s: %d entries", name, len(res.File.Entries))
+		}
+		for i, b := range write {
+			dec, err := res.File.Read(i, comp)
+			if err != nil {
+				t.Fatalf("%s entry %d: %v", name, i, err)
+			}
+			if d := b.MaxAbsDiff(dec); d > eps*(1+1e-12) {
+				t.Fatalf("%s entry %d error %g > eps", name, i, d)
+			}
+			if res.File.Entries[i].Field != b.Field || res.File.Entries[i].Step != b.Step {
+				t.Fatalf("%s entry %d identity mismatch", name, i)
+			}
+		}
+	}
+	// The estimate path compresses once per buffer; baseline twice (minus
+	// whatever fit the memory budget).
+	if est.Compressions != len(write) {
+		t.Errorf("estimate path used %d compressions for %d buffers", est.Compressions, len(write))
+	}
+	if base.Compressions <= len(write) {
+		t.Errorf("baseline used %d compressions, expected more than %d", base.Compressions, len(write))
+	}
+}
+
+func TestParallelWriteMispredictionRepair(t *testing.T) {
+	ds := hurricane(t)
+	comp := compressors.MustNew("szinterp")
+	eps := 1e-3
+	var write []*grid.Buffer
+	for _, f := range ds.Fields[:4] {
+		write = append(write, f.Buffers[4:7]...)
+	}
+	// A deliberately optimistic estimator (reserves half the needed
+	// space) forces overflow repairs.
+	tight := func(buf *grid.Buffer, eps float64) (uint64, error) {
+		data, err := comp.Compress(buf, eps)
+		if err != nil {
+			return 0, err
+		}
+		return uint64(len(data) / 2), nil
+	}
+	res, err := ParallelWriteWithEstimate(write, comp, eps, 2, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mispredicts != len(write) {
+		t.Errorf("mispredicts = %d, want all %d", res.Mispredicts, len(write))
+	}
+	if res.OverflowBytes == 0 {
+		t.Error("no overflow bytes recorded")
+	}
+	// Still fully readable.
+	for i, b := range write {
+		dec, err := res.File.Read(i, comp)
+		if err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		if d := b.MaxAbsDiff(dec); d > eps*(1+1e-12) {
+			t.Fatalf("entry %d error %g", i, d)
+		}
+	}
+}
+
+func TestSearchTargetNoEstimateConverges(t *testing.T) {
+	ds := hurricane(t)
+	comp := compressors.MustNew("szinterp")
+	buf := ds.Field("TC").Buffers[0]
+	res, err := SearchTargetNoEstimate(comp, buf, 10, 1e-7, 1e-1, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.AchievedCR-10)/10 > 0.25 {
+		t.Errorf("achieved CR %.2f for target 10", res.AchievedCR)
+	}
+	if res.Compressions != 26 {
+		t.Errorf("compressions = %d", res.Compressions)
+	}
+}
+
+func TestSearchTargetWithEstimateUsesOneCompression(t *testing.T) {
+	ds := hurricane(t)
+	comp := compressors.MustNew("szinterp")
+	field := ds.Field("TC")
+	// Rate-aware training across bounds.
+	epses := []float64{1e-2, 1e-3, 1e-4, 1e-5}
+	train := field.Buffers[:8]
+	crs := make([][]float64, len(train))
+	for i, b := range train {
+		crs[i] = make([]float64, len(epses))
+		for j, e := range epses {
+			cr, err := compressors.Ratio(comp, b, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			crs[i][j] = math.Min(cr, 100)
+		}
+	}
+	m := baselines.NewProposed(core.Config{})
+	if err := m.FitMulti(train, crs, epses); err != nil {
+		t.Fatal(err)
+	}
+	res, err := SearchTargetWithEstimate(comp, field.Buffers[9], m, 10, 1e-7, 1e-1, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compressions != 1 {
+		t.Errorf("compressions = %d, want 1", res.Compressions)
+	}
+	if res.Estimations != 25 {
+		t.Errorf("estimations = %d", res.Estimations)
+	}
+	if math.Abs(res.AchievedCR-10)/10 > 0.5 {
+		t.Errorf("achieved CR %.2f for target 10", res.AchievedCR)
+	}
+}
+
+func TestSelectBestAgainstOracle(t *testing.T) {
+	ds := hurricane(t)
+	eps := 1e-3
+	comps := []compressors.Compressor{
+		compressors.MustNew("szinterp"),
+		compressors.MustNew("zfplike"),
+		compressors.MustNew("bitgroom"),
+	}
+	buf := ds.Field("QSNOW").Buffers[5]
+	noEst, err := SelectBestNoEstimate(comps, buf, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !noEst.Correct || noEst.Chosen != noEst.TrueBest {
+		t.Errorf("oracle selection inconsistent: %+v", noEst)
+	}
+	if noEst.ChosenCR != noEst.BestCR {
+		t.Error("chosen CR differs from best CR in oracle mode")
+	}
+	// With perfect (oracle) per-compressor methods the estimate path must
+	// agree with the oracle.
+	methods := map[string]baselines.Method{}
+	for _, c := range comps {
+		methods[c.Name()] = &oracleEstimator{comp: c}
+	}
+	withEst, err := SelectBestWithEstimate(comps, buf, eps, methods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !withEst.Correct {
+		t.Errorf("oracle-estimate selection wrong: chose %s, best %s", withEst.Chosen, withEst.TrueBest)
+	}
+	if len(withEst.FinalData) == 0 {
+		t.Error("no compressed stream produced")
+	}
+	// Missing method errors.
+	if _, err := SelectBestWithEstimate(comps, buf, eps, map[string]baselines.Method{}); err == nil {
+		t.Error("missing methods accepted")
+	}
+}
+
+type oracleEstimator struct{ comp compressors.Compressor }
+
+func (o *oracleEstimator) Name() string { return "oracle" }
+func (o *oracleEstimator) Fit(bufs []*grid.Buffer, crs []float64, eps float64) error {
+	return nil
+}
+func (o *oracleEstimator) Predict(buf *grid.Buffer, eps float64) (float64, error) {
+	return compressors.Ratio(o.comp, buf, eps)
+}
+
+func TestConservativeEstimatorReservesEnough(t *testing.T) {
+	ds := hurricane(t)
+	comp := compressors.MustNew("szinterp")
+	eps := 1e-3
+	m := trainedMethod(t, ds, comp, eps)
+	est := ConservativeEstimator(m, 1.0)
+	misses := 0
+	total := 0
+	for _, f := range ds.Fields[:6] {
+		for _, b := range f.Buffers[5:8] {
+			reserve, err := est(b, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := comp.Compress(b, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total++
+			if uint64(len(data)) > reserve {
+				misses++
+			}
+		}
+	}
+	// The conformal lower bound makes misses rare (not necessarily zero).
+	if misses > total/3 {
+		t.Errorf("%d/%d reservations too small", misses, total)
+	}
+	// Higher alpha reserves more.
+	estBig := ConservativeEstimator(m, 2.0)
+	b := ds.Fields[0].Buffers[5]
+	r1, err := est(b, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := estBig(b, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 <= r1 {
+		t.Errorf("alpha=2 reserve %d not above alpha=1 reserve %d", r2, r1)
+	}
+}
+
+func TestTargetMissEstimatorDial(t *testing.T) {
+	ds := hurricane(t)
+	comp := compressors.MustNew("szinterp")
+	eps := 1e-3
+	var trainBufs []*grid.Buffer
+	var trainCRs []float64
+	var writeBufs []*grid.Buffer
+	for _, f := range ds.Fields {
+		for i, b := range f.Buffers {
+			if i < 5 {
+				cr, err := compressors.Ratio(comp, b, eps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				trainBufs = append(trainBufs, b)
+				trainCRs = append(trainCRs, math.Min(cr, 100))
+			} else {
+				writeBufs = append(writeBufs, b)
+			}
+		}
+	}
+	m := baselines.NewProposed(core.Config{})
+	if err := m.Fit(trainBufs, trainCRs, eps); err != nil {
+		t.Fatal(err)
+	}
+	missAt := func(target float64) int {
+		est, err := TargetMissEstimator(m, trainBufs, trainCRs, eps, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ParallelWriteWithEstimate(writeBufs, comp, eps, 2, est)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Mispredicts
+	}
+	loose := missAt(0.25)
+	tight := missAt(0.02)
+	if tight > loose {
+		t.Errorf("2%% target missed %d, 25%% target missed %d — dial inverted", tight, loose)
+	}
+	// Out-of-range targets rejected.
+	if _, err := TargetMissEstimator(m, trainBufs, trainCRs, eps, 0); err == nil {
+		t.Error("missRate=0 accepted")
+	}
+	if _, err := TargetMissEstimator(m, trainBufs, trainCRs, eps, 0.7); err == nil {
+		t.Error("missRate=0.7 accepted")
+	}
+}

@@ -1,0 +1,156 @@
+package crest
+
+import (
+	"github.com/crestlab/crest/internal/baselines"
+	"github.com/crestlab/crest/internal/perfmodel"
+	"github.com/crestlab/crest/internal/usecases"
+)
+
+// RuntimeDist is a Gaussian runtime model N(μ, σ) for a task family, the
+// modeling primitive of the paper's §V speedup analysis.
+type RuntimeDist = perfmodel.Dist
+
+// ExpectedMax returns Elfving's asymptotic expected maximum of n Gaussian
+// samples, the parallel-straggler term of the speedup models.
+func ExpectedMax(d RuntimeDist, n int) float64 { return perfmodel.ElfvingMax(d, n) }
+
+// ParallelTime returns W(μ, σ, n_t, n_p): the expected time to run n_t
+// i.i.d. Gaussian tasks on n_p processors.
+func ParallelTime(d RuntimeDist, tasks, procs int) float64 { return perfmodel.W(d, tasks, procs) }
+
+// MinimalMakespan returns the minimal makespan of heterogeneous tasks on
+// procs processors (exact up to 24 tasks, LPT beyond).
+func MinimalMakespan(tasks []float64, procs int) float64 {
+	return perfmodel.ExactMakespan(tasks, procs)
+}
+
+// UseCaseAModel parameterizes the CR-target-search speedup model.
+type UseCaseAModel = perfmodel.UseCaseAInput
+
+// UseCaseASpeedup evaluates the §V-C speedup formula.
+func UseCaseASpeedup(in UseCaseAModel) float64 { return perfmodel.UseCaseASpeedup(in) }
+
+// UseCaseBModel parameterizes the compressor-selection speedup model.
+type UseCaseBModel = perfmodel.UseCaseBInput
+
+// UseCaseBSpeedup evaluates the §V-D speedup formula.
+func UseCaseBSpeedup(in UseCaseBModel) float64 { return perfmodel.UseCaseBSpeedup(in) }
+
+// SelectionInversionProbability returns the probability of choosing a
+// suboptimal compressor given CR means/variances and estimate error
+// variances (§V-D worked example).
+func SelectionInversionProbability(crMean, crVar, errVar []float64) float64 {
+	return perfmodel.InversionProbability(crMean, crVar, errVar)
+}
+
+// UseCaseCModel parameterizes the parallel-write speedup model.
+type UseCaseCModel = perfmodel.UseCaseCInput
+
+// UseCaseCSpeedup evaluates the §V-E speedup formula.
+func UseCaseCSpeedup(in UseCaseCModel) float64 { return perfmodel.UseCaseCSpeedup(in) }
+
+// TrainingModel parameterizes the model-production-time comparison.
+type TrainingModel = perfmodel.TrainingInput
+
+// TrainingSpeedup evaluates the §V-F training-time formula.
+func TrainingSpeedup(in TrainingModel) float64 { return perfmodel.TrainingSpeedup(in) }
+
+// MeasureRuntime summarizes timing samples (seconds) as a Gaussian model.
+func MeasureRuntime(samples []float64) RuntimeDist { return perfmodel.MeasureDist(samples) }
+
+// CRCurve maps an error bound to a compression ratio, the oracle of the
+// error-injection study.
+type CRCurve = perfmodel.Curve
+
+// InjectionResult is one noise level of the Fig. 3 study.
+type InjectionResult = perfmodel.InjectionResult
+
+// ErrorInjectionStudy reproduces Fig. 3: Gaussian estimate noise at the
+// given levels is injected into a target search and the deviation from the
+// noise-free solution is reported.
+func ErrorInjectionStudy(truth CRCurve, target, loEps, hiEps float64, iters int, levels []float64, trials int, seed int64) []InjectionResult {
+	return perfmodel.ErrorInjection(truth, target, loEps, hiEps, iters, levels, trials, seed)
+}
+
+// --- Executable use cases ---
+
+// SearchResult reports one use-case-A run.
+type SearchResult = usecases.SearchResult
+
+// SearchComparison is one Fig. 7 measurement.
+type SearchComparison = usecases.SearchComparison
+
+// SearchTargetNoEstimate binary-searches an error bound for a CR target by
+// running the compressor at every probe.
+func SearchTargetNoEstimate(comp Compressor, buf *Buffer, target, loEps, hiEps float64, iters int) (SearchResult, error) {
+	return usecases.SearchTargetNoEstimate(comp, buf, target, loEps, hiEps, iters)
+}
+
+// SearchTargetWithEstimate answers every probe with a trained estimation
+// method and compresses only once at the end.
+func SearchTargetWithEstimate(comp Compressor, buf *Buffer, m Method, target, loEps, hiEps float64, iters int) (SearchResult, error) {
+	return usecases.SearchTargetWithEstimate(comp, buf, m, target, loEps, hiEps, iters)
+}
+
+// CompareSearch measures the use-case-A speedup of a method against the
+// no-estimation baseline.
+func CompareSearch(comp Compressor, buf *Buffer, m Method, target, loEps, hiEps float64, iters int) (SearchComparison, error) {
+	return usecases.CompareSearch(comp, buf, m, target, loEps, hiEps, iters)
+}
+
+// SelectionResult reports one use-case-B run.
+type SelectionResult = usecases.SelectionResult
+
+// SelectBestNoEstimate runs every candidate compressor and re-runs the
+// winner.
+func SelectBestNoEstimate(comps []Compressor, buf *Buffer, eps float64) (SelectionResult, error) {
+	return usecases.SelectBestNoEstimate(comps, buf, eps)
+}
+
+// SelectBestWithEstimate picks the candidate with the highest estimated
+// ratio and runs only that one.
+func SelectBestWithEstimate(comps []Compressor, buf *Buffer, eps float64, methods map[string]Method) (SelectionResult, error) {
+	return usecases.SelectBestWithEstimate(comps, buf, eps, methods)
+}
+
+// AggFile is the aggregated-file container of use case C.
+type AggFile = usecases.AggFile
+
+// AggEntry is one directory record of an aggregated file.
+type AggEntry = usecases.AggEntry
+
+// UnmarshalAggFile parses a serialized aggregated file.
+func UnmarshalAggFile(b []byte) (*AggFile, error) { return usecases.UnmarshalAggFile(b) }
+
+// WriteResult reports one use-case-C run.
+type WriteResult = usecases.WriteResult
+
+// SizeEstimator predicts a reserved byte count before compression.
+type SizeEstimator = usecases.SizeEstimator
+
+// ConservativeEstimator derives a size estimator from a trained method
+// with over-allocation factor alpha; the proposed method uses its
+// conformal lower CR bound.
+func ConservativeEstimator(m Method, alpha float64) SizeEstimator {
+	return usecases.ConservativeEstimator(m, alpha)
+}
+
+// TargetMissEstimator derives a size estimator whose under-prediction
+// probability is dialed a priori through the conformal level (retrains
+// the method at λ = 2·missRate).
+func TargetMissEstimator(p *baselines.Proposed, bufs []*Buffer, crs []float64, eps, missRate float64) (SizeEstimator, error) {
+	return usecases.TargetMissEstimator(p, bufs, crs, eps, missRate)
+}
+
+// ParallelWriteNoEstimate builds an aggregated file by compressing twice
+// (size pass + write pass).
+func ParallelWriteNoEstimate(bufs []*Buffer, comp Compressor, eps float64, workers, memBuffers int) (WriteResult, error) {
+	return usecases.ParallelWriteNoEstimate(bufs, comp, eps, workers, memBuffers)
+}
+
+// ParallelWriteWithEstimate builds an aggregated file by reserving offsets
+// from size estimates and compressing once, repairing mispredictions into
+// an overflow region.
+func ParallelWriteWithEstimate(bufs []*Buffer, comp Compressor, eps float64, workers int, estimate SizeEstimator) (WriteResult, error) {
+	return usecases.ParallelWriteWithEstimate(bufs, comp, eps, workers, estimate)
+}
