@@ -20,6 +20,9 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	crest "github.com/crestlab/crest"
 )
@@ -38,6 +41,8 @@ func main() {
 		err = cmdCompress(args)
 	case "estimate":
 		err = cmdEstimate(args)
+	case "batch":
+		err = cmdBatch(args)
 	case "similarity":
 		err = cmdSimilarity(args)
 	case "rawfile":
@@ -66,6 +71,7 @@ commands:
   metrics     compute the five compressibility predictors for a field
   compress    run a compressor over a field and report ratios
   estimate    train on part of a field, predict the rest with bounds
+  batch       concurrent batch estimation over buffers x error bounds
   similarity  print the field-similarity (Mahalanobis) matrix of a dataset
   rawfile     compress a raw little-endian float64 file
   volume      compress a whole synthetic field as a 3D volume
@@ -231,6 +237,97 @@ func cmdEstimate(args []string) error {
 		fmt.Printf("%-6d %10.3f %10.3f [%8.3f,%8.3f] %7.2f%%\n", b.Step, truth, e.CR, e.Lo, e.Hi, ape)
 	}
 	return nil
+}
+
+func cmdBatch(args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	var df datasetFlags
+	df.register(fs)
+	epsList := fs.String("eps", "1e-2,1e-3,1e-4", "comma-separated absolute error bounds")
+	compName := fs.String("compressor", "szinterp", "compressor name")
+	trainFrac := fs.Float64("train", 0.6, "fraction of buffers used for training")
+	workers := fs.Int("workers", 0, "worker pool bound (0: GOMAXPROCS)")
+	repeat := fs.Int("repeat", 1, "evaluate the whole request batch this many times (exercises the cache)")
+	quiet := fs.Bool("quiet", false, "print only the stats snapshot")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var epses []float64
+	for _, tok := range strings.Split(*epsList, ",") {
+		e, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return fmt.Errorf("bad -eps entry %q: %v", tok, err)
+		}
+		epses = append(epses, e)
+	}
+	if len(epses) == 0 {
+		return fmt.Errorf("need at least one error bound")
+	}
+	comp, err := crest.NewCompressor(*compName)
+	if err != nil {
+		return err
+	}
+	_, field, err := df.load()
+	if err != nil {
+		return err
+	}
+	nTrain := int(*trainFrac * float64(len(field.Buffers)))
+	if nTrain < 4 || nTrain >= len(field.Buffers) {
+		return fmt.Errorf("train fraction %g leaves %d/%d buffers for training", *trainFrac, nTrain, len(field.Buffers))
+	}
+	cfg := crest.EstimatorConfig{}
+	var samples []crest.Sample
+	for _, eps := range epses {
+		s, err := crest.CollectSamples(field.Buffers[:nTrain], comp, eps, cfg.Predictors)
+		if err != nil {
+			return err
+		}
+		samples = append(samples, s...)
+	}
+	est, err := crest.TrainEstimator(samples, cfg)
+	if err != nil {
+		return err
+	}
+
+	test := field.Buffers[nTrain:]
+	reqs := make([]crest.BatchRequest, 0, len(test)*len(epses))
+	for _, b := range test {
+		for _, eps := range epses {
+			reqs = append(reqs, crest.BatchRequest{Buf: b, Eps: eps})
+		}
+	}
+	cache := crest.NewFeatureCache(cfg)
+	engine := crest.NewBatchEstimator(est, cache, *workers)
+	var ests []crest.Estimate
+	for r := 0; r < maxInt(*repeat, 1); r++ {
+		ests, err = engine.EstimateAll(reqs)
+		if err != nil {
+			return err
+		}
+	}
+	if !*quiet {
+		fmt.Printf("%-6s %10s %10s %20s\n", "step", "eps", "est CR", "95% interval")
+		for i, r := range reqs {
+			fmt.Printf("%-6d %10.2e %10.3f [%8.3f,%8.3f]\n", r.Buf.Step, r.Eps, ests[i].CR, ests[i].Lo, ests[i].Hi)
+		}
+	}
+	st := engine.Stats()
+	fmt.Printf("workers:   %d\n", engine.Workers())
+	fmt.Printf("requests:  %d in %d batch(es)\n", st.Requests, st.Batches)
+	fmt.Printf("cache:     dataset %d hit / %d miss, distortion %d hit / %d miss\n",
+		st.Cache.DatasetHits, st.Cache.DatasetMisses, st.Cache.EBHits, st.Cache.EBMisses)
+	fmt.Printf("occupancy: peak %d in-flight\n", st.PeakInFlight)
+	fmt.Printf("stages:    features %s, estimate %s (summed), wall %s\n",
+		st.FeatureTime.Round(time.Microsecond), st.EstimateTime.Round(time.Microsecond),
+		st.WallTime.Round(time.Microsecond))
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func cmdSimilarity(args []string) error {

@@ -16,6 +16,12 @@
 // analytic speedup models of its three application use cases, and
 // executable use-case simulations.
 //
+// For serving many estimates inline with parallel workloads, the
+// BatchEstimator fans buffer × bound requests over a bounded worker pool
+// backed by a shared, race-safe FeatureCache, and exposes observability
+// counters (cache hits/misses, worker occupancy, per-stage wall time)
+// through its Stats snapshot.
+//
 // # Quick start
 //
 //	ds := crest.HurricaneDataset(crest.DataOptions{})

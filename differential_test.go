@@ -1,0 +1,68 @@
+package crest_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	crest "github.com/crestlab/crest"
+)
+
+// TestDatasetFeaturesFusedMatchesNaiveProperty: for arbitrary randomized
+// buffers, the fused single-pass implementation of the four error-bound-
+// agnostic predictors must agree with the unfused per-metric reference to
+// floating-point tolerance — the property-test form of the §IV-C
+// differential check, run through the public API.
+func TestDatasetFeaturesFusedMatchesNaiveProperty(t *testing.T) {
+	cfg := crest.PredictorConfig{Workers: 1}
+	rel := func(a, b float64) float64 {
+		d := math.Abs(a - b)
+		m := math.Max(math.Abs(a), math.Abs(b))
+		if m < 1e-12 {
+			return d
+		}
+		return d / m
+	}
+	prop := func(seed int64, rawRows, rawCols uint8, smooth bool) bool {
+		rows := 16 + int(rawRows%33) // 16..48
+		cols := 16 + int(rawCols%33)
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]float64, rows*cols)
+		for i := range data {
+			if smooth {
+				r, c := i/cols, i%cols
+				data[i] = math.Sin(float64(r)/7)*math.Cos(float64(c)/9) + 0.05*rng.NormFloat64()
+			} else {
+				data[i] = rng.NormFloat64()
+			}
+		}
+		buf, err := crest.BufferFromSlice(rows, cols, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fused, err := crest.ComputeDatasetFeatures(buf, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := crest.ComputeDatasetFeaturesNaive(buf, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := true
+		check := func(name string, a, b, tol float64) {
+			if rel(a, b) > tol {
+				t.Logf("seed=%d %dx%d smooth=%v: %s fused %g vs naive %g", seed, rows, cols, smooth, name, a, b)
+				ok = false
+			}
+		}
+		check("SD", fused.SD, naive.SD, 1e-6)
+		check("SC", fused.SC, naive.SC, 1e-6)
+		check("CodingGain", fused.CodingGain, naive.CodingGain, 1e-4)
+		check("CovSVDTrunc", fused.CovSVDTrunc, naive.CovSVDTrunc, 1e-9)
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}

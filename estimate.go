@@ -84,8 +84,16 @@ func TrainEstimator(samples []Sample, cfg EstimatorConfig) (*Estimator, error) {
 
 // CollectSamples computes covariates and ground-truth ratios for buffers
 // by running the compressor once each — the training-data collection step.
+// Buffers are processed concurrently across all cores; the returned
+// samples are in buffer order, identical to a serial run.
 func CollectSamples(bufs []*Buffer, comp Compressor, eps float64, cfg PredictorConfig) ([]Sample, error) {
 	return core.BuildSamples(bufs, comp, eps, cfg)
+}
+
+// CollectSamplesWorkers is CollectSamples with an explicit bound on the
+// per-buffer worker pool (workers <= 0 selects GOMAXPROCS, 1 is serial).
+func CollectSamplesWorkers(bufs []*Buffer, comp Compressor, eps float64, cfg PredictorConfig, workers int) ([]Sample, error) {
+	return core.BuildSamplesWorkers(bufs, comp, eps, cfg, workers)
 }
 
 // Method is a compression-ratio estimation method under evaluation: the
@@ -106,7 +114,10 @@ func NewProposedMethod(cfg EstimatorConfig) *baselines.Proposed { return baselin
 
 // FeatureCache is a shareable predictor-feature cache; per-compressor
 // proposed methods should share one since features are
-// compressor-independent.
+// compressor-independent. It is race-safe (sharded, mutex-protected,
+// singleflight admission): any number of goroutines may share one cache,
+// and each buffer's features are computed exactly once even under
+// concurrent first requests.
 type FeatureCache = baselines.FeatureCache
 
 // NewFeatureCache returns an empty shareable feature cache.

@@ -18,8 +18,8 @@ import (
 	"math"
 
 	"github.com/crestlab/crest/internal/core"
+	"github.com/crestlab/crest/internal/featcache"
 	"github.com/crestlab/crest/internal/grid"
-	"github.com/crestlab/crest/internal/predictors"
 )
 
 // Method is a compression-ratio estimation method under evaluation.
@@ -34,6 +34,14 @@ type Method interface {
 // ErrUntrained reports Predict before a successful Fit.
 var ErrUntrained = errors.New("baselines: method not trained")
 
+// ConcurrentPredictor marks methods whose Predict is safe to call from
+// several goroutines once Fit has returned; concurrent evaluation paths
+// (parallel k-fold prediction, the batch engine's method adapter) consult
+// it before fanning predictions out.
+type ConcurrentPredictor interface {
+	ConcurrentPredictSafe() bool
+}
+
 // ---------------------------------------------------------------------------
 // Proposed method adapter
 
@@ -43,12 +51,12 @@ var ErrUntrained = errors.New("baselines: method not trained")
 type Proposed struct {
 	Cfg   core.Config
 	est   *core.Estimator
-	cache *featureCache
+	cache *featcache.Cache
 }
 
 // NewProposed returns the proposed method with the given pipeline config.
 func NewProposed(cfg core.Config) *Proposed {
-	return &Proposed{Cfg: cfg, cache: newFeatureCache(cfg.Predictors)}
+	return &Proposed{Cfg: cfg, cache: featcache.New(cfg.Predictors)}
 }
 
 // NewProposedShared returns the proposed method sharing a feature cache
@@ -59,17 +67,32 @@ func NewProposedShared(cfg core.Config, cache *FeatureCache) *Proposed {
 	return &Proposed{Cfg: cfg, cache: cache.inner}
 }
 
-// FeatureCache is a shareable cache of predictor features keyed by buffer
-// and error bound.
+// FeatureCache is a shareable, race-safe cache of predictor features keyed
+// by buffer identity and error bound (a thin wrapper over the sharded
+// singleflight cache of internal/featcache). One FeatureCache may be
+// shared by any number of methods and goroutines.
 type FeatureCache struct {
-	inner *featureCache
+	inner *featcache.Cache
 }
 
 // NewFeatureCache returns an empty shareable cache for the predictor
 // configuration.
 func NewFeatureCache(cfg core.Config) *FeatureCache {
-	return &FeatureCache{inner: newFeatureCache(cfg.Predictors)}
+	return &FeatureCache{inner: featcache.New(cfg.Predictors)}
 }
+
+// Features returns the five-feature covariate vector of buf at eps,
+// computed on first use and cached thereafter. Safe for concurrent use.
+func (c *FeatureCache) Features(buf *grid.Buffer, eps float64) ([]float64, error) {
+	return c.inner.Features(buf, eps)
+}
+
+// Stats returns a snapshot of the cache hit/miss counters.
+func (c *FeatureCache) Stats() featcache.Stats { return c.inner.Stats() }
+
+// Cache exposes the underlying sharded cache for engines that consume it
+// directly (the batch estimator).
+func (c *FeatureCache) Cache() *featcache.Cache { return c.inner }
 
 // Name implements Method.
 func (p *Proposed) Name() string { return "proposed" }
@@ -82,7 +105,7 @@ func (p *Proposed) Fit(bufs []*grid.Buffer, crs []float64, eps float64) error {
 	}
 	samples := make([]core.Sample, len(bufs))
 	for i, b := range bufs {
-		feats, err := p.cache.features(b, eps)
+		feats, err := p.cache.Features(b, eps)
 		if err != nil {
 			return err
 		}
@@ -129,7 +152,7 @@ func (p *Proposed) FitMulti(bufs []*grid.Buffer, crs [][]float64, epses []float6
 			return fmt.Errorf("baselines: buffer %d has %d ratios for %d bounds", i, len(crs[i]), len(epses))
 		}
 		for j, eps := range epses {
-			feats, err := p.cache.features(b, eps)
+			feats, err := p.cache.Features(b, eps)
 			if err != nil {
 				return err
 			}
@@ -149,7 +172,7 @@ func (p *Proposed) Predict(buf *grid.Buffer, eps float64) (float64, error) {
 	if p.est == nil {
 		return 0, ErrUntrained
 	}
-	feats, err := p.cache.features(buf, eps)
+	feats, err := p.cache.Features(buf, eps)
 	if err != nil {
 		return 0, err
 	}
@@ -166,7 +189,7 @@ func (p *Proposed) Interval(buf *grid.Buffer, eps float64) (core.Estimate, error
 	if p.est == nil {
 		return core.Estimate{}, ErrUntrained
 	}
-	feats, err := p.cache.features(buf, eps)
+	feats, err := p.cache.Features(buf, eps)
 	if err != nil {
 		return core.Estimate{}, err
 	}
@@ -176,61 +199,20 @@ func (p *Proposed) Interval(buf *grid.Buffer, eps float64) (core.Estimate, error
 // Estimator exposes the trained core estimator (nil before Fit).
 func (p *Proposed) Estimator() *core.Estimator { return p.est }
 
-type ebKey struct {
-	buf *grid.Buffer
-	eps float64
+// ConcurrentPredictSafe implements ConcurrentPredictor: the sharded
+// singleflight feature cache makes Predict race-free after Fit.
+func (p *Proposed) ConcurrentPredictSafe() bool { return true }
+
+// Warm fills the feature cache for every buffer × bound pair across a
+// bounded worker pool (workers <= 0 selects GOMAXPROCS), so a subsequent
+// Fit or k-fold pass finds every feature precomputed instead of faulting
+// them in serially.
+func (p *Proposed) Warm(bufs []*grid.Buffer, epses []float64, workers int) error {
+	return p.cache.Warm(bufs, epses, workers)
 }
 
-type featureCache struct {
-	cfg  predictors.Config
-	dset map[*grid.Buffer]predictors.DatasetFeatures
-	eb   map[ebKey]float64
-}
-
-func newFeatureCache(cfg predictors.Config) *featureCache {
-	return &featureCache{
-		cfg:  cfg,
-		dset: make(map[*grid.Buffer]predictors.DatasetFeatures),
-		eb:   make(map[ebKey]float64),
-	}
-}
-
-func (c *featureCache) features(buf *grid.Buffer, eps float64) ([]float64, error) {
-	df, ok := c.dset[buf]
-	if !ok {
-		var err error
-		df, err = predictors.ComputeDataset(buf, c.cfg)
-		if err != nil {
-			return nil, err
-		}
-		c.dset[buf] = df
-	}
-	k := ebKey{buf, eps}
-	d, ok := c.eb[k]
-	if !ok {
-		var err error
-		d, err = predictors.ComputeEB(buf, eps, c.cfg)
-		if err != nil {
-			return nil, err
-		}
-		c.eb[k] = d
-	}
-	return predictors.Combine(df, d).Vector(), nil
-}
-
-// dsetFeatures returns only the error-bound-agnostic features.
-func (c *featureCache) dsetFeatures(buf *grid.Buffer) (predictors.DatasetFeatures, error) {
-	df, ok := c.dset[buf]
-	if ok {
-		return df, nil
-	}
-	df, err := predictors.ComputeDataset(buf, c.cfg)
-	if err != nil {
-		return predictors.DatasetFeatures{}, err
-	}
-	c.dset[buf] = df
-	return df, nil
-}
+// CacheStats returns the hit/miss counters of the method's feature cache.
+func (p *Proposed) CacheStats() featcache.Stats { return p.cache.Stats() }
 
 func logCR(cr, cap float64) float64 {
 	if cr > cap {

@@ -27,6 +27,10 @@ func NewLu() *Lu { return &Lu{BlockSize: 8} }
 // Name implements Method.
 func (l *Lu) Name() string { return "lu" }
 
+// ConcurrentPredictSafe implements ConcurrentPredictor: the estimate is
+// recomputed from scratch per call with no shared state.
+func (l *Lu) ConcurrentPredictSafe() bool { return true }
+
 // Fit implements Method; the estimate is analytic.
 func (l *Lu) Fit(bufs []*grid.Buffer, crs []float64, eps float64) error { return nil }
 

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"github.com/crestlab/crest/internal/featcache"
 	"github.com/crestlab/crest/internal/grid"
 	"github.com/crestlab/crest/internal/predictors"
 )
@@ -25,16 +26,20 @@ type Rahman struct {
 	CRCap float64
 
 	root  *treeNode
-	cache *featureCache
+	cache *featcache.Cache
 }
 
 // NewRahman returns the decision-tree baseline with default parameters.
 func NewRahman() *Rahman {
-	return &Rahman{MaxDepth: 6, MinLeaf: 3, CRCap: 100, cache: newFeatureCache(predictors.Config{})}
+	return &Rahman{MaxDepth: 6, MinLeaf: 3, CRCap: 100, cache: featcache.New(predictors.Config{})}
 }
 
 // Name implements Method.
 func (r *Rahman) Name() string { return "rahman" }
+
+// ConcurrentPredictSafe implements ConcurrentPredictor: tree traversal is
+// read-only and the feature cache is race-safe.
+func (r *Rahman) ConcurrentPredictSafe() bool { return true }
 
 type treeNode struct {
 	// Leaf prediction (mean log-CR of the leaf's samples).
@@ -50,7 +55,7 @@ func (r *Rahman) Fit(bufs []*grid.Buffer, crs []float64, eps float64) error {
 	x := make([][]float64, len(bufs))
 	y := make([]float64, len(bufs))
 	for i, b := range bufs {
-		feats, err := r.cache.features(b, eps)
+		feats, err := r.cache.Features(b, eps)
 		if err != nil {
 			return err
 		}
@@ -163,7 +168,7 @@ func (r *Rahman) Predict(buf *grid.Buffer, eps float64) (float64, error) {
 	if r.root == nil {
 		return 0, ErrUntrained
 	}
-	feats, err := r.cache.features(buf, eps)
+	feats, err := r.cache.Features(buf, eps)
 	if err != nil {
 		return 0, err
 	}

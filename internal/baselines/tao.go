@@ -26,6 +26,10 @@ func NewTao() *Tao { return &Tao{SampleStride: 4, BlockSize: 8} }
 // Name implements Method.
 func (t *Tao) Name() string { return "tao" }
 
+// ConcurrentPredictSafe implements ConcurrentPredictor: Predict touches no
+// shared state.
+func (t *Tao) ConcurrentPredictSafe() bool { return true }
+
 // Fit implements Method; the method is training-free.
 func (t *Tao) Fit(bufs []*grid.Buffer, crs []float64, eps float64) error { return nil }
 

@@ -3,6 +3,7 @@ package baselines
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/crestlab/crest/internal/grid"
 	"github.com/crestlab/crest/internal/linalg"
@@ -23,7 +24,9 @@ type Underwood struct {
 	CRCap float64
 
 	beta []float64 // intercept + 2 coefficients; nil before Fit
-	svd  map[*grid.Buffer]float64
+
+	mu  sync.Mutex // guards svd against concurrent Predict calls
+	svd map[*grid.Buffer]float64
 }
 
 // NewUnderwood returns the Underwood baseline with default parameters.
@@ -40,18 +43,26 @@ func (u *Underwood) Name() string { return "underwood" }
 // paper's "1.42× faster to train" claim measures. Results are cached per
 // buffer like the real implementation would.
 func (u *Underwood) features(buf *grid.Buffer, eps float64) ([2]float64, error) {
+	u.mu.Lock()
 	trunc, ok := u.svd[buf]
+	u.mu.Unlock()
 	if !ok {
 		t, _, err := predictors.NaiveCovSVDTrunc(buf, u.PredCfg)
 		if err != nil {
 			return [2]float64{}, err
 		}
 		trunc = t
+		u.mu.Lock()
 		u.svd[buf] = trunc
+		u.mu.Unlock()
 	}
 	qe := stats.QuantizedEntropy(buf.Data, eps)
 	return [2]float64{trunc, qe}, nil
 }
+
+// ConcurrentPredictSafe implements ConcurrentPredictor: the SVD memo is
+// mutex-guarded and the fitted coefficients are read-only after Fit.
+func (u *Underwood) ConcurrentPredictSafe() bool { return true }
 
 // Fit implements Method with an OLS solve of the 3-parameter model.
 func (u *Underwood) Fit(bufs []*grid.Buffer, crs []float64, eps float64) error {

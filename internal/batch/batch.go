@@ -1,0 +1,158 @@
+// Package batch is the concurrent batch-estimation engine: it fans
+// buffer × error-bound estimation requests over a bounded worker pool so
+// compressibility estimation stays cheap enough to run inline with large
+// parallel workloads — the operating point the paper targets with its
+// multi-threaded predictor implementation (§IV-C) and its parallel
+// aggregated-write use case (§V-E).
+//
+// Every request's features come from a shared featcache.Cache, so a batch
+// touching the same buffer at several bounds (or several batches touching
+// the same buffers) computes each buffer's dataset predictors exactly
+// once. Results are written by request index, which makes the engine's
+// output bit-identical to the serial Estimate path for any worker count
+// and any request order (given a deterministic predictor configuration).
+package batch
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/crestlab/crest/internal/core"
+	"github.com/crestlab/crest/internal/featcache"
+	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/parallel"
+)
+
+// Request asks for one compression-ratio estimate: one buffer at one
+// absolute error bound.
+type Request struct {
+	Buf *grid.Buffer
+	Eps float64
+}
+
+// Engine evaluates batches of requests against one trained estimator,
+// sharing a feature cache across requests and batches. An Engine is safe
+// for concurrent use; EstimateAll may itself be called from several
+// goroutines sharing the cache and counters.
+type Engine struct {
+	est     *core.Estimator
+	cache   *featcache.Cache
+	workers int
+
+	// Counters, all updated atomically.
+	requests     uint64
+	batches      uint64
+	inFlight     int64
+	peakInFlight int64
+	featureNanos int64
+	estimateNanos int64
+	wallNanos    int64
+}
+
+// New returns an engine over a trained estimator and a shared feature
+// cache. workers <= 0 selects GOMAXPROCS. The cache must have been built
+// with the same predictor configuration the estimator was trained on; nil
+// creates a private cache from the estimator's default configuration.
+func New(est *core.Estimator, cache *featcache.Cache, workers int) *Engine {
+	if cache == nil {
+		cache = featcache.New(est.PredictorConfig())
+	}
+	return &Engine{est: est, cache: cache, workers: parallel.Workers(workers)}
+}
+
+// Workers returns the resolved worker-pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Cache returns the engine's shared feature cache.
+func (e *Engine) Cache() *featcache.Cache { return e.cache }
+
+// EstimateAll evaluates every request and returns the estimates in request
+// order. Requests fan out over the worker pool with dynamic scheduling
+// (per-buffer cost is irregular); each result lands in its own slot, so
+// the output is independent of scheduling. On failure the error of the
+// lowest-indexed failing request is returned.
+func (e *Engine) EstimateAll(reqs []Request) ([]core.Estimate, error) {
+	start := time.Now()
+	out := make([]core.Estimate, len(reqs))
+	errs := make([]error, len(reqs))
+	parallel.ForEachDynamic(len(reqs), e.workers, func(i int) {
+		cur := atomic.AddInt64(&e.inFlight, 1)
+		for {
+			peak := atomic.LoadInt64(&e.peakInFlight)
+			if cur <= peak || atomic.CompareAndSwapInt64(&e.peakInFlight, peak, cur) {
+				break
+			}
+		}
+		defer atomic.AddInt64(&e.inFlight, -1)
+
+		t0 := time.Now()
+		feats, err := e.cache.Features(reqs[i].Buf, reqs[i].Eps)
+		atomic.AddInt64(&e.featureNanos, int64(time.Since(t0)))
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		t1 := time.Now()
+		est, err := e.est.Estimate(feats)
+		atomic.AddInt64(&e.estimateNanos, int64(time.Since(t1)))
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		out[i] = est
+	})
+	atomic.AddUint64(&e.requests, uint64(len(reqs)))
+	atomic.AddUint64(&e.batches, 1)
+	atomic.AddInt64(&e.wallNanos, int64(time.Since(start)))
+	for i, err := range errs {
+		if err != nil {
+			b := reqs[i].Buf
+			return nil, fmt.Errorf("batch: request %d (%s/%s step %d @ eps %g): %w",
+				i, b.Dataset, b.Field, b.Step, reqs[i].Eps, err)
+		}
+	}
+	return out, nil
+}
+
+// Stats is a point-in-time snapshot of the engine counters: request and
+// batch totals, shared-cache hit/miss counters, worker occupancy, and the
+// cumulative wall time of each pipeline stage (feature computation,
+// model evaluation) summed across workers, plus the end-to-end batch wall
+// time.
+type Stats struct {
+	Requests uint64
+	Batches  uint64
+
+	Cache featcache.Stats
+
+	InFlight     int64 // workers busy right now
+	PeakInFlight int64 // highest concurrent occupancy observed
+
+	FeatureTime  time.Duration // Σ per-request feature stage
+	EstimateTime time.Duration // Σ per-request model stage
+	WallTime     time.Duration // Σ per-batch end-to-end
+}
+
+// Stats returns a snapshot of the engine and cache counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Requests:     atomic.LoadUint64(&e.requests),
+		Batches:      atomic.LoadUint64(&e.batches),
+		Cache:        e.cache.Stats(),
+		InFlight:     atomic.LoadInt64(&e.inFlight),
+		PeakInFlight: atomic.LoadInt64(&e.peakInFlight),
+		FeatureTime:  time.Duration(atomic.LoadInt64(&e.featureNanos)),
+		EstimateTime: time.Duration(atomic.LoadInt64(&e.estimateNanos)),
+		WallTime:     time.Duration(atomic.LoadInt64(&e.wallNanos)),
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"requests=%d batches=%d cache[dset %d/%d eb %d/%d hit/miss] peak_workers=%d feature=%s estimate=%s wall=%s",
+		s.Requests, s.Batches,
+		s.Cache.DatasetHits, s.Cache.DatasetMisses, s.Cache.EBHits, s.Cache.EBMisses,
+		s.PeakInFlight, s.FeatureTime.Round(time.Microsecond),
+		s.EstimateTime.Round(time.Microsecond), s.WallTime.Round(time.Microsecond))
+}

@@ -1,0 +1,187 @@
+package batch
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/crestlab/crest/internal/core"
+	"github.com/crestlab/crest/internal/featcache"
+	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/predictors"
+)
+
+// serialCfg keeps predictor passes single-threaded for bit-determinism.
+var serialCfg = predictors.Config{Workers: 1}
+
+func testBuffer(rows, cols int, seed int64) *grid.Buffer {
+	rng := rand.New(rand.NewSource(seed))
+	b := grid.NewBuffer(rows, cols)
+	for i := range b.Data {
+		b.Data[i] = math.Sin(float64(i)/23) + 0.2*rng.NormFloat64()
+	}
+	b.Dataset, b.Field, b.Step = "batch", "f", int(seed)
+	return b
+}
+
+// trainedEstimator fits a small estimator on synthetic feature/CR pairs
+// derived from real buffers, so Estimate is exercised end-to-end.
+func trainedEstimator(t *testing.T, bufs []*grid.Buffer, epses []float64) *core.Estimator {
+	t.Helper()
+	cache := featcache.New(serialCfg)
+	var samples []core.Sample
+	for i, b := range bufs {
+		for j, eps := range epses {
+			feats, err := cache.Features(b, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Synthetic but feature-linked target keeps training stable.
+			cr := 2 + 3*math.Abs(feats[4]) + 0.5*float64(i+j)
+			samples = append(samples, core.Sample{Features: feats, CR: cr})
+		}
+	}
+	cfg := core.Config{Predictors: serialCfg}
+	est, err := core.Train(samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+func TestEngineMatchesSerialAcrossWorkerCounts(t *testing.T) {
+	var bufs []*grid.Buffer
+	for s := int64(0); s < 6; s++ {
+		bufs = append(bufs, testBuffer(32, 32, s))
+	}
+	epses := []float64{1e-2, 1e-3, 1e-4}
+	est := trainedEstimator(t, bufs[:4], epses)
+
+	var reqs []Request
+	for _, b := range bufs {
+		for _, eps := range epses {
+			reqs = append(reqs, Request{Buf: b, Eps: eps})
+		}
+	}
+
+	// Serial reference through the uncached path.
+	want := make([]core.Estimate, len(reqs))
+	for i, r := range reqs {
+		feats, err := core.FeaturesOf(r.Buf, r.Eps, serialCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := est.Estimate(feats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = e
+	}
+
+	for _, workers := range []int{1, 2, 4, 16} {
+		eng := New(est, featcache.New(serialCfg), workers)
+		got, err := eng.EstimateAll(reqs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d request %d: %+v != serial %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestEngineStatsCounters(t *testing.T) {
+	var bufs []*grid.Buffer
+	for s := int64(0); s < 3; s++ {
+		bufs = append(bufs, testBuffer(32, 32, s))
+	}
+	epses := []float64{1e-2, 1e-3, 1e-4}
+	est := trainedEstimator(t, bufs, epses[:2])
+
+	var reqs []Request
+	for _, b := range bufs {
+		for _, eps := range epses {
+			reqs = append(reqs, Request{Buf: b, Eps: eps})
+		}
+	}
+	eng := New(est, nil, 4)
+	if eng.Workers() != 4 {
+		t.Fatalf("Workers() = %d", eng.Workers())
+	}
+	if _, err := eng.EstimateAll(reqs); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Requests != uint64(len(reqs)) || st.Batches != 1 {
+		t.Errorf("requests=%d batches=%d, want %d and 1", st.Requests, st.Batches, len(reqs))
+	}
+	if st.Cache.DatasetMisses != uint64(len(bufs)) {
+		t.Errorf("dataset misses %d, want %d", st.Cache.DatasetMisses, len(bufs))
+	}
+	// Each buffer appears at len(epses) bounds: its dataset features are
+	// hit at least len(epses)-1 times — >1 hit per shared buffer.
+	if st.Cache.DatasetHits < uint64(len(bufs)*(len(epses)-1)) {
+		t.Errorf("dataset hits %d, want >= %d", st.Cache.DatasetHits, len(bufs)*(len(epses)-1))
+	}
+	if st.InFlight != 0 {
+		t.Errorf("in-flight %d after batch completed", st.InFlight)
+	}
+	if st.PeakInFlight < 1 || st.PeakInFlight > 4 {
+		t.Errorf("peak in-flight %d outside [1, workers]", st.PeakInFlight)
+	}
+	if st.WallTime <= 0 || st.FeatureTime <= 0 {
+		t.Errorf("non-positive stage times: %+v", st)
+	}
+	if st.String() == "" {
+		t.Error("empty Stats string")
+	}
+
+	// A second identical batch is all hits.
+	if _, err := eng.EstimateAll(reqs); err != nil {
+		t.Fatal(err)
+	}
+	st2 := eng.Stats()
+	if st2.Batches != 2 || st2.Requests != 2*uint64(len(reqs)) {
+		t.Errorf("after second batch: batches=%d requests=%d", st2.Batches, st2.Requests)
+	}
+	if st2.Cache.Misses() != st.Cache.Misses() {
+		t.Errorf("second batch recomputed: misses %d -> %d", st.Cache.Misses(), st2.Cache.Misses())
+	}
+}
+
+func TestEngineErrorCarriesRequestIdentity(t *testing.T) {
+	var bufs []*grid.Buffer
+	for s := int64(0); s < 5; s++ {
+		bufs = append(bufs, testBuffer(32, 32, s))
+	}
+	est := trainedEstimator(t, bufs, []float64{1e-2, 1e-3, 1e-4})
+	tiny := grid.NewBuffer(4, 4) // cannot be blocked at K=8
+	tiny.Dataset, tiny.Field, tiny.Step = "batch", "bad", 9
+	eng := New(est, nil, 2)
+	_, err := eng.EstimateAll([]Request{{Buf: bufs[0], Eps: 1e-3}, {Buf: tiny, Eps: 1e-3}})
+	if err == nil {
+		t.Fatal("expected error for untileable buffer")
+	}
+	if !strings.Contains(err.Error(), "request 1") || !strings.Contains(err.Error(), "step 9") {
+		t.Errorf("error %q lacks request identity", err)
+	}
+}
+
+func TestEngineEmptyBatch(t *testing.T) {
+	var bufs []*grid.Buffer
+	for s := int64(0); s < 5; s++ {
+		bufs = append(bufs, testBuffer(32, 32, s))
+	}
+	est := trainedEstimator(t, bufs, []float64{1e-2, 1e-3, 1e-4})
+	eng := New(est, nil, 3)
+	out, err := eng.EstimateAll(nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: out=%v err=%v", out, err)
+	}
+	if st := eng.Stats(); st.Batches != 1 || st.Requests != 0 {
+		t.Errorf("stats after empty batch: %+v", st)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"github.com/crestlab/crest/internal/conformal"
 	"github.com/crestlab/crest/internal/grid"
 	"github.com/crestlab/crest/internal/mixreg"
+	"github.com/crestlab/crest/internal/parallel"
 	"github.com/crestlab/crest/internal/predictors"
 	"github.com/crestlab/crest/internal/stats"
 )
@@ -224,6 +225,10 @@ func (e *Estimator) Estimate(features []float64) (Estimate, error) {
 // IntervalRadius returns the conformal half-width on the log(CR) scale.
 func (e *Estimator) IntervalRadius() float64 { return e.model.Radius() }
 
+// PredictorConfig returns the predictor configuration the estimator was
+// trained with, so feature caches can be built to match.
+func (e *Estimator) PredictorConfig() predictors.Config { return e.cfg.Predictors }
+
 // Coverage returns the empirical interval coverage over samples, for
 // comparison against the nominal 1−λ (§VI-D).
 func (e *Estimator) Coverage(samples []Sample) float64 {
@@ -268,15 +273,34 @@ func BuildSample(buf *grid.Buffer, comp compressors.Compressor, eps float64, cfg
 	return Sample{Features: feats, CR: cr}, nil
 }
 
-// BuildSamples maps BuildSample over buffers.
+// BuildSamples maps BuildSample over buffers across all cores; see
+// BuildSamplesWorkers.
 func BuildSamples(bufs []*grid.Buffer, comp compressors.Compressor, eps float64, cfg predictors.Config) ([]Sample, error) {
+	return BuildSamplesWorkers(bufs, comp, eps, cfg, 0)
+}
+
+// BuildSamplesWorkers maps BuildSample over buffers on a bounded worker
+// pool with dynamic scheduling (workers <= 0 selects GOMAXPROCS), so
+// Algorithm 2's training-data collection — one compressor run plus one
+// feature pass per buffer — scales with cores. Each sample lands in its
+// own slot, keeping the output identical to the serial path; on failure
+// the lowest-indexed buffer's error is returned.
+func BuildSamplesWorkers(bufs []*grid.Buffer, comp compressors.Compressor, eps float64, cfg predictors.Config, workers int) ([]Sample, error) {
 	out := make([]Sample, len(bufs))
-	for i, b := range bufs {
-		s, err := BuildSample(b, comp, eps, cfg)
+	errs := make([]error, len(bufs))
+	parallel.ForEachDynamic(len(bufs), workers, func(i int) {
+		s, err := BuildSample(bufs[i], comp, eps, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("core: buffer %d (%s/%s step %d): %w", i, b.Dataset, b.Field, b.Step, err)
+			errs[i] = err
+			return
 		}
 		out[i] = s
+	})
+	for i, err := range errs {
+		if err != nil {
+			b := bufs[i]
+			return nil, fmt.Errorf("core: buffer %d (%s/%s step %d): %w", i, b.Dataset, b.Field, b.Step, err)
+		}
 	}
 	return out, nil
 }

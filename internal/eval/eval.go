@@ -10,10 +10,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"github.com/crestlab/crest/internal/baselines"
 	"github.com/crestlab/crest/internal/compressors"
 	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/parallel"
 	"github.com/crestlab/crest/internal/stats"
 )
 
@@ -31,9 +33,12 @@ func (q Quantiles) String() string {
 }
 
 // CRCache memoizes ground-truth compression ratios per (buffer,
-// compressor, bound), already capped at CRCap.
+// compressor, bound), already capped at CRCap. It is safe for concurrent
+// use: entries admit singleflight-style, so racing first requests for the
+// same key run the compressor exactly once.
 type CRCache struct {
-	m map[crKey]float64
+	mu sync.Mutex
+	m  map[crKey]*crEntry
 }
 
 type crKey struct {
@@ -42,25 +47,37 @@ type crKey struct {
 	eps  float64
 }
 
+// crEntry is a singleflight slot: done closes once cr/err are final.
+type crEntry struct {
+	done chan struct{}
+	cr   float64
+	err  error
+}
+
 // NewCRCache returns an empty cache.
-func NewCRCache() *CRCache { return &CRCache{m: make(map[crKey]float64)} }
+func NewCRCache() *CRCache { return &CRCache{m: make(map[crKey]*crEntry)} }
 
 // Ratio returns the capped true compression ratio, compressing on first
-// use.
+// use. Concurrent first requests for the same key share one compression.
 func (c *CRCache) Ratio(comp compressors.Compressor, buf *grid.Buffer, eps float64) (float64, error) {
 	k := crKey{buf, comp.Name(), eps}
-	if v, ok := c.m[k]; ok {
-		return v, nil
+	c.mu.Lock()
+	e, ok := c.m[k]
+	if ok {
+		c.mu.Unlock()
+		<-e.done
+		return e.cr, e.err
 	}
+	e = &crEntry{done: make(chan struct{})}
+	c.m[k] = e
+	c.mu.Unlock()
 	cr, err := compressors.Ratio(comp, buf, eps)
-	if err != nil {
-		return 0, err
-	}
-	if cr > CRCap {
+	if err == nil && cr > CRCap {
 		cr = CRCap
 	}
-	c.m[k] = cr
-	return cr, nil
+	e.cr, e.err = cr, err
+	close(e.done)
+	return e.cr, e.err
 }
 
 // Ratios maps Ratio over buffers.
@@ -76,9 +93,40 @@ func (c *CRCache) Ratios(comp compressors.Compressor, bufs []*grid.Buffer, eps f
 	return out, nil
 }
 
+// RatiosParallel is Ratios with the cache misses compressed on a bounded
+// worker pool (workers <= 0 selects GOMAXPROCS). Output order and values
+// are identical to Ratios; on failure the lowest-indexed buffer's error is
+// returned.
+func (c *CRCache) RatiosParallel(comp compressors.Compressor, bufs []*grid.Buffer, eps float64, workers int) ([]float64, error) {
+	out := make([]float64, len(bufs))
+	errs := make([]error, len(bufs))
+	parallel.ForEachDynamic(len(bufs), workers, func(i int) {
+		out[i], errs[i] = c.Ratio(comp, bufs[i], eps)
+	})
+	for i, err := range errs {
+		if err != nil {
+			b := bufs[i]
+			return nil, fmt.Errorf("eval: %s on %s/%s step %d: %w", comp.Name(), b.Dataset, b.Field, b.Step, err)
+		}
+	}
+	return out, nil
+}
+
+// featureWarmer is implemented by methods (the proposed approach) that can
+// precompute their feature cache for a buffer set across workers.
+type featureWarmer interface {
+	Warm(bufs []*grid.Buffer, epses []float64, workers int) error
+}
+
 // KFold runs Algorithm 2: k-fold cross-validation of method m on bufs with
 // compressor comp at bound eps, returning the MedAPE quantiles and the raw
 // per-fold MedAPEs.
+//
+// The expensive per-buffer work scales with cores: ground-truth ratios and
+// (for methods that support warming) predictor features are precomputed on
+// a worker pool before the fold loop, and per-fold predictions fan out
+// when the method marks its Predict concurrency-safe. Fold order, fitting
+// and all numeric results are identical to a serial run.
 func KFold(m baselines.Method, bufs []*grid.Buffer, comp compressors.Compressor, eps float64, k int, seed int64, cache *CRCache) (Quantiles, []float64, error) {
 	n := len(bufs)
 	if k < 2 {
@@ -93,10 +141,25 @@ func KFold(m baselines.Method, bufs []*grid.Buffer, comp compressors.Compressor,
 	if cache == nil {
 		cache = NewCRCache()
 	}
+	// Pre-pass: every buffer's ground truth (and, when available, its
+	// features) is needed across the folds; compute them concurrently once
+	// instead of faulting them in one at a time inside the fold loop.
+	if _, err := cache.RatiosParallel(comp, bufs, eps, 0); err != nil {
+		return Quantiles{}, nil, err
+	}
+	if w, ok := m.(featureWarmer); ok {
+		if err := w.Warm(bufs, []float64{eps}, 0); err != nil {
+			return Quantiles{}, nil, fmt.Errorf("eval: feature warm: %w", err)
+		}
+	}
 	perm := rand.New(rand.NewSource(seed)).Perm(n)
 	folds := make([][]int, k)
 	for i, p := range perm {
 		folds[i%k] = append(folds[i%k], p)
+	}
+	concurrent := false
+	if cp, ok := m.(baselines.ConcurrentPredictor); ok {
+		concurrent = cp.ConcurrentPredictSafe()
 	}
 	medapes := make([]float64, 0, k)
 	for f := 0; f < k; f++ {
@@ -114,22 +177,46 @@ func KFold(m baselines.Method, bufs []*grid.Buffer, comp compressors.Compressor,
 		if err := m.Fit(trainBufs, trainCRs, eps); err != nil {
 			return Quantiles{}, nil, fmt.Errorf("eval: fold %d fit: %w", f, err)
 		}
-		apes := make([]float64, 0, len(folds[f]))
-		for _, ti := range folds[f] {
-			truth, err := cache.Ratio(comp, bufs[ti], eps)
-			if err != nil {
-				return Quantiles{}, nil, err
-			}
-			pred, err := m.Predict(bufs[ti], eps)
-			if err != nil {
-				return Quantiles{}, nil, fmt.Errorf("eval: fold %d predict: %w", f, err)
-			}
-			apes = append(apes, stats.AbsPercentageError(truth, pred))
+		apes, err := foldAPEs(m, bufs, folds[f], comp, eps, cache, concurrent)
+		if err != nil {
+			return Quantiles{}, nil, fmt.Errorf("eval: fold %d: %w", f, err)
 		}
 		medapes = append(medapes, stats.Median(apes))
 	}
 	qs := stats.Quantiles(medapes, 0.10, 0.50, 0.90)
 	return Quantiles{Q10: qs[0], Q50: qs[1], Q90: qs[2]}, medapes, nil
+}
+
+// foldAPEs evaluates one fold's held-out buffers, fanning predictions over
+// a worker pool when the method's Predict is concurrency-safe. Results are
+// written by index, so the output order matches the serial loop exactly.
+func foldAPEs(m baselines.Method, bufs []*grid.Buffer, fold []int, comp compressors.Compressor, eps float64, cache *CRCache, concurrent bool) ([]float64, error) {
+	apes := make([]float64, len(fold))
+	errs := make([]error, len(fold))
+	workers := 1
+	if concurrent {
+		workers = 0 // GOMAXPROCS
+	}
+	parallel.ForEachDynamic(len(fold), workers, func(j int) {
+		ti := fold[j]
+		truth, err := cache.Ratio(comp, bufs[ti], eps)
+		if err != nil {
+			errs[j] = err
+			return
+		}
+		pred, err := m.Predict(bufs[ti], eps)
+		if err != nil {
+			errs[j] = fmt.Errorf("predict: %w", err)
+			return
+		}
+		apes[j] = stats.AbsPercentageError(truth, pred)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return apes, nil
 }
 
 func pick(bufs []*grid.Buffer, idx []int) []*grid.Buffer {
@@ -152,8 +239,12 @@ func OutOfSample(m baselines.Method, trainBufs, testBufs []*grid.Buffer, comp co
 	if cache == nil {
 		cache = NewCRCache()
 	}
-	trainCRs, err := cache.Ratios(comp, trainBufs, eps)
+	trainCRs, err := cache.RatiosParallel(comp, trainBufs, eps, 0)
 	if err != nil {
+		return 0, nil, err
+	}
+	// The held-out truths are needed below; compress them concurrently too.
+	if _, err := cache.RatiosParallel(comp, testBufs, eps, 0); err != nil {
 		return 0, nil, err
 	}
 	if err := m.Fit(trainBufs, trainCRs, eps); err != nil {

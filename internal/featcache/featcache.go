@@ -1,0 +1,238 @@
+// Package featcache is the shared, race-safe predictor-feature cache of
+// the estimation pipeline. The five statistical predictors are
+// compressor-independent (§IV-B), so every consumer that evaluates the
+// same buffer — per-compressor proposed models in use case B, k-fold
+// evaluation, the batch-estimation engine — should share one cache and pay
+// for each buffer's features exactly once.
+//
+// The cache preserves the paper's §IV-C parallel substrate under
+// concurrency with two mechanisms:
+//
+//   - Sharding: entries are spread over a fixed set of shards by a hash of
+//     the buffer identity and error-bound bits, so concurrent lookups of
+//     different buffers rarely contend on the same mutex.
+//   - Singleflight admission: the first goroutine to request a missing
+//     entry installs a placeholder under the shard lock and computes the
+//     features outside it; later requesters (including concurrent first
+//     requests for the same key) block on the placeholder instead of
+//     recomputing. Each (buffer, bound) pair is therefore computed exactly
+//     once no matter how many goroutines race on it.
+//
+// Dataset features (the four error-bound-agnostic predictors) and the
+// error-bound-specific distortion are cached separately, mirroring the
+// dset_predictors / eb_predictors split of Algorithm 2.
+package featcache
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/parallel"
+	"github.com/crestlab/crest/internal/predictors"
+)
+
+// NumShards is the shard count; a power of two keeps the index a cheap
+// mask. 32 shards keep contention negligible at typical worker counts.
+const NumShards = 32
+
+// Cache is a sharded, mutex-protected, singleflight feature cache. The
+// zero value is not usable; construct with New.
+type Cache struct {
+	cfg    predictors.Config
+	shards [NumShards]shard
+
+	// Counters are updated with atomics so Stats never takes shard locks.
+	dsetHits, dsetMisses uint64
+	ebHits, ebMisses     uint64
+}
+
+type shard struct {
+	mu   sync.Mutex
+	dset map[*grid.Buffer]*dsetEntry
+	eb   map[ebKey]*ebEntry
+}
+
+type ebKey struct {
+	buf  *grid.Buffer
+	bits uint64
+}
+
+// dsetEntry is a singleflight slot: done closes once df/err are final.
+type dsetEntry struct {
+	done chan struct{}
+	df   predictors.DatasetFeatures
+	err  error
+}
+
+type ebEntry struct {
+	done chan struct{}
+	d    float64
+	err  error
+}
+
+// New returns an empty cache computing features with cfg.
+func New(cfg predictors.Config) *Cache {
+	c := &Cache{cfg: cfg}
+	for i := range c.shards {
+		c.shards[i].dset = make(map[*grid.Buffer]*dsetEntry)
+		c.shards[i].eb = make(map[ebKey]*ebEntry)
+	}
+	return c
+}
+
+// Config returns the predictor configuration the cache computes with.
+func (c *Cache) Config() predictors.Config { return c.cfg }
+
+// ---------------------------------------------------------------------------
+// Key derivation
+
+// KeyHash mixes a buffer-identity word and canonical error-bound bits into
+// a shard hash (splitmix64 finalizer). Exported for the fuzz harness.
+func KeyHash(ptr, epsBits uint64) uint64 {
+	x := ptr ^ (epsBits * 0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ShardIndex maps a (buffer identity, error bound) key to its shard.
+func ShardIndex(ptr, epsBits uint64) int {
+	return int(KeyHash(ptr, epsBits) % NumShards)
+}
+
+// EBBits canonicalizes an error bound for keying: ±0 fold together and
+// every NaN collapses to a single bit pattern, so lookups that compare
+// equal (or are equally meaningless) share one cache entry.
+func EBBits(eps float64) uint64 {
+	if eps == 0 { // true for both +0 and −0
+		return 0
+	}
+	if math.IsNaN(eps) {
+		return math.Float64bits(math.NaN())
+	}
+	return math.Float64bits(eps)
+}
+
+func bufBits(buf *grid.Buffer) uint64 {
+	return uint64(uintptr(unsafe.Pointer(buf)))
+}
+
+// ---------------------------------------------------------------------------
+// Lookups
+
+// Dataset returns the four error-bound-agnostic predictors of buf,
+// computing them on first use. Concurrent first requests compute once.
+func (c *Cache) Dataset(buf *grid.Buffer) (predictors.DatasetFeatures, error) {
+	s := &c.shards[ShardIndex(bufBits(buf), 0)]
+	s.mu.Lock()
+	e, ok := s.dset[buf]
+	if ok {
+		s.mu.Unlock()
+		atomic.AddUint64(&c.dsetHits, 1)
+		<-e.done
+		return e.df, e.err
+	}
+	e = &dsetEntry{done: make(chan struct{})}
+	s.dset[buf] = e
+	s.mu.Unlock()
+	atomic.AddUint64(&c.dsetMisses, 1)
+	e.df, e.err = predictors.ComputeDataset(buf, c.cfg)
+	close(e.done)
+	return e.df, e.err
+}
+
+// Distortion returns the error-bound-specific generic distortion of buf at
+// eps, computing it on first use.
+func (c *Cache) Distortion(buf *grid.Buffer, eps float64) (float64, error) {
+	bits := EBBits(eps)
+	k := ebKey{buf, bits}
+	s := &c.shards[ShardIndex(bufBits(buf), bits)]
+	s.mu.Lock()
+	e, ok := s.eb[k]
+	if ok {
+		s.mu.Unlock()
+		atomic.AddUint64(&c.ebHits, 1)
+		<-e.done
+		return e.d, e.err
+	}
+	e = &ebEntry{done: make(chan struct{})}
+	s.eb[k] = e
+	s.mu.Unlock()
+	atomic.AddUint64(&c.ebMisses, 1)
+	e.d, e.err = predictors.ComputeEB(buf, eps, c.cfg)
+	close(e.done)
+	return e.d, e.err
+}
+
+// Features returns the full five-feature covariate vector of buf at eps,
+// assembled from the two cached halves.
+func (c *Cache) Features(buf *grid.Buffer, eps float64) ([]float64, error) {
+	df, err := c.Dataset(buf)
+	if err != nil {
+		return nil, err
+	}
+	d, err := c.Distortion(buf, eps)
+	if err != nil {
+		return nil, err
+	}
+	return predictors.Combine(df, d).Vector(), nil
+}
+
+// Warm fills the cache for every buffer × bound pair across a bounded
+// worker pool and returns the first (lowest buffer index) error. It is the
+// pre-pass that lets training-data collection and k-fold evaluation scale
+// with cores instead of faulting features in one at a time.
+func (c *Cache) Warm(bufs []*grid.Buffer, epses []float64, workers int) error {
+	if len(bufs) == 0 || len(epses) == 0 {
+		return nil
+	}
+	errs := make([]error, len(bufs))
+	parallel.ForEachDynamic(len(bufs), workers, func(i int) {
+		for _, eps := range epses {
+			if _, err := c.Features(bufs[i], eps); err != nil {
+				errs[i] = err
+				return
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Observability
+
+// Stats is a point-in-time snapshot of the cache counters. A hit counts
+// any request served from an existing entry, including one whose
+// computation is still in flight (the requester shares it rather than
+// recomputing), so misses equal the number of distinct keys ever computed.
+type Stats struct {
+	DatasetHits, DatasetMisses uint64
+	EBHits, EBMisses           uint64
+}
+
+// Hits is the total request count served without a fresh computation.
+func (s Stats) Hits() uint64 { return s.DatasetHits + s.EBHits }
+
+// Misses is the total number of feature computations performed.
+func (s Stats) Misses() uint64 { return s.DatasetMisses + s.EBMisses }
+
+// Stats returns a snapshot of the hit/miss counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		DatasetHits:   atomic.LoadUint64(&c.dsetHits),
+		DatasetMisses: atomic.LoadUint64(&c.dsetMisses),
+		EBHits:        atomic.LoadUint64(&c.ebHits),
+		EBMisses:      atomic.LoadUint64(&c.ebMisses),
+	}
+}

@@ -1,0 +1,43 @@
+package featcache
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzKeyDerivation hardens the cache-key derivation (buffer identity ×
+// error bound): for arbitrary identity words and bounds the shard index
+// must stay in range and be deterministic, and bound canonicalization must
+// respect float equality (±0 fold, NaN collapse).
+func FuzzKeyDerivation(f *testing.F) {
+	f.Add(uint64(0), 0.0)
+	f.Add(uint64(0xdeadbeef), 1e-3)
+	f.Add(^uint64(0), math.Inf(1))
+	f.Add(uint64(1)<<63, math.Copysign(0, -1))
+	f.Add(uint64(42), math.NaN())
+	f.Fuzz(func(t *testing.T, ptr uint64, eps float64) {
+		bits := EBBits(eps)
+		if bits != EBBits(eps) {
+			t.Fatalf("EBBits(%g) not deterministic", eps)
+		}
+		if eps == 0 && bits != 0 {
+			t.Fatalf("EBBits(%g) = %#x, want 0 for zero bound", eps, bits)
+		}
+		if math.IsNaN(eps) && bits != EBBits(math.NaN()) {
+			t.Fatalf("NaN payload %#x not canonicalized", math.Float64bits(eps))
+		}
+		if !math.IsNaN(eps) && eps != 0 && bits != math.Float64bits(eps) {
+			t.Fatalf("EBBits(%g) = %#x mangled a regular bound", eps, bits)
+		}
+		idx := ShardIndex(ptr, bits)
+		if idx < 0 || idx >= NumShards {
+			t.Fatalf("ShardIndex(%#x, %#x) = %d out of [0, %d)", ptr, bits, idx, NumShards)
+		}
+		if idx != ShardIndex(ptr, bits) {
+			t.Fatalf("ShardIndex(%#x, %#x) not deterministic", ptr, bits)
+		}
+		if KeyHash(ptr, bits) != KeyHash(ptr, bits) {
+			t.Fatalf("KeyHash(%#x, %#x) not deterministic", ptr, bits)
+		}
+	})
+}

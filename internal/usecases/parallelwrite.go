@@ -8,6 +8,7 @@ import (
 	"github.com/crestlab/crest/internal/baselines"
 	"github.com/crestlab/crest/internal/compressors"
 	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/parallel"
 )
 
 // WriteResult reports one use-case-C run.
@@ -203,32 +204,15 @@ func ParallelWriteWithEstimate(bufs []*grid.Buffer, comp compressors.Compressor,
 }
 
 // runParallel executes fn(i) for i in [0,n) on up to workers goroutines
-// with dynamic scheduling, matching irregular compression costs.
+// with dynamic scheduling, matching irregular compression costs. It
+// delegates to the shared §IV-C substrate; workers <= 1 stays serial
+// (unlike parallel.Workers, which maps 0 to GOMAXPROCS) to preserve the
+// simulation's explicit worker accounting.
 func runParallel(n, workers int, fn func(i int)) {
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
+	if workers < 1 {
+		workers = 1
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	go func() {
-		for i := 0; i < n; i++ {
-			next <- i
-		}
-		close(next)
-	}()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
+	parallel.ForEachDynamic(n, workers, fn)
 }
 
 func maxInt(a, b int) int {

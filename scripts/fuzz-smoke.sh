@@ -1,0 +1,32 @@
+#!/bin/sh
+# fuzz-smoke.sh — short-budget pass over every fuzz target in the repo.
+#
+# Each target runs under `go test -fuzz` for FUZZTIME (default 5s), which
+# is enough to exercise the mutator against the seed corpus and shake out
+# shallow panics without tying up CI. Run a single package longer with,
+# e.g.:
+#
+#   FUZZTIME=60s ./scripts/fuzz-smoke.sh ./internal/huffman
+#
+# Targets covered by default:
+#   internal/huffman    FuzzDecode, FuzzRoundTrip    (canonical Huffman codec)
+#   internal/usecases   FuzzUnmarshalAggFile         (aggregated-file parser)
+#   internal/featcache  FuzzKeyDerivation            (cache key derivation)
+#   internal/compressors  FuzzDecompress*            (all decoder hardening targets)
+set -eu
+
+FUZZTIME="${FUZZTIME:-5s}"
+PKGS="${*:-./internal/huffman ./internal/usecases ./internal/featcache ./internal/compressors}"
+
+for pkg in $PKGS; do
+    targets=$(go test -list '^Fuzz' "$pkg" | grep '^Fuzz' || true)
+    if [ -z "$targets" ]; then
+        echo "fuzz-smoke: no fuzz targets in $pkg"
+        continue
+    fi
+    for target in $targets; do
+        echo "fuzz-smoke: $pkg $target ($FUZZTIME)"
+        go test -run '^$' -fuzz "^${target}\$" -fuzztime "$FUZZTIME" "$pkg"
+    done
+done
+echo "fuzz-smoke: all targets passed"
