@@ -15,13 +15,17 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	crest "github.com/crestlab/crest"
@@ -32,6 +36,12 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// The first SIGINT/SIGTERM cancels the context: workers finish the
+	// buffer they are on and drain, and the command reports what completed.
+	// A second signal kills the process the default way (stop restores the
+	// default disposition).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
 	switch cmd {
@@ -40,9 +50,9 @@ func main() {
 	case "compress":
 		err = cmdCompress(args)
 	case "estimate":
-		err = cmdEstimate(args)
+		err = cmdEstimate(ctx, args)
 	case "batch":
-		err = cmdBatch(args)
+		err = cmdBatch(ctx, args)
 	case "similarity":
 		err = cmdSimilarity(args)
 	case "rawfile":
@@ -60,6 +70,9 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "crest %s: %v\n", cmd, err)
+		if errors.Is(err, crest.ErrCanceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
@@ -187,15 +200,21 @@ func cmdCompress(args []string) error {
 	return nil
 }
 
-func cmdEstimate(args []string) error {
+func cmdEstimate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
 	var df datasetFlags
 	df.register(fs)
 	eps := fs.Float64("eps", 1e-3, "absolute error bound")
 	compName := fs.String("compressor", "szinterp", "compressor name")
 	trainFrac := fs.Float64("train", 0.7, "fraction of buffers used for training")
+	timeout := fs.Duration("timeout", 0, "overall deadline for collection + training (0: none)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	comp, err := crest.NewCompressor(*compName)
 	if err != nil {
@@ -209,11 +228,11 @@ func cmdEstimate(args []string) error {
 	if nTrain < 4 || nTrain >= len(field.Buffers) {
 		return fmt.Errorf("train fraction %g leaves %d/%d buffers for training", *trainFrac, nTrain, len(field.Buffers))
 	}
-	samples, err := crest.CollectSamples(field.Buffers[:nTrain], comp, *eps, crest.PredictorConfig{})
+	samples, err := crest.CollectSamplesContext(ctx, field.Buffers[:nTrain], comp, *eps, crest.PredictorConfig{}, 0)
 	if err != nil {
 		return err
 	}
-	est, err := crest.TrainEstimator(samples, crest.EstimatorConfig{})
+	est, err := crest.TrainEstimatorContext(ctx, samples, crest.EstimatorConfig{})
 	if err != nil {
 		return err
 	}
@@ -239,7 +258,7 @@ func cmdEstimate(args []string) error {
 	return nil
 }
 
-func cmdBatch(args []string) error {
+func cmdBatch(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("batch", flag.ExitOnError)
 	var df datasetFlags
 	df.register(fs)
@@ -249,6 +268,7 @@ func cmdBatch(args []string) error {
 	workers := fs.Int("workers", 0, "worker pool bound (0: GOMAXPROCS)")
 	repeat := fs.Int("repeat", 1, "evaluate the whole request batch this many times (exercises the cache)")
 	quiet := fs.Bool("quiet", false, "print only the stats snapshot")
+	timeout := fs.Duration("timeout", 0, "per-batch deadline (0: none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -278,13 +298,13 @@ func cmdBatch(args []string) error {
 	cfg := crest.EstimatorConfig{}
 	var samples []crest.Sample
 	for _, eps := range epses {
-		s, err := crest.CollectSamples(field.Buffers[:nTrain], comp, eps, cfg.Predictors)
+		s, err := crest.CollectSamplesContext(ctx, field.Buffers[:nTrain], comp, eps, cfg.Predictors, 0)
 		if err != nil {
 			return err
 		}
 		samples = append(samples, s...)
 	}
-	est, err := crest.TrainEstimator(samples, cfg)
+	est, err := crest.TrainEstimatorContext(ctx, samples, cfg)
 	if err != nil {
 		return err
 	}
@@ -298,9 +318,10 @@ func cmdBatch(args []string) error {
 	}
 	cache := crest.NewFeatureCache(cfg)
 	engine := crest.NewBatchEstimator(est, cache, *workers)
+	engine.SetBatchTimeout(*timeout)
 	var ests []crest.Estimate
 	for r := 0; r < maxInt(*repeat, 1); r++ {
-		ests, err = engine.EstimateAll(reqs)
+		ests, err = engine.EstimateAllContext(ctx, reqs)
 		if err != nil {
 			return err
 		}
@@ -436,7 +457,10 @@ func cmdVolume(args []string) error {
 	}
 	// Reassemble the field's slices into one contiguous volume.
 	nz := len(field.Buffers)
-	vol := crest.NewVolume(nz, field.Buffers[0].Rows, field.Buffers[0].Cols)
+	vol, err := crest.NewVolume(nz, field.Buffers[0].Rows, field.Buffers[0].Cols)
+	if err != nil {
+		return err
+	}
 	vol.Field = field.Name
 	for z, b := range field.Buffers {
 		copy(vol.Data[z*vol.NY*vol.NX:], b.Data)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"math"
 	"os"
@@ -26,7 +27,7 @@ func TestCmdCompress(t *testing.T) {
 
 func TestCmdEstimate(t *testing.T) {
 	args := append([]string{"-dataset", "miranda", "-field", "pressure", "-train", "0.7"}, "-nz", "10", "-ny", "24", "-nx", "24")
-	if err := cmdEstimate(args); err != nil {
+	if err := cmdEstimate(context.Background(), args); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -60,7 +60,10 @@ func TestPublicCompressorSurface(t *testing.T) {
 	if _, err := crest.NewCompressor("nope"); err == nil {
 		t.Error("unknown compressor accepted")
 	}
-	buf := crest.NewBuffer(20, 20)
+	buf, err := crest.NewBuffer(20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range buf.Data {
 		buf.Data[i] = math.Sin(float64(i) / 5)
 	}
@@ -74,7 +77,10 @@ func TestPublicCompressorSurface(t *testing.T) {
 	if _, err := crest.BufferFromSlice(2, 2, []float64{1}); err == nil {
 		t.Error("bad slice accepted")
 	}
-	v := crest.NewVolume(2, 4, 4)
+	v, err := crest.NewVolume(2, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(v.Slices()) != 2 {
 		t.Error("volume slicing broken")
 	}
@@ -194,7 +200,10 @@ func TestPublicAggFileSurface(t *testing.T) {
 }
 
 func TestPublicVolumeSurface(t *testing.T) {
-	vol := crest.NewVolume(4, 16, 16)
+	vol, err := crest.NewVolume(4, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range vol.Data {
 		vol.Data[i] = math.Sin(float64(i) / 9)
 	}

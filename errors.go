@@ -1,0 +1,57 @@
+package crest
+
+import (
+	"github.com/crestlab/crest/internal/crerr"
+)
+
+// The estimation pipeline classifies every failure under a small set of
+// sentinel errors. Match with errors.Is to route on failure class instead
+// of string matching:
+//
+//	_, err := crest.ComputeFeatures(buf, eps, cfg)
+//	switch {
+//	case errors.Is(err, crest.ErrNonFiniteData):
+//		// sanitize or drop the buffer
+//	case errors.Is(err, crest.ErrInvalidBuffer):
+//		// caller bug: bad shape or bound
+//	}
+var (
+	// ErrInvalidBuffer reports a buffer whose shape or backing storage is
+	// inconsistent (non-positive dimensions, data length mismatch, nil
+	// buffer) or an invalid request parameter such as a non-positive
+	// error bound.
+	ErrInvalidBuffer = crerr.ErrInvalidBuffer
+
+	// ErrNonFiniteData reports buffer data whose NaN/Inf fraction exceeds
+	// the validation policy in force.
+	ErrNonFiniteData = crerr.ErrNonFiniteData
+
+	// ErrCanceled reports work abandoned because a context was canceled or
+	// its deadline expired. Errors matching it also match the underlying
+	// context sentinel (context.Canceled or context.DeadlineExceeded).
+	ErrCanceled = crerr.ErrCanceled
+
+	// ErrModelDegenerate reports a model fit that could not produce a
+	// usable estimator even after falling back to the single-component
+	// linear fit.
+	ErrModelDegenerate = crerr.ErrModelDegenerate
+
+	// ErrCompressor reports a compressor failure (error or recovered
+	// panic) during ground-truth collection.
+	ErrCompressor = crerr.ErrCompressor
+)
+
+// RequestError labels one request's failure with its position in a batch;
+// extract with errors.As from a BatchError member.
+type RequestError = crerr.IndexedError
+
+// BatchError aggregates every per-request failure of a multi-request
+// operation (BatchEstimator.EstimateAll, CollectSamples, cache warming)
+// while the successes are still returned. It preserves every failing
+// index — errors.As(err, &batchErr) then batchErr.Indices() or
+// batchErr.ByIndex(i) — and errors.Is descends into every member.
+type BatchError = crerr.AggregateError
+
+// PanicValue extracts the recovered panic value when err originated from
+// a worker panic that the pipeline isolated into a typed error.
+func PanicValue(err error) (any, bool) { return crerr.PanicValue(err) }

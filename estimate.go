@@ -1,6 +1,8 @@
 package crest
 
 import (
+	"context"
+
 	"github.com/crestlab/crest/internal/baselines"
 	"github.com/crestlab/crest/internal/core"
 	"github.com/crestlab/crest/internal/predictors"
@@ -77,9 +79,19 @@ type Estimate = core.Estimate
 // Estimator is the paper's trained compressibility model.
 type Estimator = core.Estimator
 
-// TrainEstimator fits the mixture-regression + conformal pipeline.
+// TrainEstimator fits the mixture-regression + conformal pipeline. When
+// the EM fit degenerates it falls back to a single-component linear fit
+// (Estimator.FellBack reports this); only if the fallback also fails does
+// it return an error wrapping ErrModelDegenerate.
 func TrainEstimator(samples []Sample, cfg EstimatorConfig) (*Estimator, error) {
 	return core.Train(samples, cfg)
+}
+
+// TrainEstimatorContext is TrainEstimator with cooperative cancellation:
+// the context is checked between EM iterations, and a canceled fit returns
+// an error matching both ErrCanceled and the context's own sentinel.
+func TrainEstimatorContext(ctx context.Context, samples []Sample, cfg EstimatorConfig) (*Estimator, error) {
+	return core.TrainContext(ctx, samples, cfg)
 }
 
 // CollectSamples computes covariates and ground-truth ratios for buffers
@@ -94,6 +106,17 @@ func CollectSamples(bufs []*Buffer, comp Compressor, eps float64, cfg PredictorC
 // per-buffer worker pool (workers <= 0 selects GOMAXPROCS, 1 is serial).
 func CollectSamplesWorkers(bufs []*Buffer, comp Compressor, eps float64, cfg PredictorConfig, workers int) ([]Sample, error) {
 	return core.BuildSamplesWorkers(bufs, comp, eps, cfg, workers)
+}
+
+// CollectSamplesContext is CollectSamplesWorkers with cooperative
+// cancellation and per-buffer fault isolation. Workers stop claiming new
+// buffers once ctx is done and drain before the call returns, yielding an
+// error matching ErrCanceled. A buffer whose features or compression fail
+// (including a recovered compressor panic, classified under ErrCompressor)
+// contributes an index-labelled entry to a BatchError while every other
+// buffer's sample is still collected.
+func CollectSamplesContext(ctx context.Context, bufs []*Buffer, comp Compressor, eps float64, cfg PredictorConfig, workers int) ([]Sample, error) {
+	return core.BuildSamplesContext(ctx, bufs, comp, eps, cfg, workers)
 }
 
 // Method is a compression-ratio estimation method under evaluation: the

@@ -1,6 +1,8 @@
 package crest
 
 import (
+	"context"
+
 	"github.com/crestlab/crest/internal/eval"
 	"github.com/crestlab/crest/internal/fieldsim"
 	"github.com/crestlab/crest/internal/predictors"
@@ -25,6 +27,14 @@ type PredPair = eval.PredPair
 // one set of buffers, returning MedAPE quantiles and per-fold MedAPEs.
 func KFoldEvaluate(m Method, bufs []*Buffer, comp Compressor, eps float64, k int, seed int64, cache *CRCache) (Quantiles, []float64, error) {
 	return eval.KFold(m, bufs, comp, eps, k, seed, cache)
+}
+
+// KFoldEvaluateContext is KFoldEvaluate with cooperative cancellation: the
+// context gates the concurrent ground-truth and feature pre-passes and
+// every fold boundary, so a canceled evaluation returns promptly with an
+// error matching ErrCanceled.
+func KFoldEvaluateContext(ctx context.Context, m Method, bufs []*Buffer, comp Compressor, eps float64, k int, seed int64, cache *CRCache) (Quantiles, []float64, error) {
+	return eval.KFoldContext(ctx, m, bufs, comp, eps, k, seed, cache)
 }
 
 // OutOfSampleEvaluate trains on buffers from other fields and evaluates on

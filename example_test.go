@@ -52,7 +52,7 @@ func Example() {
 // ExampleCompressionRatio shows the ground-truth side: run a compressor
 // under an absolute bound and verify the bound held.
 func ExampleCompressionRatio() {
-	buf := crest.NewBuffer(32, 32)
+	buf, _ := crest.NewBuffer(32, 32)
 	for i := range buf.Data {
 		buf.Data[i] = float64(i%7) / 10
 	}
@@ -85,7 +85,7 @@ func ExampleSelectionInversionProbability() {
 
 // ExampleCompressVolume compresses a native 3D volume slice-parallel.
 func ExampleCompressVolume() {
-	vol := crest.NewVolume(4, 16, 16)
+	vol, _ := crest.NewVolume(4, 16, 16)
 	for i := range vol.Data {
 		vol.Data[i] = float64(i % 5)
 	}

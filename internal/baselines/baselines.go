@@ -13,6 +13,7 @@
 package baselines
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -209,6 +210,13 @@ func (p *Proposed) ConcurrentPredictSafe() bool { return true }
 // them in serially.
 func (p *Proposed) Warm(bufs []*grid.Buffer, epses []float64, workers int) error {
 	return p.cache.Warm(bufs, epses, workers)
+}
+
+// WarmContext is Warm with cooperative cancellation: workers stop claiming
+// buffers once ctx is done and the call returns an error matching
+// crerr.ErrCanceled after draining.
+func (p *Proposed) WarmContext(ctx context.Context, bufs []*grid.Buffer, epses []float64, workers int) error {
+	return p.cache.WarmContext(ctx, bufs, epses, workers)
 }
 
 // CacheStats returns the hit/miss counters of the method's feature cache.

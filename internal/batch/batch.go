@@ -14,11 +14,13 @@
 package batch
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
 
 	"github.com/crestlab/crest/internal/core"
+	"github.com/crestlab/crest/internal/crerr"
 	"github.com/crestlab/crest/internal/featcache"
 	"github.com/crestlab/crest/internal/grid"
 	"github.com/crestlab/crest/internal/parallel"
@@ -39,10 +41,16 @@ type Engine struct {
 	est     *core.Estimator
 	cache   *featcache.Cache
 	workers int
+	// timeout, when positive, bounds every batch: EstimateAllContext
+	// derives a per-batch deadline from it.
+	timeout time.Duration
 
 	// Counters, all updated atomically.
 	requests     uint64
 	batches      uint64
+	failures     uint64
+	panics       uint64
+	canceled     uint64
 	inFlight     int64
 	peakInFlight int64
 	featureNanos int64
@@ -67,16 +75,45 @@ func (e *Engine) Workers() int { return e.workers }
 // Cache returns the engine's shared feature cache.
 func (e *Engine) Cache() *featcache.Cache { return e.cache }
 
+// SetBatchTimeout bounds every subsequent batch with a per-batch deadline
+// (zero disables). It composes with any deadline already on the caller's
+// context: the earlier of the two wins.
+func (e *Engine) SetBatchTimeout(d time.Duration) { e.timeout = d }
+
 // EstimateAll evaluates every request and returns the estimates in request
-// order. Requests fan out over the worker pool with dynamic scheduling
-// (per-buffer cost is irregular); each result lands in its own slot, so
-// the output is independent of scheduling. On failure the error of the
-// lowest-indexed failing request is returned.
+// order; see EstimateAllContext for the failure contract.
 func (e *Engine) EstimateAll(reqs []Request) ([]core.Estimate, error) {
+	return e.EstimateAllContext(context.Background(), reqs)
+}
+
+// EstimateAllContext evaluates every request, fanning out over the worker
+// pool with dynamic scheduling (per-buffer cost is irregular); each result
+// lands in its own slot, so the output is independent of scheduling and
+// bit-identical to the serial Estimate path.
+//
+// Failure contract: the engine degrades per-request, never per-batch. A
+// request that fails — invalid buffer, non-finite data, feature or model
+// error, recovered worker panic — contributes a typed, index-labelled
+// error; every other request still completes and its estimate is returned.
+// The returned error is a *crerr.AggregateError preserving every failing
+// index (match classes with errors.Is, recover indices with errors.As);
+// out[i] is valid exactly when the aggregate has no entry for i.
+//
+// Cancellation: once ctx is done (or the engine's per-batch timeout
+// expires), workers finish the request they are running and drain — no
+// goroutine outlives the call and the in-flight gauge returns to zero.
+// The estimates completed before cancellation are returned alongside an
+// error matching crerr.ErrCanceled.
+func (e *Engine) EstimateAllContext(ctx context.Context, reqs []Request) ([]core.Estimate, error) {
+	if e.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.timeout)
+		defer cancel()
+	}
 	start := time.Now()
 	out := make([]core.Estimate, len(reqs))
 	errs := make([]error, len(reqs))
-	parallel.ForEachDynamic(len(reqs), e.workers, func(i int) {
+	cerr := parallel.ForEachDynamicCtx(ctx, len(reqs), e.workers, func(i int) {
 		cur := atomic.AddInt64(&e.inFlight, 1)
 		for {
 			peak := atomic.LoadInt64(&e.peakInFlight)
@@ -85,6 +122,15 @@ func (e *Engine) EstimateAll(reqs []Request) ([]core.Estimate, error) {
 			}
 		}
 		defer atomic.AddInt64(&e.inFlight, -1)
+		// Panic isolation: a worker panic (malformed buffer slipping past
+		// validation, injected fault) becomes this request's error, not a
+		// process crash, and cannot take sibling requests down with it.
+		defer func() {
+			if v := recover(); v != nil {
+				atomic.AddUint64(&e.panics, 1)
+				errs[i] = crerr.Recovered(v, crerr.ErrInvalidBuffer)
+			}
+		}()
 
 		t0 := time.Now()
 		feats, err := e.cache.Features(reqs[i].Buf, reqs[i].Eps)
@@ -105,14 +151,25 @@ func (e *Engine) EstimateAll(reqs []Request) ([]core.Estimate, error) {
 	atomic.AddUint64(&e.requests, uint64(len(reqs)))
 	atomic.AddUint64(&e.batches, 1)
 	atomic.AddInt64(&e.wallNanos, int64(time.Since(start)))
+
+	// Decorate failures with the request identity before aggregating.
+	nFailed := 0
 	for i, err := range errs {
 		if err != nil {
+			nFailed++
 			b := reqs[i].Buf
-			return nil, fmt.Errorf("batch: request %d (%s/%s step %d @ eps %g): %w",
-				i, b.Dataset, b.Field, b.Step, reqs[i].Eps, err)
+			if b != nil {
+				errs[i] = fmt.Errorf("batch: %s/%s step %d @ eps %g: %w",
+					b.Dataset, b.Field, b.Step, reqs[i].Eps, err)
+			}
 		}
 	}
-	return out, nil
+	atomic.AddUint64(&e.failures, uint64(nFailed))
+	if cerr != nil {
+		atomic.AddUint64(&e.canceled, 1)
+		return out, crerr.Canceled(cerr)
+	}
+	return out, crerr.Aggregate(errs)
 }
 
 // Stats is a point-in-time snapshot of the engine counters: request and
@@ -123,6 +180,14 @@ func (e *Engine) EstimateAll(reqs []Request) ([]core.Estimate, error) {
 type Stats struct {
 	Requests uint64
 	Batches  uint64
+
+	// Failures counts requests that returned a per-request error;
+	// RecoveredPanics counts the subset whose failure was a recovered
+	// worker panic; CanceledBatches counts batches cut short by
+	// cancellation or deadline.
+	Failures        uint64
+	RecoveredPanics uint64
+	CanceledBatches uint64
 
 	Cache featcache.Stats
 
@@ -137,21 +202,24 @@ type Stats struct {
 // Stats returns a snapshot of the engine and cache counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Requests:     atomic.LoadUint64(&e.requests),
-		Batches:      atomic.LoadUint64(&e.batches),
-		Cache:        e.cache.Stats(),
-		InFlight:     atomic.LoadInt64(&e.inFlight),
-		PeakInFlight: atomic.LoadInt64(&e.peakInFlight),
-		FeatureTime:  time.Duration(atomic.LoadInt64(&e.featureNanos)),
-		EstimateTime: time.Duration(atomic.LoadInt64(&e.estimateNanos)),
-		WallTime:     time.Duration(atomic.LoadInt64(&e.wallNanos)),
+		Requests:        atomic.LoadUint64(&e.requests),
+		Batches:         atomic.LoadUint64(&e.batches),
+		Failures:        atomic.LoadUint64(&e.failures),
+		RecoveredPanics: atomic.LoadUint64(&e.panics),
+		CanceledBatches: atomic.LoadUint64(&e.canceled),
+		Cache:           e.cache.Stats(),
+		InFlight:        atomic.LoadInt64(&e.inFlight),
+		PeakInFlight:    atomic.LoadInt64(&e.peakInFlight),
+		FeatureTime:     time.Duration(atomic.LoadInt64(&e.featureNanos)),
+		EstimateTime:    time.Duration(atomic.LoadInt64(&e.estimateNanos)),
+		WallTime:        time.Duration(atomic.LoadInt64(&e.wallNanos)),
 	}
 }
 
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"requests=%d batches=%d cache[dset %d/%d eb %d/%d hit/miss] peak_workers=%d feature=%s estimate=%s wall=%s",
-		s.Requests, s.Batches,
+		"requests=%d batches=%d failures=%d panics=%d canceled=%d cache[dset %d/%d eb %d/%d hit/miss] peak_workers=%d feature=%s estimate=%s wall=%s",
+		s.Requests, s.Batches, s.Failures, s.RecoveredPanics, s.CanceledBatches,
 		s.Cache.DatasetHits, s.Cache.DatasetMisses, s.Cache.EBHits, s.Cache.EBMisses,
 		s.PeakInFlight, s.FeatureTime.Round(time.Microsecond),
 		s.EstimateTime.Round(time.Microsecond), s.WallTime.Round(time.Microsecond))

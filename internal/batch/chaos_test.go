@@ -1,0 +1,234 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/crestlab/crest/internal/chaos"
+	"github.com/crestlab/crest/internal/core"
+	"github.com/crestlab/crest/internal/crerr"
+	"github.com/crestlab/crest/internal/featcache"
+	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/predictors"
+)
+
+// chaosFixture builds the shared inputs of the chaos matrix: buffers, a
+// trained estimator, the request list, and the clean serial reference.
+func chaosFixture(t *testing.T) ([]Request, *core.Estimator, []core.Estimate) {
+	t.Helper()
+	var bufs []*grid.Buffer
+	for s := int64(0); s < 8; s++ {
+		bufs = append(bufs, testBuffer(32, 32, s))
+	}
+	epses := []float64{1e-2, 1e-3, 1e-4}
+	est := trainedEstimator(t, bufs[:5], epses)
+	var reqs []Request
+	for _, b := range bufs {
+		for _, eps := range epses {
+			reqs = append(reqs, Request{Buf: b, Eps: eps})
+		}
+	}
+	want := make([]core.Estimate, len(reqs))
+	for i, r := range reqs {
+		feats, err := core.FeaturesOf(r.Buf, r.Eps, serialCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := est.Estimate(feats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = e
+	}
+	return reqs, est, want
+}
+
+// TestChaosMatrix drives the batch engine through every injected fault
+// kind on the feature path and asserts the resilience invariants: no
+// process panic, every failure is a typed per-request error, every success
+// is bit-identical to the clean serial path, and the shared cache's
+// counters stay balanced with no wedged singleflight slots.
+func TestChaosMatrix(t *testing.T) {
+	plans := map[string]chaos.Plan{
+		"errors":  {Seed: 3, ErrorEvery: 3},
+		"panics":  {Seed: 5, PanicEvery: 4},
+		"nans":    {Seed: 7, NaNEvery: 5},
+		"latency": {Seed: 9, LatencyEvery: 2, Latency: 200 * time.Microsecond},
+		"mixed":   {Seed: 11, ErrorEvery: 5, PanicEvery: 7, NaNEvery: 6, LatencyEvery: 3, Latency: 100 * time.Microsecond},
+	}
+	reqs, est, want := chaosFixture(t)
+
+	for name, plan := range plans {
+		t.Run(name, func(t *testing.T) {
+			in := chaos.NewInjector(plan)
+			cache := featcache.NewWithCompute(serialCfg,
+				in.Dataset(predictors.ComputeDataset), in.EB(predictors.ComputeEB))
+			eng := New(est, cache, 8)
+			out, err := eng.EstimateAll(reqs)
+
+			var agg *crerr.AggregateError
+			if err != nil && !errors.As(err, &agg) {
+				t.Fatalf("error is %T (%v), want *crerr.AggregateError", err, err)
+			}
+			nFailed := 0
+			for i := range reqs {
+				var ferr error
+				if agg != nil {
+					ferr = agg.ByIndex(i)
+				}
+				if ferr != nil {
+					nFailed++
+					// Every failure is classified under the taxonomy.
+					if !errors.Is(ferr, chaos.ErrInjected) &&
+						!errors.Is(ferr, crerr.ErrInvalidBuffer) &&
+						!errors.Is(ferr, crerr.ErrNonFiniteData) {
+						t.Errorf("request %d failed outside the taxonomy: %v", i, ferr)
+					}
+					continue
+				}
+				if out[i] != want[i] {
+					t.Errorf("request %d: success %+v differs from clean serial %+v", i, out[i], want[i])
+				}
+			}
+			counts := in.Counts()
+			if counts.Errors+counts.Panics+counts.NaNs > 0 && nFailed == 0 {
+				t.Errorf("%d faults injected but no request failed", counts.Errors+counts.Panics+counts.NaNs)
+			}
+
+			st := eng.Stats()
+			if st.Failures != uint64(nFailed) {
+				t.Errorf("Stats().Failures = %d, aggregate has %d", st.Failures, nFailed)
+			}
+			// Every request performs exactly one dataset lookup, whether or
+			// not it fails: the hit/miss counters must balance.
+			cst := st.Cache
+			if cst.DatasetHits+cst.DatasetMisses != st.Requests {
+				t.Errorf("dataset hits %d + misses %d != %d requests",
+					cst.DatasetHits, cst.DatasetMisses, st.Requests)
+			}
+			if cache.Pending() != 0 {
+				t.Errorf("%d wedged singleflight slots after batch", cache.Pending())
+			}
+			if st.InFlight != 0 {
+				t.Errorf("in-flight gauge %d after batch returned", st.InFlight)
+			}
+		})
+	}
+}
+
+// TestChaosPanicsBecomeRequestErrors: a panicking feature computation
+// surfaces as that request's typed error (with the panic value preserved),
+// never as a process crash, and the engine counts it.
+func TestChaosPanicsBecomeRequestErrors(t *testing.T) {
+	reqs, est, _ := chaosFixture(t)
+	in := chaos.NewInjector(chaos.Plan{PanicEvery: 1}) // every compute panics
+	cache := featcache.NewWithCompute(serialCfg,
+		in.Dataset(predictors.ComputeDataset), in.EB(predictors.ComputeEB))
+	eng := New(est, cache, 4)
+	_, err := eng.EstimateAll(reqs)
+	var agg *crerr.AggregateError
+	if !errors.As(err, &agg) {
+		t.Fatalf("error is %T, want aggregate", err)
+	}
+	if len(agg.Errs) != len(reqs) {
+		t.Fatalf("%d/%d requests failed, want all", len(agg.Errs), len(reqs))
+	}
+	for _, ie := range agg.Errs {
+		if _, ok := crerr.PanicValue(ie.Err); !ok {
+			t.Errorf("request %d: no panic value in %v", ie.Index, ie.Err)
+		}
+	}
+	if cache.Pending() != 0 || cache.Len() != 0 {
+		t.Errorf("cache pending=%d len=%d after all-panic batch", cache.Pending(), cache.Len())
+	}
+}
+
+// TestChaosCancellationMidBatch cancels the context from inside a feature
+// computation and asserts prompt, leak-free shutdown: the call returns an
+// error matching both crerr.ErrCanceled and context.Canceled, unclaimed
+// requests never run, the in-flight gauge drains to zero, and no
+// singleflight slot is left wedged.
+func TestChaosCancellationMidBatch(t *testing.T) {
+	var bufs []*grid.Buffer
+	for s := int64(0); s < 32; s++ {
+		bufs = append(bufs, testBuffer(32, 32, s))
+	}
+	est := trainedEstimator(t, bufs[:5], []float64{1e-3})
+	reqs := make([]Request, len(bufs))
+	for i, b := range bufs {
+		reqs[i] = Request{Buf: b, Eps: 1e-3}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var computes atomic.Int32
+	cache := featcache.NewWithCompute(serialCfg,
+		func(buf *grid.Buffer, cfg predictors.Config) (predictors.DatasetFeatures, error) {
+			if computes.Add(1) == 3 {
+				cancel()
+			}
+			return predictors.ComputeDataset(buf, cfg)
+		}, nil)
+	eng := New(est, cache, 2)
+	out, err := eng.EstimateAllContext(ctx, reqs)
+
+	if !errors.Is(err, crerr.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+	done := 0
+	for _, e := range out {
+		if e.CR != 0 {
+			done++
+		}
+	}
+	if done >= len(reqs) {
+		t.Error("every request completed despite mid-batch cancel")
+	}
+	st := eng.Stats()
+	if st.InFlight != 0 {
+		t.Errorf("in-flight gauge %d after canceled batch returned", st.InFlight)
+	}
+	if st.CanceledBatches != 1 {
+		t.Errorf("CanceledBatches = %d, want 1", st.CanceledBatches)
+	}
+	if cache.Pending() != 0 {
+		t.Errorf("%d wedged singleflight slots after cancel", cache.Pending())
+	}
+}
+
+// TestChaosBatchTimeout: the engine's per-batch deadline cuts a slow batch
+// short with an error matching both the taxonomy and
+// context.DeadlineExceeded.
+func TestChaosBatchTimeout(t *testing.T) {
+	var bufs []*grid.Buffer
+	for s := int64(0); s < 48; s++ {
+		bufs = append(bufs, testBuffer(32, 32, s))
+	}
+	est := trainedEstimator(t, bufs[:5], []float64{1e-3})
+	reqs := make([]Request, len(bufs))
+	for i, b := range bufs {
+		reqs[i] = Request{Buf: b, Eps: 1e-3}
+	}
+	in := chaos.NewInjector(chaos.Plan{LatencyEvery: 1, Latency: 2 * time.Millisecond})
+	cache := featcache.NewWithCompute(serialCfg,
+		in.Dataset(predictors.ComputeDataset), in.EB(predictors.ComputeEB))
+	eng := New(est, cache, 2)
+	eng.SetBatchTimeout(5 * time.Millisecond)
+	_, err := eng.EstimateAll(reqs)
+	if !errors.Is(err, crerr.ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+	st := eng.Stats()
+	if st.CanceledBatches != 1 || st.InFlight != 0 {
+		t.Errorf("canceled=%d inflight=%d after deadline", st.CanceledBatches, st.InFlight)
+	}
+
+	// Without the timeout the same engine completes the batch.
+	eng.SetBatchTimeout(0)
+	if _, err := eng.EstimateAll(reqs); err != nil {
+		t.Fatalf("untimed batch failed: %v", err)
+	}
+}

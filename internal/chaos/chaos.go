@@ -1,0 +1,227 @@
+// Package chaos is the fault-injection harness of the resilience layer:
+// it wraps compressors and the feature-computation path with deterministic,
+// seeded fault injection — errors, panics, NaN payloads, artificial
+// latency — so the race-enabled chaos tests can drive the estimation
+// pipeline through every failure mode the taxonomy of internal/crerr
+// classifies and assert the engine, caches and counters stay consistent.
+//
+// Determinism: every injection decision is a pure function of the
+// injector's seed and the (atomically assigned) call sequence number, so a
+// run injects exactly the same number of each fault kind regardless of
+// scheduling. Which request draws which sequence number still depends on
+// goroutine interleaving — that is the point: the fault pattern is fixed,
+// the victim set varies, and the invariants must hold either way.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"github.com/crestlab/crest/internal/compressors"
+	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/predictors"
+)
+
+// ErrInjected marks every error manufactured by this package, so tests can
+// distinguish injected faults from organic failures with errors.Is.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Plan configures which faults an Injector produces. Every EveryN field
+// injects on call sequence numbers n with n % EveryN == offset(seed); zero
+// disables that fault kind.
+type Plan struct {
+	// Seed rotates which sequence numbers draw each fault kind.
+	Seed int64
+
+	// ErrorEvery injects a plain error on every Nth call.
+	ErrorEvery int
+	// PanicEvery injects a panic on every Nth call.
+	PanicEvery int
+	// NaNEvery poisons the produced payload (decompressed buffer or
+	// computed feature) with NaN on every Nth call.
+	NaNEvery int
+	// LatencyEvery sleeps Latency on every Nth call.
+	LatencyEvery int
+	// Latency is the injected sleep (default 1ms when LatencyEvery > 0).
+	Latency time.Duration
+}
+
+// Counts reports how many faults of each kind an injector has produced.
+type Counts struct {
+	Calls, Errors, Panics, NaNs, Delays uint64
+}
+
+// Injector makes deterministic per-call fault decisions for one Plan. It
+// is safe for concurrent use.
+type Injector struct {
+	plan  Plan
+	calls atomic.Uint64
+
+	errs, panics, nans, delays atomic.Uint64
+}
+
+// NewInjector returns an injector for the plan.
+func NewInjector(plan Plan) *Injector {
+	if plan.LatencyEvery > 0 && plan.Latency <= 0 {
+		plan.Latency = time.Millisecond
+	}
+	return &Injector{plan: plan}
+}
+
+// Counts returns a snapshot of the injected-fault counters.
+func (in *Injector) Counts() Counts {
+	return Counts{
+		Calls:  in.calls.Load(),
+		Errors: in.errs.Load(),
+		Panics: in.panics.Load(),
+		NaNs:   in.nans.Load(),
+		Delays: in.delays.Load(),
+	}
+}
+
+// hits reports whether call sequence number n draws a fault with period
+// every, rotating the phase by the seed and a per-kind salt so different
+// fault kinds fire on different calls of the same plan.
+func (in *Injector) hits(n uint64, every int, salt uint64) bool {
+	if every <= 0 {
+		return false
+	}
+	phase := (uint64(in.plan.Seed) ^ salt) % uint64(every)
+	return n%uint64(every) == phase
+}
+
+// decision evaluates all fault kinds for the next call. Latency is applied
+// immediately; error/panic/NaN are returned for the caller to act on at
+// the right point in its pipeline.
+func (in *Injector) decision(site string) (inject error, panicv any, poison bool) {
+	n := in.calls.Add(1)
+	if in.hits(n, in.plan.LatencyEvery, 0x5a5a) {
+		in.delays.Add(1)
+		time.Sleep(in.plan.Latency)
+	}
+	if in.hits(n, in.plan.PanicEvery, 0x1111) {
+		in.panics.Add(1)
+		return nil, fmt.Sprintf("chaos: injected panic at %s call %d", site, n), false
+	}
+	if in.hits(n, in.plan.ErrorEvery, 0x2222) {
+		in.errs.Add(1)
+		return fmt.Errorf("%w: %s call %d", ErrInjected, site, n), nil, false
+	}
+	if in.hits(n, in.plan.NaNEvery, 0x3333) {
+		in.nans.Add(1)
+		return nil, nil, true
+	}
+	return nil, nil, false
+}
+
+// ---------------------------------------------------------------------------
+// Compressor wrapper
+
+// Compressor wraps an error-bounded compressor with fault injection on
+// both Compress and Decompress.
+type Compressor struct {
+	inner compressors.Compressor
+	in    *Injector
+}
+
+// WrapCompressor wraps comp with the injector's faults.
+func WrapCompressor(comp compressors.Compressor, in *Injector) *Compressor {
+	return &Compressor{inner: comp, in: in}
+}
+
+// Name implements compressors.Compressor.
+func (c *Compressor) Name() string { return "chaos(" + c.inner.Name() + ")" }
+
+// Compress implements compressors.Compressor with injected faults. A NaN
+// decision truncates the stream (a corrupt payload a decoder must reject).
+func (c *Compressor) Compress(buf *grid.Buffer, eps float64) ([]byte, error) {
+	inject, panicv, poison := c.in.decision("compress")
+	if panicv != nil {
+		panic(panicv)
+	}
+	if inject != nil {
+		return nil, inject
+	}
+	blob, err := c.inner.Compress(buf, eps)
+	if err != nil {
+		return nil, err
+	}
+	if poison && len(blob) > 0 {
+		return blob[:len(blob)/2], nil
+	}
+	return blob, nil
+}
+
+// Decompress implements compressors.Compressor with injected faults. A NaN
+// decision poisons the first element of the reconstruction.
+func (c *Compressor) Decompress(data []byte) (*grid.Buffer, error) {
+	inject, panicv, poison := c.in.decision("decompress")
+	if panicv != nil {
+		panic(panicv)
+	}
+	if inject != nil {
+		return nil, inject
+	}
+	buf, err := c.inner.Decompress(data)
+	if err != nil {
+		return nil, err
+	}
+	if poison && len(buf.Data) > 0 {
+		buf.Data[0] = math.NaN()
+	}
+	return buf, nil
+}
+
+// ---------------------------------------------------------------------------
+// Feature-path wrappers
+
+// DatasetFunc is the signature of the dataset-feature computation hook of
+// featcache (predictors.ComputeDataset compatible). It is an alias of the
+// bare function type so wrapped hooks assign directly to
+// featcache.DatasetFunc.
+type DatasetFunc = func(*grid.Buffer, predictors.Config) (predictors.DatasetFeatures, error)
+
+// EBFunc is the signature of the distortion computation hook of featcache
+// (predictors.ComputeEB compatible).
+type EBFunc = func(*grid.Buffer, float64, predictors.Config) (float64, error)
+
+// Dataset wraps a dataset-feature computation with the injector's faults;
+// a NaN decision poisons the SD feature.
+func (in *Injector) Dataset(base DatasetFunc) DatasetFunc {
+	return func(buf *grid.Buffer, cfg predictors.Config) (predictors.DatasetFeatures, error) {
+		inject, panicv, poison := in.decision("dataset-features")
+		if panicv != nil {
+			panic(panicv)
+		}
+		if inject != nil {
+			return predictors.DatasetFeatures{}, inject
+		}
+		df, err := base(buf, cfg)
+		if err == nil && poison {
+			df.SD = math.NaN()
+		}
+		return df, err
+	}
+}
+
+// EB wraps a distortion computation with the injector's faults; a NaN
+// decision poisons the returned distortion.
+func (in *Injector) EB(base EBFunc) EBFunc {
+	return func(buf *grid.Buffer, eps float64, cfg predictors.Config) (float64, error) {
+		inject, panicv, poison := in.decision("eb-distortion")
+		if panicv != nil {
+			panic(panicv)
+		}
+		if inject != nil {
+			return 0, inject
+		}
+		d, err := base(buf, eps, cfg)
+		if err == nil && poison {
+			d = math.NaN()
+		}
+		return d, err
+	}
+}

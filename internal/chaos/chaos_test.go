@@ -1,0 +1,213 @@
+package chaos
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/crestlab/crest/internal/compressors"
+	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/predictors"
+)
+
+func sineBuffer(rows, cols int) *grid.Buffer {
+	b := grid.NewBuffer(rows, cols)
+	for i := range b.Data {
+		b.Data[i] = math.Sin(float64(i) / 7)
+	}
+	return b
+}
+
+// TestDeterministicCounts: fault counts are a pure function of the plan
+// and the number of calls — identical across runs and across goroutine
+// interleavings.
+func TestDeterministicCounts(t *testing.T) {
+	plan := Plan{Seed: 42, ErrorEvery: 5, PanicEvery: 7, NaNEvery: 3}
+	const calls = 210 // lcm(5,7,3) * 2: whole number of every period
+
+	run := func(workers int) Counts {
+		in := NewInjector(plan)
+		var wg sync.WaitGroup
+		per := calls / workers
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					func() {
+						defer func() { recover() }()
+						in.decision("test")
+					}()
+				}
+			}()
+		}
+		wg.Wait()
+		return in.Counts()
+	}
+
+	serial := run(1)
+	concurrent := run(6)
+	if serial != concurrent {
+		t.Errorf("counts differ by scheduling: serial %+v, concurrent %+v", serial, concurrent)
+	}
+	// Panic wins over error wins over NaN on a shared call number, but the
+	// per-kind salts put the phases on different residues here, so each
+	// kind fires calls/period times minus collisions with a stronger kind.
+	if serial.Calls != calls {
+		t.Errorf("calls = %d, want %d", serial.Calls, calls)
+	}
+	if serial.Panics != calls/7 {
+		t.Errorf("panics = %d, want %d", serial.Panics, calls/7)
+	}
+	if serial.Errors == 0 || serial.NaNs == 0 {
+		t.Errorf("errors = %d, NaNs = %d, want both > 0", serial.Errors, serial.NaNs)
+	}
+}
+
+// TestSeedRotatesPhase: different seeds shift which calls draw faults.
+func TestSeedRotatesPhase(t *testing.T) {
+	victims := func(seed int64) []int {
+		in := NewInjector(Plan{Seed: seed, ErrorEvery: 4})
+		var hit []int
+		for i := 0; i < 16; i++ {
+			if err, _, _ := in.decision("t"); err != nil {
+				hit = append(hit, i)
+			}
+		}
+		return hit
+	}
+	a, b := victims(1), victims(2)
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("hit counts %d, %d, want 4 each", len(a), len(b))
+	}
+	if a[0] == b[0] {
+		t.Errorf("seeds 1 and 2 share phase %d", a[0])
+	}
+}
+
+func TestWrapCompressorFaults(t *testing.T) {
+	inner := compressors.NewZFPLike()
+	buf := sineBuffer(16, 16)
+
+	t.Run("error", func(t *testing.T) {
+		c := WrapCompressor(inner, NewInjector(Plan{ErrorEvery: 1}))
+		if _, err := c.Compress(buf, 1e-3); !errors.Is(err, ErrInjected) {
+			t.Errorf("err = %v, want ErrInjected", err)
+		}
+	})
+	t.Run("panic", func(t *testing.T) {
+		c := WrapCompressor(inner, NewInjector(Plan{PanicEvery: 1}))
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic injected")
+			}
+		}()
+		c.Compress(buf, 1e-3)
+	})
+	t.Run("truncation", func(t *testing.T) {
+		in := NewInjector(Plan{NaNEvery: 1})
+		c := WrapCompressor(inner, in)
+		blob, err := c.Compress(buf, 1e-3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		whole, err := inner.Compress(buf, 1e-3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(blob) >= len(whole) {
+			t.Errorf("poisoned blob %d bytes, want < %d", len(blob), len(whole))
+		}
+		// The corrupt stream must surface as an error, not a crash.
+		if _, err := inner.Decompress(blob); err == nil {
+			t.Error("truncated stream accepted by decoder")
+		}
+	})
+	t.Run("nan-reconstruction", func(t *testing.T) {
+		// Panic phase salt differs from NaN's; use a clean pass-through
+		// Compress then a poisoned Decompress.
+		in := NewInjector(Plan{NaNEvery: 2, Seed: 1}) // fires on odd or even calls
+		c := WrapCompressor(inner, in)
+		var poisoned bool
+		for i := 0; i < 2 && !poisoned; i++ {
+			blob, err := inner.Compress(buf, 1e-3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := c.Decompress(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			poisoned = math.IsNaN(back.Data[0])
+		}
+		if !poisoned {
+			t.Error("NaN poisoning never fired in a full period")
+		}
+	})
+	t.Run("clean", func(t *testing.T) {
+		c := WrapCompressor(inner, NewInjector(Plan{}))
+		blob, err := c.Compress(buf, 1e-3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := c.Decompress(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := buf.MaxAbsDiff(back); d > 1e-3*(1+1e-12) {
+			t.Errorf("clean wrapper broke the bound: %g", d)
+		}
+		if c.Name() != "chaos(zfplike)" {
+			t.Errorf("name %q", c.Name())
+		}
+	})
+}
+
+func TestFeaturePathWrappers(t *testing.T) {
+	buf := sineBuffer(16, 16)
+	cfg := predictors.Config{Workers: 1}
+
+	t.Run("dataset-error", func(t *testing.T) {
+		in := NewInjector(Plan{ErrorEvery: 1})
+		df := in.Dataset(predictors.ComputeDataset)
+		if _, err := df(buf, cfg); !errors.Is(err, ErrInjected) {
+			t.Errorf("err = %v, want ErrInjected", err)
+		}
+	})
+	t.Run("dataset-poison", func(t *testing.T) {
+		in := NewInjector(Plan{NaNEvery: 1})
+		df := in.Dataset(predictors.ComputeDataset)
+		got, err := df(buf, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !math.IsNaN(got.SD) {
+			t.Error("SD not poisoned")
+		}
+	})
+	t.Run("eb-poison", func(t *testing.T) {
+		in := NewInjector(Plan{NaNEvery: 1})
+		eb := in.EB(predictors.ComputeEB)
+		d, err := eb(buf, 1e-3, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !math.IsNaN(d) {
+			t.Error("distortion not poisoned")
+		}
+	})
+}
+
+func TestLatencyInjection(t *testing.T) {
+	in := NewInjector(Plan{LatencyEvery: 1, Latency: 5 * time.Millisecond})
+	t0 := time.Now()
+	in.decision("t")
+	if el := time.Since(t0); el < 5*time.Millisecond {
+		t.Errorf("decision returned after %s, want >= 5ms", el)
+	}
+	if c := in.Counts(); c.Delays != 1 {
+		t.Errorf("delays = %d", c.Delays)
+	}
+}

@@ -8,12 +8,15 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"github.com/crestlab/crest/internal/compressors"
 	"github.com/crestlab/crest/internal/conformal"
+	"github.com/crestlab/crest/internal/crerr"
 	"github.com/crestlab/crest/internal/grid"
 	"github.com/crestlab/crest/internal/mixreg"
 	"github.com/crestlab/crest/internal/parallel"
@@ -76,7 +79,16 @@ type Estimator struct {
 	mean  []float64
 	std   []float64
 	nKept int
+	// fellBack is true when at least one mixture fit degenerated and the
+	// estimator was trained on the single-component linear fallback.
+	fellBack bool
 }
+
+// FellBack reports whether EM degenerated during training and the
+// estimator fell back to a single-component linear fit. The estimator is
+// still usable — intervals remain conformally valid — but the mixture's
+// grouping effects are lost, which callers may want to surface.
+func (e *Estimator) FellBack() bool { return e.fellBack }
 
 // ErrNoSamples reports an empty training set.
 var ErrNoSamples = errors.New("core: no training samples")
@@ -86,11 +98,28 @@ func Train(samples []Sample, cfg Config) (*Estimator, error) {
 	return TrainGrouped(samples, nil, cfg)
 }
 
+// TrainContext is Train with cooperative cancellation: the context is
+// propagated into every EM iteration, so a cancelled training run returns
+// promptly with an error matching crerr.ErrCanceled.
+func TrainContext(ctx context.Context, samples []Sample, cfg Config) (*Estimator, error) {
+	return TrainGroupedContext(ctx, samples, nil, cfg)
+}
+
 // TrainGrouped is Train with an exchangeability group label per sample
 // (typically the source field): conformal calibration then holds out whole
 // groups, keeping the coverage guarantee meaningful for out-of-field
 // prediction (§VI-C/§VI-D).
 func TrainGrouped(samples []Sample, groups []int, cfg Config) (*Estimator, error) {
+	return TrainGroupedContext(context.Background(), samples, groups, cfg)
+}
+
+// TrainGroupedContext is TrainGrouped with cancellation and graceful EM
+// degradation: when the mixture fit fails or produces a numerically
+// degenerate model, training falls back to a single-component linear fit
+// (flagged via Estimator.FellBack) instead of failing the whole pipeline;
+// only when even the fallback cannot fit does it return an error matching
+// crerr.ErrModelDegenerate.
+func TrainGroupedContext(ctx context.Context, samples []Sample, groups []int, cfg Config) (*Estimator, error) {
 	cfg = cfg.withDefaults()
 	if len(samples) == 0 {
 		return nil, ErrNoSamples
@@ -157,8 +186,12 @@ func TrainGrouped(samples []Sample, groups []int, cfg Config) (*Estimator, error
 		}
 	}
 
+	// fellBack is set from inside the fitter, which multi-split conformal
+	// may invoke once per split; atomic keeps the flag race-free should a
+	// future conformal implementation fit splits concurrently.
+	var fellBack atomic.Bool
 	fitter := func(tx [][]float64, ty []float64) (conformal.Predictor, error) {
-		return mixreg.Fit(tx, ty, cfg.Mixture)
+		return fitWithFallback(ctx, tx, ty, cfg.Mixture, mixreg.FitContext, &fellBack)
 	}
 	ccfg := cfg.Conformal
 	if ccfg.CalibFraction == 0 && len(samples) < 30 {
@@ -176,13 +209,48 @@ func TrainGrouped(samples []Sample, groups []int, cfg Config) (*Estimator, error
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Estimator{cfg: cfg, model: cm, mask: mask, mean: mean, std: std, nKept: nKept}, nil
+	return &Estimator{cfg: cfg, model: cm, mask: mask, mean: mean, std: std,
+		nKept: nKept, fellBack: fellBack.Load()}, nil
+}
+
+// fitFunc matches mixreg.FitContext; injectable so the degradation path
+// can be driven deterministically in tests.
+type fitFunc func(context.Context, [][]float64, []float64, mixreg.Config) (*mixreg.Model, error)
+
+// fitWithFallback is the graceful-degradation policy of training: try the
+// configured mixture fit; when it fails or produces a numerically
+// degenerate model, refit with a single linear component (L=1 EM is one
+// ridge regression) and record the fallback. Cancellation propagates
+// untouched — it is not a degeneracy. Only when even the fallback is
+// degenerate does the fit fail, classified under crerr.ErrModelDegenerate.
+func fitWithFallback(ctx context.Context, tx [][]float64, ty []float64, mcfg mixreg.Config, fit fitFunc, fellBack *atomic.Bool) (conformal.Predictor, error) {
+	m, err := fit(ctx, tx, ty, mcfg)
+	if err == nil && !m.Degenerate() {
+		return m, nil
+	}
+	if err != nil && errors.Is(err, crerr.ErrCanceled) {
+		return nil, err
+	}
+	fbCfg := mcfg
+	fbCfg.L = 1
+	fb, fbErr := fit(ctx, tx, ty, fbCfg)
+	if fbErr != nil {
+		return nil, fbErr
+	}
+	if fb.Degenerate() {
+		if err == nil {
+			err = errors.New("mixture fit degenerated")
+		}
+		return nil, fmt.Errorf("%w: %v", crerr.ErrModelDegenerate, err)
+	}
+	fellBack.Store(true)
+	return fb, nil
 }
 
 // standardize masks and standardizes one feature vector.
 func (e *Estimator) standardize(features []float64) ([]float64, error) {
 	if len(features) != len(e.mask) {
-		return nil, fmt.Errorf("core: %d features, want %d", len(features), len(e.mask))
+		return nil, fmt.Errorf("core: %w: %d features, want %d", crerr.ErrInvalidBuffer, len(features), len(e.mask))
 	}
 	row := make([]float64, 0, e.nKept)
 	for j, keep := range e.mask {
@@ -200,6 +268,11 @@ func (e *Estimator) standardize(features []float64) ([]float64, error) {
 // one covariate vector, back-transforming from the log scale and clamping
 // to [1, CRCap] on the point estimate's natural range.
 func (e *Estimator) Estimate(features []float64) (Estimate, error) {
+	for i, v := range features {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Estimate{}, fmt.Errorf("core: %w: feature %d is %g", crerr.ErrNonFiniteData, i, v)
+		}
+	}
 	row, err := e.standardize(features)
 	if err != nil {
 		return Estimate{}, err
@@ -260,17 +333,34 @@ func FeaturesOf(buf *grid.Buffer, eps float64, cfg predictors.Config) ([]float64
 
 // BuildSample computes both the covariates and the ground-truth CR by
 // running the compressor once — the training-data collection step of
-// Algorithm 2 lines 4–7.
+// Algorithm 2 lines 4–7. Compressor failures (including recovered panics)
+// are classified under crerr.ErrCompressor.
 func BuildSample(buf *grid.Buffer, comp compressors.Compressor, eps float64, cfg predictors.Config) (Sample, error) {
 	feats, err := FeaturesOf(buf, eps, cfg)
 	if err != nil {
 		return Sample{}, err
 	}
-	cr, err := compressors.Ratio(comp, buf, eps)
+	cr, err := runCompressor(comp, buf, eps)
 	if err != nil {
 		return Sample{}, err
 	}
 	return Sample{Features: feats, CR: cr}, nil
+}
+
+// runCompressor runs the ground-truth compression with panic isolation:
+// a compressor that panics on a pathological buffer yields a typed error
+// instead of taking down the host process.
+func runCompressor(comp compressors.Compressor, buf *grid.Buffer, eps float64) (cr float64, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = crerr.Recovered(v, crerr.ErrCompressor)
+		}
+	}()
+	cr, err = compressors.Ratio(comp, buf, eps)
+	if err != nil {
+		err = fmt.Errorf("%w: %s: %v", crerr.ErrCompressor, comp.Name(), err)
+	}
+	return cr, err
 }
 
 // BuildSamples maps BuildSample over buffers across all cores; see
@@ -283,24 +373,38 @@ func BuildSamples(bufs []*grid.Buffer, comp compressors.Compressor, eps float64,
 // pool with dynamic scheduling (workers <= 0 selects GOMAXPROCS), so
 // Algorithm 2's training-data collection — one compressor run plus one
 // feature pass per buffer — scales with cores. Each sample lands in its
-// own slot, keeping the output identical to the serial path; on failure
-// the lowest-indexed buffer's error is returned.
+// own slot, keeping the output identical to the serial path. On failure
+// every failing buffer index is reported (crerr.AggregateError).
 func BuildSamplesWorkers(bufs []*grid.Buffer, comp compressors.Compressor, eps float64, cfg predictors.Config, workers int) ([]Sample, error) {
+	return BuildSamplesContext(context.Background(), bufs, comp, eps, cfg, workers)
+}
+
+// BuildSamplesContext is BuildSamplesWorkers with cooperative
+// cancellation: once ctx is done, workers finish their current buffer and
+// drain, and the returned error matches crerr.ErrCanceled. Worker panics
+// are recovered into per-buffer errors. Like the batch engine, failure is
+// per-buffer: the samples of succeeding buffers are returned alongside the
+// aggregate error (out[i] is valid exactly when the aggregate has no entry
+// for i), so a caller may drop the failing buffers and train on the rest.
+func BuildSamplesContext(ctx context.Context, bufs []*grid.Buffer, comp compressors.Compressor, eps float64, cfg predictors.Config, workers int) ([]Sample, error) {
 	out := make([]Sample, len(bufs))
 	errs := make([]error, len(bufs))
-	parallel.ForEachDynamic(len(bufs), workers, func(i int) {
+	cerr := parallel.ForEachDynamicCtx(ctx, len(bufs), workers, func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				errs[i] = crerr.Recovered(v, crerr.ErrCompressor)
+			}
+		}()
 		s, err := BuildSample(bufs[i], comp, eps, cfg)
 		if err != nil {
-			errs[i] = err
+			b := bufs[i]
+			errs[i] = fmt.Errorf("core: buffer %d (%s/%s step %d): %w", i, b.Dataset, b.Field, b.Step, err)
 			return
 		}
 		out[i] = s
 	})
-	for i, err := range errs {
-		if err != nil {
-			b := bufs[i]
-			return nil, fmt.Errorf("core: buffer %d (%s/%s step %d): %w", i, b.Dataset, b.Field, b.Step, err)
-		}
+	if cerr != nil {
+		return out, crerr.Canceled(cerr)
 	}
-	return out, nil
+	return out, crerr.Aggregate(errs)
 }

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"github.com/crestlab/crest/internal/chaos"
+	"github.com/crestlab/crest/internal/compressors"
+	"github.com/crestlab/crest/internal/crerr"
+	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/mixreg"
+	"github.com/crestlab/crest/internal/predictors"
+)
+
+// degenerateFor returns a fitFunc that yields a numerically dead model for
+// every fit with more than one component and delegates single-component
+// fits to the real EM.
+func degenerateFor(realFits *atomic.Int32) fitFunc {
+	return func(ctx context.Context, tx [][]float64, ty []float64, cfg mixreg.Config) (*mixreg.Model, error) {
+		if cfg.L == 1 {
+			realFits.Add(1)
+			return mixreg.FitContext(ctx, tx, ty, cfg)
+		}
+		d := len(tx[0])
+		return &mixreg.Model{L: 2, D: d,
+			Pi:    []float64{math.NaN(), math.NaN()},
+			Beta:  [][]float64{make([]float64, d+1), make([]float64, d+1)},
+			Sigma: []float64{math.NaN(), math.NaN()},
+			XMean: [][]float64{make([]float64, d), make([]float64, d)},
+			XVar:  [][]float64{make([]float64, d), make([]float64, d)},
+		}, nil
+	}
+}
+
+// TestFitFallbackOnDegenerateEM: a degenerate mixture fit degrades to the
+// single-component linear model instead of failing, and the fallback is
+// recorded.
+func TestFitFallbackOnDegenerateEM(t *testing.T) {
+	samples := synthSamples(80, 0.05, 7)
+	x := make([][]float64, len(samples))
+	y := make([]float64, len(samples))
+	for i, s := range samples {
+		x[i] = s.Features
+		y[i] = math.Log(s.CR)
+	}
+	var fellBack atomic.Bool
+	var realFits atomic.Int32
+	pred, err := fitWithFallback(context.Background(), x, y, mixreg.Config{L: 2},
+		degenerateFor(&realFits), &fellBack)
+	if err != nil {
+		t.Fatalf("fallback failed: %v", err)
+	}
+	if !fellBack.Load() {
+		t.Error("fallback not recorded")
+	}
+	if realFits.Load() != 1 {
+		t.Errorf("%d single-component fits, want 1", realFits.Load())
+	}
+	// The fallback predictor is usable.
+	if got := pred.Predict(x[0]); math.IsNaN(got) {
+		t.Error("fallback predictor returns NaN")
+	}
+}
+
+// TestFitFallbackBothDegenerate: when even the single-component fit is
+// dead, the error is classified under ErrModelDegenerate.
+func TestFitFallbackBothDegenerate(t *testing.T) {
+	allDead := func(ctx context.Context, tx [][]float64, ty []float64, cfg mixreg.Config) (*mixreg.Model, error) {
+		return &mixreg.Model{L: 1, D: len(tx[0]),
+			Pi: []float64{1}, Beta: [][]float64{make([]float64, len(tx[0])+1)},
+			Sigma: []float64{math.NaN()},
+			XMean: [][]float64{make([]float64, len(tx[0]))},
+			XVar:  [][]float64{make([]float64, len(tx[0]))},
+		}, nil
+	}
+	var fellBack atomic.Bool
+	_, err := fitWithFallback(context.Background(),
+		[][]float64{{1}, {2}}, []float64{1, 2}, mixreg.Config{}, allDead, &fellBack)
+	if !errors.Is(err, crerr.ErrModelDegenerate) {
+		t.Fatalf("err = %v, want ErrModelDegenerate", err)
+	}
+	if fellBack.Load() {
+		t.Error("fallback recorded despite degenerate fallback fit")
+	}
+}
+
+// TestTrainNotFellBackOnHealthyFit: a healthy training run reports no
+// fallback.
+func TestTrainNotFellBackOnHealthyFit(t *testing.T) {
+	est, err := Train(synthSamples(120, 0.05, 9), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.FellBack() {
+		t.Error("healthy fit reported FellBack")
+	}
+}
+
+// TestTrainContextCanceled: cancellation beats degradation — a canceled
+// training run fails with ErrCanceled rather than falling back.
+func TestTrainContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := TrainContext(ctx, synthSamples(60, 0.05, 11), Config{})
+	if !errors.Is(err, crerr.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+}
+
+// TestEstimateRejectsNonFiniteFeatures: a poisoned covariate vector is a
+// typed error, not a NaN estimate.
+func TestEstimateRejectsNonFiniteFeatures(t *testing.T) {
+	est, err := Train(synthSamples(60, 0.05, 13), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1)} {
+		f := []float64{1, 2, bad, 4, 5}
+		if _, err := est.Estimate(f); !errors.Is(err, crerr.ErrNonFiniteData) {
+			t.Errorf("feature %g: err = %v, want ErrNonFiniteData", bad, err)
+		}
+	}
+}
+
+func faultBuffers(n int) []*grid.Buffer {
+	bufs := make([]*grid.Buffer, n)
+	for i := range bufs {
+		b := grid.NewBuffer(32, 32)
+		for j := range b.Data {
+			b.Data[j] = math.Sin(float64(j)/11) + 0.01*float64(i)
+		}
+		b.Dataset, b.Field, b.Step = "fault", "f", i
+		bufs[i] = b
+	}
+	return bufs
+}
+
+// TestChaosCollectSamplesCompressorFaults: injected compressor errors and
+// panics become per-buffer entries classified under ErrCompressor while
+// the surviving buffers' samples are still collected, bit-identical to the
+// serial clean path.
+func TestChaosCollectSamplesCompressorFaults(t *testing.T) {
+	bufs := faultBuffers(12)
+	cfg := predictors.Config{Workers: 1}
+	inner := compressors.NewZFPLike()
+
+	clean, err := BuildSamplesContext(context.Background(), bufs, inner, 1e-3, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in := chaos.NewInjector(chaos.Plan{Seed: 2, ErrorEvery: 4, PanicEvery: 5})
+	comp := chaos.WrapCompressor(inner, in)
+	out, err := BuildSamplesContext(context.Background(), bufs, comp, 1e-3, cfg, 4)
+	var agg *crerr.AggregateError
+	if !errors.As(err, &agg) {
+		t.Fatalf("err = %T %v, want AggregateError", err, err)
+	}
+	if !errors.Is(err, crerr.ErrCompressor) {
+		t.Errorf("aggregate does not match ErrCompressor: %v", err)
+	}
+	failed := make(map[int]bool)
+	for _, i := range agg.Indices() {
+		failed[i] = true
+	}
+	for i := range bufs {
+		if failed[i] {
+			continue
+		}
+		if out[i].CR != clean[i].CR {
+			t.Errorf("buffer %d: CR %g != clean %g", i, out[i].CR, clean[i].CR)
+		}
+	}
+	if c := in.Counts(); uint64(len(agg.Errs)) != c.Errors+c.Panics {
+		// Each buffer makes exactly one Compress and one Decompress call,
+		// so every injected fault fails exactly one buffer.
+		t.Errorf("%d buffers failed for %d injected faults", len(agg.Errs), c.Errors+c.Panics)
+	}
+}
+
+// TestChaosCollectSamplesCancel: cancellation mid-collection drains the
+// workers and reports ErrCanceled.
+func TestChaosCollectSamplesCancel(t *testing.T) {
+	bufs := faultBuffers(32)
+	cfg := predictors.Config{Workers: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var runs atomic.Int32
+	comp := cancelingCompressor{inner: compressors.NewZFPLike(), after: 3, runs: &runs, cancel: cancel}
+	out, err := BuildSamplesContext(ctx, bufs, comp, 1e-3, cfg, 2)
+	if !errors.Is(err, crerr.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	done := 0
+	for _, s := range out {
+		if s.CR != 0 {
+			done++
+		}
+	}
+	if done >= len(bufs) {
+		t.Error("every buffer completed despite mid-collection cancel")
+	}
+}
+
+type cancelingCompressor struct {
+	inner  compressors.Compressor
+	after  int32
+	runs   *atomic.Int32
+	cancel context.CancelFunc
+}
+
+func (c cancelingCompressor) Name() string { return "canceling" }
+
+func (c cancelingCompressor) Compress(buf *grid.Buffer, eps float64) ([]byte, error) {
+	if c.runs.Add(1) == c.after {
+		c.cancel()
+	}
+	return c.inner.Compress(buf, eps)
+}
+
+func (c cancelingCompressor) Decompress(data []byte) (*grid.Buffer, error) {
+	return c.inner.Decompress(data)
+}

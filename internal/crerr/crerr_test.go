@@ -1,0 +1,96 @@
+package crerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestCanceledMatchesBothSentinels(t *testing.T) {
+	err := Canceled(context.DeadlineExceeded)
+	if !errors.Is(err, ErrCanceled) {
+		t.Error("canceled error does not match ErrCanceled")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Error("canceled error does not match its context cause")
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Error("deadline error must not match context.Canceled")
+	}
+	if !errors.Is(Canceled(nil), context.Canceled) {
+		t.Error("nil cause should default to context.Canceled")
+	}
+}
+
+func TestRecoveredClassifiesAndKeepsValue(t *testing.T) {
+	err := Recovered("index out of range", ErrInvalidBuffer)
+	if !errors.Is(err, ErrInvalidBuffer) {
+		t.Error("recovered panic does not match its sentinel")
+	}
+	v, ok := PanicValue(err)
+	if !ok || v != "index out of range" {
+		t.Errorf("PanicValue = %v, %v", v, ok)
+	}
+	if _, ok := PanicValue(errors.New("plain")); ok {
+		t.Error("plain error reported a panic value")
+	}
+	// Wrapping must not hide the panic value.
+	wrapped := fmt.Errorf("request 3: %w", err)
+	if _, ok := PanicValue(wrapped); !ok {
+		t.Error("wrapped panic error lost its value")
+	}
+}
+
+func TestAggregatePreservesEveryIndex(t *testing.T) {
+	errs := make([]error, 6)
+	errs[1] = fmt.Errorf("feature: %w", ErrNonFiniteData)
+	errs[4] = fmt.Errorf("compress: %w", ErrCompressor)
+	err := Aggregate(errs)
+	if err == nil {
+		t.Fatal("Aggregate returned nil for failing slots")
+	}
+	var agg *AggregateError
+	if !errors.As(err, &agg) {
+		t.Fatalf("Aggregate returned %T", err)
+	}
+	if got := agg.Indices(); len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Errorf("Indices = %v", got)
+	}
+	if agg.Total != 6 {
+		t.Errorf("Total = %d", agg.Total)
+	}
+	if !errors.Is(err, ErrNonFiniteData) || !errors.Is(err, ErrCompressor) {
+		t.Error("aggregate does not match member sentinels")
+	}
+	if errors.Is(err, ErrCanceled) {
+		t.Error("aggregate matches a sentinel no member carries")
+	}
+	if agg.ByIndex(4) == nil || agg.ByIndex(0) != nil {
+		t.Error("ByIndex misroutes")
+	}
+	if !strings.Contains(err.Error(), "2/6 requests failed") {
+		t.Errorf("summary message %q", err)
+	}
+}
+
+func TestAggregateNilWhenAllSucceed(t *testing.T) {
+	if err := Aggregate(make([]error, 3)); err != nil {
+		t.Errorf("Aggregate of successes = %v", err)
+	}
+	if err := Aggregate(nil); err != nil {
+		t.Errorf("Aggregate of empty = %v", err)
+	}
+}
+
+func TestAggregateMessageTruncates(t *testing.T) {
+	errs := make([]error, 10)
+	for i := range errs {
+		errs[i] = ErrInvalidBuffer
+	}
+	msg := Aggregate(errs).Error()
+	if !strings.Contains(msg, "and 6 more") {
+		t.Errorf("long aggregate not truncated: %q", msg)
+	}
+}

@@ -7,6 +7,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -14,6 +15,7 @@ import (
 
 	"github.com/crestlab/crest/internal/baselines"
 	"github.com/crestlab/crest/internal/compressors"
+	"github.com/crestlab/crest/internal/crerr"
 	"github.com/crestlab/crest/internal/grid"
 	"github.com/crestlab/crest/internal/parallel"
 	"github.com/crestlab/crest/internal/stats"
@@ -59,6 +61,9 @@ func NewCRCache() *CRCache { return &CRCache{m: make(map[crKey]*crEntry)} }
 
 // Ratio returns the capped true compression ratio, compressing on first
 // use. Concurrent first requests for the same key share one compression.
+// A failing (or panicking) compression is reported to its requesters but
+// never cached: the key misses again on the next call, and the panic is
+// recovered into an error matching crerr.ErrCompressor.
 func (c *CRCache) Ratio(comp compressors.Compressor, buf *grid.Buffer, eps float64) (float64, error) {
 	k := crKey{buf, comp.Name(), eps}
 	c.mu.Lock()
@@ -71,11 +76,27 @@ func (c *CRCache) Ratio(comp compressors.Compressor, buf *grid.Buffer, eps float
 	e = &crEntry{done: make(chan struct{})}
 	c.m[k] = e
 	c.mu.Unlock()
-	cr, err := compressors.Ratio(comp, buf, eps)
-	if err == nil && cr > CRCap {
-		cr = CRCap
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				e.err = crerr.Recovered(v, crerr.ErrCompressor)
+			}
+		}()
+		cr, err := compressors.Ratio(comp, buf, eps)
+		if err == nil && cr > CRCap {
+			cr = CRCap
+		} else if err != nil {
+			err = fmt.Errorf("%w: %v", crerr.ErrCompressor, err)
+		}
+		e.cr, e.err = cr, err
+	}()
+	if e.err != nil {
+		c.mu.Lock()
+		if c.m[k] == e {
+			delete(c.m, k)
+		}
+		c.mu.Unlock()
 	}
-	e.cr, e.err = cr, err
 	close(e.done)
 	return e.cr, e.err
 }
@@ -95,19 +116,32 @@ func (c *CRCache) Ratios(comp compressors.Compressor, bufs []*grid.Buffer, eps f
 
 // RatiosParallel is Ratios with the cache misses compressed on a bounded
 // worker pool (workers <= 0 selects GOMAXPROCS). Output order and values
-// are identical to Ratios; on failure the lowest-indexed buffer's error is
-// returned.
+// are identical to Ratios; on failure every failing buffer index is
+// reported (crerr.AggregateError).
 func (c *CRCache) RatiosParallel(comp compressors.Compressor, bufs []*grid.Buffer, eps float64, workers int) ([]float64, error) {
+	return c.RatiosParallelCtx(context.Background(), comp, bufs, eps, workers)
+}
+
+// RatiosParallelCtx is RatiosParallel with cooperative cancellation: once
+// ctx is done, workers finish the compression they are running and drain,
+// and the returned error matches crerr.ErrCanceled.
+func (c *CRCache) RatiosParallelCtx(ctx context.Context, comp compressors.Compressor, bufs []*grid.Buffer, eps float64, workers int) ([]float64, error) {
 	out := make([]float64, len(bufs))
 	errs := make([]error, len(bufs))
-	parallel.ForEachDynamic(len(bufs), workers, func(i int) {
-		out[i], errs[i] = c.Ratio(comp, bufs[i], eps)
-	})
-	for i, err := range errs {
+	cerr := parallel.ForEachDynamicCtx(ctx, len(bufs), workers, func(i int) {
+		cr, err := c.Ratio(comp, bufs[i], eps)
 		if err != nil {
 			b := bufs[i]
-			return nil, fmt.Errorf("eval: %s on %s/%s step %d: %w", comp.Name(), b.Dataset, b.Field, b.Step, err)
+			errs[i] = fmt.Errorf("eval: %s on %s/%s step %d: %w", comp.Name(), b.Dataset, b.Field, b.Step, err)
+			return
 		}
+		out[i] = cr
+	})
+	if cerr != nil {
+		return nil, crerr.Canceled(cerr)
+	}
+	if err := crerr.Aggregate(errs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -116,6 +150,11 @@ func (c *CRCache) RatiosParallel(comp compressors.Compressor, bufs []*grid.Buffe
 // precompute their feature cache for a buffer set across workers.
 type featureWarmer interface {
 	Warm(bufs []*grid.Buffer, epses []float64, workers int) error
+}
+
+// ctxWarmer is the cancellable refinement of featureWarmer.
+type ctxWarmer interface {
+	WarmContext(ctx context.Context, bufs []*grid.Buffer, epses []float64, workers int) error
 }
 
 // KFold runs Algorithm 2: k-fold cross-validation of method m on bufs with
@@ -128,6 +167,14 @@ type featureWarmer interface {
 // when the method marks its Predict concurrency-safe. Fold order, fitting
 // and all numeric results are identical to a serial run.
 func KFold(m baselines.Method, bufs []*grid.Buffer, comp compressors.Compressor, eps float64, k int, seed int64, cache *CRCache) (Quantiles, []float64, error) {
+	return KFoldContext(context.Background(), m, bufs, comp, eps, k, seed, cache)
+}
+
+// KFoldContext is KFold with cooperative cancellation: the context gates
+// the concurrent pre-passes, every fold boundary, and (for the proposed
+// method) each EM training iteration, so a cancelled evaluation returns
+// promptly with an error matching crerr.ErrCanceled.
+func KFoldContext(ctx context.Context, m baselines.Method, bufs []*grid.Buffer, comp compressors.Compressor, eps float64, k int, seed int64, cache *CRCache) (Quantiles, []float64, error) {
 	n := len(bufs)
 	if k < 2 {
 		k = 2
@@ -144,10 +191,15 @@ func KFold(m baselines.Method, bufs []*grid.Buffer, comp compressors.Compressor,
 	// Pre-pass: every buffer's ground truth (and, when available, its
 	// features) is needed across the folds; compute them concurrently once
 	// instead of faulting them in one at a time inside the fold loop.
-	if _, err := cache.RatiosParallel(comp, bufs, eps, 0); err != nil {
+	if _, err := cache.RatiosParallelCtx(ctx, comp, bufs, eps, 0); err != nil {
 		return Quantiles{}, nil, err
 	}
-	if w, ok := m.(featureWarmer); ok {
+	switch w := m.(type) {
+	case ctxWarmer:
+		if err := w.WarmContext(ctx, bufs, []float64{eps}, 0); err != nil {
+			return Quantiles{}, nil, fmt.Errorf("eval: feature warm: %w", err)
+		}
+	case featureWarmer:
 		if err := w.Warm(bufs, []float64{eps}, 0); err != nil {
 			return Quantiles{}, nil, fmt.Errorf("eval: feature warm: %w", err)
 		}
@@ -163,6 +215,9 @@ func KFold(m baselines.Method, bufs []*grid.Buffer, comp compressors.Compressor,
 	}
 	medapes := make([]float64, 0, k)
 	for f := 0; f < k; f++ {
+		if err := ctx.Err(); err != nil {
+			return Quantiles{}, nil, crerr.Canceled(err)
+		}
 		var trainIdx []int
 		for g := 0; g < k; g++ {
 			if g != f {

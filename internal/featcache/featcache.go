@@ -24,11 +24,13 @@
 package featcache
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
 	"unsafe"
 
+	"github.com/crestlab/crest/internal/crerr"
 	"github.com/crestlab/crest/internal/grid"
 	"github.com/crestlab/crest/internal/parallel"
 	"github.com/crestlab/crest/internal/predictors"
@@ -38,15 +40,36 @@ import (
 // mask. 32 shards keep contention negligible at typical worker counts.
 const NumShards = 32
 
+// DatasetFunc computes the error-bound-agnostic predictors of a buffer;
+// the default is predictors.ComputeDataset. Replaceable for fault
+// injection (internal/chaos) and testing.
+type DatasetFunc func(*grid.Buffer, predictors.Config) (predictors.DatasetFeatures, error)
+
+// EBFunc computes the error-bound-specific distortion; the default is
+// predictors.ComputeEB.
+type EBFunc func(*grid.Buffer, float64, predictors.Config) (float64, error)
+
 // Cache is a sharded, mutex-protected, singleflight feature cache. The
 // zero value is not usable; construct with New.
+//
+// Failure semantics: a computation that returns an error or panics does
+// NOT leave a cached entry behind. Goroutines already waiting on that
+// in-flight computation observe its error, but the key is removed before
+// the waiters are released, so the next request for it is a fresh miss
+// that retries the computation. Panics inside the compute functions are
+// recovered and surfaced as errors wrapping crerr.ErrInvalidBuffer, so a
+// malformed buffer can never wedge a singleflight slot or kill the
+// process.
 type Cache struct {
-	cfg    predictors.Config
-	shards [NumShards]shard
+	cfg         predictors.Config
+	computeDset DatasetFunc
+	computeEB   EBFunc
+	shards      [NumShards]shard
 
 	// Counters are updated with atomics so Stats never takes shard locks.
 	dsetHits, dsetMisses uint64
 	ebHits, ebMisses     uint64
+	failures             uint64
 }
 
 type shard struct {
@@ -75,7 +98,21 @@ type ebEntry struct {
 
 // New returns an empty cache computing features with cfg.
 func New(cfg predictors.Config) *Cache {
-	c := &Cache{cfg: cfg}
+	return NewWithCompute(cfg, nil, nil)
+}
+
+// NewWithCompute is New with replaceable compute functions (nil selects
+// the predictors defaults). It exists for the fault-injection harness and
+// for tests that need to provoke errors, panics or poisoned features on
+// the feature path.
+func NewWithCompute(cfg predictors.Config, dset DatasetFunc, eb EBFunc) *Cache {
+	if dset == nil {
+		dset = predictors.ComputeDataset
+	}
+	if eb == nil {
+		eb = predictors.ComputeEB
+	}
+	c := &Cache{cfg: cfg, computeDset: dset, computeEB: eb}
 	for i := range c.shards {
 		c.shards[i].dset = make(map[*grid.Buffer]*dsetEntry)
 		c.shards[i].eb = make(map[ebKey]*ebEntry)
@@ -128,6 +165,8 @@ func bufBits(buf *grid.Buffer) uint64 {
 
 // Dataset returns the four error-bound-agnostic predictors of buf,
 // computing them on first use. Concurrent first requests compute once.
+// A failed or panicking computation is reported to its requesters but is
+// not retained: the key misses again (and recomputes) on the next call.
 func (c *Cache) Dataset(buf *grid.Buffer) (predictors.DatasetFeatures, error) {
 	s := &c.shards[ShardIndex(bufBits(buf), 0)]
 	s.mu.Lock()
@@ -142,13 +181,32 @@ func (c *Cache) Dataset(buf *grid.Buffer) (predictors.DatasetFeatures, error) {
 	s.dset[buf] = e
 	s.mu.Unlock()
 	atomic.AddUint64(&c.dsetMisses, 1)
-	e.df, e.err = predictors.ComputeDataset(buf, c.cfg)
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				e.err = crerr.Recovered(v, crerr.ErrInvalidBuffer)
+			}
+		}()
+		e.df, e.err = c.computeDset(buf, c.cfg)
+	}()
+	if e.err != nil {
+		atomic.AddUint64(&c.failures, 1)
+		// Remove the failed entry before releasing waiters so no later
+		// caller can observe (and be poisoned by) a dead singleflight
+		// slot: the failure is retryable.
+		s.mu.Lock()
+		if s.dset[buf] == e {
+			delete(s.dset, buf)
+		}
+		s.mu.Unlock()
+	}
 	close(e.done)
 	return e.df, e.err
 }
 
 // Distortion returns the error-bound-specific generic distortion of buf at
-// eps, computing it on first use.
+// eps, computing it on first use. Failure semantics match Dataset: errors
+// and recovered panics are surfaced but never cached.
 func (c *Cache) Distortion(buf *grid.Buffer, eps float64) (float64, error) {
 	bits := EBBits(eps)
 	k := ebKey{buf, bits}
@@ -165,7 +223,22 @@ func (c *Cache) Distortion(buf *grid.Buffer, eps float64) (float64, error) {
 	s.eb[k] = e
 	s.mu.Unlock()
 	atomic.AddUint64(&c.ebMisses, 1)
-	e.d, e.err = predictors.ComputeEB(buf, eps, c.cfg)
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				e.err = crerr.Recovered(v, crerr.ErrInvalidBuffer)
+			}
+		}()
+		e.d, e.err = c.computeEB(buf, eps, c.cfg)
+	}()
+	if e.err != nil {
+		atomic.AddUint64(&c.failures, 1)
+		s.mu.Lock()
+		if s.eb[k] == e {
+			delete(s.eb, k)
+		}
+		s.mu.Unlock()
+	}
 	close(e.done)
 	return e.d, e.err
 }
@@ -185,15 +258,23 @@ func (c *Cache) Features(buf *grid.Buffer, eps float64) ([]float64, error) {
 }
 
 // Warm fills the cache for every buffer × bound pair across a bounded
-// worker pool and returns the first (lowest buffer index) error. It is the
-// pre-pass that lets training-data collection and k-fold evaluation scale
-// with cores instead of faulting features in one at a time.
+// worker pool. It is the pre-pass that lets training-data collection and
+// k-fold evaluation scale with cores instead of faulting features in one
+// at a time. On failure every failing buffer index is reported (a
+// crerr.AggregateError), not just the lowest.
 func (c *Cache) Warm(bufs []*grid.Buffer, epses []float64, workers int) error {
+	return c.WarmContext(context.Background(), bufs, epses, workers)
+}
+
+// WarmContext is Warm with cooperative cancellation: once ctx is done,
+// workers finish their current buffer and stop; the returned error then
+// matches both crerr.ErrCanceled and the context sentinel.
+func (c *Cache) WarmContext(ctx context.Context, bufs []*grid.Buffer, epses []float64, workers int) error {
 	if len(bufs) == 0 || len(epses) == 0 {
 		return nil
 	}
 	errs := make([]error, len(bufs))
-	parallel.ForEachDynamic(len(bufs), workers, func(i int) {
+	cerr := parallel.ForEachDynamicCtx(ctx, len(bufs), workers, func(i int) {
 		for _, eps := range epses {
 			if _, err := c.Features(bufs[i], eps); err != nil {
 				errs[i] = err
@@ -201,12 +282,10 @@ func (c *Cache) Warm(bufs []*grid.Buffer, epses []float64, workers int) error {
 			}
 		}
 	})
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if cerr != nil {
+		return crerr.Canceled(cerr)
 	}
-	return nil
+	return crerr.Aggregate(errs)
 }
 
 // ---------------------------------------------------------------------------
@@ -219,6 +298,12 @@ func (c *Cache) Warm(bufs []*grid.Buffer, epses []float64, workers int) error {
 type Stats struct {
 	DatasetHits, DatasetMisses uint64
 	EBHits, EBMisses           uint64
+
+	// Failures counts computations that ended in an error or recovered
+	// panic. Failed keys are not retained, so over the cache's lifetime
+	// resident entries == Misses − Failures (when no computation is in
+	// flight).
+	Failures uint64
 }
 
 // Hits is the total request count served without a fresh computation.
@@ -234,5 +319,48 @@ func (c *Cache) Stats() Stats {
 		DatasetMisses: atomic.LoadUint64(&c.dsetMisses),
 		EBHits:        atomic.LoadUint64(&c.ebHits),
 		EBMisses:      atomic.LoadUint64(&c.ebMisses),
+		Failures:      atomic.LoadUint64(&c.failures),
 	}
+}
+
+// Pending counts in-flight singleflight entries: resident entries whose
+// computation has not yet published a result. Once every caller has
+// returned, Pending must be zero — a nonzero steady-state value means a
+// computation died without releasing its slot, the invariant the chaos
+// tests assert after injected panics and cancellations.
+func (c *Cache) Pending() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for _, e := range s.dset {
+			select {
+			case <-e.done:
+			default:
+				n++
+			}
+		}
+		for _, e := range s.eb {
+			select {
+			case <-e.done:
+			default:
+				n++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Len returns the number of resident (successfully computed or in-flight)
+// entries across both halves of the cache.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.dset) + len(s.eb)
+		s.mu.Unlock()
+	}
+	return n
 }

@@ -1,11 +1,13 @@
 package featcache
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"sync"
 	"testing"
 
+	"github.com/crestlab/crest/internal/crerr"
 	"github.com/crestlab/crest/internal/grid"
 	"github.com/crestlab/crest/internal/predictors"
 )
@@ -159,20 +161,31 @@ func TestWarmFillsEveryKey(t *testing.T) {
 	}
 }
 
-// TestErrorsAreCachedAndShared: a buffer that cannot be blocked fails the
-// same way on every lookup without recomputation.
-func TestErrorsAreCachedAndShared(t *testing.T) {
+// TestErrorsAreNotRetained: a failing buffer reports a typed error on
+// every lookup, but the failure never occupies a cache slot — each lookup
+// is a fresh, retryable miss (see retry_test.go for the recovery paths).
+func TestErrorsAreNotRetained(t *testing.T) {
 	c := New(serialCfg) // default K=8 cannot tile a 4x4 buffer
 	tiny := grid.NewBuffer(4, 4)
-	if _, err := c.Features(tiny, 1e-3); err == nil {
-		t.Fatal("expected blocking error for 4x4 buffer at K=8")
+	if _, err := c.Features(tiny, 1e-3); !errors.Is(err, crerr.ErrInvalidBuffer) {
+		t.Fatalf("4x4 buffer at K=8: err = %v, want ErrInvalidBuffer", err)
 	}
 	before := c.Stats()
 	if _, err := c.Features(tiny, 1e-3); err == nil {
-		t.Fatal("expected cached error on second lookup")
+		t.Fatal("expected error on second lookup")
 	}
-	if after := c.Stats(); after.DatasetMisses != before.DatasetMisses {
-		t.Errorf("error path recomputed: dataset misses %d -> %d", before.DatasetMisses, after.DatasetMisses)
+	after := c.Stats()
+	if after.DatasetMisses != before.DatasetMisses+1 {
+		t.Errorf("failed key not retried: dataset misses %d -> %d", before.DatasetMisses, after.DatasetMisses)
+	}
+	if after.Failures != before.Failures+1 {
+		t.Errorf("failures %d -> %d, want +1", before.Failures, after.Failures)
+	}
+	if c.Len() != 0 {
+		t.Errorf("%d entries retained for a buffer that only ever fails", c.Len())
+	}
+	if c.Pending() != 0 {
+		t.Errorf("%d stuck in-flight entries", c.Pending())
 	}
 }
 

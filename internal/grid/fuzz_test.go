@@ -1,0 +1,59 @@
+package grid
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/crestlab/crest/internal/crerr"
+)
+
+// FuzzBufferValidate hardens the public-boundary validator: for arbitrary
+// shapes, data lengths and bit patterns, Validate must never panic and
+// must return either nil or an error classified under the taxonomy; a
+// buffer that validates cleanly under the default policy must survive
+// Sanitized unchanged and index safely.
+func FuzzBufferValidate(f *testing.F) {
+	f.Add(4, 4, 16, uint64(0), 0.0)
+	f.Add(0, 4, 0, uint64(0), 0.0)
+	f.Add(2, 3, 5, math.Float64bits(math.NaN()), 0.1)
+	f.Add(-1, 8, 8, math.Float64bits(math.Inf(1)), 1.0)
+	f.Add(1, 1, 1, math.Float64bits(1.5), 0.5)
+
+	f.Fuzz(func(t *testing.T, rows, cols, n int, bits uint64, frac float64) {
+		if n < 0 || n > 1<<16 {
+			return
+		}
+		data := make([]float64, n)
+		v := math.Float64frombits(bits)
+		for i := range data {
+			if i%3 == 0 {
+				data[i] = v
+			} else {
+				data[i] = float64(i)
+			}
+		}
+		b := &Buffer{Rows: rows, Cols: cols, Data: data}
+		err := b.Validate(ValidationPolicy{MaxNonFiniteFraction: frac})
+		if err != nil {
+			if !errors.Is(err, crerr.ErrInvalidBuffer) && !errors.Is(err, crerr.ErrNonFiniteData) {
+				t.Fatalf("error outside the taxonomy: %v", err)
+			}
+			return
+		}
+		// A buffer valid under the default policy has a sound shape: every
+		// accessor must be panic-free and Sanitized a no-op when the data
+		// is finite.
+		if rows <= 0 || cols <= 0 || len(data) != rows*cols {
+			t.Fatalf("invalid shape %dx%d len %d validated", rows, cols, len(data))
+		}
+		_ = b.At(rows-1, cols-1)
+		s := b.Sanitized()
+		if err := s.Validate(ValidationPolicy{}); err != nil && !errors.Is(err, crerr.ErrNonFiniteData) {
+			t.Fatalf("sanitized buffer shape-invalid: %v", err)
+		}
+		if sErr := s.Validate(ValidationPolicy{}); sErr != nil {
+			t.Fatalf("sanitized buffer still non-finite: %v", sErr)
+		}
+	})
+}

@@ -8,9 +8,10 @@
 package grid
 
 import (
-	"errors"
 	"fmt"
 	"math"
+
+	"github.com/crestlab/crest/internal/crerr"
 )
 
 // Buffer is a dense, row-major 2D array identified by dataset, field and
@@ -99,6 +100,83 @@ func (b *Buffer) MaxAbsDiff(o *Buffer) float64 {
 	return m
 }
 
+// ValidationPolicy bounds what buffer data the estimation pipeline
+// accepts at its public boundaries.
+type ValidationPolicy struct {
+	// MaxNonFiniteFraction is the tolerated fraction of NaN/±Inf values
+	// in [0, 1]. The zero value rejects any non-finite element.
+	MaxNonFiniteFraction float64
+}
+
+// DefaultValidation rejects any non-finite element: the statistical
+// predictors and the regression mixture have no meaningful NaN semantics,
+// so by default a single poisoned value fails fast with a typed error
+// instead of silently producing NaN features.
+var DefaultValidation = ValidationPolicy{}
+
+// Validate checks the buffer's shape invariants and applies the policy's
+// non-finite data bound. Shape violations wrap crerr.ErrInvalidBuffer;
+// data violations wrap crerr.ErrNonFiniteData. A valid buffer makes every
+// grid accessor (At, Blocking, Vec) panic-free, which is how panics from
+// malformed buffers are converted to errors at the API boundary.
+func (b *Buffer) Validate(p ValidationPolicy) error {
+	if b == nil {
+		return fmt.Errorf("%w: nil buffer", crerr.ErrInvalidBuffer)
+	}
+	if b.Rows <= 0 || b.Cols <= 0 {
+		return fmt.Errorf("%w: shape %dx%d", crerr.ErrInvalidBuffer, b.Rows, b.Cols)
+	}
+	if len(b.Data) != b.Rows*b.Cols {
+		return fmt.Errorf("%w: data length %d != %d*%d", crerr.ErrInvalidBuffer, len(b.Data), b.Rows, b.Cols)
+	}
+	bad := 0
+	for _, v := range b.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			bad++
+		}
+	}
+	if bad > 0 {
+		frac := float64(bad) / float64(len(b.Data))
+		if frac > p.MaxNonFiniteFraction {
+			return fmt.Errorf("%w: %d of %d values (%.3g%% > %.3g%% allowed)",
+				crerr.ErrNonFiniteData, bad, len(b.Data), 100*frac, 100*p.MaxNonFiniteFraction)
+		}
+	}
+	return nil
+}
+
+// Sanitized returns the buffer itself when it contains no non-finite
+// values, or a deep copy with every NaN/±Inf replaced by the mean of the
+// finite values (zero when none exist). It is the degradation path for
+// callers that opt into a tolerant ValidationPolicy.
+func (b *Buffer) Sanitized() *Buffer {
+	bad := 0
+	var sum float64
+	n := 0
+	for _, v := range b.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			bad++
+		} else {
+			sum += v
+			n++
+		}
+	}
+	if bad == 0 {
+		return b
+	}
+	fill := 0.0
+	if n > 0 {
+		fill = sum / float64(n)
+	}
+	c := b.Clone()
+	for i, v := range c.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			c.Data[i] = fill
+		}
+	}
+	return c
+}
+
 // Volume is a dense, row-major 3D array (slowest dimension first). Volumes
 // are sliced to 2D buffers for prediction and compression.
 type Volume struct {
@@ -122,6 +200,23 @@ func (v *Volume) At(z, y, x int) float64 { return v.Data[(z*v.NY+y)*v.NX+x] }
 
 // Set assigns the element at (z, y, x).
 func (v *Volume) Set(z, y, x int, val float64) { v.Data[(z*v.NY+y)*v.NX+x] = val }
+
+// Validate checks the volume's shape invariants and applies the policy's
+// non-finite bound, mirroring Buffer.Validate.
+func (v *Volume) Validate(p ValidationPolicy) error {
+	if v == nil {
+		return fmt.Errorf("%w: nil volume", crerr.ErrInvalidBuffer)
+	}
+	if v.NZ <= 0 || v.NY <= 0 || v.NX <= 0 {
+		return fmt.Errorf("%w: volume shape %dx%dx%d", crerr.ErrInvalidBuffer, v.NZ, v.NY, v.NX)
+	}
+	if len(v.Data) != v.NZ*v.NY*v.NX {
+		return fmt.Errorf("%w: volume data length %d != %d*%d*%d",
+			crerr.ErrInvalidBuffer, len(v.Data), v.NZ, v.NY, v.NX)
+	}
+	probe := Buffer{Rows: v.NZ * v.NY, Cols: v.NX, Data: v.Data}
+	return probe.Validate(p)
+}
 
 // Slice returns the z-th 2D slice as a buffer sharing the volume's storage.
 // Slicing along the slowest dimension mirrors the paper's conversion of 3D
@@ -191,8 +286,10 @@ func (d *Dataset) Buffers() []*Buffer {
 }
 
 // ErrNotTileable reports a buffer whose dimensions are not divisible by the
-// requested block size.
-var ErrNotTileable = errors.New("grid: buffer dimensions not divisible by block size")
+// requested block size. It is classified under crerr.ErrInvalidBuffer: a
+// buffer too small for the configured blocking is an invalid input to the
+// predictor pipeline.
+var ErrNotTileable = fmt.Errorf("%w: buffer dimensions not divisible by block size", crerr.ErrInvalidBuffer)
 
 // Blocking is the decomposition of a buffer into B = Br×Bc spatially
 // connected k×k blocks (§IV-A). Block b = r*Bc + c covers rows

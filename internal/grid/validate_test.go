@@ -1,0 +1,110 @@
+package grid
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/crestlab/crest/internal/crerr"
+)
+
+func TestValidateShapeErrors(t *testing.T) {
+	var nilBuf *Buffer
+	cases := map[string]*Buffer{
+		"nil":           nilBuf,
+		"zero-rows":     {Rows: 0, Cols: 4, Data: nil},
+		"negative-cols": {Rows: 4, Cols: -1, Data: nil},
+		"short-data":    {Rows: 2, Cols: 2, Data: make([]float64, 3)},
+		"long-data":     {Rows: 2, Cols: 2, Data: make([]float64, 5)},
+	}
+	for name, b := range cases {
+		if err := b.Validate(DefaultValidation); !errors.Is(err, crerr.ErrInvalidBuffer) {
+			t.Errorf("%s: err = %v, want ErrInvalidBuffer", name, err)
+		}
+	}
+	if err := NewBuffer(4, 4).Validate(DefaultValidation); err != nil {
+		t.Errorf("valid buffer rejected: %v", err)
+	}
+}
+
+func TestValidateNonFinitePolicy(t *testing.T) {
+	b := NewBuffer(10, 10)
+	for i := range b.Data {
+		b.Data[i] = float64(i)
+	}
+	b.Data[3] = math.NaN()
+	b.Data[7] = math.Inf(-1)
+
+	// Default policy: any non-finite value rejects.
+	if err := b.Validate(DefaultValidation); !errors.Is(err, crerr.ErrNonFiniteData) {
+		t.Errorf("default policy: err = %v, want ErrNonFiniteData", err)
+	}
+	// Shape errors are not data errors and vice versa.
+	if err := b.Validate(DefaultValidation); errors.Is(err, crerr.ErrInvalidBuffer) {
+		t.Error("data violation matched ErrInvalidBuffer")
+	}
+	// A tolerant policy admits 2% poisoned.
+	if err := b.Validate(ValidationPolicy{MaxNonFiniteFraction: 0.05}); err != nil {
+		t.Errorf("tolerant policy rejected 2%% NaN: %v", err)
+	}
+	// But not 2% against a 1% budget.
+	if err := b.Validate(ValidationPolicy{MaxNonFiniteFraction: 0.01}); !errors.Is(err, crerr.ErrNonFiniteData) {
+		t.Errorf("1%% policy: err = %v, want ErrNonFiniteData", err)
+	}
+}
+
+func TestSanitized(t *testing.T) {
+	clean := NewBuffer(4, 4)
+	for i := range clean.Data {
+		clean.Data[i] = 2
+	}
+	if got := clean.Sanitized(); got != clean {
+		t.Error("clean buffer was copied")
+	}
+
+	b := clean.Clone()
+	b.Data[0] = math.NaN()
+	b.Data[5] = math.Inf(1)
+	s := b.Sanitized()
+	if s == b {
+		t.Fatal("poisoned buffer not copied")
+	}
+	if math.IsNaN(b.Data[0]) == false {
+		t.Error("original mutated")
+	}
+	// 14 finite values of 2 → fill is 2.
+	if s.Data[0] != 2 || s.Data[5] != 2 {
+		t.Errorf("fill values %g, %g, want 2", s.Data[0], s.Data[5])
+	}
+	if err := s.Validate(DefaultValidation); err != nil {
+		t.Errorf("sanitized buffer still invalid: %v", err)
+	}
+
+	// All-non-finite buffer fills with zero.
+	allBad := NewBuffer(2, 2)
+	for i := range allBad.Data {
+		allBad.Data[i] = math.NaN()
+	}
+	if s := allBad.Sanitized(); s.Data[0] != 0 {
+		t.Errorf("all-NaN fill %g, want 0", s.Data[0])
+	}
+}
+
+func TestVolumeValidate(t *testing.T) {
+	var nilVol *Volume
+	if err := nilVol.Validate(DefaultValidation); !errors.Is(err, crerr.ErrInvalidBuffer) {
+		t.Errorf("nil volume: %v", err)
+	}
+	bad := &Volume{NZ: 2, NY: 2, NX: 2, Data: make([]float64, 7)}
+	if err := bad.Validate(DefaultValidation); !errors.Is(err, crerr.ErrInvalidBuffer) {
+		t.Errorf("short volume: %v", err)
+	}
+	v := NewVolume(2, 3, 4)
+	if err := v.Validate(DefaultValidation); err != nil {
+		t.Errorf("valid volume rejected: %v", err)
+	}
+	v.Data[5] = math.Inf(1)
+	if err := v.Validate(DefaultValidation); !errors.Is(err, crerr.ErrNonFiniteData) {
+		t.Errorf("poisoned volume: %v", err)
+	}
+}

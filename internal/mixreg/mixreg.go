@@ -6,10 +6,12 @@
 package mixreg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"github.com/crestlab/crest/internal/crerr"
 	"github.com/crestlab/crest/internal/kmeans"
 	"github.com/crestlab/crest/internal/linalg"
 	"github.com/crestlab/crest/internal/stats"
@@ -76,6 +78,13 @@ var ErrNoData = errors.New("mixreg: no training data")
 
 // Fit trains the mixture on covariate rows X and targets y.
 func Fit(x [][]float64, y []float64, cfg Config) (*Model, error) {
+	return FitContext(context.Background(), x, y, cfg)
+}
+
+// FitContext is Fit with cooperative cancellation: the context is checked
+// before every EM iteration, so a cancelled training run returns within
+// one iteration with an error matching crerr.ErrCanceled.
+func FitContext(ctx context.Context, x [][]float64, y []float64, cfg Config) (*Model, error) {
 	cfg = cfg.withDefaults()
 	n := len(x)
 	if n == 0 || len(y) != n {
@@ -118,6 +127,9 @@ func Fit(x [][]float64, y []float64, cfg Config) (*Model, error) {
 	sigmaFloor := 1e-6*stats.StdDev(y) + 1e-12
 	prevLL := math.Inf(-1)
 	for iter := 1; iter <= cfg.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, crerr.Canceled(err)
+		}
 		// M-step: weighted ridge regression per component, plus the
 		// covariate moments of the gating distribution.
 		for c := 0; c < l; c++ {
@@ -159,6 +171,33 @@ func Fit(x [][]float64, y []float64, cfg Config) (*Model, error) {
 		prevLL = ll
 	}
 	return m, nil
+}
+
+// Degenerate reports whether the fitted model is numerically unusable:
+// any non-finite mixture weight, coefficient, noise scale or gating
+// moment, or a NaN final log-likelihood. Callers (core.Train) fall back
+// to a single-component linear fit when EM degenerates.
+func (m *Model) Degenerate() bool {
+	if m.L < 1 || math.IsNaN(m.LogLik) {
+		return true
+	}
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+	for c := 0; c < m.L; c++ {
+		if !finite(m.Pi[c]) || !finite(m.Sigma[c]) || m.Sigma[c] <= 0 {
+			return true
+		}
+		for _, b := range m.Beta[c] {
+			if !finite(b) {
+				return true
+			}
+		}
+		for j := range m.XMean[c] {
+			if !finite(m.XMean[c][j]) || !finite(m.XVar[c][j]) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // selectL chooses the latent class count with k-means silhouette over the

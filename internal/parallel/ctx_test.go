@@ -1,0 +1,96 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForEachDynamicCtxCompletes: an uncanceled context visits every index
+// exactly once, same as ForEachDynamic.
+func TestForEachDynamicCtxCompletes(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var visits [64]int32
+		err := ForEachDynamicCtx(context.Background(), len(visits), workers, func(i int) {
+			atomic.AddInt32(&visits[i], 1)
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestForEachDynamicCtxPreCanceled: a context canceled before the call
+// visits nothing.
+func TestForEachDynamicCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var visited atomic.Int32
+		err := ForEachDynamicCtx(ctx, 100, workers, func(i int) { visited.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v", workers, err)
+		}
+		if n := visited.Load(); n != 0 {
+			t.Errorf("workers=%d: %d indices visited after pre-cancel", workers, n)
+		}
+	}
+}
+
+// TestForEachDynamicCtxMidwayCancel: canceling mid-sweep stops workers
+// from claiming further work, lets in-flight items finish, and drains all
+// goroutines before returning.
+func TestForEachDynamicCtxMidwayCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		const n = 1000
+		var visited, inFlight atomic.Int32
+		err := ForEachDynamicCtx(ctx, n, workers, func(i int) {
+			inFlight.Add(1)
+			defer inFlight.Add(-1)
+			if visited.Add(1) == 10 {
+				cancel()
+			}
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v", workers, err)
+		}
+		// After return every started fn has completed (no goroutine leaks
+		// past the WaitGroup) and at most one extra claim per worker ran.
+		if got := inFlight.Load(); got != 0 {
+			t.Errorf("workers=%d: %d fn calls still in flight after return", workers, got)
+		}
+		if got := visited.Load(); got >= n {
+			t.Errorf("workers=%d: all %d indices visited despite cancel", workers, got)
+		}
+	}
+}
+
+// TestForEachDynamicCtxDeadline: a deadline context surfaces
+// context.DeadlineExceeded.
+func TestForEachDynamicCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	var mu sync.Mutex
+	seen := 0
+	err := ForEachDynamicCtx(ctx, 1<<20, 2, func(i int) {
+		mu.Lock()
+		seen++
+		mu.Unlock()
+		time.Sleep(100 * time.Microsecond)
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if seen == 0 {
+		t.Error("no work ran before the deadline")
+	}
+}

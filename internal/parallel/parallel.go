@@ -6,6 +6,7 @@
 package parallel
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -65,18 +66,34 @@ func ForEach(n, workers int, fn func(i int)) {
 // worker repeatedly claims the next index with an atomic counter. It suits
 // irregular per-item cost (e.g. compressing buffers of varying content).
 func ForEachDynamic(n, workers int, fn func(i int)) {
+	ForEachDynamicCtx(context.Background(), n, workers, fn) //nolint:errcheck // background ctx never cancels
+}
+
+// ForEachDynamicCtx is ForEachDynamic with cooperative cancellation: once
+// ctx is done, workers stop claiming new indices, finish the item they are
+// already running, and drain. It blocks until every started fn call has
+// returned (no goroutine outlives the call), then reports ctx.Err() — nil
+// when all n items ran, the context error when the sweep was cut short.
+// Indices not yet claimed at cancellation are never visited.
+func ForEachDynamicCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	w := Workers(workers)
 	if w > n {
 		w = n
 	}
+	done := ctx.Done()
 	if w == 1 {
 		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
 			fn(i)
 		}
-		return
+		return ctx.Err()
 	}
 	var next int64 = -1
 	var wg sync.WaitGroup
@@ -85,6 +102,11 @@ func ForEachDynamic(n, workers int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
@@ -94,6 +116,7 @@ func ForEachDynamic(n, workers int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // Float64 is a float64 accumulator safe for concurrent Add via a CAS loop,

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/crestlab/crest/internal/crerr"
 	"github.com/crestlab/crest/internal/grid"
 	"github.com/crestlab/crest/internal/linalg"
 	"github.com/crestlab/crest/internal/parallel"
@@ -136,6 +137,9 @@ func newBlockStats(buf *grid.Buffer, t *grid.Blocking) *blockStats {
 // fused pass over block pairs (§IV-C).
 func ComputeDataset(buf *grid.Buffer, cfg Config) (DatasetFeatures, error) {
 	cfg = cfg.withDefaults()
+	if err := buf.Validate(grid.DefaultValidation); err != nil {
+		return DatasetFeatures{}, fmt.Errorf("predictors: %w", err)
+	}
 	t, err := grid.NewBlocking(buf, cfg.K)
 	if err != nil {
 		return DatasetFeatures{}, fmt.Errorf("predictors: %w", err)
@@ -304,8 +308,12 @@ func covSVDTrunc(eig []float64) (float64, []float64) {
 // would divide a per-sample quantity by k² a second time.
 func ComputeEB(buf *grid.Buffer, eps float64, cfg Config) (float64, error) {
 	cfg = cfg.withDefaults()
-	if eps <= 0 {
-		return 0, fmt.Errorf("predictors: error bound must be positive, got %g", eps)
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return 0, fmt.Errorf("predictors: %w: error bound must be positive and finite, got %g",
+			crerr.ErrInvalidBuffer, eps)
+	}
+	if err := buf.Validate(grid.DefaultValidation); err != nil {
+		return 0, fmt.Errorf("predictors: %w", err)
 	}
 	bins := cfg.Bins
 	if bins < 256 {

@@ -13,10 +13,11 @@
 #   internal/usecases   FuzzUnmarshalAggFile         (aggregated-file parser)
 #   internal/featcache  FuzzKeyDerivation            (cache key derivation)
 #   internal/compressors  FuzzDecompress*            (all decoder hardening targets)
+#   internal/grid       FuzzBufferValidate           (public-boundary buffer validation)
 set -eu
 
 FUZZTIME="${FUZZTIME:-5s}"
-PKGS="${*:-./internal/huffman ./internal/usecases ./internal/featcache ./internal/compressors}"
+PKGS="${*:-./internal/huffman ./internal/usecases ./internal/featcache ./internal/compressors ./internal/grid}"
 
 for pkg in $PKGS; do
     targets=$(go test -list '^Fuzz' "$pkg" | grep '^Fuzz' || true)
