@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/crestlab/crest/internal/crerr"
+	"github.com/crestlab/crest/internal/retry"
+	"github.com/crestlab/crest/internal/server"
+)
+
+// cmdClient estimates one buffer against a running `crest serve`,
+// honoring the server's overload contract: a 503 is retried with jittered
+// exponential backoff that waits at least the advertised Retry-After; a
+// 4xx is permanent and fails immediately.
+func cmdClient(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("client", flag.ExitOnError)
+	var df datasetFlags
+	df.register(fs)
+	url := fs.String("url", "http://localhost:8080", "server base URL")
+	eps := fs.Float64("eps", 1e-3, "absolute error bound")
+	step := fs.Int("step", 0, "buffer index within the field")
+	attempts := fs.Int("attempts", 4, "max tries against an overloaded server")
+	baseDelay := fs.Duration("base-delay", 100*time.Millisecond, "first backoff delay")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request HTTP timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_, field, err := df.load()
+	if err != nil {
+		return err
+	}
+	if *step < 0 || *step >= len(field.Buffers) {
+		return fmt.Errorf("step %d outside field of %d buffers", *step, len(field.Buffers))
+	}
+	buf := field.Buffers[*step]
+	body, err := json.Marshal(server.EstimateRequest{
+		Dataset: buf.Dataset, Field: buf.Field, Step: buf.Step,
+		Rows: buf.Rows, Cols: buf.Cols, Data: buf.Data, Eps: *eps,
+	})
+	if err != nil {
+		return err
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	var out server.EstimateResponse
+	policy := retry.Policy{MaxAttempts: *attempts, BaseDelay: *baseDelay}
+	err = policy.Do(ctx, func(ctx context.Context) error {
+		res, err := postEstimate(ctx, client, *url+"/v1/estimate", body)
+		if err != nil {
+			return err
+		}
+		out = *res
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s/%s step %d at eps %g: CR %.3f [%.3f, %.3f]\n",
+		df.dataset, field.Name, *step, *eps, out.CR, out.Lo, out.Hi)
+	return nil
+}
+
+// postEstimate performs one estimate POST, translating HTTP failures into
+// the retry taxonomy: 503 carries its Retry-After as a typed hint, other
+// 4xx are permanent, 5xx and transport errors retry on backoff alone.
+func postEstimate(ctx context.Context, client *http.Client, url string, body []byte) (*server.EstimateResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, retry.Permanent(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var out server.EstimateResponse
+		if err := json.Unmarshal(payload, &out); err != nil {
+			return nil, fmt.Errorf("bad response body: %v", err)
+		}
+		return &out, nil
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		err := fmt.Errorf("%w: %s", crerr.ErrOverloaded, wireMessage(payload))
+		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+			err = retry.WithRetryAfter(err, time.Duration(secs)*time.Second)
+		}
+		return nil, err
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		return nil, retry.Permanent(fmt.Errorf("HTTP %d: %s", resp.StatusCode, wireMessage(payload)))
+	default:
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, wireMessage(payload))
+	}
+}
+
+// wireMessage extracts the typed error body's message, falling back to
+// the raw payload.
+func wireMessage(payload []byte) string {
+	var we map[string]server.WireError
+	if err := json.Unmarshal(payload, &we); err == nil {
+		if e, ok := we["error"]; ok {
+			return e.Kind + ": " + e.Message
+		}
+	}
+	return string(bytes.TrimSpace(payload))
+}

@@ -11,12 +11,16 @@
 //	crest estimate   -dataset hurricane -field TC -compressor szinterp -eps 1e-3
 //	crest similarity -dataset hurricane
 //	crest rawfile    -file data.f64 -rows 512 -cols 512 -compressor zfplike -eps 1e-3
+//	crest train      -dataset hurricane -field TC -dir models/
+//	crest serve      -model-dir models/ -addr localhost:8080
+//	crest client     -url http://localhost:8080 -dataset hurricane -step 3
 //	crest list
 package main
 
 import (
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -53,6 +57,14 @@ func main() {
 		err = cmdEstimate(ctx, args)
 	case "batch":
 		err = cmdBatch(ctx, args)
+	case "train":
+		err = cmdTrain(ctx, args)
+	case "serve":
+		err = cmdServe(ctx, args)
+	case "client":
+		err = cmdClient(ctx, args)
+	case "servebench":
+		err = cmdServeBench(ctx, args)
 	case "similarity":
 		err = cmdSimilarity(args)
 	case "rawfile":
@@ -85,6 +97,10 @@ commands:
   compress    run a compressor over a field and report ratios
   estimate    train on part of a field, predict the rest with bounds
   batch       concurrent batch estimation over buffers x error bounds
+  train       train an estimator and persist it as a durable snapshot
+  serve       serve the estimation HTTP API from a model snapshot
+  client      estimate one buffer against a running server (with backoff)
+  servebench  in-process serving benchmark: tail latency + shed rate
   similarity  print the field-similarity (Mahalanobis) matrix of a dataset
   rawfile     compress a raw little-endian float64 file
   volume      compress a whole synthetic field as a 3D volume
@@ -268,6 +284,7 @@ func cmdBatch(ctx context.Context, args []string) error {
 	workers := fs.Int("workers", 0, "worker pool bound (0: GOMAXPROCS)")
 	repeat := fs.Int("repeat", 1, "evaluate the whole request batch this many times (exercises the cache)")
 	quiet := fs.Bool("quiet", false, "print only the stats snapshot")
+	statsJSON := fs.Bool("stats", false, "emit the engine + cache stats snapshot as JSON")
 	timeout := fs.Duration("timeout", 0, "per-batch deadline (0: none)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -333,6 +350,19 @@ func cmdBatch(ctx context.Context, args []string) error {
 		}
 	}
 	st := engine.Stats()
+	if *statsJSON {
+		// The same shape /statsz serves for the engine half, so scripts
+		// can consume either source.
+		doc, err := json.MarshalIndent(struct {
+			Workers int              `json:"workers"`
+			Engine  crest.BatchStats `json:"engine"`
+		}{engine.Workers(), st}, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(doc))
+		return nil
+	}
 	fmt.Printf("workers:   %d\n", engine.Workers())
 	fmt.Printf("requests:  %d in %d batch(es)\n", st.Requests, st.Batches)
 	fmt.Printf("cache:     dataset %d hit / %d miss, distortion %d hit / %d miss\n",

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	crest "github.com/crestlab/crest"
+	"github.com/crestlab/crest/internal/server"
+)
+
+// cmdServe loads a model snapshot and serves the estimation API until the
+// context is canceled (SIGINT/SIGTERM), then drains gracefully: readiness
+// is withdrawn, inflight requests finish, listeners close, and only then
+// does the process exit. A corrupt or unreadable snapshot is a typed
+// startup error — never a panic — and a corrupt newest snapshot in
+// -model-dir falls back to the previous valid one.
+func cmdServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	model := fs.String("model", "", "snapshot file to serve")
+	modelDir := fs.String("model-dir", "", "snapshot directory: serve the newest valid snapshot")
+	addr := fs.String("addr", "localhost:8080", "listen address (host:port; port 0 picks a free port)")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening")
+	workers := fs.Int("workers", 0, "estimation workers (0: GOMAXPROCS)")
+	maxInflight := fs.Int("max-inflight", 0, "max concurrently executing requests (0: worker count)")
+	maxQueue := fs.Int("max-queue", 0, "max queued requests before shedding (0: 4x inflight)")
+	reqTimeout := fs.Duration("timeout", 30*time.Second, "per-request deadline (negative: none)")
+	retryAfter := fs.Duration("retry-after", time.Second, "backoff hint advertised on 503 responses")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for inflight requests at shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*model == "") == (*modelDir == "") {
+		return fmt.Errorf("need exactly one of -model or -model-dir")
+	}
+
+	var est *crest.Estimator
+	var from string
+	var err error
+	if *model != "" {
+		from = *model
+		est, err = crest.LoadEstimator(*model)
+	} else {
+		est, from, err = crest.LoadLatestEstimator(*modelDir)
+	}
+	if err != nil {
+		return fmt.Errorf("load model: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "crest serve: model %s (conformal radius %.4f)\n", from, est.IntervalRadius())
+
+	engine := crest.NewBatchEstimator(est, nil, *workers)
+	srv, err := server.New(server.Config{
+		Engine:         engine,
+		MaxInflight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		RequestTimeout: *reqTimeout,
+		RetryAfter:     *retryAfter,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "crest serve: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "crest serve: listening on %s\n", bound)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admitting (readiness flips inside Drain), let
+	// inflight work finish, then close the listener and connections.
+	fmt.Fprintf(os.Stderr, "crest serve: draining (up to %s)\n", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "crest serve: drain incomplete: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "crest serve: drained; served %d, shed %d, failed %d\n",
+		st.Served, st.Shed, st.Failed)
+	return nil
+}

@@ -1,0 +1,290 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	crest "github.com/crestlab/crest"
+)
+
+// trainTinySnapshot runs cmdTrain into dir and returns the written path.
+func trainTinySnapshot(t *testing.T, dir string) string {
+	t.Helper()
+	args := append([]string{"-dataset", "miranda", "-field", "density",
+		"-eps", "1e-3", "-dir", dir}, "-nz", "8", "-ny", "24", "-nx", "24")
+	if err := cmdTrain(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("train wrote nothing: %v", err)
+	}
+	return filepath.Join(dir, entries[len(entries)-1].Name())
+}
+
+// startServe launches cmdServe against dir and waits for the bound
+// address; the returned cancel triggers the SIGTERM drain path.
+func startServe(t *testing.T, extra ...string) (addr string, cancel context.CancelFunc, done chan error) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	done = make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile}, extra...)
+	go func() { done <- cmdServe(ctx, args) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			return string(b), cancelCtx, done
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("serve exited before binding: %v", err)
+		default:
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancelCtx()
+	t.Fatal("server never wrote its address file")
+	return "", nil, nil
+}
+
+// TestTrainServeClientRoundTrip is the durability round trip: train →
+// snapshot → serve from the snapshot directory → estimate over HTTP (via
+// the retrying client) → SIGTERM-equivalent cancellation drains cleanly.
+func TestTrainServeClientRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	trainTinySnapshot(t, dir)
+
+	addr, cancel, done := startServe(t, "-model-dir", dir)
+	defer cancel()
+
+	r, err := http.Get("http://" + addr + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("readyz: %d", r.StatusCode)
+	}
+
+	clientArgs := append([]string{"-url", "http://" + addr, "-dataset", "miranda",
+		"-field", "density", "-step", "2", "-eps", "1e-3"}, "-nz", "8", "-ny", "24", "-nx", "24")
+	if err := cmdClient(context.Background(), clientArgs); err != nil {
+		t.Fatalf("client: %v", err)
+	}
+
+	// Stats moved and are well-formed JSON.
+	r, err = http.Get("http://" + addr + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	var stats struct {
+		Server struct {
+			Served uint64 `json:"served"`
+		} `json:"server"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("statsz: %v: %s", err, body)
+	}
+	if stats.Server.Served == 0 {
+		t.Error("served counter did not move")
+	}
+
+	// The signal path: cancellation drains and the command returns nil.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve did not drain cleanly: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not exit after cancellation")
+	}
+}
+
+// TestServeSingleModelFlag serves from an exact -model path.
+func TestServeSingleModelFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := trainTinySnapshot(t, dir)
+	addr, cancel, done := startServe(t, "-model", path)
+	r, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", r.StatusCode)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeCorruptedSnapshotStartup: a startup against corrupt state must
+// fail with the typed snapshot error — no panic, non-nil error (main maps
+// it to a non-zero exit).
+func TestServeCorruptedSnapshotStartup(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model-000000.crsnap")
+	if err := os.WriteFile(path, []byte("crest-snapshot 1\nsha256 zzzz\n\ngarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	err := cmdServe(context.Background(), []string{"-model", path, "-addr", "127.0.0.1:0"})
+	if !errors.Is(err, crest.ErrSnapshotCorrupt) {
+		t.Fatalf("corrupt -model: %v, want ErrSnapshotCorrupt", err)
+	}
+	// Directory mode with only corrupt candidates fails the same way.
+	err = cmdServe(context.Background(), []string{"-model-dir", dir, "-addr", "127.0.0.1:0"})
+	if !errors.Is(err, crest.ErrSnapshotCorrupt) {
+		t.Fatalf("corrupt -model-dir: %v, want ErrSnapshotCorrupt", err)
+	}
+}
+
+// TestServeFallsBackPastCorruptHead: the newest snapshot is truncated;
+// serve must start from the previous valid one.
+func TestServeFallsBackPastCorruptHead(t *testing.T) {
+	dir := t.TempDir()
+	good := trainTinySnapshot(t, dir)
+	// A "newer" snapshot arrives truncated (torn write at crash).
+	raw, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "model-000001.crsnap")
+	if err := os.WriteFile(bad, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(time.Hour)
+	if err := os.Chtimes(bad, future, future); err != nil {
+		t.Fatal(err)
+	}
+
+	addr, cancel, done := startServe(t, "-model-dir", dir)
+	r, err := http.Get("http://" + addr + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after fallback: %d", r.StatusCode)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeFlagValidation(t *testing.T) {
+	if err := cmdServe(context.Background(), nil); err == nil {
+		t.Error("no model source accepted")
+	}
+	if err := cmdServe(context.Background(), []string{"-model", "a", "-model-dir", "b"}); err == nil {
+		t.Error("both model sources accepted")
+	}
+	if err := cmdTrain(context.Background(), nil); err == nil {
+		t.Error("train without destination accepted")
+	}
+}
+
+// TestCmdTrainExactPathLoadsBack exercises -o and verifies the snapshot
+// decodes through the public API.
+func TestCmdTrainExactPathLoadsBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.crsnap")
+	args := append([]string{"-dataset", "cesm", "-eps", "1e-3", "-o", path},
+		"-nz", "8", "-ny", "24", "-nx", "24")
+	if err := cmdTrain(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	est, err := crest.LoadEstimator(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.IntervalRadius() < 0 {
+		t.Fatal("implausible restored model")
+	}
+}
+
+// TestCmdBatchStatsJSON checks the -stats flag emits parseable JSON with
+// the cache counters (the CLI face of /statsz's engine half).
+func TestCmdBatchStatsJSON(t *testing.T) {
+	old := os.Stdout
+	rp, wp, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = wp
+	captured := make(chan []byte, 1)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, rp)
+		captured <- buf.Bytes()
+	}()
+
+	args := append([]string{"-dataset", "miranda", "-field", "density",
+		"-eps", "1e-3", "-train", "0.6", "-stats", "-quiet"}, "-nz", "8", "-ny", "24", "-nx", "24")
+	cmdErr := cmdBatch(context.Background(), args)
+	wp.Close()
+	os.Stdout = old
+	out := <-captured
+	if cmdErr != nil {
+		t.Fatal(cmdErr)
+	}
+	var doc struct {
+		Workers int `json:"workers"`
+		Engine  struct {
+			Requests uint64 `json:"Requests"`
+			Cache    struct {
+				DatasetMisses uint64
+			}
+		} `json:"engine"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("-stats output not JSON: %v: %s", err, out)
+	}
+	if doc.Workers <= 0 || doc.Engine.Requests == 0 || doc.Engine.Cache.DatasetMisses == 0 {
+		t.Fatalf("stats content implausible: %s", out)
+	}
+}
+
+// TestCmdServeBenchEmitsReport runs a miniature saturation bench and
+// validates the report invariants.
+func TestCmdServeBenchEmitsReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	args := []string{"-n", "60", "-concurrency", "12", "-max-inflight", "2",
+		"-max-queue", "2", "-work-delay", "5ms", "-rows", "24", "-cols", "24", "-out", out}
+	if err := cmdServeBench(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep serveBenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report not JSON: %v: %s", err, raw)
+	}
+	if rep.OK+rep.Shed+rep.Errors != rep.Requests {
+		t.Fatalf("outcomes do not sum: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("bench saw hard errors: %+v", rep)
+	}
+	if rep.Shed == 0 {
+		t.Fatalf("no shedding at 12x concurrency over 4 slots: %+v", rep)
+	}
+	if rep.OK == 0 || rep.P50Ms <= 0 || rep.P99Ms < rep.P50Ms {
+		t.Fatalf("latency stats implausible: %+v", rep)
+	}
+}

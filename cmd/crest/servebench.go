@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	crest "github.com/crestlab/crest"
+	"github.com/crestlab/crest/internal/batch"
+	"github.com/crestlab/crest/internal/featcache"
+	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/predictors"
+	"github.com/crestlab/crest/internal/server"
+)
+
+// serveBenchReport is the JSON document `crest servebench` emits — the
+// serving-layer benchmark scripts/bench.sh archives as BENCH_server.json.
+type serveBenchReport struct {
+	Requests    int     `json:"requests"`
+	OK          int     `json:"ok"`
+	Shed        int     `json:"shed"`
+	Errors      int     `json:"errors"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	ShedRate    float64 `json:"shed_rate"`
+	WallMs      float64 `json:"wall_ms"`
+	Concurrency int     `json:"concurrency"`
+	MaxInflight int     `json:"max_inflight"`
+	MaxQueue    int     `json:"max_queue"`
+	WorkDelayMs float64 `json:"work_delay_ms"`
+}
+
+// cmdServeBench drives an in-process estimation server to saturation and
+// reports tail latency and shed rate: every feature computation carries a
+// fixed work delay, the offered concurrency exceeds the admission bounds,
+// and the overflow must be shed with 503 instead of queuing unboundedly.
+func cmdServeBench(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("servebench", flag.ExitOnError)
+	n := fs.Int("n", 400, "total requests to offer")
+	concurrency := fs.Int("concurrency", 32, "concurrent client goroutines")
+	maxInflight := fs.Int("max-inflight", 4, "server execution slots")
+	maxQueue := fs.Int("max-queue", 8, "server queue bound")
+	workDelay := fs.Duration("work-delay", 2*time.Millisecond, "injected per-estimate work")
+	rows := fs.Int("rows", 48, "benchmark buffer rows")
+	cols := fs.Int("cols", 48, "benchmark buffer columns")
+	out := fs.String("out", "-", "write the JSON report here (-: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// A tiny synthetic model: the bench measures the serving layer, not
+	// model quality.
+	rng := rand.New(rand.NewSource(17))
+	samples := make([]crest.Sample, 60)
+	for i := range samples {
+		f := make([]float64, 5)
+		for j := range f {
+			f[j] = rng.NormFloat64()
+		}
+		samples[i] = crest.Sample{Features: f, CR: 1 + 8*math.Exp(0.4*f[0])}
+	}
+	est, err := crest.TrainEstimatorContext(ctx, samples, crest.EstimatorConfig{})
+	if err != nil {
+		return err
+	}
+	pcfg := est.PredictorConfig()
+	delayed := func(buf *grid.Buffer, c predictors.Config) (predictors.DatasetFeatures, error) {
+		time.Sleep(*workDelay)
+		return predictors.ComputeDataset(buf, c)
+	}
+	cache := featcache.NewWithCompute(pcfg, delayed, nil)
+	srv, err := server.New(server.Config{
+		Engine:      batch.New(est, cache, *maxInflight),
+		MaxInflight: *maxInflight,
+		MaxQueue:    *maxQueue,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	url := "http://" + ln.Addr().String() + "/v1/estimate"
+
+	// Pre-build distinct request bodies so the cache cannot collapse the
+	// work (the cache keys on buffer identity).
+	bodies := make([][]byte, *n)
+	for i := range bodies {
+		data := make([]float64, *rows**cols)
+		for j := range data {
+			r, c := j / *cols, j%*cols
+			data[j] = math.Sin(float64(r)/5+float64(i)) * math.Cos(float64(c)/7)
+		}
+		bodies[i], err = json.Marshal(server.EstimateRequest{
+			Rows: *rows, Cols: *cols, Data: data, Eps: 1e-3,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	var next atomic.Int64
+	var okN, shedN, errN atomic.Int64
+	lat := make([][]time.Duration, *concurrency)
+	client := &http.Client{Timeout: 30 * time.Second}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *n || ctx.Err() != nil {
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[i]))
+				if err != nil {
+					errN.Add(1)
+					continue
+				}
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					okN.Add(1)
+					lat[w] = append(lat[w], time.Since(t0))
+				case http.StatusServiceUnavailable:
+					shedN.Add(1)
+				default:
+					errN.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(all)-1))
+		return float64(all[idx]) / float64(time.Millisecond)
+	}
+	report := serveBenchReport{
+		Requests:    *n,
+		OK:          int(okN.Load()),
+		Shed:        int(shedN.Load()),
+		Errors:      int(errN.Load()),
+		P50Ms:       pct(0.50),
+		P99Ms:       pct(0.99),
+		ShedRate:    float64(shedN.Load()) / float64(*n),
+		WallMs:      float64(wall) / float64(time.Millisecond),
+		Concurrency: *concurrency,
+		MaxInflight: *maxInflight,
+		MaxQueue:    *maxQueue,
+		WorkDelayMs: float64(*workDelay) / float64(time.Millisecond),
+	}
+	doc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(doc)
+		return err
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (ok %d, shed %d, p50 %.2fms, p99 %.2fms)\n",
+		*out, report.OK, report.Shed, report.P50Ms, report.P99Ms)
+	return nil
+}

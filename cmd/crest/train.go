@@ -1,0 +1,78 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	crest "github.com/crestlab/crest"
+)
+
+// cmdTrain collects ground truth on a synthetic field, trains an
+// estimator and persists it as a durable snapshot — the artifact
+// `crest serve` loads at startup.
+func cmdTrain(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	var df datasetFlags
+	df.register(fs)
+	epsList := fs.String("eps", "1e-2,1e-3", "comma-separated absolute error bounds to train across")
+	compName := fs.String("compressor", "szinterp", "compressor providing ground-truth ratios")
+	out := fs.String("o", "", "write the snapshot to this exact path")
+	dir := fs.String("dir", "", "write a sequence-numbered snapshot into this directory")
+	workers := fs.Int("workers", 0, "sample-collection workers (0: GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "overall deadline for collection + training (0: none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*out == "") == (*dir == "") {
+		return fmt.Errorf("need exactly one of -o or -dir")
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var epses []float64
+	for _, tok := range strings.Split(*epsList, ",") {
+		e, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return fmt.Errorf("bad -eps entry %q: %v", tok, err)
+		}
+		epses = append(epses, e)
+	}
+	comp, err := crest.NewCompressor(*compName)
+	if err != nil {
+		return err
+	}
+	_, field, err := df.load()
+	if err != nil {
+		return err
+	}
+	cfg := crest.EstimatorConfig{}
+	var samples []crest.Sample
+	for _, eps := range epses {
+		s, err := crest.CollectSamplesContext(ctx, field.Buffers, comp, eps, cfg.Predictors, *workers)
+		if err != nil {
+			return err
+		}
+		samples = append(samples, s...)
+	}
+	est, err := crest.TrainEstimatorContext(ctx, samples, cfg)
+	if err != nil {
+		return err
+	}
+	path := *out
+	if *dir != "" {
+		if path, err = crest.WriteNewEstimator(*dir, est); err != nil {
+			return err
+		}
+	} else if err := crest.SaveEstimator(path, est); err != nil {
+		return err
+	}
+	fmt.Printf("trained on %d samples (%s/%s x %d bounds); conformal radius %.4f (log CR)\n",
+		len(samples), df.dataset, field.Name, len(epses), est.IntervalRadius())
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -39,6 +39,24 @@ var (
 	// ErrCompressor reports a compressor failure (error or recovered
 	// panic) during ground-truth collection.
 	ErrCompressor = crerr.ErrCompressor
+
+	// ErrSnapshotCorrupt reports a model snapshot whose envelope is
+	// malformed, whose payload digest does not match, or whose decoded
+	// state fails validation.
+	ErrSnapshotCorrupt = crerr.ErrSnapshotCorrupt
+
+	// ErrSnapshotVersion reports a model snapshot written with a format
+	// version this build does not speak.
+	ErrSnapshotVersion = crerr.ErrSnapshotVersion
+
+	// ErrOverloaded reports work refused by the serving layer's admission
+	// control (inflight and queue bounds full). Transient: back off —
+	// honoring any Retry-After hint — and retry.
+	ErrOverloaded = crerr.ErrOverloaded
+
+	// ErrDraining reports work refused because the serving process is
+	// shutting down and no longer admits new requests.
+	ErrDraining = crerr.ErrDraining
 )
 
 // RequestError labels one request's failure with its position in a batch;

@@ -86,11 +86,7 @@ func (in *Injector) Counts() Counts {
 // every, rotating the phase by the seed and a per-kind salt so different
 // fault kinds fire on different calls of the same plan.
 func (in *Injector) hits(n uint64, every int, salt uint64) bool {
-	if every <= 0 {
-		return false
-	}
-	phase := (uint64(in.plan.Seed) ^ salt) % uint64(every)
-	return n%uint64(every) == phase
+	return hitsSeq(in.plan.Seed, n, every, salt)
 }
 
 // decision evaluates all fault kinds for the next call. Latency is applied

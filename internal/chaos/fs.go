@@ -1,0 +1,171 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+
+	"github.com/crestlab/crest/internal/vfs"
+)
+
+// FSPlan configures the filesystem faults a FaultFS injects into the
+// snapshot persistence path. Every EveryN field fires on operation
+// sequence numbers n with n % EveryN == phase(seed), per operation kind;
+// zero disables that fault.
+type FSPlan struct {
+	// Seed rotates which sequence numbers draw each fault kind.
+	Seed int64
+
+	// ShortWriteEvery makes every Nth File.Write persist only half the
+	// bytes while REPORTING full success — the torn-write / crash-mid-
+	// write failure mode. The atomic-write pipeline completes and leaves
+	// a truncated file under the final name; only the snapshot digest
+	// check can catch it.
+	ShortWriteEvery int
+	// WriteErrorEvery fails every Nth File.Write with an error (ENOSPC-
+	// style: the writer is told).
+	WriteErrorEvery int
+	// SyncFailEvery fails every Nth Sync — file or directory — with an
+	// error.
+	SyncFailEvery int
+	// RenameFailEvery fails every Nth Rename, leaving the target
+	// untouched (the temp file never lands).
+	RenameFailEvery int
+	// ReadErrorEvery fails every Nth ReadFile with an error.
+	ReadErrorEvery int
+}
+
+// FSCounts reports how many faults of each kind a FaultFS has injected.
+type FSCounts struct {
+	Writes, ShortWrites, WriteErrors uint64
+	Syncs, SyncFails                 uint64
+	Renames, RenameFails             uint64
+	Reads, ReadErrors                uint64
+}
+
+// FaultFS wraps a vfs.FS with deterministic fault injection. It is safe
+// for concurrent use; each operation kind has its own sequence counter so
+// the fault pattern is independent of interleaving across kinds.
+type FaultFS struct {
+	inner vfs.FS
+	plan  FSPlan
+
+	writes, syncs, renames, reads                  atomic.Uint64
+	shortWrites, writeErrs, syncFails, renameFails atomic.Uint64
+	readErrs                                       atomic.Uint64
+}
+
+// WrapFS wraps fsys with the plan's faults.
+func WrapFS(fsys vfs.FS, plan FSPlan) *FaultFS {
+	return &FaultFS{inner: fsys, plan: plan}
+}
+
+// Counts returns a snapshot of the injected-fault counters.
+func (f *FaultFS) Counts() FSCounts {
+	return FSCounts{
+		Writes:      f.writes.Load(),
+		ShortWrites: f.shortWrites.Load(),
+		WriteErrors: f.writeErrs.Load(),
+		Syncs:       f.syncs.Load(),
+		SyncFails:   f.syncFails.Load(),
+		Renames:     f.renames.Load(),
+		RenameFails: f.renameFails.Load(),
+		Reads:       f.reads.Load(),
+		ReadErrors:  f.readErrs.Load(),
+	}
+}
+
+// hitsSeq reports whether sequence number n draws a fault with period
+// every, phase-rotated by seed and a per-kind salt (shared with
+// Injector.hits).
+func hitsSeq(seed int64, n uint64, every int, salt uint64) bool {
+	if every <= 0 {
+		return false
+	}
+	phase := (uint64(seed) ^ salt) % uint64(every)
+	return n%uint64(every) == phase
+}
+
+// CreateTemp implements vfs.FS, wrapping the produced file with write and
+// sync faults.
+func (f *FaultFS) CreateTemp(dir, pattern string) (vfs.File, error) {
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, fs: f}, nil
+}
+
+// Rename implements vfs.FS with injected rename failures.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	n := f.renames.Add(1)
+	if hitsSeq(f.plan.Seed, n, f.plan.RenameFailEvery, 0x7777) {
+		f.renameFails.Add(1)
+		return fmt.Errorf("%w: rename %s call %d", ErrInjected, newpath, n)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements vfs.FS (passthrough — cleanup must stay reliable so
+// the harness can assert no temp-file litter).
+func (f *FaultFS) Remove(name string) error { return f.inner.Remove(name) }
+
+// ReadFile implements vfs.FS with injected read errors.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	n := f.reads.Add(1)
+	if hitsSeq(f.plan.Seed, n, f.plan.ReadErrorEvery, 0x8888) {
+		f.readErrs.Add(1)
+		return nil, fmt.Errorf("%w: read %s call %d", ErrInjected, name, n)
+	}
+	return f.inner.ReadFile(name)
+}
+
+// ReadDir implements vfs.FS (passthrough).
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) { return f.inner.ReadDir(name) }
+
+// SyncDir implements vfs.FS, sharing the sync fault counter with file
+// syncs.
+func (f *FaultFS) SyncDir(name string) error {
+	n := f.syncs.Add(1)
+	if hitsSeq(f.plan.Seed, n, f.plan.SyncFailEvery, 0x9999) {
+		f.syncFails.Add(1)
+		return fmt.Errorf("%w: syncdir %s call %d", ErrInjected, name, n)
+	}
+	return f.inner.SyncDir(name)
+}
+
+// faultFile interposes write/sync faults on one temp file.
+type faultFile struct {
+	inner vfs.File
+	fs    *FaultFS
+}
+
+// Write injects short writes (half the bytes persisted, full success
+// reported — undetectable until a digest check) and write errors.
+func (w *faultFile) Write(p []byte) (int, error) {
+	n := w.fs.writes.Add(1)
+	if hitsSeq(w.fs.plan.Seed, n, w.fs.plan.WriteErrorEvery, 0xaaaa) {
+		w.fs.writeErrs.Add(1)
+		return 0, fmt.Errorf("%w: write call %d", ErrInjected, n)
+	}
+	if hitsSeq(w.fs.plan.Seed, n, w.fs.plan.ShortWriteEvery, 0xbbbb) {
+		w.fs.shortWrites.Add(1)
+		if _, err := w.inner.Write(p[:len(p)/2]); err != nil {
+			return 0, err
+		}
+		return len(p), nil // lie: report the full write as persisted
+	}
+	return w.inner.Write(p)
+}
+
+func (w *faultFile) Sync() error {
+	n := w.fs.syncs.Add(1)
+	if hitsSeq(w.fs.plan.Seed, n, w.fs.plan.SyncFailEvery, 0x9999) {
+		w.fs.syncFails.Add(1)
+		return fmt.Errorf("%w: sync %s call %d", ErrInjected, w.inner.Name(), n)
+	}
+	return w.inner.Sync()
+}
+
+func (w *faultFile) Close() error { return w.inner.Close() }
+func (w *faultFile) Name() string { return w.inner.Name() }

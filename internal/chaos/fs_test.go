@@ -1,0 +1,202 @@
+package chaos
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/crestlab/crest/internal/core"
+	"github.com/crestlab/crest/internal/crerr"
+	"github.com/crestlab/crest/internal/predictors"
+	"github.com/crestlab/crest/internal/vfs"
+	"github.com/crestlab/crest/snapshot"
+)
+
+// fsEstimator trains a small model for persistence chaos tests.
+func fsEstimator(t testing.TB) *core.Estimator {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	samples := make([]core.Sample, 60)
+	for i := range samples {
+		f := make([]float64, 5)
+		for j := range f {
+			f[j] = rng.NormFloat64()
+		}
+		samples[i] = core.Sample{Features: f, CR: 1 + 6*math.Exp(0.5*f[1])}
+	}
+	est, err := core.Train(samples, core.Config{Predictors: predictors.Config{Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+// listSnapshots returns the *.crsnap and stray temp names in dir.
+func listSnapshots(t testing.TB, dir string) (snaps, temps []string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		switch {
+		case filepath.Ext(e.Name()) == snapshot.Ext:
+			snaps = append(snaps, e.Name())
+		case strings.Contains(e.Name(), ".tmp-"):
+			temps = append(temps, e.Name())
+		}
+	}
+	return snaps, temps
+}
+
+func TestChaosFSShortWriteIsCaughtByDigest(t *testing.T) {
+	est := fsEstimator(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model"+snapshot.Ext)
+	fsys := WrapFS(vfs.OS, FSPlan{ShortWriteEvery: 1})
+
+	// The torn write reports success: Save cannot see it.
+	if err := snapshot.SaveFS(fsys, path, est); err != nil {
+		t.Fatalf("short write was reported to the writer: %v", err)
+	}
+	if c := fsys.Counts(); c.ShortWrites == 0 {
+		t.Fatal("no short write injected")
+	}
+	// But the digest catches the truncation at load time.
+	if _, err := snapshot.Load(path); !errors.Is(err, crerr.ErrSnapshotCorrupt) {
+		t.Fatalf("truncated snapshot loaded without ErrSnapshotCorrupt: %v", err)
+	}
+}
+
+func TestChaosFSWriteErrorSurfaces(t *testing.T) {
+	est := fsEstimator(t)
+	dir := t.TempDir()
+	fsys := WrapFS(vfs.OS, FSPlan{WriteErrorEvery: 1})
+	err := snapshot.SaveFS(fsys, filepath.Join(dir, "model"+snapshot.Ext), est)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write error not surfaced: %v", err)
+	}
+	snaps, temps := listSnapshots(t, dir)
+	if len(snaps) != 0 || len(temps) != 0 {
+		t.Fatalf("failed write left files behind: snaps=%v temps=%v", snaps, temps)
+	}
+}
+
+func TestChaosFSSyncFailureSurfaces(t *testing.T) {
+	est := fsEstimator(t)
+	dir := t.TempDir()
+	fsys := WrapFS(vfs.OS, FSPlan{SyncFailEvery: 1})
+	err := snapshot.SaveFS(fsys, filepath.Join(dir, "model"+snapshot.Ext), est)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync failure not surfaced: %v", err)
+	}
+	if _, temps := listSnapshots(t, dir); len(temps) != 0 {
+		t.Fatalf("failed sync left temp litter: %v", temps)
+	}
+}
+
+func TestChaosFSRenameFailureLeavesNoPartialState(t *testing.T) {
+	est := fsEstimator(t)
+	dir := t.TempDir()
+	fsys := WrapFS(vfs.OS, FSPlan{RenameFailEvery: 1})
+	err := snapshot.SaveFS(fsys, filepath.Join(dir, "model"+snapshot.Ext), est)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename failure not surfaced: %v", err)
+	}
+	snaps, temps := listSnapshots(t, dir)
+	if len(snaps) != 0 {
+		t.Fatalf("target name exists after failed rename: %v", snaps)
+	}
+	if len(temps) != 0 {
+		t.Fatalf("temp litter after failed rename: %v", temps)
+	}
+	if c := fsys.Counts(); c.RenameFails != 1 {
+		t.Fatalf("counts %+v", c)
+	}
+}
+
+func TestChaosFSReadErrorSurfaces(t *testing.T) {
+	est := fsEstimator(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model"+snapshot.Ext)
+	if err := snapshot.Save(path, est); err != nil {
+		t.Fatal(err)
+	}
+	fsys := WrapFS(vfs.OS, FSPlan{ReadErrorEvery: 1})
+	if _, err := snapshot.LoadFS(fsys, path); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read error not surfaced: %v", err)
+	}
+}
+
+// TestChaosLoadLatestFallsBackPastTornWrite is the durability acceptance
+// scenario: the newest snapshot in the directory is truncated by a torn
+// write that reported success, and LoadLatest must serve the previous
+// valid snapshot — bit-identically.
+func TestChaosLoadLatestFallsBackPastTornWrite(t *testing.T) {
+	est := fsEstimator(t)
+	dir := t.TempDir()
+
+	goodPath, err := snapshot.WriteNew(dir, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A later training run crashes mid-write: every byte the kernel
+	// claims to have written is only half there.
+	torn := WrapFS(vfs.OS, FSPlan{ShortWriteEvery: 1})
+	tornPath, err := snapshot.WriteNewFS(torn, dir, est)
+	if err != nil {
+		t.Fatalf("torn write was visible to the writer: %v", err)
+	}
+	if tornPath == goodPath {
+		t.Fatalf("sequence did not advance: %s", tornPath)
+	}
+
+	loaded, path, err := snapshot.LoadLatest(dir)
+	if err != nil {
+		t.Fatalf("LoadLatest did not recover: %v", err)
+	}
+	if path != goodPath {
+		t.Fatalf("loaded %s, want fallback to %s", path, goodPath)
+	}
+	// The recovered model must answer exactly as the original.
+	rng := rand.New(rand.NewSource(29))
+	for i := 0; i < 32; i++ {
+		f := make([]float64, 5)
+		for j := range f {
+			f[j] = rng.NormFloat64()
+		}
+		want, err1 := est.Estimate(f)
+		got, err2 := loaded.Estimate(f)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("estimate errors: %v, %v", err1, err2)
+		}
+		if want != got {
+			t.Fatalf("vector %d: recovered model diverged: %+v != %+v", i, got, want)
+		}
+	}
+}
+
+func TestChaosFSPeriodicFaultsAreDeterministic(t *testing.T) {
+	est := fsEstimator(t)
+	run := func() FSCounts {
+		dir := t.TempDir()
+		fsys := WrapFS(vfs.OS, FSPlan{Seed: 5, ShortWriteEvery: 3})
+		for i := 0; i < 9; i++ {
+			if _, err := snapshot.WriteNewFS(fsys, dir, est); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return fsys.Counts()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same plan, different fault pattern: %+v != %+v", a, b)
+	}
+	if a.ShortWrites != 3 || a.Writes != 9 {
+		t.Fatalf("want 3 short writes in 9, got %+v", a)
+	}
+}

@@ -1,0 +1,26 @@
+package chaos
+
+import (
+	"net/http"
+)
+
+// Middleware wraps an HTTP handler with the injector's faults, the seam
+// the serving layer exposes via server.Config.Middleware: a latency
+// decision delays the handler, an error decision fails the request with a
+// 500 before the handler runs, and a panic decision panics — which the
+// server's recovery layer must convert to a typed 500 without killing the
+// process. Fault decisions share the injector's global sequence, so an
+// HTTP chaos run composes with feature-path injection on the same plan.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inject, panicv, _ := in.decision("http " + r.URL.Path)
+		if panicv != nil {
+			panic(panicv)
+		}
+		if inject != nil {
+			http.Error(w, inject.Error(), http.StatusInternalServerError)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -170,6 +170,39 @@ func distinctGroups(groups []int) []int {
 	return out
 }
 
+// Restore reconstructs a calibrated model from persisted parameters —
+// the inverse of the accessors below, used by the snapshot layer. It
+// performs no validation beyond what the accessors guarantee; callers
+// (core.FromState) validate the decoded state before restoring.
+func Restore(inner Predictor, radius, lambda float64, nCalib int) *Model {
+	return &Model{inner: inner, radius: radius, lambda: lambda, nCalib: nCalib}
+}
+
+// Inner returns the wrapped point predictor, so the snapshot layer can
+// reach the mixture components behind the conformal wrapper.
+func (m *Model) Inner() Predictor { return m.inner }
+
+// Ensemble builds the multi-split mean-ensemble point predictor over
+// parts — the predictor shape FitMultiSplit produces — so a snapshot of a
+// multi-split model can be reassembled.
+func Ensemble(parts []Predictor) Predictor {
+	cp := make([]Predictor, len(parts))
+	copy(cp, parts)
+	return ensemblePredictor{parts: cp}
+}
+
+// EnsembleParts returns the member predictors when p is a multi-split
+// ensemble, and (nil, false) for any other predictor.
+func EnsembleParts(p Predictor) ([]Predictor, bool) {
+	e, ok := p.(ensemblePredictor)
+	if !ok {
+		return nil, false
+	}
+	out := make([]Predictor, len(e.parts))
+	copy(out, e.parts)
+	return out, true
+}
+
 // Radius returns R̃_λ, the half-width added around point estimates.
 func (m *Model) Radius() float64 { return m.radius }
 

@@ -45,6 +45,28 @@ var (
 	// ErrCompressor reports a compressor failure (error or recovered
 	// panic) during ground-truth collection.
 	ErrCompressor = errors.New("crest: compressor failure")
+
+	// ErrSnapshotCorrupt reports a model snapshot whose envelope is
+	// malformed, whose payload digest does not match, or whose decoded
+	// state fails validation — anything short of a loadable model.
+	ErrSnapshotCorrupt = errors.New("crest: snapshot corrupt")
+
+	// ErrSnapshotVersion reports a model snapshot written with a format
+	// version this build does not speak. The snapshot may be perfectly
+	// intact; the reader is the wrong vintage.
+	ErrSnapshotVersion = errors.New("crest: snapshot version skew")
+
+	// ErrOverloaded reports work refused by admission control: the
+	// serving layer's inflight and queue bounds were both full, so the
+	// request was shed rather than allowed to collapse the process.
+	// Overload is transient by definition — callers should back off
+	// (honoring any Retry-After hint) and retry.
+	ErrOverloaded = errors.New("crest: overloaded")
+
+	// ErrDraining reports work refused because the process is shutting
+	// down: readiness has been withdrawn and no new work is admitted
+	// while inflight requests finish.
+	ErrDraining = errors.New("crest: draining")
 )
 
 // Canceled wraps a context error (or nil, treated as context.Canceled) so

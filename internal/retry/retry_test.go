@@ -1,0 +1,139 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/crestlab/crest/internal/crerr"
+)
+
+// fakeSleep records requested waits without actually sleeping.
+func fakeSleep(waits *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		*waits = append(*waits, d)
+		return ctx.Err()
+	}
+}
+
+func TestDoSucceedsAfterTransientFailures(t *testing.T) {
+	var waits []time.Duration
+	p := Policy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, Seed: 1, Sleep: fakeSleep(&waits)}
+	calls := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 || len(waits) != 2 {
+		t.Fatalf("calls=%d waits=%v", calls, waits)
+	}
+}
+
+func TestDoBacksOffExponentiallyWithJitterBounds(t *testing.T) {
+	var waits []time.Duration
+	p := Policy{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Hour,
+		Multiplier: 2, Jitter: 0.2, Seed: 42, Sleep: fakeSleep(&waits)}
+	fail := errors.New("always")
+	err := p.Do(context.Background(), func(context.Context) error { return fail })
+	if !errors.Is(err, fail) {
+		t.Fatalf("exhaustion error lost the cause: %v", err)
+	}
+	if len(waits) != 4 {
+		t.Fatalf("want 4 sleeps, got %v", waits)
+	}
+	base := 100 * time.Millisecond
+	for i, w := range waits {
+		nominal := time.Duration(float64(base) * pow(2, i))
+		lo := time.Duration(float64(nominal) * 0.8)
+		hi := time.Duration(float64(nominal) * 1.2)
+		if w < lo || w > hi {
+			t.Errorf("sleep %d = %s outside [%s, %s]", i, w, lo, hi)
+		}
+	}
+}
+
+func pow(b float64, e int) float64 {
+	out := 1.0
+	for i := 0; i < e; i++ {
+		out *= b
+	}
+	return out
+}
+
+func TestDoHonorsRetryAfterHint(t *testing.T) {
+	var waits []time.Duration
+	p := Policy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: time.Hour,
+		Jitter: -1, Seed: 1, Sleep: fakeSleep(&waits)}
+	hint := 2 * time.Second
+	calls := 0
+	p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return WithRetryAfter(errors.New("shed"), hint)
+	})
+	if len(waits) != 2 {
+		t.Fatalf("waits=%v", waits)
+	}
+	for i, w := range waits {
+		if w != hint {
+			t.Errorf("sleep %d = %s, want hint %s", i, w, hint)
+		}
+	}
+}
+
+func TestDoStopsOnPermanent(t *testing.T) {
+	p := Policy{MaxAttempts: 5, Seed: 1, Sleep: func(context.Context, time.Duration) error { return nil }}
+	cause := errors.New("bad request")
+	calls := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return Permanent(cause)
+	})
+	if calls != 1 {
+		t.Fatalf("permanent error retried %d times", calls)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("cause lost: %v", err)
+	}
+}
+
+func TestDoStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{MaxAttempts: 100, BaseDelay: time.Millisecond, Seed: 1}
+	calls := 0
+	err := p.Do(ctx, func(context.Context) error {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+		return errors.New("transient")
+	})
+	if !errors.Is(err, crerr.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want canceled classification, got %v", err)
+	}
+	if calls > 3 {
+		t.Fatalf("kept retrying after cancel: %d calls", calls)
+	}
+}
+
+func TestRetryAfterHintExtraction(t *testing.T) {
+	if _, ok := RetryAfterHint(errors.New("plain")); ok {
+		t.Error("hint found on plain error")
+	}
+	err := WithRetryAfter(crerr.ErrOverloaded, 3*time.Second)
+	if d, ok := RetryAfterHint(err); !ok || d != 3*time.Second {
+		t.Errorf("hint = %v, %v", d, ok)
+	}
+	if !errors.Is(err, crerr.ErrOverloaded) {
+		t.Error("wrapped sentinel lost")
+	}
+	if Permanent(nil) != nil || WithRetryAfter(nil, time.Second) != nil {
+		t.Error("nil error not preserved")
+	}
+}

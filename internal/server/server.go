@@ -1,0 +1,616 @@
+// Package server is the network boundary of the estimation pipeline: an
+// HTTP JSON API over the concurrent batch engine, built so that a trained
+// CREST model can be consulted per-buffer at I/O time by remote writers —
+// and so that the boundary degrades instead of collapsing when traffic
+// exceeds capacity.
+//
+// Robustness model, layered on the PR-2 in-process guarantees:
+//
+//   - Admission control: a bounded inflight semaphore caps concurrent
+//     estimation work; a bounded queue absorbs short bursts. A request
+//     that finds both full is shed immediately with 503 and a
+//     Retry-After hint — the server stays at its saturation throughput
+//     instead of accumulating unbounded work and dying.
+//   - Per-request deadlines: every admitted request runs under a context
+//     deadline mapped onto the engine's cancellation plumbing; an
+//     expired deadline yields 504 and the worker drains.
+//   - Panic isolation: a panicking handler (or injected chaos fault)
+//     becomes a 500 with a typed error body, never a process crash.
+//   - Graceful drain: Drain withdraws readiness first (load balancers
+//     stop routing), rejects new work with 503, lets inflight requests
+//     finish, and only then returns — the SIGTERM sequence of
+//     `crest serve`.
+//
+// Endpoints:
+//
+//	POST /v1/estimate  one buffer + bound -> one conformal estimate
+//	POST /v1/batch     many buffers x bounds -> per-request results
+//	GET  /healthz      process liveness (always 200 while serving)
+//	GET  /readyz       admission readiness (503 while draining)
+//	GET  /statsz       server + engine + feature-cache counters
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/crestlab/crest/internal/batch"
+	"github.com/crestlab/crest/internal/crerr"
+	"github.com/crestlab/crest/internal/grid"
+)
+
+// Config tunes the serving boundary. Engine is required; everything else
+// has serviceable defaults.
+type Config struct {
+	// Engine is the batch-estimation engine requests run on.
+	Engine *batch.Engine
+
+	// MaxInflight caps concurrently executing requests (default: the
+	// engine's worker bound). MaxQueue bounds requests waiting for a
+	// slot (default 4×MaxInflight); beyond it, requests are shed.
+	MaxInflight int
+	MaxQueue    int
+
+	// RequestTimeout bounds each admitted request (default 30s; negative
+	// disables).
+	RequestTimeout time.Duration
+
+	// RetryAfter is the backoff hint advertised on 503 responses
+	// (default 1s).
+	RetryAfter time.Duration
+
+	// MaxBatch caps the request count of one /v1/batch call
+	// (default 1024). MaxBodyBytes caps a request body (default 64 MiB).
+	MaxBatch     int
+	MaxBodyBytes int64
+
+	// Middleware, when set, wraps the route handlers inside the panic
+	// recovery layer — the seam the chaos harness injects slow, failing
+	// and panicking handlers through.
+	Middleware func(http.Handler) http.Handler
+
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = c.Engine.Workers()
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInflight
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the HTTP serving layer. Construct with New; a Server is safe
+// for concurrent use and for a single Drain.
+type Server struct {
+	cfg    Config
+	engine *batch.Engine
+
+	inflight chan struct{} // admission semaphore
+	queued   atomic.Int64
+
+	mu       sync.Mutex
+	draining bool
+	active   int           // requests between begin/end (admitted or queued)
+	drainCh  chan struct{} // closed when draining starts
+	idleCh   chan struct{} // closed when active hits 0 while draining
+
+	ready atomic.Bool
+
+	// Counters.
+	accepted      atomic.Uint64
+	served        atomic.Uint64
+	failed        atomic.Uint64
+	shed          atomic.Uint64
+	drainRejected atomic.Uint64
+	timeouts      atomic.Uint64
+	panics        atomic.Uint64
+}
+
+// New builds a server over an engine.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("server: nil engine")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		engine:   cfg.Engine,
+		inflight: make(chan struct{}, cfg.MaxInflight),
+		drainCh:  make(chan struct{}),
+		idleCh:   make(chan struct{}),
+	}
+	s.ready.Store(true)
+	return s, nil
+}
+
+// SetReady flips admission readiness without draining (manual maintenance
+// mode). Draining overrides it.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports whether the server currently admits work.
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	return s.ready.Load() && !draining
+}
+
+// Drain performs the graceful-shutdown sequence: readiness is withdrawn
+// and new requests are rejected with 503, queued waiters are released,
+// and the call blocks until every inflight request has finished (or ctx
+// expires, returning its error with work still in flight). Drain is
+// idempotent; concurrent calls all block until idle.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.drainCh)
+	}
+	if s.active == 0 {
+		select {
+		case <-s.idleCh:
+		default:
+			close(s.idleCh)
+		}
+	}
+	idle := s.idleCh
+	s.mu.Unlock()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// beginRequest registers an estimation request with the drain tracker.
+func (s *Server) beginRequest() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.active++
+	return true
+}
+
+func (s *Server) endRequest() {
+	s.mu.Lock()
+	s.active--
+	if s.active == 0 && s.draining {
+		select {
+		case <-s.idleCh:
+		default:
+			close(s.idleCh)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// admit acquires an execution slot, waiting in the bounded queue when the
+// semaphore is full. It returns a release function on success; on failure
+// the error matches crerr.ErrOverloaded (queue full), crerr.ErrDraining
+// (shutdown began while queued) or crerr.ErrCanceled (caller gave up).
+func (s *Server) admit(ctx context.Context) (func(), error) {
+	release := func() { <-s.inflight }
+	select {
+	case s.inflight <- struct{}{}:
+		return release, nil
+	default:
+	}
+	if q := s.queued.Add(1); q > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		return nil, fmt.Errorf("%w: %d inflight, queue of %d full",
+			crerr.ErrOverloaded, s.cfg.MaxInflight, s.cfg.MaxQueue)
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.inflight <- struct{}{}:
+		return release, nil
+	case <-s.drainCh:
+		return nil, crerr.ErrDraining
+	case <-ctx.Done():
+		return nil, crerr.Canceled(ctx.Err())
+	}
+}
+
+// Handler returns the server's route tree wrapped in panic recovery and
+// the configured middleware.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	var h http.Handler = mux
+	if s.cfg.Middleware != nil {
+		h = s.cfg.Middleware(h)
+	}
+	return s.recoverPanics(h)
+}
+
+// recoverPanics is the outermost layer: any panic below it — handler bug,
+// injected chaos fault — becomes a 500 with a typed body and a logged
+// stack, reusing the crerr taxonomy bridge.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.panics.Add(1)
+				err := crerr.Recovered(v, crerr.ErrInvalidBuffer)
+				s.cfg.Logf("server: panic on %s %s: %v", r.Method, r.URL.Path, v)
+				s.writeError(w, http.StatusInternalServerError, "panic", err)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Wire types
+
+// EstimateRequest is one buffer × bound estimation ask.
+type EstimateRequest struct {
+	Dataset string    `json:"dataset,omitempty"`
+	Field   string    `json:"field,omitempty"`
+	Step    int       `json:"step,omitempty"`
+	Rows    int       `json:"rows"`
+	Cols    int       `json:"cols"`
+	Data    []float64 `json:"data"`
+	Eps     float64   `json:"eps"`
+}
+
+// buffer validates the request and builds the engine's buffer.
+func (er *EstimateRequest) buffer() (*grid.Buffer, error) {
+	if er.Eps <= 0 {
+		return nil, fmt.Errorf("%w: eps %g", crerr.ErrInvalidBuffer, er.Eps)
+	}
+	buf, err := grid.FromSlice(er.Rows, er.Cols, er.Data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", crerr.ErrInvalidBuffer, err)
+	}
+	buf.Dataset, buf.Field, buf.Step = er.Dataset, er.Field, er.Step
+	if err := buf.Validate(grid.DefaultValidation); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// EstimateResponse is one conformal estimate.
+type EstimateResponse struct {
+	CR float64 `json:"cr"`
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+// WireError is the JSON error body: a stable kind for routing plus the
+// human-readable message.
+type WireError struct {
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+}
+
+// BatchWireRequest asks for many estimates at once.
+type BatchWireRequest struct {
+	Requests []EstimateRequest `json:"requests"`
+}
+
+// BatchItem is one slot of a batch response: a result or an error.
+type BatchItem struct {
+	Result *EstimateResponse `json:"result,omitempty"`
+	Error  *WireError        `json:"error,omitempty"`
+}
+
+// BatchWireResponse carries per-request results in request order.
+type BatchWireResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	s.withAdmission(w, r, func(ctx context.Context) {
+		var req EstimateRequest
+		if err := s.decodeBody(w, r, &req); err != nil {
+			s.failRequest(w, err)
+			return
+		}
+		buf, err := req.buffer()
+		if err != nil {
+			s.failRequest(w, err)
+			return
+		}
+		ests, err := s.engine.EstimateAllContext(ctx, []batch.Request{{Buf: buf, Eps: req.Eps}})
+		if err != nil {
+			var agg *crerr.AggregateError
+			if errors.As(err, &agg) {
+				err = agg.ByIndex(0)
+			}
+			s.failRequest(w, err)
+			return
+		}
+		s.served.Add(1)
+		s.writeJSON(w, http.StatusOK, EstimateResponse{CR: ests[0].CR, Lo: ests[0].Lo, Hi: ests[0].Hi})
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.withAdmission(w, r, func(ctx context.Context) {
+		var wire BatchWireRequest
+		if err := s.decodeBody(w, r, &wire); err != nil {
+			s.failRequest(w, err)
+			return
+		}
+		if len(wire.Requests) == 0 {
+			s.failRequest(w, fmt.Errorf("%w: empty batch", crerr.ErrInvalidBuffer))
+			return
+		}
+		if len(wire.Requests) > s.cfg.MaxBatch {
+			s.failRequest(w, fmt.Errorf("%w: batch of %d exceeds limit %d",
+				crerr.ErrInvalidBuffer, len(wire.Requests), s.cfg.MaxBatch))
+			return
+		}
+		reqs := make([]batch.Request, len(wire.Requests))
+		buildErrs := make([]error, len(wire.Requests))
+		for i := range wire.Requests {
+			buf, err := wire.Requests[i].buffer()
+			if err != nil {
+				buildErrs[i] = err
+				continue
+			}
+			reqs[i] = batch.Request{Buf: buf, Eps: wire.Requests[i].Eps}
+		}
+		// Only structurally valid requests reach the engine; invalid ones
+		// keep their slots and report their own typed errors.
+		valid := make([]batch.Request, 0, len(reqs))
+		validIdx := make([]int, 0, len(reqs))
+		for i, br := range reqs {
+			if buildErrs[i] == nil {
+				valid = append(valid, br)
+				validIdx = append(validIdx, i)
+			}
+		}
+		ests, err := s.engine.EstimateAllContext(ctx, valid)
+		// A whole-batch cancellation is a request-level failure.
+		if err != nil && errors.Is(err, crerr.ErrCanceled) {
+			s.failRequest(w, err)
+			return
+		}
+		var agg *crerr.AggregateError
+		errors.As(err, &agg)
+
+		out := BatchWireResponse{Results: make([]BatchItem, len(reqs))}
+		for vi, i := range validIdx {
+			if agg != nil {
+				if perReq := agg.ByIndex(vi); perReq != nil {
+					buildErrs[i] = perReq
+					continue
+				}
+			}
+			e := ests[vi]
+			out.Results[i] = BatchItem{Result: &EstimateResponse{CR: e.CR, Lo: e.Lo, Hi: e.Hi}}
+		}
+		nFailed := 0
+		for i, berr := range buildErrs {
+			if berr != nil {
+				nFailed++
+				kind, _ := classify(berr)
+				out.Results[i] = BatchItem{Error: &WireError{Kind: kind, Message: berr.Error()}}
+			}
+		}
+		if nFailed > 0 {
+			s.failed.Add(uint64(nFailed))
+		}
+		s.served.Add(1)
+		s.writeJSON(w, http.StatusOK, out)
+	})
+}
+
+// withAdmission runs fn under the full admission pipeline: drain check,
+// semaphore/queue, per-request deadline.
+func (s *Server) withAdmission(w http.ResponseWriter, r *http.Request, fn func(ctx context.Context)) {
+	if !s.ready.Load() || !s.beginRequest() {
+		s.drainRejected.Add(1)
+		s.writeShed(w, crerr.ErrDraining)
+		return
+	}
+	defer s.endRequest()
+	release, err := s.admit(r.Context())
+	if err != nil {
+		switch {
+		case errors.Is(err, crerr.ErrOverloaded):
+			s.shed.Add(1)
+		case errors.Is(err, crerr.ErrDraining):
+			s.drainRejected.Add(1)
+		}
+		s.writeShed(w, err)
+		return
+	}
+	defer release()
+	s.accepted.Add(1)
+
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	fn(ctx)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.Ready() {
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		return
+	}
+	s.setRetryAfter(w)
+	s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+}
+
+// StatsPayload is the /statsz body: serving-layer counters plus the
+// engine snapshot (which embeds the shared feature-cache counters).
+type StatsPayload struct {
+	Server Stats       `json:"server"`
+	Engine batch.Stats `json:"engine"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, StatsPayload{Server: s.Stats(), Engine: s.engine.Stats()})
+}
+
+// Stats is a point-in-time snapshot of the serving-layer counters.
+type Stats struct {
+	// Accepted counts requests admitted past the semaphore; Served the
+	// 2xx completions; Failed per-request estimation/validation
+	// failures; Shed 503s from a full queue; DrainRejected 503s during
+	// drain or unreadiness; Timeouts 504s from expired deadlines;
+	// RecoveredPanics handler panics converted to 500s.
+	Accepted        uint64 `json:"accepted"`
+	Served          uint64 `json:"served"`
+	Failed          uint64 `json:"failed"`
+	Shed            uint64 `json:"shed"`
+	DrainRejected   uint64 `json:"drain_rejected"`
+	Timeouts        uint64 `json:"timeouts"`
+	RecoveredPanics uint64 `json:"recovered_panics"`
+
+	// Inflight and Queued are current occupancy; MaxInflight and
+	// MaxQueue the configured bounds.
+	Inflight    int `json:"inflight"`
+	Queued      int `json:"queued"`
+	MaxInflight int `json:"max_inflight"`
+	MaxQueue    int `json:"max_queue"`
+
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining"`
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	return Stats{
+		Accepted:        s.accepted.Load(),
+		Served:          s.served.Load(),
+		Failed:          s.failed.Load(),
+		Shed:            s.shed.Load(),
+		DrainRejected:   s.drainRejected.Load(),
+		Timeouts:        s.timeouts.Load(),
+		RecoveredPanics: s.panics.Load(),
+		Inflight:        len(s.inflight),
+		Queued:          int(s.queued.Load()),
+		MaxInflight:     s.cfg.MaxInflight,
+		MaxQueue:        s.cfg.MaxQueue,
+		Ready:           s.ready.Load() && !draining,
+		Draining:        draining,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Response plumbing
+
+// classify maps a pipeline error onto (wire kind, HTTP status) using the
+// crerr taxonomy.
+func classify(err error) (string, int) {
+	switch {
+	case errors.Is(err, crerr.ErrOverloaded):
+		return "overloaded", http.StatusServiceUnavailable
+	case errors.Is(err, crerr.ErrDraining):
+		return "draining", http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline_exceeded", http.StatusGatewayTimeout
+	case errors.Is(err, crerr.ErrCanceled):
+		return "canceled", http.StatusServiceUnavailable
+	case errors.Is(err, crerr.ErrNonFiniteData):
+		return "non_finite_data", http.StatusBadRequest
+	case errors.Is(err, crerr.ErrInvalidBuffer):
+		return "invalid_buffer", http.StatusBadRequest
+	case errors.Is(err, crerr.ErrModelDegenerate):
+		return "model_degenerate", http.StatusInternalServerError
+	default:
+		return "internal", http.StatusInternalServerError
+	}
+}
+
+// decodeBody decodes a JSON request body under the size cap.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("%w: body: %v", crerr.ErrInvalidBuffer, err)
+	}
+	return nil
+}
+
+// failRequest writes a classified error response and bumps the matching
+// counters.
+func (s *Server) failRequest(w http.ResponseWriter, err error) {
+	kind, status := classify(err)
+	if status == http.StatusGatewayTimeout {
+		s.timeouts.Add(1)
+	}
+	s.failed.Add(1)
+	if status == http.StatusServiceUnavailable {
+		s.setRetryAfter(w)
+	}
+	s.writeError(w, status, kind, err)
+}
+
+// writeShed writes the 503 shedding response with its Retry-After hint.
+func (s *Server) writeShed(w http.ResponseWriter, err error) {
+	kind, status := classify(err)
+	s.setRetryAfter(w)
+	s.writeError(w, status, kind, err)
+}
+
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	secs := int(s.cfg.RetryAfter / time.Second)
+	if s.cfg.RetryAfter%time.Second != 0 || secs == 0 {
+		secs++ // Retry-After is integral seconds; round up
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, kind string, err error) {
+	s.writeJSON(w, status, map[string]WireError{"error": {Kind: kind, Message: err.Error()}})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		s.cfg.Logf("server: write response: %v", err)
+	}
+}

@@ -1,0 +1,121 @@
+// Package vfs is the narrow filesystem seam of the durability layer: the
+// handful of operations a crash-safe snapshot write needs (create a temp
+// file, write, fsync, rename into place, fsync the directory) expressed
+// as an interface, so the chaos harness can interpose short writes,
+// rename failures and sync errors without touching the real disk code.
+//
+// Production code uses OS, a passthrough to package os. The abstraction
+// exists for one reason only — deterministic fault injection — and is
+// deliberately minimal: anything not needed by snapshot persistence is
+// left out.
+package vfs
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the writable-file surface an atomic write needs.
+type File interface {
+	io.Writer
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+	// Close closes the file.
+	Close() error
+	// Name returns the file's path.
+	Name() string
+}
+
+// FS is the filesystem surface of snapshot persistence.
+type FS interface {
+	// CreateTemp creates a new unique temp file in dir (pattern as in
+	// os.CreateTemp).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadFile reads a whole file.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// SyncDir fsyncs a directory so a completed rename survives a crash.
+	SyncDir(name string) error
+}
+
+// OS is the production FS: a passthrough to package os.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) {
+	return os.ReadDir(name)
+}
+
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	// Directory fsync is advisory on some platforms; a sync error still
+	// means the rename reached the directory, so surface it to the caller
+	// and let policy decide.
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// WriteFileAtomic writes data to path with crash safety: the bytes land
+// in a temp file in the same directory, are fsynced, and are renamed over
+// path only after the sync succeeds, so a reader never observes a partial
+// file under the final name and a crash leaves either the old content or
+// the new — never a torn mix. The directory is fsynced after the rename
+// so the new name itself is durable. On any failure the temp file is
+// removed.
+func WriteFileAtomic(fsys FS, path string, data []byte) (err error) {
+	dir := filepath.Dir(path)
+	f, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			fsys.Remove(tmp) // best effort; the error being returned wins
+		}
+	}()
+	n, err := f.Write(data)
+	if err == nil && n < len(data) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = fsys.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
+}

@@ -1,0 +1,75 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "payload.bin")
+	want := []byte("hello, durable world")
+	if err := WriteFileAtomic(OS, path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OS.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read back %q, want %q", got, want)
+	}
+	// Overwrite: readers must see either old or new, and after the call
+	// returns, the new.
+	want2 := []byte("second generation")
+	if err := WriteFileAtomic(OS, path, want2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = OS.ReadFile(path)
+	if !bytes.Equal(got, want2) {
+		t.Fatalf("read back %q, want %q", got, want2)
+	}
+	// No temp litter left behind.
+	entries, err := OS.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+// failFS wraps OS and fails one operation, for the cleanup contract.
+type failFS struct {
+	FS
+	failRename bool
+}
+
+func (f failFS) Rename(o, n string) error {
+	if f.failRename {
+		return errors.New("injected rename failure")
+	}
+	return f.FS.Rename(o, n)
+}
+
+func TestWriteFileAtomicRenameFailureCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "payload.bin")
+	err := WriteFileAtomic(failFS{FS: OS, failRename: true}, path, []byte("doomed"))
+	if err == nil {
+		t.Fatal("rename failure not surfaced")
+	}
+	if _, statErr := os.Stat(path); !errors.Is(statErr, os.ErrNotExist) {
+		t.Errorf("target exists after failed rename: %v", statErr)
+	}
+	entries, _ := OS.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Errorf("temp litter after failed rename: %v", entries)
+	}
+}

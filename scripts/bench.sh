@@ -1,0 +1,29 @@
+#!/bin/sh
+# bench.sh — serving-layer benchmark: drives `crest servebench` to
+# saturation and archives the JSON report (p50/p99 latency of served
+# requests plus the shed rate) as BENCH_server.json.
+#
+# Tune the operating point via env vars:
+#
+#   BENCH_N=2000 BENCH_CONCURRENCY=64 ./scripts/bench.sh
+#
+# The report is self-describing; see serveBenchReport in
+# cmd/crest/servebench.go for the schema.
+set -eu
+
+OUT="${BENCH_OUT:-BENCH_server.json}"
+N="${BENCH_N:-800}"
+CONCURRENCY="${BENCH_CONCURRENCY:-32}"
+MAX_INFLIGHT="${BENCH_MAX_INFLIGHT:-4}"
+MAX_QUEUE="${BENCH_MAX_QUEUE:-8}"
+WORK_DELAY="${BENCH_WORK_DELAY:-2ms}"
+
+go run ./cmd/crest servebench \
+    -n "$N" \
+    -concurrency "$CONCURRENCY" \
+    -max-inflight "$MAX_INFLIGHT" \
+    -max-queue "$MAX_QUEUE" \
+    -work-delay "$WORK_DELAY" \
+    -out "$OUT"
+
+echo "bench: wrote $OUT"

@@ -14,10 +14,11 @@
 #   internal/featcache  FuzzKeyDerivation            (cache key derivation)
 #   internal/compressors  FuzzDecompress*            (all decoder hardening targets)
 #   internal/grid       FuzzBufferValidate           (public-boundary buffer validation)
+#   snapshot            FuzzSnapshotDecode           (durable-model envelope decoder)
 set -eu
 
 FUZZTIME="${FUZZTIME:-5s}"
-PKGS="${*:-./internal/huffman ./internal/usecases ./internal/featcache ./internal/compressors ./internal/grid}"
+PKGS="${*:-./internal/huffman ./internal/usecases ./internal/featcache ./internal/compressors ./internal/grid ./snapshot}"
 
 for pkg in $PKGS; do
     targets=$(go test -list '^Fuzz' "$pkg" | grep '^Fuzz' || true)

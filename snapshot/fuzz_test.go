@@ -1,0 +1,48 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/crestlab/crest/internal/core"
+	"github.com/crestlab/crest/internal/crerr"
+)
+
+// FuzzSnapshotDecode hardens the loader boundary: arbitrary bytes must
+// never panic Decode, and every failure must be classified under the
+// snapshot taxonomy. When the mutator happens to produce a decodable
+// snapshot, the resulting estimator must be usable (Estimate returns
+// finite numbers, never panics).
+func FuzzSnapshotDecode(f *testing.F) {
+	est := trainedEstimator(f, core.Config{})
+	valid, err := Encode(est)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("crest-snapshot 1\nsha256 00\n\n{}"))
+	f.Add(valid[:len(valid)/2])
+	f.Add(bytes.Replace(valid, []byte("crest-snapshot 1"), []byte("crest-snapshot 99"), 1))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-3] ^= 0x10
+	f.Add(flipped)
+
+	feats := testVectors(4)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, crerr.ErrSnapshotCorrupt) && !errors.Is(err, crerr.ErrSnapshotVersion) {
+				t.Fatalf("unclassified decode failure: %v", err)
+			}
+			return
+		}
+		// A decodable snapshot must yield a safe estimator.
+		for _, fv := range feats {
+			if _, err := got.Estimate(fv); err != nil {
+				t.Fatalf("decoded estimator rejects valid features: %v", err)
+			}
+		}
+	})
+}

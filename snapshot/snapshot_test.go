@@ -1,0 +1,265 @@
+package snapshot
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/crestlab/crest/internal/core"
+	"github.com/crestlab/crest/internal/crerr"
+)
+
+// trainedEstimator fits a small mixture+conformal model on synthetic
+// samples with a deterministic seed.
+func trainedEstimator(t testing.TB, cfg core.Config) *core.Estimator {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]core.Sample, 80)
+	for i := range samples {
+		f := make([]float64, 5)
+		for j := range f {
+			f[j] = rng.NormFloat64()
+		}
+		cr := 1 + 10*math.Exp(0.5*f[0]-0.3*f[1]+0.2*f[2]+0.1*rng.NormFloat64())
+		samples[i] = core.Sample{Features: f, CR: cr}
+	}
+	est, err := core.Train(samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+// testVectors returns deterministic feature vectors spanning the trained
+// covariate region and some extrapolation.
+func testVectors(n int) [][]float64 {
+	rng := rand.New(rand.NewSource(11))
+	out := make([][]float64, n)
+	for i := range out {
+		f := make([]float64, 5)
+		for j := range f {
+			f[j] = 2.5 * rng.NormFloat64()
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// assertBitIdentical fails unless both estimators return exactly the same
+// float64s for every vector.
+func assertBitIdentical(t *testing.T, want, got *core.Estimator) {
+	t.Helper()
+	for i, f := range testVectors(64) {
+		we, err1 := want.Estimate(f)
+		ge, err2 := got.Estimate(f)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("vector %d: error mismatch: %v vs %v", i, err1, err2)
+		}
+		if we != ge {
+			t.Fatalf("vector %d: estimate %+v != restored %+v", i, we, ge)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	est := trainedEstimator(t, core.Config{})
+	data, err := Encode(est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, est, back)
+	if back.FellBack() != est.FellBack() {
+		t.Errorf("FellBack %v != %v", back.FellBack(), est.FellBack())
+	}
+	if back.PredictorConfig() != est.PredictorConfig() {
+		t.Errorf("predictor config %+v != %+v", back.PredictorConfig(), est.PredictorConfig())
+	}
+	if back.IntervalRadius() != est.IntervalRadius() {
+		t.Errorf("radius %g != %g", back.IntervalRadius(), est.IntervalRadius())
+	}
+}
+
+func TestMultiSplitRoundTrip(t *testing.T) {
+	est := trainedEstimator(t, core.Config{ConformalSplits: 3})
+	data, err := Encode(est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, est, back)
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	est := trainedEstimator(t, core.Config{})
+	path := filepath.Join(t.TempDir(), "model"+Ext)
+	if err := Save(path, est); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, est, back)
+}
+
+func TestDecodeRejectsVersionSkew(t *testing.T) {
+	est := trainedEstimator(t, core.Config{})
+	data, _ := Encode(est)
+	skewed := bytes.Replace(data,
+		[]byte(fmt.Sprintf("%s %d\n", Magic, FormatVersion)),
+		[]byte(fmt.Sprintf("%s %d\n", Magic, FormatVersion+1)), 1)
+	_, err := Decode(skewed)
+	if !errors.Is(err, crerr.ErrSnapshotVersion) {
+		t.Fatalf("want ErrSnapshotVersion, got %v", err)
+	}
+	if errors.Is(err, crerr.ErrSnapshotCorrupt) {
+		t.Fatalf("version skew misclassified as corruption: %v", err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	est := trainedEstimator(t, core.Config{})
+	data, _ := Encode(est)
+
+	cases := map[string][]byte{
+		"empty":          {},
+		"garbage":        []byte("not a snapshot at all"),
+		"truncated-head": data[:10],
+		"truncated-tail": data[:len(data)-7],
+	}
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)-1] ^= 0x40
+	cases["bit-flip"] = flipped
+
+	for name, blob := range cases {
+		if _, err := Decode(blob); !errors.Is(err, crerr.ErrSnapshotCorrupt) {
+			t.Errorf("%s: want ErrSnapshotCorrupt, got %v", name, err)
+		}
+	}
+}
+
+// reEnvelope wraps payload bytes in a fresh valid header (correct digest),
+// so tests can reach the state-validation layer behind the digest check.
+func reEnvelope(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s %d\nsha256 %s\n\n", Magic, FormatVersion, hex.EncodeToString(sum[:]))
+	b.Write(payload)
+	return b.Bytes()
+}
+
+func TestDecodeRejectsInvalidStateBehindValidDigest(t *testing.T) {
+	est := trainedEstimator(t, core.Config{})
+	data, _ := Encode(est)
+	payload, err := splitEnvelope(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st core.EstimatorState
+	if err := json.Unmarshal(payload, &st); err != nil {
+		t.Fatal(err)
+	}
+	// Poison a gating variance: the digest will be valid, the state won't.
+	st.Components[0].XVar[0][0] = -1
+	bad, _ := json.Marshal(&st)
+	if _, err := Decode(reEnvelope(bad)); !errors.Is(err, crerr.ErrSnapshotCorrupt) {
+		t.Fatalf("invalid state accepted: %v", err)
+	}
+	// Non-JSON payload with a valid digest is also corruption.
+	if _, err := Decode(reEnvelope([]byte("{broken"))); !errors.Is(err, crerr.ErrSnapshotCorrupt) {
+		t.Fatalf("broken JSON accepted: %v", err)
+	}
+}
+
+func TestWriteNewSequencesAndLoadLatest(t *testing.T) {
+	dir := t.TempDir()
+	est := trainedEstimator(t, core.Config{})
+
+	p0, err := WriteNew(dir, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p0) != "model-000000"+Ext {
+		t.Fatalf("first snapshot named %s", p0)
+	}
+	p1, err := WriteNew(dir, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p1) != "model-000001"+Ext {
+		t.Fatalf("second snapshot named %s", p1)
+	}
+	// Make mtimes unambiguous on coarse-granularity filesystems.
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(p0, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	_, path, err := LoadLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != p1 {
+		t.Fatalf("LoadLatest chose %s, want %s", path, p1)
+	}
+}
+
+func TestLoadLatestFallsBackPastTruncatedHead(t *testing.T) {
+	dir := t.TempDir()
+	est := trainedEstimator(t, core.Config{})
+	p0, err := WriteNew(dir, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := WriteNew(dir, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(p0, old, old); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the newest snapshot mid-payload: the crash-at-the-worst-
+	// moment scenario LoadLatest must survive.
+	if err := os.Truncate(p1, 64); err != nil {
+		t.Fatal(err)
+	}
+	back, path, err := LoadLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != p0 {
+		t.Fatalf("fallback chose %s, want %s", path, p0)
+	}
+	assertBitIdentical(t, est, back)
+}
+
+func TestLoadLatestEmptyAndAllCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := LoadLatest(dir); !errors.Is(err, ErrNoSnapshots) {
+		t.Fatalf("empty dir: want ErrNoSnapshots, got %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "model-000000"+Ext), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := LoadLatest(dir)
+	if !errors.Is(err, ErrNoSnapshots) || !errors.Is(err, crerr.ErrSnapshotCorrupt) {
+		t.Fatalf("all-corrupt dir: want ErrNoSnapshots+ErrSnapshotCorrupt, got %v", err)
+	}
+}

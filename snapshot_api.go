@@ -1,0 +1,37 @@
+package crest
+
+import (
+	"github.com/crestlab/crest/snapshot"
+)
+
+// SaveEstimator persists a trained estimator to path as a versioned,
+// SHA-256-checksummed snapshot with a crash-safe atomic write (temp file
+// + fsync + rename): a reader never observes a partial snapshot and a
+// crash leaves either the previous file or the new one. See package
+// snapshot for the format and the full durability contract.
+func SaveEstimator(path string, est *Estimator) error {
+	return snapshot.Save(path, est)
+}
+
+// LoadEstimator reads, verifies and decodes a snapshot written by
+// SaveEstimator. Corrupt or truncated snapshots fail with a typed error
+// matching ErrSnapshotCorrupt; snapshots from another format version
+// match ErrSnapshotVersion. A loaded estimator is bit-identical to the
+// one that was saved.
+func LoadEstimator(path string) (*Estimator, error) {
+	return snapshot.Load(path)
+}
+
+// WriteNewEstimator saves est into dir under a fresh sequence-numbered
+// name (model-NNNNNN.crsnap), accumulating the history that
+// LoadLatestEstimator falls back across. It returns the path written.
+func WriteNewEstimator(dir string, est *Estimator) (string, error) {
+	return snapshot.WriteNew(dir, est)
+}
+
+// LoadLatestEstimator loads the newest valid snapshot in dir, skipping
+// truncated or corrupt files (a crash mid-write degrades to the previous
+// good model). It returns the estimator and the path it came from.
+func LoadLatestEstimator(dir string) (*Estimator, string, error) {
+	return snapshot.LoadLatest(dir)
+}

@@ -1,0 +1,81 @@
+package crest_test
+
+import (
+	"context"
+	"testing"
+
+	crest "github.com/crestlab/crest"
+)
+
+// TestSnapshotRoundTripBitIdentityAcrossEvalCorpus is the durability
+// differential check: an estimator trained on real collected samples is
+// saved and reloaded through the public snapshot API, and the restored
+// model must return bit-identical estimates (CR, Lo, Hi as exact
+// float64s) for every buffer × error bound of the evaluation corpus. Any
+// divergence means a restart silently shifts predictions — the failure
+// the snapshot format exists to prevent.
+func TestSnapshotRoundTripBitIdentityAcrossEvalCorpus(t *testing.T) {
+	ds := crest.HurricaneDataset(crest.DataOptions{NZ: 10, NY: 24, NX: 24, Seed: 3})
+	field := ds.Fields[0]
+	comp, err := crest.NewCompressor("szinterp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := crest.EstimatorConfig{Predictors: crest.PredictorConfig{Workers: 1}}
+	epses := []float64{1e-2, 1e-3}
+
+	// Train on the first 6 buffers; the rest are the held-out eval fold.
+	var samples []crest.Sample
+	for _, eps := range epses {
+		s, err := crest.CollectSamplesContext(context.Background(), field.Buffers[:6], comp, eps, cfg.Predictors, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples = append(samples, s...)
+	}
+	est, err := crest.TrainEstimator(samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	path, err := crest.WriteNewEstimator(dir, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, from, err := crest.LoadLatestEstimator(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != path {
+		t.Fatalf("loaded %s, wrote %s", from, path)
+	}
+	if loaded.FellBack() != est.FellBack() || loaded.IntervalRadius() != est.IntervalRadius() {
+		t.Fatalf("model metadata diverged: FellBack %v/%v radius %v/%v",
+			loaded.FellBack(), est.FellBack(), loaded.IntervalRadius(), est.IntervalRadius())
+	}
+
+	checked := 0
+	for _, buf := range field.Buffers {
+		for _, eps := range epses {
+			feats, err := crest.ComputeFeatureVector(buf, eps, cfg.Predictors)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err1 := est.Estimate(feats)
+			got, err2 := loaded.Estimate(feats)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("estimate: %v, %v", err1, err2)
+			}
+			// Exact equality on purpose: the snapshot contract is bit
+			// identity, not tolerance.
+			if want.CR != got.CR || want.Lo != got.Lo || want.Hi != got.Hi {
+				t.Fatalf("step %d eps %g: restored %+v != original %+v", buf.Step, eps, got, want)
+			}
+			checked++
+		}
+	}
+	if checked != len(field.Buffers)*len(epses) {
+		t.Fatalf("covered %d points", checked)
+	}
+}
