@@ -65,6 +65,8 @@ func main() {
 		err = cmdClient(ctx, args)
 	case "servebench":
 		err = cmdServeBench(ctx, args)
+	case "metricscheck":
+		err = cmdMetricsCheck(ctx, args)
 	case "similarity":
 		err = cmdSimilarity(args)
 	case "rawfile":
@@ -101,6 +103,7 @@ commands:
   serve       serve the estimation HTTP API from a model snapshot
   client      estimate one buffer against a running server (with backoff)
   servebench  in-process serving benchmark: tail latency + shed rate
+  metricscheck verify a running server's GET /metrics exposes every expected series
   similarity  print the field-similarity (Mahalanobis) matrix of a dataset
   rawfile     compress a raw little-endian float64 file
   volume      compress a whole synthetic field as a 3D volume
@@ -285,6 +288,7 @@ func cmdBatch(ctx context.Context, args []string) error {
 	repeat := fs.Int("repeat", 1, "evaluate the whole request batch this many times (exercises the cache)")
 	quiet := fs.Bool("quiet", false, "print only the stats snapshot")
 	statsJSON := fs.Bool("stats", false, "emit the engine + cache stats snapshot as JSON")
+	obsOut := fs.String("obs-out", "", "write an observability summary (predictor quantiles, cache hit rate, registry snapshot) to this JSON file")
 	timeout := fs.Duration("timeout", 0, "per-batch deadline (0: none)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -350,6 +354,11 @@ func cmdBatch(ctx context.Context, args []string) error {
 		}
 	}
 	st := engine.Stats()
+	if *obsOut != "" {
+		if err := writeObsSummary(*obsOut, st); err != nil {
+			return err
+		}
+	}
 	if *statsJSON {
 		// The same shape /statsz serves for the engine half, so scripts
 		// can consume either source.

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	crest "github.com/crestlab/crest"
+	"github.com/crestlab/crest/internal/obs"
+)
+
+// metricsDoc mirrors the GET /metrics payload shape loosely enough to
+// survive additive changes: unknown fields are ignored, and the checks
+// below only assert the series this build is known to emit.
+type metricsDoc struct {
+	Counters   map[string]uint64                `json:"counters"`
+	Gauges     map[string]int64                 `json:"gauges"`
+	Histograms map[string]obs.HistogramSnapshot `json:"histograms"`
+	Derived    struct {
+		FeatcacheHitRate float64 `json:"featcache_hit_rate"`
+	} `json:"derived"`
+}
+
+// requiredHistograms must exist after the server has served at least one
+// estimate from a snapshot-loaded model; those marked nonzero must also
+// have recorded at least one observation.
+var requiredHistograms = []struct {
+	name    string
+	nonzero bool
+}{
+	{"http_request_seconds_estimate", true},
+	{"http_request_seconds_batch", false},
+	{"predictor_sd_seconds", true},
+	{"predictor_sc_seconds", true},
+	{"predictor_coding_gain_seconds", true},
+	{"predictor_cov_svd_seconds", true},
+	{"predictor_distortion_seconds", true},
+	{"batch_feature_seconds", true},
+	{"batch_estimate_seconds", true},
+	{"batch_request_seconds", true},
+	{"snapshot_load_seconds", true},
+}
+
+var requiredGauges = []string{"server_queue_depth", "server_inflight"}
+
+var requiredCounters = []struct {
+	name    string
+	nonzero bool
+}{
+	{"server_accepted_total", true},
+	{"server_served_total", true},
+	{"featcache_dataset_misses_total", true},
+	{"featcache_eb_misses_total", true},
+	{"featcache_dataset_hits_total", false},
+	{"featcache_eb_hits_total", false},
+	{"featcache_dedup_waits_total", false},
+	{"featcache_failures_total", false},
+}
+
+// cmdMetricsCheck fetches GET /metrics from a running server and fails
+// unless every expected series is present (and populated where traffic
+// must have populated it) — the CI gate that keeps the observability
+// surface from silently regressing.
+func cmdMetricsCheck(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("metricscheck", flag.ExitOnError)
+	url := fs.String("url", "http://localhost:8080", "server base URL")
+	timeout := fs.Duration("timeout", 10*time.Second, "fetch deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(ctx, *timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, *url+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("fetch /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics returned %d", resp.StatusCode)
+	}
+	var doc metricsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return fmt.Errorf("/metrics is not valid JSON: %w", err)
+	}
+
+	var problems []string
+	for _, h := range requiredHistograms {
+		s, ok := doc.Histograms[h.name]
+		switch {
+		case !ok:
+			problems = append(problems, "missing histogram "+h.name)
+		case h.nonzero && s.Count == 0:
+			problems = append(problems, "empty histogram "+h.name)
+		case s.Count > 0 && (s.P50 < 0 || s.P90 < s.P50 || s.P99 < s.P90):
+			problems = append(problems, fmt.Sprintf("non-monotone quantiles on %s: p50=%g p90=%g p99=%g",
+				h.name, s.P50, s.P90, s.P99))
+		}
+	}
+	for _, g := range requiredGauges {
+		if _, ok := doc.Gauges[g]; !ok {
+			problems = append(problems, "missing gauge "+g)
+		}
+	}
+	for _, c := range requiredCounters {
+		v, ok := doc.Counters[c.name]
+		if !ok {
+			problems = append(problems, "missing counter "+c.name)
+		} else if c.nonzero && v == 0 {
+			problems = append(problems, "zero counter "+c.name)
+		}
+	}
+	if hr := doc.Derived.FeatcacheHitRate; hr < 0 || hr > 1 {
+		problems = append(problems, fmt.Sprintf("featcache_hit_rate %g outside [0,1]", hr))
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "metricscheck: %s\n", p)
+		}
+		return fmt.Errorf("%d metric series problem(s)", len(problems))
+	}
+	fmt.Printf("metricscheck: ok — %d counters, %d gauges, %d histograms; estimate p99 %.6fs; featcache hit rate %.3f\n",
+		len(doc.Counters), len(doc.Gauges), len(doc.Histograms),
+		doc.Histograms["http_request_seconds_estimate"].P99, doc.Derived.FeatcacheHitRate)
+	return nil
+}
+
+// writeObsSummary writes the observability summary bench.sh publishes as
+// BENCH_obs.json: per-predictor latency quantiles off the process-wide
+// registry, the shared-cache hit rate, and the full registry snapshot.
+func writeObsSummary(path string, st crest.BatchStats) error {
+	snap := obs.Default().Snapshot()
+	type quantiles struct {
+		Count uint64  `json:"count"`
+		P50   float64 `json:"p50_seconds"`
+		P99   float64 `json:"p99_seconds"`
+	}
+	preds := make(map[string]quantiles)
+	for short, series := range map[string]string{
+		"sd":          "predictor_sd_seconds",
+		"sc":          "predictor_sc_seconds",
+		"coding_gain": "predictor_coding_gain_seconds",
+		"cov_svd":     "predictor_cov_svd_seconds",
+		"distortion":  "predictor_distortion_seconds",
+	} {
+		h := snap.Histograms[series]
+		preds[short] = quantiles{Count: h.Count, P50: h.P50, P99: h.P99}
+	}
+	doc, err := json.MarshalIndent(struct {
+		Predictors   map[string]quantiles `json:"predictors"`
+		CacheHitRate float64              `json:"cache_hit_rate"`
+		Registry     obs.Snapshot         `json:"registry"`
+	}{preds, st.Cache.HitRate(), snap}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(doc, '\n'), 0o644)
+}

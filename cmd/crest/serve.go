@@ -11,6 +11,7 @@ import (
 	"time"
 
 	crest "github.com/crestlab/crest"
+	"github.com/crestlab/crest/internal/obs"
 	"github.com/crestlab/crest/internal/server"
 )
 
@@ -32,6 +33,8 @@ func cmdServe(ctx context.Context, args []string) error {
 	reqTimeout := fs.Duration("timeout", 30*time.Second, "per-request deadline (negative: none)")
 	retryAfter := fs.Duration("retry-after", time.Second, "backoff hint advertised on 503 responses")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for inflight requests at shutdown")
+	pprof := fs.Bool("pprof", false, "mount the Go profiler under /debug/pprof/")
+	slowReq := fs.Duration("slow-request", time.Second, "log requests slower than this with their request ID (negative: never)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +63,9 @@ func cmdServe(ctx context.Context, args []string) error {
 		MaxQueue:       *maxQueue,
 		RequestTimeout: *reqTimeout,
 		RetryAfter:     *retryAfter,
+		EnablePprof:    *pprof,
+		SlowRequest:    *slowReq,
+		Logger:         obs.NewLogger(os.Stderr),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "crest serve: "+format+"\n", args...)
 		},

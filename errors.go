@@ -54,6 +54,10 @@ var (
 	// honoring any Retry-After hint — and retry.
 	ErrOverloaded = crerr.ErrOverloaded
 
+	// ErrBodyTooLarge reports an HTTP request body rejected by the
+	// serving layer's size cap (wire kind "body_too_large", status 413).
+	ErrBodyTooLarge = crerr.ErrBodyTooLarge
+
 	// ErrDraining reports work refused because the serving process is
 	// shutting down and no longer admits new requests.
 	ErrDraining = crerr.ErrDraining

@@ -23,6 +23,7 @@ import (
 	"github.com/crestlab/crest/internal/crerr"
 	"github.com/crestlab/crest/internal/featcache"
 	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/obs"
 	"github.com/crestlab/crest/internal/parallel"
 )
 
@@ -46,16 +47,23 @@ type Engine struct {
 	timeout time.Duration
 
 	// Counters, all updated atomically.
-	requests     uint64
-	batches      uint64
-	failures     uint64
-	panics       uint64
-	canceled     uint64
-	inFlight     int64
-	peakInFlight int64
-	featureNanos int64
+	requests      uint64
+	batches       uint64
+	failures      uint64
+	panics        uint64
+	canceled      uint64
+	inFlight      int64
+	peakInFlight  int64
+	featureNanos  int64
 	estimateNanos int64
-	wallNanos    int64
+	wallNanos     int64
+
+	// Per-stage latency histograms on the observability registry:
+	// feature extraction (cache lookup + predictor computation on miss),
+	// mixture-model inference, and the whole per-request path.
+	hFeature *obs.Histogram
+	hEstim   *obs.Histogram
+	hRequest *obs.Histogram
 }
 
 // New returns an engine over a trained estimator and a shared feature
@@ -66,7 +74,21 @@ func New(est *core.Estimator, cache *featcache.Cache, workers int) *Engine {
 	if cache == nil {
 		cache = featcache.New(est.PredictorConfig())
 	}
-	return &Engine{est: est, cache: cache, workers: parallel.Workers(workers)}
+	e := &Engine{est: est, cache: cache, workers: parallel.Workers(workers)}
+	e.SetObs(nil)
+	return e
+}
+
+// SetObs re-points the engine's stage-latency histograms at registry r
+// (nil selects the process default). Call before the engine is shared
+// across goroutines; the Stats() counters are unaffected.
+func (e *Engine) SetObs(r *obs.Registry) {
+	if r == nil {
+		r = obs.Default()
+	}
+	e.hFeature = r.Histogram("batch_feature_seconds", nil)
+	e.hEstim = r.Histogram("batch_estimate_seconds", nil)
+	e.hRequest = r.Histogram("batch_request_seconds", nil)
 }
 
 // Workers returns the resolved worker-pool bound.
@@ -134,14 +156,19 @@ func (e *Engine) EstimateAllContext(ctx context.Context, reqs []Request) ([]core
 
 		t0 := time.Now()
 		feats, err := e.cache.Features(reqs[i].Buf, reqs[i].Eps)
-		atomic.AddInt64(&e.featureNanos, int64(time.Since(t0)))
+		featDur := time.Since(t0)
+		atomic.AddInt64(&e.featureNanos, int64(featDur))
+		e.hFeature.Observe(featDur.Seconds())
 		if err != nil {
 			errs[i] = err
 			return
 		}
 		t1 := time.Now()
 		est, err := e.est.Estimate(feats)
-		atomic.AddInt64(&e.estimateNanos, int64(time.Since(t1)))
+		estDur := time.Since(t1)
+		atomic.AddInt64(&e.estimateNanos, int64(estDur))
+		e.hEstim.Observe(estDur.Seconds())
+		e.hRequest.Observe(time.Since(t0).Seconds())
 		if err != nil {
 			errs[i] = err
 			return
@@ -152,21 +179,33 @@ func (e *Engine) EstimateAllContext(ctx context.Context, reqs []Request) ([]core
 	atomic.AddUint64(&e.batches, 1)
 	atomic.AddInt64(&e.wallNanos, int64(time.Since(start)))
 
-	// Decorate failures with the request identity before aggregating.
+	// Decorate failures with the request identity — and the tracing
+	// request ID when the context carries one, so a batch error can be
+	// joined against the server's slow-request log and the client's
+	// X-Request-ID header.
+	rid := obs.RequestID(ctx)
 	nFailed := 0
 	for i, err := range errs {
 		if err != nil {
 			nFailed++
 			b := reqs[i].Buf
 			if b != nil {
-				errs[i] = fmt.Errorf("batch: %s/%s step %d @ eps %g: %w",
-					b.Dataset, b.Field, b.Step, reqs[i].Eps, err)
+				if rid != "" {
+					errs[i] = fmt.Errorf("batch: rid %s: %s/%s step %d @ eps %g: %w",
+						rid, b.Dataset, b.Field, b.Step, reqs[i].Eps, err)
+				} else {
+					errs[i] = fmt.Errorf("batch: %s/%s step %d @ eps %g: %w",
+						b.Dataset, b.Field, b.Step, reqs[i].Eps, err)
+				}
 			}
 		}
 	}
 	atomic.AddUint64(&e.failures, uint64(nFailed))
 	if cerr != nil {
 		atomic.AddUint64(&e.canceled, 1)
+		if rid != "" {
+			return out, fmt.Errorf("batch: rid %s: %w", rid, crerr.Canceled(cerr))
+		}
 		return out, crerr.Canceled(cerr)
 	}
 	return out, crerr.Aggregate(errs)

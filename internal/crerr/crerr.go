@@ -67,6 +67,13 @@ var (
 	// down: readiness has been withdrawn and no new work is admitted
 	// while inflight requests finish.
 	ErrDraining = errors.New("crest: draining")
+
+	// ErrBodyTooLarge reports a request body rejected by the serving
+	// layer's size cap before it was fully read. Distinct from
+	// ErrInvalidBuffer so the HTTP boundary can answer 413 (the client
+	// must shrink the payload) rather than 400 (the payload is
+	// malformed).
+	ErrBodyTooLarge = errors.New("crest: request body too large")
 )
 
 // Canceled wraps a context error (or nil, treated as context.Canceled) so

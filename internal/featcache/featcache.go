@@ -32,6 +32,7 @@ import (
 
 	"github.com/crestlab/crest/internal/crerr"
 	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/obs"
 	"github.com/crestlab/crest/internal/parallel"
 	"github.com/crestlab/crest/internal/predictors"
 )
@@ -69,7 +70,31 @@ type Cache struct {
 	// Counters are updated with atomics so Stats never takes shard locks.
 	dsetHits, dsetMisses uint64
 	ebHits, ebMisses     uint64
+	dedupWaits           uint64
 	failures             uint64
+
+	// Registry mirrors of the counters above, resolved once at
+	// construction so the hot path never takes the registry mutex.
+	reg obsCounters
+}
+
+// obsCounters are the cache's handles into the observability registry.
+type obsCounters struct {
+	dsetHits, dsetMisses *obs.Counter
+	ebHits, ebMisses     *obs.Counter
+	dedupWaits           *obs.Counter
+	failures             *obs.Counter
+}
+
+func newObsCounters(r *obs.Registry) obsCounters {
+	return obsCounters{
+		dsetHits:   r.Counter("featcache_dataset_hits_total"),
+		dsetMisses: r.Counter("featcache_dataset_misses_total"),
+		ebHits:     r.Counter("featcache_eb_hits_total"),
+		ebMisses:   r.Counter("featcache_eb_misses_total"),
+		dedupWaits: r.Counter("featcache_dedup_waits_total"),
+		failures:   r.Counter("featcache_failures_total"),
+	}
 }
 
 type shard struct {
@@ -112,12 +137,23 @@ func NewWithCompute(cfg predictors.Config, dset DatasetFunc, eb EBFunc) *Cache {
 	if eb == nil {
 		eb = predictors.ComputeEB
 	}
-	c := &Cache{cfg: cfg, computeDset: dset, computeEB: eb}
+	c := &Cache{cfg: cfg, computeDset: dset, computeEB: eb,
+		reg: newObsCounters(obs.Default())}
 	for i := range c.shards {
 		c.shards[i].dset = make(map[*grid.Buffer]*dsetEntry)
 		c.shards[i].eb = make(map[ebKey]*ebEntry)
 	}
 	return c
+}
+
+// SetObs re-points the cache's registry mirror at r (nil selects the
+// process default). Call before the cache is shared across goroutines;
+// the internal Stats counters are unaffected.
+func (c *Cache) SetObs(r *obs.Registry) {
+	if r == nil {
+		r = obs.Default()
+	}
+	c.reg = newObsCounters(r)
 }
 
 // Config returns the predictor configuration the cache computes with.
@@ -174,13 +210,23 @@ func (c *Cache) Dataset(buf *grid.Buffer) (predictors.DatasetFeatures, error) {
 	if ok {
 		s.mu.Unlock()
 		atomic.AddUint64(&c.dsetHits, 1)
-		<-e.done
+		c.reg.dsetHits.Inc()
+		// A hit on a still-in-flight entry is a singleflight dedup: this
+		// goroutine waits on another's computation instead of repeating it.
+		select {
+		case <-e.done:
+		default:
+			atomic.AddUint64(&c.dedupWaits, 1)
+			c.reg.dedupWaits.Inc()
+			<-e.done
+		}
 		return e.df, e.err
 	}
 	e = &dsetEntry{done: make(chan struct{})}
 	s.dset[buf] = e
 	s.mu.Unlock()
 	atomic.AddUint64(&c.dsetMisses, 1)
+	c.reg.dsetMisses.Inc()
 	func() {
 		defer func() {
 			if v := recover(); v != nil {
@@ -191,6 +237,7 @@ func (c *Cache) Dataset(buf *grid.Buffer) (predictors.DatasetFeatures, error) {
 	}()
 	if e.err != nil {
 		atomic.AddUint64(&c.failures, 1)
+		c.reg.failures.Inc()
 		// Remove the failed entry before releasing waiters so no later
 		// caller can observe (and be poisoned by) a dead singleflight
 		// slot: the failure is retryable.
@@ -216,13 +263,21 @@ func (c *Cache) Distortion(buf *grid.Buffer, eps float64) (float64, error) {
 	if ok {
 		s.mu.Unlock()
 		atomic.AddUint64(&c.ebHits, 1)
-		<-e.done
+		c.reg.ebHits.Inc()
+		select {
+		case <-e.done:
+		default:
+			atomic.AddUint64(&c.dedupWaits, 1)
+			c.reg.dedupWaits.Inc()
+			<-e.done
+		}
 		return e.d, e.err
 	}
 	e = &ebEntry{done: make(chan struct{})}
 	s.eb[k] = e
 	s.mu.Unlock()
 	atomic.AddUint64(&c.ebMisses, 1)
+	c.reg.ebMisses.Inc()
 	func() {
 		defer func() {
 			if v := recover(); v != nil {
@@ -233,6 +288,7 @@ func (c *Cache) Distortion(buf *grid.Buffer, eps float64) (float64, error) {
 	}()
 	if e.err != nil {
 		atomic.AddUint64(&c.failures, 1)
+		c.reg.failures.Inc()
 		s.mu.Lock()
 		if s.eb[k] == e {
 			delete(s.eb, k)
@@ -299,6 +355,13 @@ type Stats struct {
 	DatasetHits, DatasetMisses uint64
 	EBHits, EBMisses           uint64
 
+	// DedupWaits counts the subset of hits that landed on a
+	// still-in-flight computation and waited for it instead of
+	// recomputing — the work the singleflight admission actually saved
+	// under concurrency (a hit on a finished entry would have been a
+	// plain map lookup in any design).
+	DedupWaits uint64
+
 	// Failures counts computations that ended in an error or recovered
 	// panic. Failed keys are not retained, so over the cache's lifetime
 	// resident entries == Misses − Failures (when no computation is in
@@ -312,6 +375,15 @@ func (s Stats) Hits() uint64 { return s.DatasetHits + s.EBHits }
 // Misses is the total number of feature computations performed.
 func (s Stats) Misses() uint64 { return s.DatasetMisses + s.EBMisses }
 
+// HitRate is hits / (hits + misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits() + s.Misses()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits()) / float64(total)
+}
+
 // Stats returns a snapshot of the hit/miss counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
@@ -319,6 +391,7 @@ func (c *Cache) Stats() Stats {
 		DatasetMisses: atomic.LoadUint64(&c.dsetMisses),
 		EBHits:        atomic.LoadUint64(&c.ebHits),
 		EBMisses:      atomic.LoadUint64(&c.ebMisses),
+		DedupWaits:    atomic.LoadUint64(&c.dedupWaits),
 		Failures:      atomic.LoadUint64(&c.failures),
 	}
 }

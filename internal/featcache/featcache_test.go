@@ -4,11 +4,13 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
 	"github.com/crestlab/crest/internal/crerr"
 	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/obs"
 	"github.com/crestlab/crest/internal/predictors"
 )
 
@@ -191,6 +193,67 @@ func TestErrorsAreNotRetained(t *testing.T) {
 
 // TestEBBitsCanonicalization: equal bounds share an entry even across
 // distinct bit patterns (±0), and NaN collapses to one key.
+// TestDedupWaitsAndRegistryMirror: a hit that lands on a still-in-flight
+// computation counts as a singleflight dedup, and every cache counter is
+// mirrored onto the observability registry.
+func TestDedupWaitsAndRegistryMirror(t *testing.T) {
+	reg := obs.NewRegistry()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	c := NewWithCompute(serialCfg,
+		func(buf *grid.Buffer, cfg predictors.Config) (predictors.DatasetFeatures, error) {
+			once.Do(func() { close(started) })
+			<-gate // hold the singleflight slot open
+			return predictors.ComputeDataset(buf, cfg)
+		}, nil)
+	c.SetObs(reg)
+	buf := randomBuffer(t, 16, 16, 7)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := c.Dataset(buf); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-started // first requester is inside the compute, slot in flight
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := c.Dataset(buf); err != nil { // must dedup-wait
+			t.Error(err)
+		}
+	}()
+	// Release the computation only after the second requester has
+	// recorded its dedup wait (the counter increments just before it
+	// blocks on the in-flight slot), so the dedup is guaranteed observed.
+	for c.Stats().DedupWaits == 0 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+
+	st := c.Stats()
+	if st.DatasetMisses != 1 || st.DatasetHits != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", st.DatasetHits, st.DatasetMisses)
+	}
+	if st.DedupWaits != 1 {
+		t.Fatalf("DedupWaits = %d, want 1", st.DedupWaits)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["featcache_dataset_hits_total"] != 1 ||
+		snap.Counters["featcache_dataset_misses_total"] != 1 ||
+		snap.Counters["featcache_dedup_waits_total"] != 1 {
+		t.Fatalf("registry mirror out of sync: %+v", snap.Counters)
+	}
+	if hr := st.HitRate(); hr != 0.5 {
+		t.Fatalf("HitRate = %g, want 0.5", hr)
+	}
+}
+
 func TestEBBitsCanonicalization(t *testing.T) {
 	if EBBits(0.0) != EBBits(math.Copysign(0, -1)) {
 		t.Error("+0 and -0 derive different keys")

@@ -1,0 +1,75 @@
+// Request IDs and structured logging: the tracing half of the
+// observability layer. A request ID is minted (or adopted from the
+// X-Request-ID header) at the HTTP boundary, travels down through
+// contexts into the batch engine's per-request errors, and surfaces in
+// slow-request log lines — so one identifier joins a client's report, the
+// server log, and the error a batch returned.
+package obs
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// ridPrefix is a per-process random prefix so IDs from different
+// processes (or restarts) never collide; ridSeq orders IDs within the
+// process.
+var (
+	ridPrefix = func() string {
+		var b [4]byte
+		if _, err := crand.Read(b[:]); err != nil {
+			// Entropy exhaustion is not a reason to fail request
+			// handling; fall back to a fixed prefix and rely on the
+			// sequence number.
+			return "00000000"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	ridSeq atomic.Uint64
+)
+
+// NewRequestID mints a process-unique request ID: an 8-hex-digit process
+// prefix plus a monotonic sequence number (so IDs sort in arrival order
+// within one process).
+func NewRequestID() string {
+	n := ridSeq.Add(1)
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	copy(b[:8], ridPrefix)
+	for i := 15; i >= 8; i-- {
+		b[i] = digits[n&0xf]
+		n >>= 4
+	}
+	return string(b[:])
+}
+
+type ridKey struct{}
+
+// WithRequestID attaches a request ID to ctx. An empty id returns ctx
+// unchanged.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ridKey{}, id)
+}
+
+// RequestID extracts the request ID attached by WithRequestID, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}
+
+// NewLogger returns a slog text logger writing to w; a nil w yields a
+// logger that discards everything (the no-op default of the serving
+// layer's slow-request log).
+func NewLogger(w io.Writer) *slog.Logger {
+	if w == nil {
+		w = io.Discard
+	}
+	return slog.New(slog.NewTextHandler(w, nil))
+}

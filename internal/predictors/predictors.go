@@ -26,12 +26,30 @@ package predictors
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/crestlab/crest/internal/crerr"
 	"github.com/crestlab/crest/internal/grid"
 	"github.com/crestlab/crest/internal/linalg"
+	"github.com/crestlab/crest/internal/obs"
 	"github.com/crestlab/crest/internal/parallel"
 	"github.com/crestlab/crest/internal/stats"
+)
+
+// Per-predictor latency histograms, recorded into the process-wide
+// registry on every successful computation. The four dataset predictors
+// share fused passes (§IV-C), so shared cost is split by a fixed,
+// documented attribution: the block-vectorization setup is divided
+// equally across all four; the pairwise pass and its reduction are split
+// between SD and SC; the covariance accumulation and eigendecomposition
+// are split between CodingGain and CovSVDTrunc, each of which then adds
+// its own (cheap) finishing stage. See DESIGN.md "Observability".
+var (
+	obsSD   = obs.Default().Histogram("predictor_sd_seconds", nil)
+	obsSC   = obs.Default().Histogram("predictor_sc_seconds", nil)
+	obsCG   = obs.Default().Histogram("predictor_coding_gain_seconds", nil)
+	obsSVD  = obs.Default().Histogram("predictor_cov_svd_seconds", nil)
+	obsDist = obs.Default().Histogram("predictor_distortion_seconds", nil)
 )
 
 // NumFeatures is the number of covariates of the prediction model (§IV-B).
@@ -140,17 +158,20 @@ func ComputeDataset(buf *grid.Buffer, cfg Config) (DatasetFeatures, error) {
 	if err := buf.Validate(grid.DefaultValidation); err != nil {
 		return DatasetFeatures{}, fmt.Errorf("predictors: %w", err)
 	}
+	tSetup := time.Now()
 	t, err := grid.NewBlocking(buf, cfg.K)
 	if err != nil {
 		return DatasetFeatures{}, fmt.Errorf("predictors: %w", err)
 	}
 	bs := newBlockStats(buf, t)
+	setup := time.Since(tSetup).Seconds()
 	b := t.NumBlocks()
 	k2 := cfg.K * cfg.K
 
 	// Pairwise pass: per-block inter weights and spatial correlations.
 	// Each row of the pair matrix is independent, so rows are striped
 	// across workers with no shared mutable state.
+	tPair := time.Now()
 	wInter := make([]float64, b)  // Σ Ds·De / Σ Ds
 	scBlock := make([]float64, b) // Σ Ds·|ρ| / Σ Ds
 	parallel.ForEach(b, cfg.Workers, func(i int) {
@@ -191,6 +212,8 @@ func ComputeDataset(buf *grid.Buffer, cfg Config) (DatasetFeatures, error) {
 		}
 	})
 
+	pair := time.Since(tPair).Seconds()
+
 	// Spatial Diversity: SD = −Σ_b w^intra_b w^inter_b p_b log2 p_b with
 	// p_b = 1/B, and Spatial Correlation: SC = Σ SC_b w^intra / Σ w^intra.
 	var sdAcc, scNum, scDen parallel.Float64
@@ -208,6 +231,7 @@ func ComputeDataset(buf *grid.Buffer, cfg Config) (DatasetFeatures, error) {
 
 	// Block second-moment matrix Σ = (1/B) Σ_b X^b (X^b)ᵀ, accumulated
 	// under a single mutex per the paper's profiling finding.
+	tCov := time.Now()
 	acc := parallel.NewVecAccumulator(k2 * (k2 + 1) / 2)
 	parallel.ForEach(b, cfg.Workers, func(i int) {
 		acc.AddOuterLower(bs.vecs[i], 1/float64(b))
@@ -223,9 +247,22 @@ func ComputeDataset(buf *grid.Buffer, cfg Config) (DatasetFeatures, error) {
 		}
 	}
 	eig := linalg.SymEigenValues(sigma)
+	covEig := time.Since(tCov).Seconds()
 
+	tCG := time.Now()
 	cg := codingGain(sigma, eig)
+	cgOwn := time.Since(tCG).Seconds()
+	tTrunc := time.Now()
 	trunc, profile := covSVDTrunc(eig)
+	truncOwn := time.Since(tTrunc).Seconds()
+
+	// Record per-predictor cost under the documented fused-pass
+	// attribution (see the histogram declarations above).
+	share := setup / 4
+	obsSD.Observe(share + pair/2)
+	obsSC.Observe(share + pair/2)
+	obsCG.Observe(share + covEig/2 + cgOwn)
+	obsSVD.Observe(share + covEig/2 + truncOwn)
 
 	return DatasetFeatures{
 		SD:              sd,
@@ -319,8 +356,10 @@ func ComputeEB(buf *grid.Buffer, eps float64, cfg Config) (float64, error) {
 	if bins < 256 {
 		bins = 1024 // buffer-level estimation supports a finer histogram
 	}
+	t0 := time.Now()
 	h := stats.HistogramEntropy(buf.Data, bins)
 	hq := stats.QuantizedEntropy(buf.Data, eps)
+	obsDist.Observe(time.Since(t0).Seconds())
 	return 2*h - 2*hq - math.Log2(12), nil
 }
 

@@ -127,6 +127,12 @@ func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) erro
 			u := 2*rng.Float64() - 1
 			wait = time.Duration(float64(wait) * (1 + p.Jitter*u))
 		}
+		// Re-cap after jitter: upward jitter on an already-capped delay
+		// would otherwise exceed MaxDelay by up to the jitter fraction,
+		// violating the "MaxDelay caps every delay, hint or not" contract.
+		if wait > p.MaxDelay {
+			wait = p.MaxDelay
+		}
 		if err := p.Sleep(ctx, wait); err != nil {
 			return crerr.Canceled(err)
 		}

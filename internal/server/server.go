@@ -28,6 +28,15 @@
 //	GET  /healthz      process liveness (always 200 while serving)
 //	GET  /readyz       admission readiness (503 while draining)
 //	GET  /statsz       server + engine + feature-cache counters
+//	GET  /metrics      observability registry snapshot (JSON): counters,
+//	                   gauges, per-endpoint latency histograms with
+//	                   p50/p90/p99, per-predictor timing, cache hit rate
+//	GET  /debug/pprof  Go profiling endpoints (Config.EnablePprof only)
+//
+// Tracing: every request gets an ID — adopted from the X-Request-ID
+// header when the client sent one, minted otherwise — echoed on the
+// response, attached to the request context (so batch-engine errors
+// carry it), and logged on slow requests.
 package server
 
 import (
@@ -35,7 +44,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -44,6 +56,7 @@ import (
 	"github.com/crestlab/crest/internal/batch"
 	"github.com/crestlab/crest/internal/crerr"
 	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/obs"
 )
 
 // Config tunes the serving boundary. Engine is required; everything else
@@ -78,6 +91,22 @@ type Config struct {
 
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
+
+	// Obs is the metrics registry the server records into and exports at
+	// GET /metrics (default: the process-wide obs.Default()). Tests pass
+	// their own registry for isolation.
+	Obs *obs.Registry
+
+	// SlowRequest is the duration beyond which a completed request is
+	// logged with its request ID (default 1s; negative disables).
+	SlowRequest time.Duration
+
+	// Logger receives structured slow-request and drain log lines; nil
+	// discards them.
+	Logger *slog.Logger
+
+	// EnablePprof mounts the Go profiler under GET /debug/pprof/.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +131,15 @@ func (c Config) withDefaults() Config {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	if c.Obs == nil {
+		c.Obs = obs.Default()
+	}
+	if c.SlowRequest == 0 {
+		c.SlowRequest = time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return c
 }
 
@@ -122,14 +160,86 @@ type Server struct {
 
 	ready atomic.Bool
 
-	// Counters.
+	// Counters. The atomics are the per-instance source of truth for
+	// Stats(); each is mirrored onto the observability registry, which
+	// may be shared process-wide. Client-caused failures (4xx) and
+	// server-caused failures (5xx) are counted separately so malformed
+	// input load cannot masquerade as a server failure rate; the wire
+	// `failed` field stays their sum for compatibility.
 	accepted      atomic.Uint64
 	served        atomic.Uint64
-	failed        atomic.Uint64
+	clientErrors  atomic.Uint64
+	serverErrors  atomic.Uint64
 	shed          atomic.Uint64
 	drainRejected atomic.Uint64
 	timeouts      atomic.Uint64
 	panics        atomic.Uint64
+
+	// Registry handles, resolved once at construction.
+	m serverMetrics
+}
+
+// serverMetrics are the server's handles into the observability registry:
+// mirrored counters, occupancy gauges, and per-endpoint latency
+// histograms.
+type serverMetrics struct {
+	accepted      *obs.Counter
+	served        *obs.Counter
+	clientErrors  *obs.Counter
+	serverErrors  *obs.Counter
+	shed          *obs.Counter
+	drainRejected *obs.Counter
+	timeouts      *obs.Counter
+	panics        *obs.Counter
+
+	queueDepth *obs.Gauge
+	inflight   *obs.Gauge
+
+	latency map[string]*obs.Histogram // by endpoint label
+}
+
+// endpointLabels are the route labels carrying their own latency series;
+// anything else records under "other".
+var endpointLabels = []string{"estimate", "batch", "healthz", "readyz", "statsz", "metrics", "other"}
+
+func newServerMetrics(r *obs.Registry) serverMetrics {
+	m := serverMetrics{
+		accepted:      r.Counter("server_accepted_total"),
+		served:        r.Counter("server_served_total"),
+		clientErrors:  r.Counter("server_client_errors_total"),
+		serverErrors:  r.Counter("server_server_errors_total"),
+		shed:          r.Counter("server_shed_total"),
+		drainRejected: r.Counter("server_drain_rejected_total"),
+		timeouts:      r.Counter("server_timeouts_total"),
+		panics:        r.Counter("server_panics_total"),
+		queueDepth:    r.Gauge("server_queue_depth"),
+		inflight:      r.Gauge("server_inflight"),
+		latency:       make(map[string]*obs.Histogram, len(endpointLabels)),
+	}
+	for _, l := range endpointLabels {
+		m.latency[l] = r.Histogram("http_request_seconds_"+l, nil)
+	}
+	return m
+}
+
+// endpointLabel maps a request path to its latency-series label.
+func endpointLabel(path string) string {
+	switch path {
+	case "/v1/estimate":
+		return "estimate"
+	case "/v1/batch":
+		return "batch"
+	case "/healthz":
+		return "healthz"
+	case "/readyz":
+		return "readyz"
+	case "/statsz":
+		return "statsz"
+	case "/metrics":
+		return "metrics"
+	default:
+		return "other"
+	}
 }
 
 // New builds a server over an engine.
@@ -144,6 +254,7 @@ func New(cfg Config) (*Server, error) {
 		inflight: make(chan struct{}, cfg.MaxInflight),
 		drainCh:  make(chan struct{}),
 		idleCh:   make(chan struct{}),
+		m:        newServerMetrics(cfg.Obs),
 	}
 	s.ready.Store(true)
 	return s, nil
@@ -218,9 +329,13 @@ func (s *Server) endRequest() {
 // the error matches crerr.ErrOverloaded (queue full), crerr.ErrDraining
 // (shutdown began while queued) or crerr.ErrCanceled (caller gave up).
 func (s *Server) admit(ctx context.Context) (func(), error) {
-	release := func() { <-s.inflight }
+	release := func() {
+		<-s.inflight
+		s.m.inflight.Add(-1)
+	}
 	select {
 	case s.inflight <- struct{}{}:
+		s.m.inflight.Add(1)
 		return release, nil
 	default:
 	}
@@ -229,9 +344,14 @@ func (s *Server) admit(ctx context.Context) (func(), error) {
 		return nil, fmt.Errorf("%w: %d inflight, queue of %d full",
 			crerr.ErrOverloaded, s.cfg.MaxInflight, s.cfg.MaxQueue)
 	}
-	defer s.queued.Add(-1)
+	s.m.queueDepth.Add(1)
+	defer func() {
+		s.queued.Add(-1)
+		s.m.queueDepth.Add(-1)
+	}()
 	select {
 	case s.inflight <- struct{}{}:
+		s.m.inflight.Add(1)
 		return release, nil
 	case <-s.drainCh:
 		return nil, crerr.ErrDraining
@@ -240,8 +360,9 @@ func (s *Server) admit(ctx context.Context) (func(), error) {
 	}
 }
 
-// Handler returns the server's route tree wrapped in panic recovery and
-// the configured middleware.
+// Handler returns the server's route tree wrapped, outermost first, in
+// panic recovery, the instrumentation layer (request IDs, per-endpoint
+// latency, slow-request log) and the configured middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
@@ -249,11 +370,63 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	var h http.Handler = mux
 	if s.cfg.Middleware != nil {
 		h = s.cfg.Middleware(h)
 	}
-	return s.recoverPanics(h)
+	return s.recoverPanics(s.instrument(h))
+}
+
+// statusRecorder captures the response status for classification and
+// logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument is the tracing and latency layer: it adopts or mints the
+// request ID, threads it through the context (the batch engine stamps it
+// into per-request errors) and the X-Request-ID response header, records
+// the request on its endpoint's latency histogram, and logs requests
+// slower than Config.SlowRequest with their ID so a client report can be
+// joined against the server log.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" {
+			rid = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", rid)
+		r = r.WithContext(obs.WithRequestID(r.Context(), rid))
+
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		dur := time.Since(start)
+
+		s.m.latency[endpointLabel(r.URL.Path)].Observe(dur.Seconds())
+		if s.cfg.SlowRequest > 0 && dur >= s.cfg.SlowRequest {
+			s.cfg.Logger.Warn("slow request",
+				"rid", rid,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", rec.status,
+				"duration", dur.String())
+		}
+	})
 }
 
 // recoverPanics is the outermost layer: any panic below it — handler bug,
@@ -264,6 +437,7 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 		defer func() {
 			if v := recover(); v != nil {
 				s.panics.Add(1)
+				s.m.panics.Inc()
 				err := crerr.Recovered(v, crerr.ErrInvalidBuffer)
 				s.cfg.Logf("server: panic on %s %s: %v", r.Method, r.URL.Path, v)
 				s.writeError(w, http.StatusInternalServerError, "panic", err)
@@ -358,6 +532,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.served.Add(1)
+		s.m.served.Inc()
 		s.writeJSON(w, http.StatusOK, EstimateResponse{CR: ests[0].CR, Lo: ests[0].Lo, Hi: ests[0].Hi})
 	})
 }
@@ -418,18 +593,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			e := ests[vi]
 			out.Results[i] = BatchItem{Result: &EstimateResponse{CR: e.CR, Lo: e.Lo, Hi: e.Hi}}
 		}
-		nFailed := 0
 		for i, berr := range buildErrs {
 			if berr != nil {
-				nFailed++
-				kind, _ := classify(berr)
+				kind, status := classify(berr)
+				if status >= 500 {
+					s.serverErrors.Add(1)
+					s.m.serverErrors.Inc()
+				} else {
+					s.clientErrors.Add(1)
+					s.m.clientErrors.Inc()
+				}
 				out.Results[i] = BatchItem{Error: &WireError{Kind: kind, Message: berr.Error()}}
 			}
 		}
-		if nFailed > 0 {
-			s.failed.Add(uint64(nFailed))
-		}
 		s.served.Add(1)
+		s.m.served.Inc()
 		s.writeJSON(w, http.StatusOK, out)
 	})
 }
@@ -439,6 +617,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) withAdmission(w http.ResponseWriter, r *http.Request, fn func(ctx context.Context)) {
 	if !s.ready.Load() || !s.beginRequest() {
 		s.drainRejected.Add(1)
+		s.m.drainRejected.Inc()
 		s.writeShed(w, crerr.ErrDraining)
 		return
 	}
@@ -448,14 +627,17 @@ func (s *Server) withAdmission(w http.ResponseWriter, r *http.Request, fn func(c
 		switch {
 		case errors.Is(err, crerr.ErrOverloaded):
 			s.shed.Add(1)
+			s.m.shed.Inc()
 		case errors.Is(err, crerr.ErrDraining):
 			s.drainRejected.Add(1)
+			s.m.drainRejected.Inc()
 		}
 		s.writeShed(w, err)
 		return
 	}
 	defer release()
 	s.accepted.Add(1)
+	s.m.accepted.Inc()
 
 	ctx := r.Context()
 	if s.cfg.RequestTimeout > 0 {
@@ -490,16 +672,44 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, StatsPayload{Server: s.Stats(), Engine: s.engine.Stats()})
 }
 
+// MetricsPayload is the GET /metrics body: the full registry snapshot
+// plus derived convenience figures scripts would otherwise recompute.
+type MetricsPayload struct {
+	obs.Snapshot
+	Derived DerivedMetrics `json:"derived"`
+}
+
+// DerivedMetrics are ratios computed from the raw series at read time.
+type DerivedMetrics struct {
+	// FeatcacheHitRate is hits / (hits + misses) of the engine's shared
+	// feature cache, 0 before any lookup.
+	FeatcacheHitRate float64 `json:"featcache_hit_rate"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, MetricsPayload{
+		Snapshot: s.cfg.Obs.Snapshot(),
+		Derived: DerivedMetrics{
+			FeatcacheHitRate: s.engine.Stats().Cache.HitRate(),
+		},
+	})
+}
+
 // Stats is a point-in-time snapshot of the serving-layer counters.
 type Stats struct {
 	// Accepted counts requests admitted past the semaphore; Served the
-	// 2xx completions; Failed per-request estimation/validation
-	// failures; Shed 503s from a full queue; DrainRejected 503s during
-	// drain or unreadiness; Timeouts 504s from expired deadlines;
-	// RecoveredPanics handler panics converted to 500s.
+	// 2xx completions; ClientErrors per-request failures the client
+	// caused (4xx: malformed body, invalid buffer, oversized payload);
+	// ServerErrors failures the server caused (5xx: degenerate model,
+	// internal errors) plus 504 timeouts; Failed their sum, kept for
+	// wire compatibility; Shed 503s from a full queue; DrainRejected
+	// 503s during drain or unreadiness; Timeouts 504s from expired
+	// deadlines; RecoveredPanics handler panics converted to 500s.
 	Accepted        uint64 `json:"accepted"`
 	Served          uint64 `json:"served"`
 	Failed          uint64 `json:"failed"`
+	ClientErrors    uint64 `json:"client_errors"`
+	ServerErrors    uint64 `json:"server_errors"`
 	Shed            uint64 `json:"shed"`
 	DrainRejected   uint64 `json:"drain_rejected"`
 	Timeouts        uint64 `json:"timeouts"`
@@ -521,10 +731,13 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
+	ce, se := s.clientErrors.Load(), s.serverErrors.Load()
 	return Stats{
 		Accepted:        s.accepted.Load(),
 		Served:          s.served.Load(),
-		Failed:          s.failed.Load(),
+		Failed:          ce + se,
+		ClientErrors:    ce,
+		ServerErrors:    se,
 		Shed:            s.shed.Load(),
 		DrainRejected:   s.drainRejected.Load(),
 		Timeouts:        s.timeouts.Load(),
@@ -553,6 +766,8 @@ func classify(err error) (string, int) {
 		return "deadline_exceeded", http.StatusGatewayTimeout
 	case errors.Is(err, crerr.ErrCanceled):
 		return "canceled", http.StatusServiceUnavailable
+	case errors.Is(err, crerr.ErrBodyTooLarge):
+		return "body_too_large", http.StatusRequestEntityTooLarge
 	case errors.Is(err, crerr.ErrNonFiniteData):
 		return "non_finite_data", http.StatusBadRequest
 	case errors.Is(err, crerr.ErrInvalidBuffer):
@@ -564,24 +779,59 @@ func classify(err error) (string, int) {
 	}
 }
 
-// decodeBody decodes a JSON request body under the size cap.
+// decodeBody decodes a JSON request body under the size cap. Three
+// contract points, each with its own failure class:
+//
+//   - A body over MaxBodyBytes is ErrBodyTooLarge (413): the client must
+//     shrink the payload, not fix its syntax — so the size-cap error is
+//     never folded into the generic 400.
+//   - Unknown fields are rejected: a misspelled field would otherwise
+//     silently zero a parameter (an eps typo becoming eps=0).
+//   - Trailing data after the JSON document is rejected: a concatenated
+//     second document would otherwise be silently ignored.
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		return fmt.Errorf("%w: body: %v", crerr.ErrInvalidBuffer, err)
+		return classifyBodyError(err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		if err == nil {
+			err = errors.New("trailing data after JSON document")
+		}
+		return classifyBodyError(err)
 	}
 	return nil
 }
 
+// classifyBodyError types a body-read failure: the MaxBytesReader cap
+// maps to ErrBodyTooLarge, everything else to ErrInvalidBuffer.
+func classifyBodyError(err error) error {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return fmt.Errorf("%w: body exceeds %d bytes", crerr.ErrBodyTooLarge, mbe.Limit)
+	}
+	return fmt.Errorf("%w: body: %v", crerr.ErrInvalidBuffer, err)
+}
+
 // failRequest writes a classified error response and bumps the matching
-// counters.
+// counters: client-caused failures (4xx) and server-caused failures
+// (5xx) are tracked separately so malformed-input load does not inflate
+// the server failure rate.
 func (s *Server) failRequest(w http.ResponseWriter, err error) {
 	kind, status := classify(err)
 	if status == http.StatusGatewayTimeout {
 		s.timeouts.Add(1)
+		s.m.timeouts.Inc()
 	}
-	s.failed.Add(1)
+	if status >= 500 {
+		s.serverErrors.Add(1)
+		s.m.serverErrors.Inc()
+	} else {
+		s.clientErrors.Add(1)
+		s.m.clientErrors.Inc()
+	}
 	if status == http.StatusServiceUnavailable {
 		s.setRetryAfter(w)
 	}

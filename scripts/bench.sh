@@ -1,17 +1,21 @@
 #!/bin/sh
 # bench.sh — serving-layer benchmark: drives `crest servebench` to
 # saturation and archives the JSON report (p50/p99 latency of served
-# requests plus the shed rate) as BENCH_server.json.
+# requests plus the shed rate) as BENCH_server.json, then runs a batch
+# workload and archives its observability summary (per-predictor p50/p99
+# latency plus the feature-cache hit rate) as BENCH_obs.json.
 #
 # Tune the operating point via env vars:
 #
 #   BENCH_N=2000 BENCH_CONCURRENCY=64 ./scripts/bench.sh
 #
-# The report is self-describing; see serveBenchReport in
-# cmd/crest/servebench.go for the schema.
+# The reports are self-describing; see serveBenchReport in
+# cmd/crest/servebench.go and writeObsSummary in
+# cmd/crest/metricscheck.go for the schemas.
 set -eu
 
 OUT="${BENCH_OUT:-BENCH_server.json}"
+OBS_OUT="${BENCH_OBS_OUT:-BENCH_obs.json}"
 N="${BENCH_N:-800}"
 CONCURRENCY="${BENCH_CONCURRENCY:-32}"
 MAX_INFLIGHT="${BENCH_MAX_INFLIGHT:-4}"
@@ -27,3 +31,12 @@ go run ./cmd/crest servebench \
     -out "$OUT"
 
 echo "bench: wrote $OUT"
+
+# Observability phase: a repeated batch run warms the feature cache and
+# populates the per-predictor latency histograms on the registry.
+go run ./cmd/crest batch \
+    -dataset hurricane -nz 12 -ny 64 -nx 64 \
+    -eps 1e-2,1e-3 -repeat 2 -quiet \
+    -obs-out "$OBS_OUT"
+
+echo "bench: wrote $OBS_OUT"

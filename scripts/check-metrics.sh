@@ -1,0 +1,48 @@
+#!/bin/sh
+# check-metrics.sh — end-to-end observability gate: trains a small model,
+# serves it, drives one estimate through the HTTP API, then runs
+# `crest metricscheck` against GET /metrics. Fails when the endpoint is
+# unreachable, returns malformed JSON, or is missing any expected series
+# (per-endpoint latency histograms, per-predictor timings, cache
+# counters, occupancy gauges, snapshot-load latency).
+set -eu
+
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    [ -n "$SERVE_PID" ] && wait "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$WORK/crest" ./cmd/crest
+
+"$WORK/crest" train -dataset hurricane -nz 12 -ny 64 -nx 64 -dir "$WORK/models"
+
+"$WORK/crest" serve -model-dir "$WORK/models" \
+    -addr localhost:0 -addr-file "$WORK/addr" -pprof &
+SERVE_PID=$!
+
+# Wait for the server to publish its bound address.
+i=0
+while [ ! -s "$WORK/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "check-metrics: server never published its address" >&2
+        exit 1
+    fi
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+        echo "check-metrics: server exited before listening" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+URL="http://$(cat "$WORK/addr")"
+
+# One real estimate populates the predictor, cache and endpoint series.
+"$WORK/crest" client -url "$URL" -dataset hurricane -nz 12 -ny 64 -nx 64 -step 3
+
+"$WORK/crest" metricscheck -url "$URL"
+
+echo "check-metrics: ok"

@@ -39,9 +39,11 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"time"
 
 	"github.com/crestlab/crest/internal/core"
 	"github.com/crestlab/crest/internal/crerr"
+	"github.com/crestlab/crest/internal/obs"
 	"github.com/crestlab/crest/internal/vfs"
 )
 
@@ -158,9 +160,21 @@ func Save(path string, est *core.Estimator) error {
 	return SaveFS(vfs.OS, path, est)
 }
 
+// Snapshot I/O metrics on the process-wide registry: save/load latency
+// histograms plus failure and corrupt-head-fallback counters, so a slow
+// disk or a recurring corrupt snapshot shows up at GET /metrics instead
+// of only in logs.
+var (
+	obsSave      = obs.Default().Histogram("snapshot_save_seconds", nil)
+	obsLoad      = obs.Default().Histogram("snapshot_load_seconds", nil)
+	obsLoadFails = obs.Default().Counter("snapshot_load_failures_total")
+	obsFallbacks = obs.Default().Counter("snapshot_fallbacks_total")
+)
+
 // SaveFS is Save on an explicit filesystem, the seam the chaos harness
 // injects short writes and rename failures through.
 func SaveFS(fsys vfs.FS, path string, est *core.Estimator) error {
+	t0 := time.Now()
 	data, err := Encode(est)
 	if err != nil {
 		return err
@@ -168,6 +182,7 @@ func SaveFS(fsys vfs.FS, path string, est *core.Estimator) error {
 	if err := vfs.WriteFileAtomic(fsys, path, data); err != nil {
 		return fmt.Errorf("snapshot: write %s: %w", path, err)
 	}
+	obsSave.Observe(time.Since(t0).Seconds())
 	return nil
 }
 
@@ -178,14 +193,18 @@ func Load(path string) (*core.Estimator, error) {
 
 // LoadFS is Load on an explicit filesystem.
 func LoadFS(fsys vfs.FS, path string) (*core.Estimator, error) {
+	t0 := time.Now()
 	data, err := fsys.ReadFile(path)
 	if err != nil {
+		obsLoadFails.Inc()
 		return nil, fmt.Errorf("snapshot: read %s: %w", path, err)
 	}
 	est, err := Decode(data)
 	if err != nil {
+		obsLoadFails.Inc()
 		return nil, fmt.Errorf("snapshot: %s: %w", path, err)
 	}
+	obsLoad.Observe(time.Since(t0).Seconds())
 	return est, nil
 }
 
@@ -239,6 +258,10 @@ func LoadLatestFS(fsys vfs.FS, dir string) (*core.Estimator, string, error) {
 		if err == nil {
 			return est, path, nil
 		}
+		// A failed candidate means the fallback chain advanced past a
+		// corrupt (or vanished) snapshot — worth a counter, since a
+		// recurring fallback signals a persistently bad head.
+		obsFallbacks.Inc()
 		failures = append(failures, err)
 	}
 	return nil, "", fmt.Errorf("%w: %s: every candidate failed: %w",
