@@ -65,6 +65,8 @@ func main() {
 		err = cmdClient(ctx, args)
 	case "servebench":
 		err = cmdServeBench(ctx, args)
+	case "predbench":
+		err = cmdPredBench(args)
 	case "metricscheck":
 		err = cmdMetricsCheck(ctx, args)
 	case "similarity":
@@ -103,6 +105,7 @@ commands:
   serve       serve the estimation HTTP API from a model snapshot
   client      estimate one buffer against a running server (with backoff)
   servebench  in-process serving benchmark: tail latency + shed rate
+  predbench   predictor-kernel benchmark: ComputeDataset latency + allocs
   metricscheck verify a running server's GET /metrics exposes every expected series
   similarity  print the field-similarity (Mahalanobis) matrix of a dataset
   rawfile     compress a raw little-endian float64 file

@@ -240,7 +240,13 @@ func FitMultiSplit(x [][]float64, y []float64, groups []int, fit Fitter, cfg Con
 		radii = append(radii, m.radius)
 	}
 	sort.Float64s(radii)
+	// True median: for an even number of splits the two middle radii are
+	// averaged — indexing radii[n/2] alone picks the *upper* middle
+	// element and biases the combined radius wide.
 	median := radii[len(radii)/2]
+	if n := len(radii); n%2 == 0 {
+		median = (radii[n/2-1] + radii[n/2]) / 2
+	}
 	inner := ensemblePredictor{parts: make([]Predictor, len(models))}
 	for i, m := range models {
 		inner.parts[i] = m.inner

@@ -289,3 +289,42 @@ func TestMultiSplitCoverage(t *testing.T) {
 		t.Errorf("nSplits=0: %v", err)
 	}
 }
+
+// TestMultiSplitEvenMedianAveragesMiddle: with an even number of splits
+// the combined radius must be the average of the two middle per-split
+// radii. The old radii[len/2] indexing returned the *upper* middle
+// element, biasing every even-nSplits model systematically wide.
+func TestMultiSplitEvenMedianAveragesMiddle(t *testing.T) {
+	x, y := genLinear(120, 1.0, 77)
+	cfg := Config{Seed: 9}
+
+	// Reproduce the two per-split radii with the seed schedule
+	// FitMultiSplit uses internally.
+	var radii []float64
+	for s := 0; s < 2; s++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(s)*1_000_003
+		m, err := FitGrouped(x, y, nil, linFitter, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		radii = append(radii, m.Radius())
+	}
+	sort.Float64s(radii)
+	if radii[0] == radii[1] {
+		t.Fatalf("degenerate fixture: both split radii are %g; pick another seed", radii[0])
+	}
+
+	m, err := FitMultiSplit(x, y, nil, linFitter, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (radii[0] + radii[1]) / 2
+	if m.Radius() != want {
+		t.Errorf("even-split radius = %g, want middle average %g (splits %g, %g)",
+			m.Radius(), want, radii[0], radii[1])
+	}
+	if m.Radius() == radii[1] {
+		t.Error("radius equals the upper middle element — the pre-fix bias")
+	}
+}

@@ -1,0 +1,216 @@
+package linalg
+
+// gram.go implements the cache-blocked Gram-matrix kernels behind the
+// fused predictor pass (§IV-C): the pairwise SD/SC loop consumes rows of
+// G = V·Vᵀ for the B×k² standardized block matrix V, and the block
+// second-moment matrix Σ = (1/B)·VᵀV feeds the eigendecomposition.
+//
+// Determinism contract: every output element is accumulated as a single
+// forward-order sum (index 0 → n−1) with one accumulator, exactly the
+// order of the textbook scalar loop `for x { dot += a[x]*b[x] }`. Because
+// IEEE-754 multiplication commutes exactly and the summation order is
+// fixed, every element is bit-identical to the naive per-pair loop — and
+// to its mirrored element, so symmetric reuse is bit-safe. Speed comes
+// from cache blocking and instruction-level parallelism *across*
+// independent output elements (register-blocked rows), never from
+// splitting one element's accumulation chain.
+
+// gramPanelRows is the default panel height used by Gram: the number of
+// left-hand rows processed per pass over V. At k² = 64 a panel is
+// 4·64·8 = 2 KiB of left-hand vectors, comfortably L1-resident, while the
+// 4-row register block gives four independent FMA chains per column.
+const gramPanelRows = 4
+
+// GramPanel computes rows [lo, hi) of the Gram matrix G = V·Vᵀ over the
+// row set v: out[(i−lo)·len(v) + j] = ⟨v[i], v[j]⟩ for lo ≤ i < hi and
+// 0 ≤ j < len(v). All rows of v must share one length; out must hold at
+// least (hi−lo)·len(v) elements. Each dot product is a single
+// forward-order accumulation, so the result is bit-identical to the
+// naive scalar loop regardless of how callers tile or parallelize the
+// panels.
+func GramPanel(v [][]float64, lo, hi int, out []float64) {
+	GramBlock(v, lo, hi, 0, len(v), out, len(v))
+}
+
+// GramBlock computes the rectangular Gram block
+// out[(i−lo)·stride + j] = ⟨v[i], v[j]⟩ for i in [lo, hi), j in [jlo, jhi)
+// with the given output row stride. It is the register-blocked kernel
+// under GramPanel and GramInto, exported so callers can tile a symmetric
+// fill themselves (e.g. parallelize panels of the lower triangle).
+func GramBlock(v [][]float64, lo, hi, jlo, jhi int, out []float64, stride int) {
+	n := len(v)
+	if lo < 0 || hi > n || jlo < 0 || jhi > n {
+		panic("linalg: gram panel bounds out of range")
+	}
+	if hi <= lo || jhi <= jlo {
+		return
+	}
+	k := len(v[lo])
+	if len(out) < (hi-lo-1)*stride+jhi {
+		panic("linalg: gram panel output too short")
+	}
+	for j := jlo; j < jhi; j++ {
+		if len(v[j]) != k {
+			panic("linalg: gram rows of unequal length")
+		}
+	}
+	for i := lo; i < hi; i++ {
+		if len(v[i]) != k {
+			panic("linalg: gram rows of unequal length")
+		}
+	}
+	i := lo
+	// 4-row register block: one pass over columns j streams v[j] once
+	// against four L1-resident left-hand rows, giving four independent
+	// single-chain accumulations per column.
+	for ; i+4 <= hi; i += 4 {
+		v0 := v[i][:k]
+		v1 := v[i+1][:k]
+		v2 := v[i+2][:k]
+		v3 := v[i+3][:k]
+		o0 := out[(i-lo)*stride : (i-lo)*stride+jhi]
+		o1 := out[(i-lo+1)*stride : (i-lo+1)*stride+jhi]
+		o2 := out[(i-lo+2)*stride : (i-lo+2)*stride+jhi]
+		o3 := out[(i-lo+3)*stride : (i-lo+3)*stride+jhi]
+		for j := jlo; j < jhi; j++ {
+			vj := v[j][:k]
+			var d0, d1, d2, d3 float64
+			for x := 0; x < k; x++ {
+				c := vj[x]
+				d0 += v0[x] * c
+				d1 += v1[x] * c
+				d2 += v2[x] * c
+				d3 += v3[x] * c
+			}
+			o0[j] = d0
+			o1[j] = d1
+			o2[j] = d2
+			o3[j] = d3
+		}
+	}
+	// Ragged tail: fewer than four rows left.
+	for ; i < hi; i++ {
+		vi := v[i][:k]
+		oi := out[(i-lo)*stride : (i-lo)*stride+jhi]
+		for j := jlo; j < jhi; j++ {
+			vj := v[j][:k]
+			var d float64
+			for x := 0; x < k; x++ {
+				d += vi[x] * vj[x]
+			}
+			oi[j] = d
+		}
+	}
+}
+
+// Gram returns the full symmetric Gram matrix G = V·Vᵀ of the row set v.
+// It computes only the lower triangle (in register-blocked panels) and
+// mirrors it, which is bit-safe because ⟨v[i], v[j]⟩ and ⟨v[j], v[i]⟩
+// round identically under the forward-order contract above. Intended for
+// tests, benchmarks and small row sets; large passes should stream
+// GramPanel panels instead of materializing the B×B matrix.
+func Gram(v [][]float64) *Matrix {
+	n := len(v)
+	if n == 0 {
+		panic("linalg: Gram of empty row set")
+	}
+	m := NewMatrix(n, n)
+	GramInto(v, m.Data)
+	return m
+}
+
+// GramInto is Gram with caller-provided storage: out must hold n² elements
+// for n = len(v) and receives the full symmetric matrix row-major. It lets
+// hot paths reuse a pooled buffer instead of allocating B² floats per call.
+func GramInto(v [][]float64, out []float64) {
+	n := len(v)
+	if len(out) < n*n {
+		panic("linalg: GramInto output too short")
+	}
+	for lo := 0; lo < n; lo += gramPanelRows {
+		hi := lo + gramPanelRows
+		if hi > n {
+			hi = n
+		}
+		// Rectangular block covering each panel row's lower triangle
+		// (plus the within-panel upper corner of the diagonal block,
+		// which is valid Gram output either way).
+		GramBlock(v, lo, hi, 0, hi, out[lo*n:], n)
+	}
+	MirrorLowerUpper(out, n)
+}
+
+// MirrorLowerUpper copies the strict lower triangle of the n×n row-major
+// matrix m onto the upper triangle, completing a symmetric fill. The copy
+// runs over square tiles (a blocked transpose) so the strided source
+// reads stay cache-resident at large n.
+func MirrorLowerUpper(m []float64, n int) {
+	if len(m) < n*n {
+		panic("linalg: MirrorLowerUpper matrix too short")
+	}
+	const tile = 64
+	for i0 := 0; i0 < n; i0 += tile {
+		i1 := i0 + tile
+		if i1 > n {
+			i1 = n
+		}
+		// Destination tiles right of the diagonal: rows [i0,i1),
+		// columns [j0,j1) with j0 ≥ i0, sourced from the transposed
+		// lower-triangle tile.
+		for j0 := i0; j0 < n; j0 += tile {
+			j1 := j0 + tile
+			if j1 > n {
+				j1 = n
+			}
+			for i := i0; i < i1; i++ {
+				jStart := j0
+				if jStart <= i {
+					jStart = i + 1
+				}
+				row := m[i*n : (i+1)*n]
+				for j := jStart; j < j1; j++ {
+					row[j] = m[j*n+i]
+				}
+			}
+		}
+	}
+}
+
+// SecondMomentLower accumulates the lower triangle (row-major, diagonal
+// included) of Σ_i scale·v[i]·v[i]ᵀ into out, which must have length
+// k·(k+1)/2 for row length k and is overwritten. The accumulation order
+// is exactly the serial loop the mutex-guarded VecAccumulator ran under
+// workers=1 — i ascending, each term formed as (v[i][p]·scale)·v[i][q] —
+// so the result is bit-identical to that path and independent of caller
+// parallelism (the routine is deliberately serial: profiling shows the
+// O(B·k⁴/2) accumulation is dwarfed by the O(B²·k²) pairwise pass, and
+// the old single-mutex design serialized it anyway).
+func SecondMomentLower(v [][]float64, scale float64, out []float64) {
+	if len(v) == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return
+	}
+	k := len(v[0])
+	if len(out) != k*(k+1)/2 {
+		panic("linalg: SecondMomentLower output length mismatch")
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	for _, vi := range v {
+		if len(vi) != k {
+			panic("linalg: SecondMomentLower rows of unequal length")
+		}
+		idx := 0
+		for p := 0; p < k; p++ {
+			xp := vi[p] * scale
+			row := out[idx : idx+p+1]
+			for q := 0; q <= p; q++ {
+				row[q] += xp * vi[q]
+			}
+			idx += p + 1
+		}
+	}
+}

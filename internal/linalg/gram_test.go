@@ -1,0 +1,158 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveGram is the reference per-pair scalar loop: one forward-order dot
+// product per (i, j). The tiled kernels must match it bit for bit.
+func naiveGram(v [][]float64) *Matrix {
+	n := len(v)
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var d float64
+			for x := range v[i] {
+				d += v[i][x] * v[j][x]
+			}
+			m.Set(i, j, d)
+		}
+	}
+	return m
+}
+
+func randRows(n, k int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, k)
+		for x := range v[i] {
+			// Mix magnitudes so reordered summation would actually
+			// change low-order bits and be caught.
+			v[i][x] = rng.NormFloat64() * float64(int(1)<<uint(rng.Intn(20)))
+		}
+	}
+	return v
+}
+
+// TestGramMatchesNaiveBitIdentical: the tiled symmetric kernel must be
+// bit-identical to the naive per-pair loop across shapes, including
+// ragged edges where the row count is not a multiple of the register
+// block or panel height.
+func TestGramMatchesNaiveBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		n, k int
+	}{
+		{1, 1}, {2, 3}, {3, 4}, {4, 4}, {5, 7}, {7, 16},
+		{8, 64}, {9, 64}, {16, 64}, {17, 5}, {33, 9}, {64, 64}, {65, 3},
+	} {
+		v := randRows(tc.n, tc.k, int64(1000*tc.n+tc.k))
+		want := naiveGram(v)
+		got := Gram(v)
+		for i := 0; i < tc.n; i++ {
+			for j := 0; j < tc.n; j++ {
+				if got.At(i, j) != want.At(i, j) {
+					t.Fatalf("n=%d k=%d: Gram[%d,%d] = %x, naive = %x",
+						tc.n, tc.k, i, j, got.At(i, j), want.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestGramPanelMatchesNaive: arbitrary panels [lo, hi), including
+// heights that straddle the 4-row register block raggedly, must
+// reproduce the naive rows bit for bit.
+func TestGramPanelMatchesNaive(t *testing.T) {
+	const n, k = 23, 11
+	v := randRows(n, k, 42)
+	want := naiveGram(v)
+	for _, p := range []struct{ lo, hi int }{
+		{0, n}, {0, 1}, {0, 4}, {0, 5}, {3, 10}, {19, 23}, {22, 23}, {5, 5},
+	} {
+		rows := p.hi - p.lo
+		out := make([]float64, rows*n)
+		GramPanel(v, p.lo, p.hi, out)
+		for r := 0; r < rows; r++ {
+			for j := 0; j < n; j++ {
+				if out[r*n+j] != want.At(p.lo+r, j) {
+					t.Fatalf("panel [%d,%d): out[%d,%d] = %x, naive = %x",
+						p.lo, p.hi, r, j, out[r*n+j], want.At(p.lo+r, j))
+				}
+			}
+		}
+	}
+}
+
+// TestGramSymmetryBitIdentical: the mirrored upper triangle must equal
+// the computed lower triangle exactly (the property that makes
+// symmetric reuse bit-safe).
+func TestGramSymmetryBitIdentical(t *testing.T) {
+	v := randRows(31, 13, 7)
+	g := Gram(v)
+	for i := 0; i < 31; i++ {
+		for j := 0; j < 31; j++ {
+			if g.At(i, j) != g.At(j, i) {
+				t.Fatalf("Gram[%d,%d] != Gram[%d,%d]", i, j, j, i)
+			}
+		}
+	}
+}
+
+func TestGramPanelShapePanics(t *testing.T) {
+	v := randRows(6, 4, 3)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("short output", func() {
+		GramPanel(v, 0, 6, make([]float64, 6*6-1))
+	})
+	mustPanic("bad bounds", func() {
+		GramPanel(v, 0, 7, make([]float64, 7*6))
+	})
+	ragged := randRows(6, 4, 3)
+	ragged[3] = ragged[3][:3]
+	mustPanic("unequal rows", func() {
+		GramPanel(ragged, 0, 6, make([]float64, 6*6))
+	})
+}
+
+// TestSecondMomentLowerMatchesSerialOuter: the deterministic second-
+// moment accumulation must be bit-identical to the serial outer-product
+// loop the old mutex-guarded accumulator ran under workers=1.
+func TestSecondMomentLowerMatchesSerialOuter(t *testing.T) {
+	for _, tc := range []struct {
+		n, k int
+	}{{1, 1}, {5, 4}, {40, 9}, {64, 16}} {
+		v := randRows(tc.n, tc.k, int64(77*tc.n+tc.k))
+		scale := 1 / float64(tc.n)
+		want := make([]float64, tc.k*(tc.k+1)/2)
+		for _, vi := range v {
+			idx := 0
+			for p := 0; p < tc.k; p++ {
+				xp := vi[p] * scale
+				for q := 0; q <= p; q++ {
+					want[idx] += xp * vi[q]
+					idx++
+				}
+			}
+		}
+		got := make([]float64, len(want))
+		// Pre-poison to verify the routine overwrites.
+		for i := range got {
+			got[i] = 1e300
+		}
+		SecondMomentLower(v, scale, got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d k=%d: lower[%d] = %x, serial = %x", tc.n, tc.k, i, got[i], want[i])
+			}
+		}
+	}
+}

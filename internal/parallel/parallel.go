@@ -119,9 +119,43 @@ func ForEachDynamicCtx(ctx context.Context, n, workers int, fn func(i int)) erro
 	return ctx.Err()
 }
 
+// SumOrdered computes Σ term(i) for i in [0, n) deterministically: the
+// terms are evaluated in parallel into per-index slots (each slot written
+// by exactly one worker) and then folded left to right in index order. The
+// result is therefore bit-identical to the workers=1 serial sum for every
+// worker count — floating-point reduction order never depends on goroutine
+// scheduling. This is the reduction hot paths must use instead of Float64,
+// whose CAS accumulation order follows the scheduler.
+func SumOrdered(n, workers int, term func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return SumOrderedInto(make([]float64, n), workers, term)
+}
+
+// SumOrderedInto is SumOrdered over n = len(scratch) terms with
+// caller-provided scratch storage, for callers that pool buffers to keep
+// the reduction allocation-free. The scratch contents are overwritten.
+func SumOrderedInto(scratch []float64, workers int, term func(i int) float64) float64 {
+	ForEach(len(scratch), workers, func(i int) {
+		scratch[i] = term(i)
+	})
+	var sum float64
+	for _, v := range scratch {
+		sum += v
+	}
+	return sum
+}
+
 // Float64 is a float64 accumulator safe for concurrent Add via a CAS loop,
 // the "atomic instructions to handle the sums shared between threads"
 // strategy of §IV-C.
+//
+// Determinism caveat: the accumulation order follows goroutine scheduling,
+// so repeated runs can differ in low-order bits. Paths that promise
+// bit-for-bit reproducibility (the predictor kernels, the evaluation
+// protocol) must use SumOrdered instead; Float64 remains for throughput
+// counters and other statistics where the last ulp is immaterial.
 type Float64 struct {
 	bits uint64
 }

@@ -1,0 +1,39 @@
+package predictors
+
+import (
+	"math"
+	"testing"
+
+	"github.com/crestlab/crest/internal/grid"
+)
+
+// benchBuffer synthesizes a smooth-plus-noise field of the given edge,
+// deterministic so timings are comparable across runs.
+func benchBuffer(edge int) *grid.Buffer {
+	buf := grid.NewBuffer(edge, edge)
+	for r := 0; r < edge; r++ {
+		for c := 0; c < edge; c++ {
+			x := float64(r) / float64(edge)
+			y := float64(c) / float64(edge)
+			v := math.Sin(7*x)*math.Cos(5*y) + 0.1*math.Sin(113*(x+2*y))
+			buf.Set(r, c, v)
+		}
+	}
+	return buf
+}
+
+func benchComputeDataset(b *testing.B, edge int) {
+	buf := benchBuffer(edge)
+	cfg := Config{K: 8, Workers: 1}
+	b.SetBytes(int64(buf.SizeBytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputeDataset(buf, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComputeDataset256(b *testing.B) { benchComputeDataset(b, 256) }
+func BenchmarkComputeDataset512(b *testing.B) { benchComputeDataset(b, 512) }

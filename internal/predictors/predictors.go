@@ -18,9 +18,14 @@
 // The first four are dataset-specific but error-bound agnostic
 // ("dset_predictors" in Algorithm 2) and are computed in a single fused
 // pass; D̂ depends on the error bound ("eb_predictors"). Following §IV-C,
-// the pair loop runs tiled in parallel across workers, the covariance
-// accumulates under a single mutex (the profiling result reported in the
-// paper) and scalar sums use atomic compare-and-swap accumulation.
+// the pairwise pass is driven off rows of the Gram matrix G = V·Vᵀ
+// produced by the cache-blocked kernels in internal/linalg, with panels
+// striped across workers; every floating-point reduction combines
+// per-index terms in fixed index order, so results are bit-identical for
+// every worker count (the earlier compare-and-swap accumulators made the
+// SD/SC reduction order follow goroutine scheduling). Per-call working
+// memory comes from a sync.Pool — see scratch.go and DESIGN.md
+// "Performance".
 package predictors
 
 import (
@@ -107,30 +112,17 @@ func (f Features) Vector() []float64 {
 	return []float64{f.SD, f.SC, f.CodingGain, f.CovSVDTrunc, f.Distortion}
 }
 
-// blockStats caches per-block quantities reused across the metrics.
-type blockStats struct {
-	vecs  [][]float64 // vectorized blocks, globally standardized
-	mean  []float64
-	sd    []float64 // w^intra
-	norm2 []float64 // Σ x²
-}
-
-// newBlockStats vectorizes the blocks after standardizing the buffer
-// globally (zero mean, unit variance). The four error-bound-agnostic
-// predictors are thereby scale-free descriptors of *spatial structure*:
-// two fields with the same shape but different physical units get the same
-// SD/SC/CG/CovSVD, which is what makes out-of-field model transfer (§VI-C)
-// possible. The amplitude-versus-bound information the compressors react
-// to enters through the error-bound-specific generic distortion, which is
-// computed on the raw values.
-func newBlockStats(buf *grid.Buffer, t *grid.Blocking) *blockStats {
+// fillBlockStats vectorizes the blocks into the pooled scratch after
+// standardizing the buffer globally (zero mean, unit variance). The four
+// error-bound-agnostic predictors are thereby scale-free descriptors of
+// *spatial structure*: two fields with the same shape but different
+// physical units get the same SD/SC/CG/CovSVD, which is what makes
+// out-of-field model transfer (§VI-C) possible. The amplitude-versus-bound
+// information the compressors react to enters through the error-bound-
+// specific generic distortion, which is computed on the raw values.
+func fillBlockStats(s *dsScratch, buf *grid.Buffer, t *grid.Blocking) {
 	b := t.NumBlocks()
-	s := &blockStats{
-		vecs:  t.VecAll(),
-		mean:  make([]float64, b),
-		sd:    make([]float64, b),
-		norm2: make([]float64, b),
-	}
+	s.vecs = t.VecAllInto(s.vecs, s.backing)
 	gm, gsd := stats.MeanStd(buf.Data)
 	if gsd == 0 {
 		gsd = 1
@@ -147,12 +139,99 @@ func newBlockStats(buf *grid.Buffer, t *grid.Blocking) *blockStats {
 			n2 += v * v
 		}
 		s.norm2[i] = n2
+		br, bc := t.BlockPos(i)
+		s.posR[i], s.posC[i] = float64(br), float64(bc)
 	}
-	return s
+}
+
+// reduceRow folds row i of the Gram matrix into the pairwise-pass outputs
+// wInter[i] and scBlock[i]. row[j] must be ⟨v[i], v[j]⟩ for every j. The
+// fold runs j = 0 → B−1 with serial accumulators, the exact order of the
+// pre-Gram per-pair loop, so results are bit-identical to it; rows are
+// independent, so callers may stripe them across workers freely.
+func (s *dsScratch) reduceRow(i int, row []float64) {
+	b := len(s.vecs)
+	ri, ci := s.posR[i], s.posC[i]
+	n2i, mi, sdi := s.norm2[i], s.mean[i], s.sd[i]
+	var sumDs, sumDsDe, sumDsV float64
+	for j := 0; j < b; j++ {
+		if j == i {
+			continue
+		}
+		dot := row[j]
+		ds := math.Abs(ri-s.posR[j]) + math.Abs(ci-s.posC[j])
+		de2 := n2i + s.norm2[j] - 2*dot
+		if de2 < 0 {
+			de2 = 0
+		}
+		de := math.Sqrt(de2)
+		var rho float64
+		if sdi > 0 && s.sd[j] > 0 {
+			var cov float64
+			if s.invK2 != 0 {
+				// k² is a power of two, so multiplying by the exact
+				// reciprocal rounds identically to dividing by k².
+				cov = dot*s.invK2 - mi*s.mean[j]
+			} else {
+				cov = dot/s.fk2 - mi*s.mean[j]
+			}
+			rho = cov / (sdi * s.sd[j])
+			if rho > 1 {
+				rho = 1
+			} else if rho < -1 {
+				rho = -1
+			}
+		}
+		sumDs += ds
+		sumDsDe += ds * de
+		sumDsV += ds * math.Abs(rho)
+	}
+	if sumDs > 0 {
+		s.wInter[i] = sumDsDe / sumDs
+		s.scBlock[i] = sumDsV / sumDs
+	} else {
+		// The scratch is pooled; stale values must not leak through.
+		s.wInter[i], s.scBlock[i] = 0, 0
+	}
+}
+
+// pairwisePass fills s.wInter and s.scBlock from Gram rows. When the full
+// B×B Gram matrix fits the pool budget it is materialized once — computing
+// only the lower triangle and mirroring, which halves the dot-product work
+// and is bit-safe because IEEE multiplication commutes. Past the budget the
+// pass streams row panels instead, recomputing each dot once per side.
+func (s *dsScratch) pairwisePass(b, workers int) {
+	if b*b*8 <= maxGramBytes {
+		s.gram = growF(s.gram, b*b)
+		nPanels := (b + symPanelRows - 1) / symPanelRows
+		parallel.ForEachDynamic(nPanels, workers, func(p int) {
+			lo := p * symPanelRows
+			hi := min(lo+symPanelRows, b)
+			linalg.GramBlock(s.vecs, lo, hi, 0, hi, s.gram[lo*b:], b)
+		})
+		linalg.MirrorLowerUpper(s.gram, b)
+		parallel.ForEach(b, workers, func(i int) {
+			s.reduceRow(i, s.gram[i*b:(i+1)*b])
+		})
+		return
+	}
+	nPanels := (b + streamPanelRows - 1) / streamPanelRows
+	parallel.ForEachDynamic(nPanels, workers, func(p int) {
+		lo := p * streamPanelRows
+		hi := min(lo+streamPanelRows, b)
+		panel := getPanel((hi - lo) * b)
+		linalg.GramPanel(s.vecs, lo, hi, panel)
+		for i := lo; i < hi; i++ {
+			s.reduceRow(i, panel[(i-lo)*b:(i-lo+1)*b])
+		}
+		putPanel(panel)
+	})
 }
 
 // ComputeDataset evaluates the four error-bound-agnostic predictors in one
-// fused pass over block pairs (§IV-C).
+// fused pass over block pairs (§IV-C). Results are bit-identical across
+// worker counts and across calls: every reduction runs in fixed index
+// order (see reduceRow, parallel.SumOrderedInto, linalg.SecondMomentLower).
 func ComputeDataset(buf *grid.Buffer, cfg Config) (DatasetFeatures, error) {
 	cfg = cfg.withDefaults()
 	if err := buf.Validate(grid.DefaultValidation); err != nil {
@@ -163,86 +242,57 @@ func ComputeDataset(buf *grid.Buffer, cfg Config) (DatasetFeatures, error) {
 	if err != nil {
 		return DatasetFeatures{}, fmt.Errorf("predictors: %w", err)
 	}
-	bs := newBlockStats(buf, t)
-	setup := time.Since(tSetup).Seconds()
 	b := t.NumBlocks()
 	k2 := cfg.K * cfg.K
+	s := getScratch(b, k2)
+	defer putScratch(s)
+	fillBlockStats(s, buf, t)
+	s.fk2 = float64(k2)
+	s.invK2 = 0
+	if k2&(k2-1) == 0 {
+		s.invK2 = 1 / s.fk2
+	}
+	setup := time.Since(tSetup).Seconds()
 
-	// Pairwise pass: per-block inter weights and spatial correlations.
-	// Each row of the pair matrix is independent, so rows are striped
+	// Pairwise pass: per-block inter weights and spatial correlations,
+	// driven off Gram rows. Rows are independent, so panels are striped
 	// across workers with no shared mutable state.
 	tPair := time.Now()
-	wInter := make([]float64, b)  // Σ Ds·De / Σ Ds
-	scBlock := make([]float64, b) // Σ Ds·|ρ| / Σ Ds
-	parallel.ForEach(b, cfg.Workers, func(i int) {
-		vi := bs.vecs[i]
-		var sumDs, sumDsDe, sumDsV float64
-		for j := 0; j < b; j++ {
-			if j == i {
-				continue
-			}
-			vj := bs.vecs[j]
-			var dot float64
-			for x := range vi {
-				dot += vi[x] * vj[x]
-			}
-			ds := t.ManhattanDist(i, j)
-			de2 := bs.norm2[i] + bs.norm2[j] - 2*dot
-			if de2 < 0 {
-				de2 = 0
-			}
-			de := math.Sqrt(de2)
-			var rho float64
-			if bs.sd[i] > 0 && bs.sd[j] > 0 {
-				cov := dot/float64(k2) - bs.mean[i]*bs.mean[j]
-				rho = cov / (bs.sd[i] * bs.sd[j])
-				if rho > 1 {
-					rho = 1
-				} else if rho < -1 {
-					rho = -1
-				}
-			}
-			sumDs += ds
-			sumDsDe += ds * de
-			sumDsV += ds * math.Abs(rho)
-		}
-		if sumDs > 0 {
-			wInter[i] = sumDsDe / sumDs
-			scBlock[i] = sumDsV / sumDs
-		}
-	})
-
-	pair := time.Since(tPair).Seconds()
+	s.pairwisePass(b, cfg.Workers)
 
 	// Spatial Diversity: SD = −Σ_b w^intra_b w^inter_b p_b log2 p_b with
 	// p_b = 1/B, and Spatial Correlation: SC = Σ SC_b w^intra / Σ w^intra.
-	var sdAcc, scNum, scDen parallel.Float64
+	// Each sum combines per-block terms in index order, so the totals are
+	// independent of the worker count.
 	logB := math.Log2(float64(b))
-	parallel.ForEach(b, cfg.Workers, func(i int) {
-		sdAcc.Add(bs.sd[i] * wInter[i] * logB / float64(b))
-		scNum.Add(scBlock[i] * bs.sd[i])
-		scDen.Add(bs.sd[i])
+	sd := parallel.SumOrderedInto(s.terms, cfg.Workers, func(i int) float64 {
+		return s.sd[i] * s.wInter[i] * logB / float64(b)
 	})
-	sd := sdAcc.Load()
+	scNum := parallel.SumOrderedInto(s.terms, cfg.Workers, func(i int) float64 {
+		return s.scBlock[i] * s.sd[i]
+	})
+	scDen := parallel.SumOrderedInto(s.terms, cfg.Workers, func(i int) float64 {
+		return s.sd[i]
+	})
 	sc := 0.0
-	if scDen.Load() > 0 {
-		sc = scNum.Load() / scDen.Load()
+	if scDen > 0 {
+		sc = scNum / scDen
 	}
+	pair := time.Since(tPair).Seconds()
 
-	// Block second-moment matrix Σ = (1/B) Σ_b X^b (X^b)ᵀ, accumulated
-	// under a single mutex per the paper's profiling finding.
+	// Block second-moment matrix Σ = (1/B) Σ_b X^b (X^b)ᵀ. The serial
+	// lower-triangle accumulation reproduces the old mutex-guarded order
+	// exactly (see linalg.SecondMomentLower); it is a vanishing share of
+	// the pass next to the O(B²k²) pairwise work.
 	tCov := time.Now()
-	acc := parallel.NewVecAccumulator(k2 * (k2 + 1) / 2)
-	parallel.ForEach(b, cfg.Workers, func(i int) {
-		acc.AddOuterLower(bs.vecs[i], 1/float64(b))
-	})
-	lower := acc.Sum()
-	sigma := linalg.NewMatrix(k2, k2)
+	linalg.SecondMomentLower(s.vecs, 1/float64(b), s.lower)
+	sigma := &linalg.Matrix{Rows: k2, Cols: k2, Data: s.sigma}
 	idx := 0
 	for i := 0; i < k2; i++ {
 		for j := 0; j <= i; j++ {
-			sigma.Set(i, j, lower[idx])
-			sigma.Set(j, i, lower[idx])
+			v := s.lower[idx]
+			s.sigma[i*k2+j] = v
+			s.sigma[j*k2+i] = v
 			idx++
 		}
 	}

@@ -1,0 +1,114 @@
+package predictors
+
+import "sync"
+
+// scratch.go pools the per-call working memory of ComputeDataset so the
+// hot path stops allocating per buffer: the vectorized block matrix and
+// its slice headers, the per-block moment arrays, the pairwise-pass
+// outputs, and (when it fits the budget) the full B×B Gram matrix. The
+// pool is safe for concurrent ComputeDataset calls — each call checks out
+// one scratch; the streaming Gram path additionally checks out per-worker
+// panel buffers from a second pool.
+
+const (
+	// maxGramBytes bounds the pooled full Gram matrix. Up to this size
+	// the pairwise pass materializes the whole symmetric G = V·Vᵀ
+	// (halving the dot-product work); past it, the pass streams
+	// L1-resident row panels instead. 192 MiB admits B = 4096 blocks —
+	// a 512×512 buffer at the default k = 8.
+	maxGramBytes = 192 << 20
+
+	// symPanelRows is the panel height of the symmetric full-Gram fill:
+	// the unit of parallel work handed to one worker. A multiple of the
+	// kernel's 4-row register block.
+	symPanelRows = 16
+
+	// streamPanelRows is the panel height of the streaming fallback
+	// pass. At B = 8192 a panel is 8192·32·8 = 2 MiB of Gram rows,
+	// sized for the L2 cache.
+	streamPanelRows = 32
+)
+
+// dsScratch is the reusable working set of one ComputeDataset call.
+type dsScratch struct {
+	// Block vectorization (the standardized B×k² matrix V).
+	vecs    [][]float64
+	backing []float64
+
+	// Per-block moments.
+	mean  []float64
+	sd    []float64 // w^intra
+	norm2 []float64 // Σ x²
+
+	// Block positions as floats, so the pairwise pass computes the
+	// Manhattan distance without per-pair div/mod.
+	posR, posC []float64
+
+	// Pairwise-pass outputs and the ordered-reduction term buffer.
+	wInter  []float64 // Σ Ds·De / Σ Ds
+	scBlock []float64 // Σ Ds·|ρ| / Σ Ds
+	terms   []float64
+
+	// Second-moment accumulation target and the k²×k² matrix backing.
+	lower []float64
+	sigma []float64
+
+	// Full Gram matrix (budget-gated; left nil on the streaming path).
+	gram []float64
+
+	// Reduction constants of the current call (see reduceRow).
+	fk2   float64
+	invK2 float64
+}
+
+var dsPool = sync.Pool{New: func() any { return new(dsScratch) }}
+
+// growF returns s resized to n, reusing capacity when possible.
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// getScratch checks a scratch out of the pool sized for b blocks of k²
+// elements.
+func getScratch(b, k2 int) *dsScratch {
+	s := dsPool.Get().(*dsScratch)
+	s.backing = growF(s.backing, b*k2)
+	if cap(s.vecs) < b {
+		s.vecs = make([][]float64, b)
+	}
+	s.vecs = s.vecs[:b]
+	s.mean = growF(s.mean, b)
+	s.sd = growF(s.sd, b)
+	s.norm2 = growF(s.norm2, b)
+	s.posR = growF(s.posR, b)
+	s.posC = growF(s.posC, b)
+	s.wInter = growF(s.wInter, b)
+	s.scBlock = growF(s.scBlock, b)
+	s.terms = growF(s.terms, b)
+	s.lower = growF(s.lower, k2*(k2+1)/2)
+	s.sigma = growF(s.sigma, k2*k2)
+	return s
+}
+
+func putScratch(s *dsScratch) {
+	dsPool.Put(s)
+}
+
+// panelPool recycles streaming-pass Gram panels; each concurrent worker
+// of the streaming path holds at most one.
+var panelPool sync.Pool
+
+func getPanel(n int) []float64 {
+	if p, ok := panelPool.Get().(*[]float64); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]float64, n)
+}
+
+func putPanel(p []float64) {
+	p = p[:cap(p)]
+	panelPool.Put(&p)
+}

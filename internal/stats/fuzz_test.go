@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzQuantizeBin hardens the bin-index computation against the full
+// float64 input space: the result must always be the saturated floor of
+// x/eps — in particular, never the platform's undefined-conversion
+// sentinel for quotients outside the int64 range — and must stay
+// monotone in x for fixed positive eps.
+func FuzzQuantizeBin(f *testing.F) {
+	f.Add(2.7, 0.5)
+	f.Add(-0.1, 0.5)
+	f.Add(1e30, 1e-30)   // positive overflow
+	f.Add(-1e30, 1e-30)  // negative overflow
+	f.Add(math.NaN(), 0.5)
+	f.Add(1.0, math.SmallestNonzeroFloat64) // tiny eps
+	f.Add(math.MaxFloat64, 1e-9)
+	f.Add(0.0, 0.0)
+	f.Fuzz(func(t *testing.T, x, eps float64) {
+		got := QuantizeBin(x, eps)
+		q := math.Floor(x / eps)
+		switch {
+		case math.IsNaN(q):
+			if got != 0 {
+				t.Fatalf("QuantizeBin(%g, %g) = %d for NaN quotient, want 0", x, eps, got)
+			}
+		case q >= math.MaxInt64:
+			if got != math.MaxInt64 {
+				t.Fatalf("QuantizeBin(%g, %g) = %d, want saturated MaxInt64", x, eps, got)
+			}
+		case q <= math.MinInt64:
+			if got != math.MinInt64 {
+				t.Fatalf("QuantizeBin(%g, %g) = %d, want saturated MinInt64", x, eps, got)
+			}
+		default:
+			if got != int64(q) {
+				t.Fatalf("QuantizeBin(%g, %g) = %d, want %d", x, eps, got, int64(q))
+			}
+		}
+		// Monotonicity in x for positive finite eps and finite x: a larger
+		// value can never land in a smaller bin.
+		if eps > 0 && !math.IsInf(eps, 0) && !math.IsNaN(x) && !math.IsInf(x, 0) {
+			bigger := math.Nextafter(x, math.Inf(1))
+			if !math.IsInf(bigger, 0) {
+				if gb := QuantizeBin(bigger, eps); gb < got {
+					t.Fatalf("monotonicity broken: bin(%g)=%d > bin(%g)=%d for eps=%g",
+						x, got, bigger, gb, eps)
+				}
+			}
+		}
+	})
+}

@@ -22,7 +22,7 @@ func Mean(xs []float64) float64 {
 }
 
 // Variance returns the population variance of xs (denominator n), or 0 for
-// fewer than one element.
+// an empty slice.
 func Variance(xs []float64) float64 {
 	n := len(xs)
 	if n == 0 {
@@ -116,9 +116,24 @@ func Quantize(x, eps float64) float64 {
 	return math.Floor(x/eps) * eps
 }
 
-// QuantizeBin returns the integer bin index ⌊x/ε⌋.
+// QuantizeBin returns the integer bin index ⌊x/ε⌋, saturated to the int64
+// range. For tiny ε (or huge x) the quotient overflows int64, and the bare
+// conversion int64(float64) is undefined for out-of-range values — on
+// amd64 it yields the sentinel 0x8000000000000000 for *both* directions,
+// silently aliasing +∞-side and −∞-side bins into one histogram bucket.
+// NaN quotients (x = ±Inf·0 interactions upstream) map to bin 0 rather
+// than poisoning the histogram with the platform sentinel.
 func QuantizeBin(x, eps float64) int64 {
-	return int64(math.Floor(x / eps))
+	q := math.Floor(x / eps)
+	switch {
+	case math.IsNaN(q):
+		return 0
+	case q >= math.MaxInt64: // 2⁶³ is exact in float64; q ≥ 2⁶³ overflows
+		return math.MaxInt64
+	case q <= math.MinInt64:
+		return math.MinInt64
+	}
+	return int64(q)
 }
 
 // Entropy returns the Shannon entropy in bits of a discrete distribution

@@ -104,6 +104,40 @@ func TestQuantize(t *testing.T) {
 	}
 }
 
+// TestQuantizeBinSaturation: out-of-int64-range quotients must clamp to
+// the range boundaries instead of hitting Go's undefined float→int
+// conversion (which collapses both overflow directions onto MinInt64 on
+// amd64), and NaN quotients must land in bin 0.
+func TestQuantizeBinSaturation(t *testing.T) {
+	cases := []struct {
+		name   string
+		x, eps float64
+		want   int64
+	}{
+		{"tiny eps positive", 1e30, 1e-30, math.MaxInt64},
+		{"tiny eps negative", -1e30, 1e-30, math.MinInt64},
+		{"pos inf quotient", math.Inf(1), 0.5, math.MaxInt64},
+		{"neg inf quotient", math.Inf(-1), 0.5, math.MinInt64},
+		{"nan value", math.NaN(), 0.5, 0},
+		{"zero eps", 1.0, 0, math.MaxInt64},
+		{"just below 2^63", (1 << 63) - 1024, 1, (1 << 63) - 1024},
+		{"exactly 2^63", 1 << 63, 1, math.MaxInt64},
+		{"exactly -2^63", -(1 << 63), 1, math.MinInt64},
+		{"ordinary", 2.7, 0.5, 5},
+	}
+	for _, c := range cases {
+		if got := QuantizeBin(c.x, c.eps); got != c.want {
+			t.Errorf("%s: QuantizeBin(%g, %g) = %d, want %d",
+				c.name, c.x, c.eps, got, c.want)
+		}
+	}
+	// Opposite-sign overflows must not alias into the same bin — the bug
+	// the saturation fixes.
+	if QuantizeBin(1e300, 1e-300) == QuantizeBin(-1e300, 1e-300) {
+		t.Error("positive and negative overflow collapsed into one bin")
+	}
+}
+
 func TestEntropyBasics(t *testing.T) {
 	if h := Entropy(map[int64]int{1: 5}); h != 0 {
 		t.Errorf("single symbol entropy = %g", h)

@@ -12,7 +12,16 @@
 # The reports are self-describing; see serveBenchReport in
 # cmd/crest/servebench.go and writeObsSummary in
 # cmd/crest/metricscheck.go for the schemas.
+#
+# A third phase benchmarks the fused predictor kernels (`crest predbench`)
+# and archives p50/p90 ComputeDataset latency plus allocs/op as
+# BENCH_predictors.json. Run one phase alone by naming it:
+#
+#   ./scripts/bench.sh predictors     # kernel phase only (the CI smoke step)
+#   ./scripts/bench.sh server         # serving + observability phases only
 set -eu
+
+MODE="${1:-all}"
 
 OUT="${BENCH_OUT:-BENCH_server.json}"
 OBS_OUT="${BENCH_OBS_OUT:-BENCH_obs.json}"
@@ -21,22 +30,36 @@ CONCURRENCY="${BENCH_CONCURRENCY:-32}"
 MAX_INFLIGHT="${BENCH_MAX_INFLIGHT:-4}"
 MAX_QUEUE="${BENCH_MAX_QUEUE:-8}"
 WORK_DELAY="${BENCH_WORK_DELAY:-2ms}"
+PRED_OUT="${BENCH_PRED_OUT:-BENCH_predictors.json}"
+PRED_EDGE="${BENCH_PRED_EDGE:-512}"
+PRED_ITERS="${BENCH_PRED_ITERS:-10}"
 
-go run ./cmd/crest servebench \
-    -n "$N" \
-    -concurrency "$CONCURRENCY" \
-    -max-inflight "$MAX_INFLIGHT" \
-    -max-queue "$MAX_QUEUE" \
-    -work-delay "$WORK_DELAY" \
-    -out "$OUT"
+if [ "$MODE" = "all" ] || [ "$MODE" = "server" ]; then
+    go run ./cmd/crest servebench \
+        -n "$N" \
+        -concurrency "$CONCURRENCY" \
+        -max-inflight "$MAX_INFLIGHT" \
+        -max-queue "$MAX_QUEUE" \
+        -work-delay "$WORK_DELAY" \
+        -out "$OUT"
 
-echo "bench: wrote $OUT"
+    echo "bench: wrote $OUT"
 
-# Observability phase: a repeated batch run warms the feature cache and
-# populates the per-predictor latency histograms on the registry.
-go run ./cmd/crest batch \
-    -dataset hurricane -nz 12 -ny 64 -nx 64 \
-    -eps 1e-2,1e-3 -repeat 2 -quiet \
-    -obs-out "$OBS_OUT"
+    # Observability phase: a repeated batch run warms the feature cache and
+    # populates the per-predictor latency histograms on the registry.
+    go run ./cmd/crest batch \
+        -dataset hurricane -nz 12 -ny 64 -nx 64 \
+        -eps 1e-2,1e-3 -repeat 2 -quiet \
+        -obs-out "$OBS_OUT"
 
-echo "bench: wrote $OBS_OUT"
+    echo "bench: wrote $OBS_OUT"
+fi
+
+if [ "$MODE" = "all" ] || [ "$MODE" = "predictors" ]; then
+    go run ./cmd/crest predbench \
+        -edge "$PRED_EDGE" \
+        -iters "$PRED_ITERS" \
+        -out "$PRED_OUT"
+
+    echo "bench: wrote $PRED_OUT"
+fi

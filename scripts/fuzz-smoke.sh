@@ -14,11 +14,12 @@
 #   internal/featcache  FuzzKeyDerivation            (cache key derivation)
 #   internal/compressors  FuzzDecompress*            (all decoder hardening targets)
 #   internal/grid       FuzzBufferValidate           (public-boundary buffer validation)
+#   internal/stats      FuzzQuantizeBin              (saturated quantizer bin index)
 #   snapshot            FuzzSnapshotDecode           (durable-model envelope decoder)
 set -eu
 
 FUZZTIME="${FUZZTIME:-5s}"
-PKGS="${*:-./internal/huffman ./internal/usecases ./internal/featcache ./internal/compressors ./internal/grid ./snapshot}"
+PKGS="${*:-./internal/huffman ./internal/usecases ./internal/featcache ./internal/compressors ./internal/grid ./internal/stats ./snapshot}"
 
 for pkg in $PKGS; do
     targets=$(go test -list '^Fuzz' "$pkg" | grep '^Fuzz' || true)
