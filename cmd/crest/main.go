@@ -14,6 +14,8 @@
 //	crest train      -dataset hurricane -field TC -dir models/
 //	crest serve      -model-dir models/ -addr localhost:8080
 //	crest client     -url http://localhost:8080 -dataset hurricane -step 3
+//	crest stream     gen -dataset hurricane -field TC -nz 16 -o tc.crbs
+//	crest stream     features -file tc.crbs -eps 1e-3
 //	crest list
 package main
 
@@ -63,6 +65,10 @@ func main() {
 		err = cmdServe(ctx, args)
 	case "client":
 		err = cmdClient(ctx, args)
+	case "stream":
+		err = cmdStream(ctx, args)
+	case "streambench":
+		err = cmdStreamBench(args)
 	case "servebench":
 		err = cmdServeBench(ctx, args)
 	case "predbench":
@@ -104,6 +110,8 @@ commands:
   train       train an estimator and persist it as a durable snapshot
   serve       serve the estimation HTTP API from a model snapshot
   client      estimate one buffer against a running server (with backoff)
+  stream      out-of-core: generate, featurize, estimate or post CRBS block streams
+  streambench streaming-ingest benchmark: per-slice cost must stay flat with stream length
   servebench  in-process serving benchmark: tail latency + shed rate
   predbench   predictor-kernel benchmark: ComputeDataset latency + allocs
   metricscheck verify a running server's GET /metrics exposes every expected series

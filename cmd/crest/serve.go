@@ -35,6 +35,9 @@ func cmdServe(ctx context.Context, args []string) error {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for inflight requests at shutdown")
 	pprof := fs.Bool("pprof", false, "mount the Go profiler under /debug/pprof/")
 	slowReq := fs.Duration("slow-request", time.Second, "log requests slower than this with their request ID (negative: never)")
+	recal := fs.Bool("recalibrate", false, "enable online conformal recalibration from POST /v1/feedback observations")
+	recalWindow := fs.Int("recal-window", 512, "rolling observation window for recalibration")
+	recalBand := fs.Float64("recal-band", 0.03, "coverage band half-width around the conformal target")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,6 +58,10 @@ func cmdServe(ctx context.Context, args []string) error {
 		return fmt.Errorf("load model: %w", err)
 	}
 	fmt.Fprintf(os.Stderr, "crest serve: model %s (conformal radius %.4f)\n", from, est.IntervalRadius())
+	if *recal {
+		est.EnableOnlineRecalibration(crest.OnlineConformalConfig{Window: *recalWindow, Band: *recalBand})
+		fmt.Fprintf(os.Stderr, "crest serve: online recalibration on (window %d, band ±%.3f)\n", *recalWindow, *recalBand)
+	}
 
 	engine := crest.NewBatchEstimator(est, nil, *workers)
 	srv, err := server.New(server.Config{

@@ -1,0 +1,301 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	crest "github.com/crestlab/crest"
+	"github.com/crestlab/crest/internal/synthdata"
+)
+
+// cmdStream is the out-of-core front end: it generates CRBS block-stream
+// files from the synthetic datasets (3D volumes streamed slice by slice,
+// or AR(1) temporal series streamed step by step), featurizes or
+// estimates a stream one slice at a time with O(slice) working memory,
+// and can pipe a stream straight into a running server's chunked-ingest
+// endpoint.
+//
+//	crest stream gen      -dataset hurricane -field TC -nz 16 -o tc.crbs
+//	crest stream gen      -mode temporal -steps 32 -rho 0.9 -o tc-t.crbs
+//	crest stream features -file tc.crbs -eps 1e-3
+//	crest stream estimate -file tc.crbs -model models/m.snap -eps 1e-3
+//	crest stream post     -file tc.crbs -url http://localhost:8080 -eps 1e-3
+func cmdStream(ctx context.Context, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: crest stream <gen|features|estimate|post> [flags]")
+	}
+	mode, rest := args[0], args[1:]
+	switch mode {
+	case "gen":
+		return streamGen(rest)
+	case "features":
+		return streamFeatures(rest)
+	case "estimate":
+		return streamEstimate(rest)
+	case "post":
+		return streamPost(ctx, rest)
+	default:
+		return fmt.Errorf("unknown stream mode %q (want gen|features|estimate|post)", mode)
+	}
+}
+
+// specFor resolves a dataset's field spec by name (empty: first field).
+func specFor(dataset, field string) (synthdata.FieldSpec, error) {
+	var specs []synthdata.FieldSpec
+	switch dataset {
+	case "hurricane":
+		specs = synthdata.HurricaneSpecs()
+	case "nyx":
+		specs = synthdata.NYXSpecs()
+	case "miranda":
+		specs = synthdata.MirandaSpecs()
+	case "cesm":
+		specs = synthdata.CESMSpecs()
+	default:
+		return synthdata.FieldSpec{}, fmt.Errorf("unknown dataset %q", dataset)
+	}
+	if field == "" {
+		return specs[0], nil
+	}
+	for _, s := range specs {
+		if s.Name == field {
+			return s, nil
+		}
+	}
+	return synthdata.FieldSpec{}, fmt.Errorf("dataset %s has no field %q", dataset, field)
+}
+
+func streamGen(args []string) error {
+	fs := flag.NewFlagSet("stream gen", flag.ExitOnError)
+	dataset := fs.String("dataset", "hurricane", "dataset: hurricane|nyx|miranda|cesm")
+	field := fs.String("field", "", "field name (empty: first field)")
+	genMode := fs.String("mode", "volume", "volume (z-slices of one 3D field) or temporal (AR(1) steps)")
+	nz := fs.Int("nz", 16, "slices (volume mode)")
+	steps := fs.Int("steps", 16, "time steps (temporal mode)")
+	ny := fs.Int("ny", 96, "rows per slice")
+	nx := fs.Int("nx", 96, "columns per slice")
+	seed := fs.Int64("seed", 1, "generation seed")
+	rho := fs.Float64("rho", 0.85, "temporal persistence in (0,1)")
+	dtype := fs.String("dtype", "f64", "element encoding: f64|f32")
+	chunkRows := fs.Int("chunk-rows", 32, "rows per stream chunk")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dt := crest.StreamF64
+	switch *dtype {
+	case "f64":
+	case "f32":
+		dt = crest.StreamF32
+	default:
+		return fmt.Errorf("unknown dtype %q (want f64|f32)", *dtype)
+	}
+	spec, err := specFor(*dataset, *field)
+	if err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		w = bw
+	}
+	var n int
+	switch *genMode {
+	case "volume":
+		vol := crest.SynthVolume(*dataset, spec, *nz, *ny, *nx, *seed)
+		if err := crest.EncodeVolume(w, vol, dt, *chunkRows); err != nil {
+			return err
+		}
+		n = *nz
+	case "temporal":
+		series := crest.SynthTemporal(*dataset, spec, *steps, *ny, *nx, *seed, *rho)
+		if err := crest.EncodeBuffers(w, series, dt, *chunkRows); err != nil {
+			return err
+		}
+		n = *steps
+	default:
+		return fmt.Errorf("unknown gen mode %q (want volume|temporal)", *genMode)
+	}
+	fmt.Fprintf(os.Stderr, "crest stream gen: %s/%s %s, %d slices of %dx%d %s, chunk %d rows\n",
+		*dataset, spec.Name, *genMode, n, *ny, *nx, dt, *chunkRows)
+	return nil
+}
+
+// openStream opens the stream source: a file, or stdin for "-".
+func openStream(path string) (io.ReadCloser, error) {
+	if path == "" {
+		return nil, fmt.Errorf("need -file (or -file - for stdin)")
+	}
+	if path == "-" {
+		return io.NopCloser(bufio.NewReader(os.Stdin)), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return struct {
+		io.Reader
+		io.Closer
+	}{bufio.NewReader(f), f}, nil
+}
+
+func parseEpsList(s string) ([]float64, error) {
+	var out []float64
+	for _, tok := range strings.Split(s, ",") {
+		e, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil || e <= 0 {
+			return nil, fmt.Errorf("bad -eps entry %q", tok)
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("need at least one error bound")
+	}
+	return out, nil
+}
+
+func streamFeatures(args []string) error {
+	fs := flag.NewFlagSet("stream features", flag.ExitOnError)
+	file := fs.String("file", "", "CRBS stream file (- for stdin)")
+	epsList := fs.String("eps", "1e-3", "comma-separated absolute error bounds")
+	workers := fs.Int("workers", 0, "feature workers (0: GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	epses, err := parseEpsList(*epsList)
+	if err != nil {
+		return err
+	}
+	src, err := openStream(*file)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	cr, err := crest.NewChunkReader(src)
+	if err != nil {
+		return err
+	}
+	hdr := cr.Header()
+	fmt.Fprintf(os.Stderr, "crest stream features: %dx%d slices, dtype %s\n", hdr.Rows, hdr.Cols, hdr.DType)
+	fmt.Printf("%-6s %10s", "step", "eps")
+	for _, n := range crest.FeatureNames {
+		fmt.Printf(" %12s", n)
+	}
+	fmt.Println()
+	cfg := crest.PredictorConfig{Workers: *workers}
+	return crest.ForEachStreamSlice(cr, epses, cfg, func(sf crest.SliceFeatures) error {
+		for i, eps := range epses {
+			fmt.Printf("%-6d %10.2e", sf.Step, eps)
+			for _, v := range sf.FeaturesAt(i).Vector() {
+				fmt.Printf(" %12.4f", v)
+			}
+			fmt.Println()
+		}
+		return nil
+	})
+}
+
+func streamEstimate(args []string) error {
+	fs := flag.NewFlagSet("stream estimate", flag.ExitOnError)
+	file := fs.String("file", "", "CRBS stream file (- for stdin)")
+	model := fs.String("model", "", "estimator snapshot file")
+	epsList := fs.String("eps", "1e-3", "comma-separated absolute error bounds")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *model == "" {
+		return fmt.Errorf("need -model")
+	}
+	epses, err := parseEpsList(*epsList)
+	if err != nil {
+		return err
+	}
+	est, err := crest.LoadEstimator(*model)
+	if err != nil {
+		return fmt.Errorf("load model: %w", err)
+	}
+	src, err := openStream(*file)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	cr, err := crest.NewChunkReader(src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %10s %10s %20s\n", "step", "eps", "est CR", "95% interval")
+	return crest.ForEachStreamSlice(cr, epses, est.PredictorConfig(), func(sf crest.SliceFeatures) error {
+		for i, eps := range epses {
+			e, err := est.Estimate(sf.FeaturesAt(i).Vector())
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-6d %10.2e %10.3f [%8.3f,%8.3f]\n", sf.Step, eps, e.CR, e.Lo, e.Hi)
+		}
+		return nil
+	})
+}
+
+func streamPost(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("stream post", flag.ExitOnError)
+	file := fs.String("file", "", "CRBS stream file (- for stdin)")
+	url := fs.String("url", "http://localhost:8080", "server base URL")
+	eps := fs.Float64("eps", 1e-3, "absolute error bound")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src, err := openStream(*file)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	target := fmt.Sprintf("%s/v1/estimate?eps=%g", strings.TrimRight(*url, "/"), *eps)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, src)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-crest-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server returned %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var sr struct {
+		Slices []struct {
+			Step int     `json:"step"`
+			CR   float64 `json:"cr"`
+			Lo   float64 `json:"lo"`
+			Hi   float64 `json:"hi"`
+		} `json:"slices"`
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return fmt.Errorf("decode response: %w", err)
+	}
+	fmt.Printf("%-6s %10s %20s\n", "step", "est CR", "95% interval")
+	for _, s := range sr.Slices {
+		fmt.Printf("%-6d %10.3f [%8.3f,%8.3f]\n", s.Step, s.CR, s.Lo, s.Hi)
+	}
+	return nil
+}

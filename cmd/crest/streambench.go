@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	crest "github.com/crestlab/crest"
+	"github.com/crestlab/crest/internal/synthdata"
+)
+
+// streamBenchReport is the schema of BENCH_stream.json: the streaming
+// ingest pipeline featurized over increasing slice counts through one
+// pooled featurizer. The load-bearing figures are the per-slice
+// allocation counts: because the featurizer and kernel scratch are
+// reused across slices, allocs/slice and bytes/slice must be flat as the
+// stream grows — the measurable form of the O(block) working-memory
+// claim. AllocGrowthRatio is (allocs/slice at the longest stream) ÷
+// (allocs/slice at the shortest); scripts/bench.sh asserts it stays
+// under a small bound.
+type streamBenchReport struct {
+	Rows      int   `json:"rows"`
+	Cols      int   `json:"cols"`
+	K         int   `json:"k"`
+	Workers   int   `json:"workers"`
+	ChunkRows int   `json:"chunk_rows"`
+	Slices    []int `json:"slice_counts"`
+
+	SecondsPerSlice []float64 `json:"seconds_per_slice"`
+	AllocsPerSlice  []int64   `json:"allocs_per_slice"`
+	BytesPerSlice   []int64   `json:"bytes_per_slice"`
+
+	AllocGrowthRatio float64 `json:"alloc_growth_ratio"`
+	BytesGrowthRatio float64 `json:"bytes_growth_ratio"`
+}
+
+// cmdStreamBench measures the streaming featurizer's per-slice cost as
+// the stream length grows. Streams are pre-encoded in memory so the
+// measurement isolates decode + featurize, not synthesis.
+func cmdStreamBench(args []string) error {
+	fs := flag.NewFlagSet("streambench", flag.ExitOnError)
+	ny := fs.Int("ny", 256, "rows per slice")
+	nx := fs.Int("nx", 256, "columns per slice")
+	k := fs.Int("k", 8, "block edge length")
+	workers := fs.Int("workers", 0, "feature workers (0: GOMAXPROCS)")
+	chunkRows := fs.Int("chunk-rows", 32, "rows per stream chunk")
+	slicesList := fs.String("slices", "2,8,32", "comma-separated slice counts to sweep")
+	out := fs.String("out", "BENCH_stream.json", "write the JSON report to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var counts []int
+	for _, tok := range splitInts(*slicesList) {
+		if tok < 1 {
+			return fmt.Errorf("slice counts must be >= 1")
+		}
+		counts = append(counts, tok)
+	}
+	if len(counts) < 2 {
+		return fmt.Errorf("need at least two slice counts to measure growth")
+	}
+
+	// One long temporal series, encoded once per sweep point.
+	maxSlices := counts[len(counts)-1]
+	spec := synthdata.HurricaneSpecs()[7] // TC: smooth, dense
+	series := crest.SynthTemporal("hurricane", spec, maxSlices, *ny, *nx, 1, 0.9)
+	cfg := crest.PredictorConfig{K: *k, Workers: *workers}
+
+	rep := streamBenchReport{
+		Rows: *ny, Cols: *nx, K: *k, Workers: *workers,
+		ChunkRows: *chunkRows, Slices: counts,
+	}
+	run := func(n int) error {
+		var enc bytes.Buffer
+		if err := crest.EncodeBuffers(&enc, series[:n], crest.StreamF64, *chunkRows); err != nil {
+			return err
+		}
+		raw := enc.Bytes()
+		// Warmup pass fills the kernel scratch pools.
+		cr, err := crest.NewChunkReader(bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		if _, err := crest.ComputeStreamFeatures(cr, []float64{1e-3}, cfg); err != nil {
+			return err
+		}
+
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		cr, err = crest.NewChunkReader(bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		got, err := crest.ComputeStreamFeatures(cr, []float64{1e-3}, cfg)
+		if err != nil {
+			return err
+		}
+		wall := time.Since(t0).Seconds()
+		runtime.ReadMemStats(&after)
+		if len(got) != n {
+			return fmt.Errorf("featurized %d of %d slices", len(got), n)
+		}
+		rep.SecondsPerSlice = append(rep.SecondsPerSlice, wall/float64(n))
+		rep.AllocsPerSlice = append(rep.AllocsPerSlice, int64(after.Mallocs-before.Mallocs)/int64(n))
+		rep.BytesPerSlice = append(rep.BytesPerSlice, int64(after.TotalAlloc-before.TotalAlloc)/int64(n))
+		return nil
+	}
+	for _, n := range counts {
+		if err := run(n); err != nil {
+			return err
+		}
+	}
+	first, last := len(rep.AllocsPerSlice)-len(counts), len(rep.AllocsPerSlice)-1
+	rep.AllocGrowthRatio = ratio(rep.AllocsPerSlice[last], rep.AllocsPerSlice[first])
+	rep.BytesGrowthRatio = ratio(rep.BytesPerSlice[last], rep.BytesPerSlice[first])
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(doc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("streambench: %dx%d k=%d chunk=%d:", *ny, *nx, *k, *chunkRows)
+	for i, n := range counts {
+		fmt.Printf(" [%d slices: %.1fms, %d allocs, %dB /slice]",
+			n, 1e3*rep.SecondsPerSlice[i], rep.AllocsPerSlice[i], rep.BytesPerSlice[i])
+	}
+	fmt.Printf(" growth x%.2f -> %s\n", rep.AllocGrowthRatio, *out)
+	return nil
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 1
+	}
+	return float64(a) / float64(b)
+}
+
+func splitInts(s string) []int {
+	var out []int
+	cur, have := 0, false
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if have {
+				out = append(out, cur)
+			}
+			cur, have = 0, false
+			continue
+		}
+		if s[i] >= '0' && s[i] <= '9' {
+			cur = cur*10 + int(s[i]-'0')
+			have = true
+		}
+	}
+	return out
+}

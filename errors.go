@@ -61,6 +61,11 @@ var (
 	// ErrDraining reports work refused because the serving process is
 	// shutting down and no longer admits new requests.
 	ErrDraining = crerr.ErrDraining
+
+	// ErrStreamCorrupt reports a chunked block stream whose framing is
+	// malformed, truncated, or whose transport failed mid-stream. The
+	// wrapped chain also matches the underlying cause when one exists.
+	ErrStreamCorrupt = crerr.ErrStreamCorrupt
 )
 
 // RequestError labels one request's failure with its position in a batch;

@@ -97,6 +97,11 @@ func (e *Engine) Workers() int { return e.workers }
 // Cache returns the engine's shared feature cache.
 func (e *Engine) Cache() *featcache.Cache { return e.cache }
 
+// Estimator returns the wrapped estimator, so the serving layer can reach
+// estimator-level facilities (streaming ingest, online recalibration)
+// behind the batch engine.
+func (e *Engine) Estimator() *core.Estimator { return e.est }
+
 // SetBatchTimeout bounds every subsequent batch with a per-batch deadline
 // (zero disables). It composes with any deadline already on the caller's
 // context: the earlier of the two wins.

@@ -1,0 +1,84 @@
+package chaos
+
+import (
+	"io"
+)
+
+// ReaderPlan configures the byte-level faults a FaultReader injects into
+// an io.Reader — the transport-side companion of FSPlan, aimed at the
+// chunked block-stream ingest path (grid.ChunkReader): a streaming
+// decoder must survive arbitrarily short reads without misframing, and
+// must surface a mid-stream transport error as a typed failure, never as
+// partial output.
+type ReaderPlan struct {
+	// Seed drives the deterministic short-read length pattern.
+	Seed int64
+	// MaxRead caps each Read to at most this many bytes (0 disables).
+	// Combined with the rotation below, it exercises every misalignment
+	// between transport reads and frame boundaries.
+	MaxRead int
+	// ShortReads, when true, varies each read length in [1, MaxRead]
+	// deterministically from Seed instead of always delivering MaxRead.
+	ShortReads bool
+	// FailAfter injects Err once this many bytes have been delivered
+	// (0 disables). The read that crosses the boundary delivers the
+	// remaining bytes first; the NEXT read fails — the way a socket or
+	// disk actually dies.
+	FailAfter int64
+	// Err is the injected failure (default io.ErrUnexpectedEOF).
+	Err error
+}
+
+// FaultReader wraps an io.Reader with the plan's faults. Not safe for
+// concurrent use, matching the io.Reader contract.
+type FaultReader struct {
+	inner     io.Reader
+	plan      ReaderPlan
+	delivered int64
+	state     uint64 // short-read length PRNG state
+	failed    bool
+}
+
+// WrapReader wraps r with the plan's faults.
+func WrapReader(r io.Reader, plan ReaderPlan) *FaultReader {
+	if plan.Err == nil {
+		plan.Err = io.ErrUnexpectedEOF
+	}
+	return &FaultReader{inner: r, plan: plan, state: uint64(plan.Seed)*2862933555777941757 + 3037000493}
+}
+
+// Delivered returns the number of bytes passed through so far.
+func (r *FaultReader) Delivered() int64 { return r.delivered }
+
+// next steps the xorshift state for the short-read pattern.
+func (r *FaultReader) next() uint64 {
+	r.state ^= r.state << 13
+	r.state ^= r.state >> 7
+	r.state ^= r.state << 17
+	return r.state
+}
+
+func (r *FaultReader) Read(p []byte) (int, error) {
+	if r.failed {
+		return 0, r.plan.Err
+	}
+	if r.plan.FailAfter > 0 && r.delivered >= r.plan.FailAfter {
+		r.failed = true
+		return 0, r.plan.Err
+	}
+	n := len(p)
+	if r.plan.MaxRead > 0 && n > r.plan.MaxRead {
+		n = r.plan.MaxRead
+	}
+	if r.plan.ShortReads && n > 1 {
+		n = 1 + int(r.next()%uint64(n))
+	}
+	if r.plan.FailAfter > 0 {
+		if left := r.plan.FailAfter - r.delivered; int64(n) > left {
+			n = int(left)
+		}
+	}
+	m, err := r.inner.Read(p[:n])
+	r.delivered += int64(m)
+	return m, err
+}

@@ -1,0 +1,178 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"github.com/crestlab/crest/internal/crerr"
+	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/predictors"
+	"github.com/crestlab/crest/internal/vfs"
+)
+
+// streamFixture encodes a deterministic 2-slice stream and computes the
+// in-memory reference features of each slice.
+func streamFixture(t *testing.T) (raw []byte, bufs []*grid.Buffer) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	bufs = make([]*grid.Buffer, 2)
+	for s := range bufs {
+		bufs[s] = grid.NewBuffer(40, 48)
+		for i := range bufs[s].Data {
+			bufs[s].Data[i] = rng.NormFloat64() * float64(int(1)<<uint(rng.Intn(20)))
+		}
+	}
+	var b bytes.Buffer
+	if err := grid.EncodeBuffers(&b, bufs, grid.DTypeF64, 9); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes(), bufs
+}
+
+// TestFaultReaderShortReadsPreserveBitIdentity: a decoder fed 1-byte and
+// jittered reads must still produce features bit-identical to the
+// in-memory path — short reads are a transport artifact, not data.
+func TestFaultReaderShortReadsPreserveBitIdentity(t *testing.T) {
+	raw, bufs := streamFixture(t)
+	cfg := predictors.Config{K: 8, Workers: 2}
+	want := make([]predictors.DatasetFeatures, len(bufs))
+	for i, buf := range bufs {
+		w, err := predictors.ComputeDataset(buf, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = w
+	}
+	for _, plan := range []ReaderPlan{
+		{MaxRead: 1},
+		{MaxRead: 3},
+		{MaxRead: 64, ShortReads: true, Seed: 1},
+		{MaxRead: 1000, ShortReads: true, Seed: 7},
+	} {
+		fr := WrapReader(bytes.NewReader(raw), plan)
+		cr, err := grid.NewChunkReader(fr)
+		if err != nil {
+			t.Fatalf("plan %+v: %v", plan, err)
+		}
+		got, err := predictors.ComputeStream(cr, []float64{1e-3}, cfg)
+		if err != nil {
+			t.Fatalf("plan %+v: %v", plan, err)
+		}
+		if len(got) != len(bufs) {
+			t.Fatalf("plan %+v: %d slices", plan, len(got))
+		}
+		for i := range got {
+			gv := predictors.Combine(got[i].Dataset, got[i].Distortions[0]).Vector()
+			wd, err := predictors.ComputeEB(bufs[i], 1e-3, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wv := predictors.Combine(want[i], wd).Vector()
+			for j := range wv {
+				if math.Float64bits(gv[j]) != math.Float64bits(wv[j]) {
+					t.Fatalf("plan %+v slice %d feature %d differs bitwise", plan, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestFaultReaderMidStreamError: a transport failure after any byte count
+// must yield a typed ErrStreamCorrupt carrying the injected cause, and no
+// features.
+func TestFaultReaderMidStreamError(t *testing.T) {
+	raw, _ := streamFixture(t)
+	cause := errors.New("link reset")
+	for _, after := range []int64{int64(len(raw)) / 4, int64(len(raw)) / 2, int64(len(raw)) - 3} {
+		fr := WrapReader(bytes.NewReader(raw), ReaderPlan{MaxRead: 17, FailAfter: after, Err: cause})
+		cr, err := grid.NewChunkReader(fr)
+		if err != nil {
+			t.Fatalf("after=%d: header: %v", after, err)
+		}
+		out, err := predictors.ComputeStream(cr, []float64{1e-3}, predictors.Config{K: 8})
+		if err == nil {
+			t.Fatalf("after=%d: no error, %d slices", after, len(out))
+		}
+		if !errors.Is(err, crerr.ErrStreamCorrupt) {
+			t.Errorf("after=%d: not typed ErrStreamCorrupt: %v", after, err)
+		}
+		if !errors.Is(err, cause) {
+			t.Errorf("after=%d: cause lost: %v", after, err)
+		}
+		if out != nil {
+			t.Errorf("after=%d: partial features returned", after)
+		}
+	}
+}
+
+// TestStreamFileThroughFaultFS drives the reader path through the
+// filesystem chaos harness: a stream persisted through a FaultFS with
+// short writes lands truncated on disk, and decoding it must fail with
+// the typed stream error — never partial or NaN features.
+func TestStreamFileThroughFaultFS(t *testing.T) {
+	raw, bufs := streamFixture(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "field.crbs")
+
+	// Healthy write first: the file decodes and matches in-memory.
+	if err := vfs.WriteFileAtomic(vfs.OS, path, raw); err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := vfs.OS.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := grid.NewChunkReader(bytes.NewReader(healthy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := predictors.ComputeStream(cr, nil, predictors.Config{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(bufs) {
+		t.Fatalf("healthy file: %d slices", len(out))
+	}
+
+	// Torn write: every write is persisted half-length while reporting
+	// success, so the file under the final name is truncated.
+	torn := WrapFS(vfs.OS, FSPlan{ShortWriteEvery: 1})
+	tornPath := filepath.Join(dir, "torn.crbs")
+	if err := vfs.WriteFileAtomic(torn, tornPath, raw); err != nil {
+		t.Fatal(err)
+	}
+	tornBytes, err := torn.ReadFile(tornPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tornBytes) >= len(raw) {
+		t.Fatalf("short-write fault did not truncate: %d of %d bytes", len(tornBytes), len(raw))
+	}
+	cr2, err := grid.NewChunkReader(bytes.NewReader(tornBytes))
+	if err != nil {
+		if !errors.Is(err, crerr.ErrStreamCorrupt) {
+			t.Fatalf("torn header error not typed: %v", err)
+		}
+		return
+	}
+	out2, err := predictors.ComputeStream(cr2, nil, predictors.Config{K: 8})
+	if err == nil {
+		t.Fatalf("torn file decoded cleanly into %d slices", len(out2))
+	}
+	if !errors.Is(err, crerr.ErrStreamCorrupt) {
+		t.Errorf("torn file error not typed ErrStreamCorrupt: %v", err)
+	}
+	if out2 != nil {
+		t.Error("partial features from torn file")
+	}
+
+	// Read-side fault: ReadFile itself failing must surface the error.
+	failing := WrapFS(vfs.OS, FSPlan{ReadErrorEvery: 1})
+	if _, err := failing.ReadFile(path); err == nil {
+		t.Fatal("injected read error did not surface")
+	}
+}

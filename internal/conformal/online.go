@@ -1,0 +1,250 @@
+package conformal
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// online.go adds rolling recalibration on top of a fitted split-conformal
+// model. The offline guarantee (coverage ≥ 1−λ) holds under
+// exchangeability with the calibration set; a long-running estimation
+// service sees drifting fields, so the empirical coverage of the static
+// radius can sag (intervals too narrow) or bloat (too wide). OnlineModel
+// tracks the rolling empirical coverage over the last Window observed
+// (prediction, truth) pairs and, when it leaves the configured band around
+// 1−λ, re-fits the radius as the (1−λ)(m+1)-quantile of the rolling
+// absolute residuals — the same order statistic Fit uses, applied to the
+// recent window instead of the held-out calibration split.
+//
+// Coverage accounting: each observation is scored against the radius that
+// was in effect when it arrived, which is what the operator actually
+// served. After a recalibration, the rolling hit counts are REcomputed
+// against the new radius, so the tracker measures "would the current
+// radius have covered the recent past" rather than a mixture of stale
+// verdicts that can never re-enter the band. TestOnlineRecalibration
+// pins this: with stale verdicts a post-drift recalibration raises the
+// radius but the reported coverage stays below the band forever and the
+// model thrashes through its cooldown.
+
+// OnlineConfig tunes the recalibration loop.
+type OnlineConfig struct {
+	// Window is the number of recent observations retained (default 512).
+	Window int
+	// Band is the half-width of the acceptable coverage band around 1−λ:
+	// recalibration triggers when rolling coverage leaves
+	// [1−λ−Band, min(1, 1−λ+Band)] (default 0.03).
+	Band float64
+	// MinObserve is the warm-up count before the tracker may trigger
+	// (default max(64, Window/4)); a handful of early misses would
+	// otherwise cause a recalibration from almost no data.
+	MinObserve int
+	// Cooldown is the minimum number of observations between
+	// recalibrations (default MinObserve), so one drift event produces
+	// one radius update, not a thrash per observation while the window
+	// refills.
+	Cooldown int
+}
+
+func (c OnlineConfig) withDefaults() OnlineConfig {
+	if c.Window <= 0 {
+		c.Window = 512
+	}
+	if c.Band <= 0 {
+		c.Band = 0.03
+	}
+	if c.MinObserve <= 0 {
+		c.MinObserve = c.Window / 4
+		if c.MinObserve < 64 {
+			c.MinObserve = 64
+		}
+	}
+	if c.MinObserve > c.Window {
+		c.MinObserve = c.Window
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = c.MinObserve
+	}
+	return c
+}
+
+// OnlineStats is a snapshot of the tracker state.
+type OnlineStats struct {
+	// Radius currently in effect.
+	Radius float64
+	// Coverage over the rolling window (NaN before any observation).
+	Coverage float64
+	// Observations seen in total and currently windowed.
+	Observed, Windowed int
+	// Recalibrations performed so far.
+	Recalibrations int
+	// Target coverage 1−λ and the band half-width.
+	Target, Band float64
+}
+
+// InBand reports whether the rolling coverage lies inside the configured
+// band (vacuously true before any observation).
+func (s OnlineStats) InBand() bool {
+	if math.IsNaN(s.Coverage) {
+		return true
+	}
+	hi := s.Target + s.Band
+	if hi > 1 {
+		hi = 1
+	}
+	return s.Coverage >= s.Target-s.Band && s.Coverage <= hi
+}
+
+// OnlineModel wraps a fitted Model with rolling-coverage recalibration.
+// All methods are safe for concurrent use.
+type OnlineModel struct {
+	mu     sync.Mutex
+	inner  Predictor
+	lambda float64
+	radius float64
+	cfg    OnlineConfig
+
+	// Ring of the last cfg.Window observations.
+	resid []float64 // |y − f̂(x)|
+	hits  []bool    // resid[i] <= radius in effect (recomputed on recalib)
+	head  int       // next write position
+	n     int       // occupied ring entries
+	nHits int       // count of true entries in hits[:n]
+
+	observed  int // total Observe calls
+	recals    int // recalibrations performed
+	lastRecal int // observed count at the last recalibration
+}
+
+// NewOnline wraps a fitted model for rolling recalibration. The wrapped
+// model is not mutated; the online radius starts at the offline one.
+func NewOnline(m *Model, cfg OnlineConfig) *OnlineModel {
+	cfg = cfg.withDefaults()
+	return &OnlineModel{
+		inner:  m.inner,
+		lambda: m.lambda,
+		radius: m.radius,
+		cfg:    cfg,
+		resid:  make([]float64, cfg.Window),
+		hits:   make([]bool, cfg.Window),
+	}
+}
+
+// Predict returns the interval under the current (possibly recalibrated)
+// radius.
+func (o *OnlineModel) Predict(x []float64) Interval {
+	p := o.inner.Predict(x)
+	o.mu.Lock()
+	r := o.radius
+	o.mu.Unlock()
+	return Interval{Point: p, Lo: p - r, Hi: p + r}
+}
+
+// Radius returns the radius currently in effect.
+func (o *OnlineModel) Radius() float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.radius
+}
+
+// Observe records the ground truth y for covariates x, updates the
+// rolling coverage, and recalibrates the radius if the coverage has left
+// the band. It returns the post-update snapshot and whether this call
+// recalibrated.
+func (o *OnlineModel) Observe(x []float64, y float64) (OnlineStats, bool) {
+	res := math.Abs(y - o.inner.Predict(x))
+	o.mu.Lock()
+	defer o.mu.Unlock()
+
+	hit := res <= o.radius
+	if o.n == o.cfg.Window {
+		// Evict the overwritten entry from the hit count.
+		if o.hits[o.head] {
+			o.nHits--
+		}
+	} else {
+		o.n++
+	}
+	o.resid[o.head] = res
+	o.hits[o.head] = hit
+	if hit {
+		o.nHits++
+	}
+	o.head = (o.head + 1) % o.cfg.Window
+	o.observed++
+
+	recal := false
+	if o.shouldRecalibrate() {
+		o.recalibrate()
+		recal = true
+	}
+	return o.statsLocked(), recal
+}
+
+// shouldRecalibrate is called with o.mu held.
+func (o *OnlineModel) shouldRecalibrate() bool {
+	if o.observed < o.cfg.MinObserve || o.n < o.cfg.MinObserve {
+		return false
+	}
+	if o.observed-o.lastRecal < o.cfg.Cooldown && o.recals > 0 {
+		return false
+	}
+	cov := float64(o.nHits) / float64(o.n)
+	target := 1 - o.lambda
+	hi := target + o.cfg.Band
+	if hi > 1 {
+		hi = 1
+	}
+	return cov < target-o.cfg.Band || cov > hi
+}
+
+// recalibrate is called with o.mu held: the new radius is the
+// (1−λ)(m+1)-quantile of the rolling residuals, and the window's hit
+// verdicts are recomputed against it so the reported coverage reflects
+// the radius now being served.
+func (o *OnlineModel) recalibrate() {
+	m := o.n
+	res := make([]float64, m)
+	// Ring occupancy: when full the window is the whole ring; when
+	// partially full it is [0, n) because head has never wrapped.
+	copy(res, o.resid[:m])
+	sort.Float64s(res)
+	k := int(math.Ceil((1 - o.lambda) * float64(m+1)))
+	if k > m {
+		k = m
+	}
+	o.radius = res[k-1]
+
+	o.nHits = 0
+	for i := 0; i < m; i++ {
+		o.hits[i] = o.resid[i] <= o.radius
+		if o.hits[i] {
+			o.nHits++
+		}
+	}
+	o.recals++
+	o.lastRecal = o.observed
+}
+
+// Stats returns a snapshot of the tracker.
+func (o *OnlineModel) Stats() OnlineStats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.statsLocked()
+}
+
+func (o *OnlineModel) statsLocked() OnlineStats {
+	cov := math.NaN()
+	if o.n > 0 {
+		cov = float64(o.nHits) / float64(o.n)
+	}
+	return OnlineStats{
+		Radius:         o.radius,
+		Coverage:       cov,
+		Observed:       o.observed,
+		Windowed:       o.n,
+		Recalibrations: o.recals,
+		Target:         1 - o.lambda,
+		Band:           o.cfg.Band,
+	}
+}

@@ -82,6 +82,9 @@ type Estimator struct {
 	// fellBack is true when at least one mixture fit degenerated and the
 	// estimator was trained on the single-component linear fallback.
 	fellBack bool
+	// online, when non-nil, carries the rolling-coverage recalibration
+	// wrapper; Estimate and IntervalRadius then use its dynamic radius.
+	online *conformal.OnlineModel
 }
 
 // FellBack reports whether EM degenerated during training and the
@@ -277,7 +280,12 @@ func (e *Estimator) Estimate(features []float64) (Estimate, error) {
 	if err != nil {
 		return Estimate{}, err
 	}
-	iv := e.model.Predict(row)
+	var iv conformal.Interval
+	if e.online != nil {
+		iv = e.online.Predict(row)
+	} else {
+		iv = e.model.Predict(row)
+	}
 	// The model is trained on CR ∈ (0, CRCap]; predictions outside that
 	// range are extrapolations, so the point estimate is clamped to the
 	// training regime (the interval keeps its raw width).
@@ -295,8 +303,63 @@ func (e *Estimator) Estimate(features []float64) (Estimate, error) {
 	}, nil
 }
 
-// IntervalRadius returns the conformal half-width on the log(CR) scale.
-func (e *Estimator) IntervalRadius() float64 { return e.model.Radius() }
+// IntervalRadius returns the conformal half-width on the log(CR) scale —
+// the rolling recalibrated radius when online recalibration is enabled.
+func (e *Estimator) IntervalRadius() float64 {
+	if e.online != nil {
+		return e.online.Radius()
+	}
+	return e.model.Radius()
+}
+
+// EnableOnlineRecalibration wraps the estimator's conformal model with a
+// rolling-coverage tracker (conformal.OnlineModel): subsequent Estimate
+// calls use the dynamic radius, and ObserveActual feeds ground truth into
+// the tracker. Call once, before serving traffic; it replaces any prior
+// online wrapper (resetting the window).
+func (e *Estimator) EnableOnlineRecalibration(cfg conformal.OnlineConfig) {
+	e.online = conformal.NewOnline(e.model, cfg)
+}
+
+// OnlineStats returns the rolling tracker snapshot, or (zero, false) when
+// online recalibration is not enabled.
+func (e *Estimator) OnlineStats() (conformal.OnlineStats, bool) {
+	if e.online == nil {
+		return conformal.OnlineStats{}, false
+	}
+	return e.online.Stats(), true
+}
+
+// ObserveActual records the observed compression ratio for a previously
+// estimated feature vector, updating the rolling coverage and possibly
+// recalibrating the interval radius. The CR is capped and mapped to the
+// log scale exactly as in training, so residuals are commensurate with
+// the calibration residuals. Returns the post-update snapshot and whether
+// this observation triggered a recalibration. It is an error to call
+// before EnableOnlineRecalibration, or with a non-positive CR.
+func (e *Estimator) ObserveActual(features []float64, actualCR float64) (conformal.OnlineStats, bool, error) {
+	if e.online == nil {
+		return conformal.OnlineStats{}, false, errors.New("core: online recalibration not enabled")
+	}
+	if actualCR <= 0 || math.IsNaN(actualCR) || math.IsInf(actualCR, 0) {
+		return conformal.OnlineStats{}, false, fmt.Errorf("core: %w: observed CR %g", crerr.ErrNonFiniteData, actualCR)
+	}
+	for i, v := range features {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return conformal.OnlineStats{}, false, fmt.Errorf("core: %w: feature %d is %g", crerr.ErrNonFiniteData, i, v)
+		}
+	}
+	row, err := e.standardize(features)
+	if err != nil {
+		return conformal.OnlineStats{}, false, err
+	}
+	cr := actualCR
+	if cr > e.cfg.CRCap {
+		cr = e.cfg.CRCap
+	}
+	st, recal := e.online.Observe(row, math.Log(cr))
+	return st, recal, nil
+}
 
 // PredictorConfig returns the predictor configuration the estimator was
 // trained with, so feature caches can be built to match.

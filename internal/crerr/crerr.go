@@ -74,6 +74,14 @@ var (
 	// must shrink the payload) rather than 400 (the payload is
 	// malformed).
 	ErrBodyTooLarge = errors.New("crest: request body too large")
+
+	// ErrStreamCorrupt reports a chunked block stream (grid.ChunkReader)
+	// that cannot be decoded: bad magic or version, a header outside the
+	// configured ingest limits, a chunk frame that overruns the declared
+	// shape, or a stream truncated mid-chunk. Errors from the underlying
+	// reader are wrapped alongside this sentinel, so both
+	// errors.Is(err, ErrStreamCorrupt) and errors.Is(err, <cause>) hold.
+	ErrStreamCorrupt = errors.New("crest: block stream corrupt")
 )
 
 // Canceled wraps a context error (or nil, treated as context.Canceled) so

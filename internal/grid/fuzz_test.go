@@ -1,7 +1,9 @@
 package grid
 
 import (
+	"bytes"
 	"errors"
+	"io"
 	"math"
 	"testing"
 
@@ -54,6 +56,96 @@ func FuzzBufferValidate(f *testing.F) {
 		}
 		if sErr := s.Validate(ValidationPolicy{}); sErr != nil {
 			t.Fatalf("sanitized buffer still non-finite: %v", sErr)
+		}
+	})
+}
+
+// FuzzChunkDecode hardens the block-stream framing decoder against
+// arbitrary bytes: NewChunkReader/ReadRow/ReadSlice must never panic,
+// never allocate past the ingest limits, and fail only with errors
+// classified under the taxonomy. Any byte stream that decodes completely
+// must re-encode to a stream that decodes to the identical values.
+func FuzzChunkDecode(f *testing.F) {
+	// Seed with valid streams (both dtypes, multi-slice, odd chunking)
+	// and a few corruptions of each.
+	mk := func(rows, cols, slices, chunkRows int, dt DType) []byte {
+		bufs := make([]*Buffer, slices)
+		for s := range bufs {
+			bufs[s] = NewBuffer(rows, cols)
+			for i := range bufs[s].Data {
+				bufs[s].Data[i] = float64(i%17) - float64(s)
+			}
+		}
+		var b bytes.Buffer
+		if err := EncodeBuffers(&b, bufs, dt, chunkRows); err != nil {
+			f.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	valid := mk(4, 6, 2, 3, DTypeF64)
+	f.Add(valid)
+	f.Add(mk(3, 3, 1, 1, DTypeF32))
+	f.Add(valid[:len(valid)-5]) // truncated trailing chunk
+	f.Add(valid[:headerSize+2]) // truncated first chunk header
+	f.Add([]byte{0, 1, 2})      // garbage
+	corrupt := append([]byte{}, valid...)
+	corrupt[6] = 99 // unknown dtype
+	f.Add(corrupt)
+
+	lim := StreamLimits{MaxCols: 1 << 10, MaxRows: 1 << 10, MaxSlices: 64, MaxElements: 1 << 20}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		cr, err := NewChunkReader(bytes.NewReader(raw), lim)
+		if err != nil {
+			if !errors.Is(err, crerr.ErrStreamCorrupt) {
+				t.Fatalf("header error outside the taxonomy: %v", err)
+			}
+			return
+		}
+		hdr := cr.Header()
+		var slices []*Buffer
+		for {
+			buf, err := cr.ReadSlice()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if !errors.Is(err, crerr.ErrStreamCorrupt) && !errors.Is(err, crerr.ErrInvalidBuffer) {
+					t.Fatalf("decode error outside the taxonomy: %v", err)
+				}
+				return
+			}
+			slices = append(slices, buf)
+			if len(slices) > lim.MaxSlices+1 {
+				t.Fatalf("decoded %d slices past the limit", len(slices))
+			}
+		}
+		if hdr.Slices > 0 && len(slices) != hdr.Slices {
+			t.Fatalf("clean EOF after %d of %d declared slices", len(slices), hdr.Slices)
+		}
+		if len(slices) == 0 {
+			return
+		}
+		// Round-trip: re-encode and decode; values must match bitwise
+		// (for float32 streams the decoded values are already widened, so
+		// re-encoding narrows them back without loss).
+		var rt bytes.Buffer
+		if err := EncodeBuffers(&rt, slices, hdr.DType, 2); err != nil {
+			t.Fatalf("re-encode of decoded stream failed: %v", err)
+		}
+		cr2, err := NewChunkReader(bytes.NewReader(rt.Bytes()), lim)
+		if err != nil {
+			t.Fatalf("re-decode header: %v", err)
+		}
+		for i := range slices {
+			got, err := cr2.ReadSlice()
+			if err != nil {
+				t.Fatalf("re-decode slice %d: %v", i, err)
+			}
+			for j := range got.Data {
+				if math.Float64bits(got.Data[j]) != math.Float64bits(slices[i].Data[j]) {
+					t.Fatalf("round-trip slice %d element %d differs bitwise", i, j)
+				}
+			}
 		}
 	})
 }

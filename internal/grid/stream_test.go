@@ -1,0 +1,235 @@
+package grid
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"github.com/crestlab/crest/internal/crerr"
+)
+
+func testVolume(nz, ny, nx int) *Volume {
+	v := NewVolume(nz, ny, nx)
+	for i := range v.Data {
+		v.Data[i] = math.Sin(float64(i)) * float64(1+i%5)
+	}
+	return v
+}
+
+func TestStreamRoundTripVolume(t *testing.T) {
+	vol := testVolume(3, 5, 7)
+	for _, chunkRows := range []int{1, 2, 5, 100} {
+		var b bytes.Buffer
+		if err := EncodeVolume(&b, vol, DTypeF64, chunkRows); err != nil {
+			t.Fatal(err)
+		}
+		cr, err := NewChunkReader(bytes.NewReader(b.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hdr := cr.Header()
+		if hdr.Rows != 5 || hdr.Cols != 7 || hdr.Slices != 3 || hdr.DType != DTypeF64 {
+			t.Fatalf("header %+v", hdr)
+		}
+		for z := 0; z < 3; z++ {
+			buf, err := cr.ReadSlice()
+			if err != nil {
+				t.Fatalf("chunk=%d slice %d: %v", chunkRows, z, err)
+			}
+			if buf.Step != z {
+				t.Errorf("slice %d: step %d", z, buf.Step)
+			}
+			want := vol.Slice(z)
+			for i := range buf.Data {
+				if math.Float64bits(buf.Data[i]) != math.Float64bits(want.Data[i]) {
+					t.Fatalf("chunk=%d slice %d element %d differs", chunkRows, z, i)
+				}
+			}
+		}
+		if _, err := cr.ReadSlice(); err != io.EOF {
+			t.Fatalf("chunk=%d: want io.EOF after last slice, got %v", chunkRows, err)
+		}
+		// The reader is idempotent at EOF.
+		if _, err := cr.ReadSlice(); err != io.EOF {
+			t.Fatalf("second read past EOF: %v", err)
+		}
+	}
+}
+
+func TestStreamFloat32Narrowing(t *testing.T) {
+	buf := NewBuffer(2, 3)
+	buf.Data = []float64{1.0 / 3.0, 2, math.Pi, -0.1, 1e-40, 3e38}
+	var b bytes.Buffer
+	if err := EncodeBuffer(&b, buf, DTypeF32, 0); err != nil {
+		t.Fatal(err)
+	}
+	cr, err := NewChunkReader(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cr.ReadSlice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range buf.Data {
+		want := float64(float32(v)) // narrow-then-widen is the contract
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want) {
+			t.Errorf("element %d: got %g, want %g", i, got.Data[i], want)
+		}
+	}
+}
+
+func TestStreamHeaderRejections(t *testing.T) {
+	valid := func() []byte {
+		var b bytes.Buffer
+		if err := EncodeBuffer(&b, NewBuffer(2, 2), DTypeF64, 0); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"bad version", func(b []byte) []byte { b[4] = 9; return b }},
+		{"bad dtype", func(b []byte) []byte { b[6] = 7; return b }},
+		{"nonzero reserved", func(b []byte) []byte { b[7] = 1; return b }},
+		{"zero rows", func(b []byte) []byte { binary.LittleEndian.PutUint32(b[8:12], 0); return b }},
+		{"zero cols", func(b []byte) []byte { binary.LittleEndian.PutUint32(b[12:16], 0); return b }},
+		{"short header", func(b []byte) []byte { return b[:10] }},
+	}
+	for _, tc := range cases {
+		raw := tc.mutate(valid())
+		if _, err := NewChunkReader(bytes.NewReader(raw)); !errors.Is(err, crerr.ErrStreamCorrupt) {
+			t.Errorf("%s: want ErrStreamCorrupt, got %v", tc.name, err)
+		}
+	}
+}
+
+func TestStreamLimitsRejectHugeShapes(t *testing.T) {
+	var raw [headerSize]byte
+	copy(raw[0:4], streamMagic[:])
+	binary.LittleEndian.PutUint16(raw[4:6], streamVersion)
+	binary.LittleEndian.PutUint32(raw[8:12], 1<<30)  // rows
+	binary.LittleEndian.PutUint32(raw[12:16], 1<<30) // cols
+	binary.LittleEndian.PutUint32(raw[16:20], 1000)
+	_, err := NewChunkReader(bytes.NewReader(raw[:]))
+	if !errors.Is(err, crerr.ErrStreamCorrupt) {
+		t.Fatalf("huge header admitted: %v", err)
+	}
+	// Tight custom limits reject a modest stream too.
+	var b bytes.Buffer
+	if err := EncodeBuffer(&b, NewBuffer(64, 64), DTypeF64, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewChunkReader(bytes.NewReader(b.Bytes()), StreamLimits{MaxCols: 32})
+	if !errors.Is(err, crerr.ErrStreamCorrupt) {
+		t.Fatalf("limit violation admitted: %v", err)
+	}
+}
+
+func TestStreamChunkOverrunRejected(t *testing.T) {
+	var b bytes.Buffer
+	if err := EncodeBuffer(&b, NewBuffer(4, 4), DTypeF64, 2); err != nil {
+		t.Fatal(err)
+	}
+	raw := b.Bytes()
+	// Inflate the first chunk's row count past the declared total.
+	binary.LittleEndian.PutUint32(raw[headerSize:headerSize+4], 99)
+	cr, err := NewChunkReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float64, 4)
+	if err := cr.ReadRow(row); !errors.Is(err, crerr.ErrStreamCorrupt) {
+		t.Fatalf("overrunning chunk admitted: %v", err)
+	}
+}
+
+func TestStreamOpenEndedUntilEOF(t *testing.T) {
+	// Slices == 0: the writer declares no slice count; the reader must
+	// deliver slices until a clean boundary EOF and reject a mid-slice
+	// end.
+	bufs := []*Buffer{NewBuffer(3, 4), NewBuffer(3, 4)}
+	for i := range bufs[1].Data {
+		bufs[1].Data[i] = float64(i)
+	}
+	var b bytes.Buffer
+	cw, err := NewChunkWriter(&b, StreamHeader{DType: DTypeF64, Rows: 3, Cols: 4, Slices: 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, buf := range bufs {
+		if err := cw.WriteBuffer(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cr, err := NewChunkReader(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, err := cr.ReadSlice()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("read %d slices, want 2", n)
+	}
+	// Truncate to a mid-slice boundary: one whole chunk of 2 rows (the
+	// payload ends cleanly between chunks but inside slice 2).
+	trunc := b.Bytes()[:headerSize+(4+2*4*8)] // header + first 2-row chunk
+	cr2, err := NewChunkReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cr2.ReadSlice(); !errors.Is(err, crerr.ErrStreamCorrupt) {
+		t.Fatalf("mid-slice EOF admitted: %v", err)
+	}
+}
+
+func TestChunkWriterContracts(t *testing.T) {
+	var b bytes.Buffer
+	cw, err := NewChunkWriter(&b, StreamHeader{DType: DTypeF64, Rows: 2, Cols: 2, Slices: 1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.WriteRow([]float64{1}); !errors.Is(err, crerr.ErrInvalidBuffer) {
+		t.Errorf("short row admitted: %v", err)
+	}
+	if err := cw.WriteRow([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Close mid-slice must fail.
+	if err := cw.Close(); !errors.Is(err, crerr.ErrInvalidBuffer) {
+		t.Errorf("mid-slice close admitted: %v", err)
+	}
+
+	var b2 bytes.Buffer
+	cw2, err := NewChunkWriter(&b2, StreamHeader{DType: DTypeF64, Rows: 1, Cols: 1, Slices: 1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw2.WriteRow([]float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw2.WriteRow([]float64{2}); !errors.Is(err, crerr.ErrInvalidBuffer) {
+		t.Errorf("row past declared slices admitted: %v", err)
+	}
+	if err := cw2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

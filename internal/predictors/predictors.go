@@ -253,25 +253,37 @@ func ComputeDataset(buf *grid.Buffer, cfg Config) (DatasetFeatures, error) {
 		s.invK2 = 1 / s.fk2
 	}
 	setup := time.Since(tSetup).Seconds()
+	return finishDataset(s, b, k2, cfg.Workers, setup), nil
+}
 
+// finishDataset evaluates the four dataset predictors from a scratch
+// whose block matrix V is already vectorized and standardized (s.vecs,
+// s.mean, s.sd, s.norm2, s.posR/posC and the reduction constants are
+// filled). It is the shared back half of the in-memory and streaming
+// paths: both feed the identical scratch state through the identical
+// fixed-order kernels, which is what makes the streaming result
+// bit-identical to ComputeDataset by construction rather than by
+// tolerance. setup is the vectorization cost attributed across the four
+// predictors' histograms.
+func finishDataset(s *dsScratch, b, k2, workers int, setup float64) DatasetFeatures {
 	// Pairwise pass: per-block inter weights and spatial correlations,
 	// driven off Gram rows. Rows are independent, so panels are striped
 	// across workers with no shared mutable state.
 	tPair := time.Now()
-	s.pairwisePass(b, cfg.Workers)
+	s.pairwisePass(b, workers)
 
 	// Spatial Diversity: SD = −Σ_b w^intra_b w^inter_b p_b log2 p_b with
 	// p_b = 1/B, and Spatial Correlation: SC = Σ SC_b w^intra / Σ w^intra.
 	// Each sum combines per-block terms in index order, so the totals are
 	// independent of the worker count.
 	logB := math.Log2(float64(b))
-	sd := parallel.SumOrderedInto(s.terms, cfg.Workers, func(i int) float64 {
+	sd := parallel.SumOrderedInto(s.terms, workers, func(i int) float64 {
 		return s.sd[i] * s.wInter[i] * logB / float64(b)
 	})
-	scNum := parallel.SumOrderedInto(s.terms, cfg.Workers, func(i int) float64 {
+	scNum := parallel.SumOrderedInto(s.terms, workers, func(i int) float64 {
 		return s.scBlock[i] * s.sd[i]
 	})
-	scDen := parallel.SumOrderedInto(s.terms, cfg.Workers, func(i int) float64 {
+	scDen := parallel.SumOrderedInto(s.terms, workers, func(i int) float64 {
 		return s.sd[i]
 	})
 	sc := 0.0
@@ -320,7 +332,7 @@ func ComputeDataset(buf *grid.Buffer, cfg Config) (DatasetFeatures, error) {
 		CodingGain:      cg,
 		CovSVDTrunc:     trunc,
 		SingularProfile: profile,
-	}, nil
+	}
 }
 
 // codingGain returns the log2 transform-coding gain

@@ -1,0 +1,340 @@
+package predictors
+
+// stream.go is the one-pass, chunk-fed front end of the predictor
+// pipeline (ROADMAP item 2): rows arrive through an io.Reader-backed
+// grid.ChunkReader and are scattered straight into the vectorized block
+// matrix V, so the raw row-major buffer is never materialized. Working
+// memory per slice is V plus the pooled kernel scratch — independent of
+// how many slices (3D planes or time steps) the stream carries, which is
+// what makes a multi-GB volume estimable on a machine that holds one
+// slice.
+//
+// Bit-identity contract (enforced by the differential suite): for every
+// chunk size and worker count, the streamed features are bit-identical to
+// ComputeDataset/ComputeEB over the same slice held in memory, because
+// each reduction is fed the identical values in the identical order:
+//
+//   - The global moments accumulate s += v, s2 += v*v per element in
+//     row-major arrival order — exactly stats.MeanStd's single pass.
+//   - Block vectorization places each element at the same V coordinate a
+//     grid.Blocking.Vec copy would; standardization and the per-block
+//     moments then run the same per-block loops as fillBlockStats.
+//   - The pairwise/Gram/eigen back half is literally shared code
+//     (finishDataset), already bit-identical across worker counts.
+//   - The entropy estimators are functions of the value multiset only
+//     (see stats/segments.go), so feeding them V-plus-crop instead of
+//     the row-major buffer changes nothing.
+//
+// float32 streams are widened exactly by the reader, so the contract
+// holds verbatim against the in-memory path over the widened values; the
+// only loss is the encoder's ½-ULP-of-float32 narrowing.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"github.com/crestlab/crest/internal/crerr"
+	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/stats"
+)
+
+// StreamFeaturizer computes the predictor features of one 2D slice from
+// rows fed incrementally. It is not safe for concurrent use; Reset
+// re-arms it for the next slice of the same shape reusing all of its
+// memory, so a long stream costs a constant number of allocations per
+// slice.
+type StreamFeaturizer struct {
+	cfg        Config
+	rows, cols int
+	k, br, bc  int
+	b, k2      int
+
+	s *dsScratch
+
+	rowIdx int
+	// Global moments accumulated in row-major element order (the exact
+	// stats.MeanStd pass over the equivalent in-memory buffer).
+	sum, sum2 float64
+	// crop holds the raw values outside the k-divisible region (right
+	// margin and bottom rows) so the error-bound entropies see the whole
+	// slice, exactly like the in-memory path.
+	crop []float64
+	// segs is the pooled segment list handed to the entropy estimators.
+	segs [][]float64
+
+	tStart   time.Time
+	finished bool
+}
+
+// NewStreamFeaturizer prepares a featurizer for rows×cols slices under
+// cfg. Like grid.NewBlocking it crops to the largest multiple of K and
+// rejects slices smaller than one block.
+func NewStreamFeaturizer(rows, cols int, cfg Config) (*StreamFeaturizer, error) {
+	cfg = cfg.withDefaults()
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("predictors: %w: slice shape %dx%d", crerr.ErrInvalidBuffer, rows, cols)
+	}
+	br, bc := rows/cfg.K, cols/cfg.K
+	if br == 0 || bc == 0 {
+		return nil, fmt.Errorf("predictors: %w: %dx%d slice with k=%d", grid.ErrNotTileable, rows, cols, cfg.K)
+	}
+	k2 := cfg.K * cfg.K
+	f := &StreamFeaturizer{
+		cfg:  cfg,
+		rows: rows, cols: cols,
+		k: cfg.K, br: br, bc: bc,
+		b: br * bc, k2: k2,
+	}
+	f.arm()
+	return f, nil
+}
+
+// arm checks out pooled scratch and zeroes the per-slice state.
+func (f *StreamFeaturizer) arm() {
+	f.s = getScratch(f.b, f.k2)
+	// getScratch sizes the backing but leaves carving it into block rows
+	// to the in-memory path's VecAllInto; the streaming scatter writes
+	// through the rows directly, so carve them here — never trusting
+	// whatever stale rows a pooled scratch may carry from a differently
+	// shaped earlier call.
+	for i := 0; i < f.b; i++ {
+		f.s.vecs[i] = f.s.backing[i*f.k2 : (i+1)*f.k2]
+	}
+	f.s.fk2 = float64(f.k2)
+	f.s.invK2 = 0
+	if f.k2&(f.k2-1) == 0 {
+		f.s.invK2 = 1 / f.s.fk2
+	}
+	f.rowIdx = 0
+	f.sum, f.sum2 = 0, 0
+	f.crop = f.crop[:0]
+	f.finished = false
+	f.tStart = time.Now()
+}
+
+// AddRow feeds the next row (length cols) of the current slice. The row
+// is consumed before return; the caller may reuse its backing storage.
+// Non-finite values fail fast with a typed error — the strict
+// DefaultValidation policy of the in-memory path — so a poisoned stream
+// can never produce partial or NaN features.
+func (f *StreamFeaturizer) AddRow(row []float64) error {
+	if f.finished {
+		return fmt.Errorf("predictors: %w: AddRow after Finish", crerr.ErrInvalidBuffer)
+	}
+	if len(row) != f.cols {
+		return fmt.Errorf("predictors: %w: row length %d, want %d", crerr.ErrInvalidBuffer, len(row), f.cols)
+	}
+	if f.rowIdx >= f.rows {
+		return fmt.Errorf("predictors: %w: row %d past slice of %d rows", crerr.ErrInvalidBuffer, f.rowIdx, f.rows)
+	}
+	for c, v := range row {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("predictors: %w: value at row %d col %d is %g",
+				crerr.ErrNonFiniteData, f.rowIdx, c, v)
+		}
+		f.sum += v
+		f.sum2 += v * v
+	}
+	r := f.rowIdx
+	if r < f.br*f.k {
+		// Scatter the in-grid prefix into the block matrix: element
+		// (r, c) lands at V[(r/k)·Bc + c/k][(r%k)·k + c%k], the exact
+		// coordinate a Blocking.Vec copy assigns it.
+		rowBase := (r / f.k) * f.bc
+		within := (r % f.k) * f.k
+		for bcIdx := 0; bcIdx < f.bc; bcIdx++ {
+			copy(f.s.vecs[rowBase+bcIdx][within:within+f.k], row[bcIdx*f.k:(bcIdx+1)*f.k])
+		}
+		f.crop = append(f.crop, row[f.bc*f.k:]...)
+	} else {
+		// Bottom crop rows: outside every block, but still part of the
+		// global moments and the error-bound entropies.
+		f.crop = append(f.crop, row...)
+	}
+	f.rowIdx++
+	return nil
+}
+
+// RowsFed returns how many rows of the current slice have arrived.
+func (f *StreamFeaturizer) RowsFed() int { return f.rowIdx }
+
+// Finish evaluates the four dataset predictors — and one generic
+// distortion per requested error bound — for the completed slice. The
+// distortions slice is aligned with eps. After Finish the featurizer
+// must be Reset (next slice) or Closed (done).
+func (f *StreamFeaturizer) Finish(eps ...float64) (DatasetFeatures, []float64, error) {
+	if f.finished {
+		return DatasetFeatures{}, nil, fmt.Errorf("predictors: %w: Finish called twice", crerr.ErrInvalidBuffer)
+	}
+	if f.rowIdx != f.rows {
+		return DatasetFeatures{}, nil, fmt.Errorf("predictors: %w: Finish after %d of %d rows",
+			crerr.ErrInvalidBuffer, f.rowIdx, f.rows)
+	}
+	for _, e := range eps {
+		if e <= 0 || math.IsNaN(e) || math.IsInf(e, 0) {
+			return DatasetFeatures{}, nil, fmt.Errorf("predictors: %w: error bound must be positive and finite, got %g",
+				crerr.ErrInvalidBuffer, e)
+		}
+	}
+	f.finished = true
+	s := f.s
+
+	// Error-bound entropies run on the raw retained values (V is still
+	// unstandardized here), matching ComputeEB over the whole buffer.
+	var distortions []float64
+	if len(eps) > 0 {
+		bins := f.cfg.Bins
+		if bins < 256 {
+			bins = 1024 // buffer-level estimation supports a finer histogram
+		}
+		if cap(f.segs) < f.b+1 {
+			f.segs = make([][]float64, f.b+1)
+		}
+		f.segs = f.segs[:0]
+		for i := 0; i < f.b; i++ {
+			f.segs = append(f.segs, s.vecs[i])
+		}
+		if len(f.crop) > 0 {
+			f.segs = append(f.segs, f.crop)
+		}
+		distortions = make([]float64, len(eps))
+		t0 := time.Now()
+		h := stats.HistogramEntropySeg(f.segs, bins)
+		for i, e := range eps {
+			hq := stats.QuantizedEntropySeg(f.segs, e)
+			distortions[i] = 2*h - 2*hq - math.Log2(12)
+		}
+		obsDist.Observe(time.Since(t0).Seconds())
+	}
+
+	// Global standardization from the streamed moments: the accumulation
+	// order was row-major element order, so gm/gsd carry the same bits as
+	// stats.MeanStd over the assembled buffer.
+	n := float64(f.rows) * float64(f.cols)
+	gm := f.sum / n
+	gv := f.sum2/n - gm*gm
+	if gv < 0 {
+		gv = 0 // numerical guard (same as stats.MeanStd)
+	}
+	gsd := math.Sqrt(gv)
+	if gsd == 0 {
+		gsd = 1
+	}
+	for i := 0; i < f.b; i++ {
+		vec := f.s.vecs[i]
+		for j, v := range vec {
+			vec[j] = (v - gm) / gsd
+		}
+		m, sd := stats.MeanStd(vec)
+		s.mean[i], s.sd[i] = m, sd
+		var n2 float64
+		for _, v := range vec {
+			n2 += v * v
+		}
+		s.norm2[i] = n2
+		s.posR[i], s.posC[i] = float64(i/f.bc), float64(i%f.bc)
+	}
+	setup := time.Since(f.tStart).Seconds()
+	df := finishDataset(s, f.b, f.k2, f.cfg.Workers, setup)
+	return df, distortions, nil
+}
+
+// Reset re-arms the featurizer for the next slice of the same shape,
+// reusing the held scratch — the piece that keeps a long stream's
+// allocations per slice constant.
+func (f *StreamFeaturizer) Reset() {
+	if f.s == nil {
+		f.arm()
+		return
+	}
+	f.rowIdx = 0
+	f.sum, f.sum2 = 0, 0
+	f.crop = f.crop[:0]
+	f.finished = false
+	f.tStart = time.Now()
+}
+
+// Close releases the pooled scratch. The featurizer is unusable after.
+func (f *StreamFeaturizer) Close() {
+	if f.s != nil {
+		putScratch(f.s)
+		f.s = nil
+	}
+}
+
+// SliceFeatures are the streamed predictor outputs of one slice.
+type SliceFeatures struct {
+	// Step is the slice index within the stream (z plane or time step).
+	Step int
+	// Dataset carries the four error-bound-agnostic predictors.
+	Dataset DatasetFeatures
+	// Distortions holds one generic distortion per requested error
+	// bound, aligned with the eps argument.
+	Distortions []float64
+}
+
+// FeaturesAt assembles the full covariate vector for error bound i.
+func (sf SliceFeatures) FeaturesAt(i int) Features {
+	return Combine(sf.Dataset, sf.Distortions[i])
+}
+
+// ForEachSlice drains a chunk stream slice by slice, invoking fn with
+// each slice's features as soon as its last row arrives. Working memory
+// is one slice plus pooled scratch, independent of the stream's length;
+// fn returning an error aborts the drain. The row buffer and featurizer
+// are reused across slices.
+func ForEachSlice(cr *grid.ChunkReader, eps []float64, cfg Config, fn func(SliceFeatures) error) error {
+	hdr := cr.Header()
+	f, err := NewStreamFeaturizer(hdr.Rows, hdr.Cols, cfg)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	row := make([]float64, hdr.Cols)
+	step := 0
+	for {
+		err := cr.ReadRow(row)
+		if err == io.EOF {
+			if f.RowsFed() != 0 {
+				// Unreachable with a contract-honoring ChunkReader (EOF
+				// only lands on slice boundaries), kept as a guard.
+				return fmt.Errorf("predictors: %w: stream ended mid-slice", crerr.ErrStreamCorrupt)
+			}
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := f.AddRow(row); err != nil {
+			return err
+		}
+		if f.RowsFed() == hdr.Rows {
+			df, dist, err := f.Finish(eps...)
+			if err != nil {
+				return err
+			}
+			if err := fn(SliceFeatures{Step: step, Dataset: df, Distortions: dist}); err != nil {
+				return err
+			}
+			step++
+			f.Reset()
+		}
+	}
+}
+
+// ComputeStream drains a chunk stream and returns the per-slice features.
+// It is ForEachSlice with accumulation — the convenience shape for CLI
+// and tests; servers that must bound memory strictly use the callback.
+func ComputeStream(cr *grid.ChunkReader, eps []float64, cfg Config) ([]SliceFeatures, error) {
+	var out []SliceFeatures
+	err := ForEachSlice(cr, eps, cfg, func(sf SliceFeatures) error {
+		out = append(out, sf)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

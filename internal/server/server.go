@@ -84,6 +84,11 @@ type Config struct {
 	MaxBatch     int
 	MaxBodyBytes int64
 
+	// StreamLimits bounds the shape a chunked-ingest stream may declare
+	// (zero-value fields select grid.DefaultStreamLimits). The byte cap
+	// is MaxBodyBytes, shared with the JSON path.
+	StreamLimits grid.StreamLimits
+
 	// Middleware, when set, wraps the route handlers inside the panic
 	// recovery layer — the seam the chaos harness injects slow, failing
 	// and panicking handlers through.
@@ -176,7 +181,8 @@ type Server struct {
 	panics        atomic.Uint64
 
 	// Registry handles, resolved once at construction.
-	m serverMetrics
+	m  serverMetrics
+	sm streamMetrics
 }
 
 // serverMetrics are the server's handles into the observability registry:
@@ -200,7 +206,7 @@ type serverMetrics struct {
 
 // endpointLabels are the route labels carrying their own latency series;
 // anything else records under "other".
-var endpointLabels = []string{"estimate", "batch", "healthz", "readyz", "statsz", "metrics", "other"}
+var endpointLabels = []string{"estimate", "batch", "feedback", "healthz", "readyz", "statsz", "metrics", "other"}
 
 func newServerMetrics(r *obs.Registry) serverMetrics {
 	m := serverMetrics{
@@ -229,6 +235,8 @@ func endpointLabel(path string) string {
 		return "estimate"
 	case "/v1/batch":
 		return "batch"
+	case "/v1/feedback":
+		return "feedback"
 	case "/healthz":
 		return "healthz"
 	case "/readyz":
@@ -255,6 +263,7 @@ func New(cfg Config) (*Server, error) {
 		drainCh:  make(chan struct{}),
 		idleCh:   make(chan struct{}),
 		m:        newServerMetrics(cfg.Obs),
+		sm:       newStreamMetrics(cfg.Obs),
 	}
 	s.ready.Store(true)
 	return s, nil
@@ -367,6 +376,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/feedback", s.handleFeedback)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
@@ -511,6 +521,10 @@ type BatchWireResponse struct {
 // Handlers
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if isStreamRequest(r) {
+		s.handleEstimateStream(w, r)
+		return
+	}
 	s.withAdmission(w, r, func(ctx context.Context) {
 		var req EstimateRequest
 		if err := s.decodeBody(w, r, &req); err != nil {
@@ -666,10 +680,16 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 type StatsPayload struct {
 	Server Stats       `json:"server"`
 	Engine batch.Stats `json:"engine"`
+	// Conformal is present when online recalibration is enabled.
+	Conformal *OnlineSnapshot `json:"conformal,omitempty"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, StatsPayload{Server: s.Stats(), Engine: s.engine.Stats()})
+	payload := StatsPayload{Server: s.Stats(), Engine: s.engine.Stats()}
+	if st, ok := s.engine.Estimator().OnlineStats(); ok {
+		payload.Conformal = onlineSnapshot(st)
+	}
+	s.writeJSON(w, http.StatusOK, payload)
 }
 
 // MetricsPayload is the GET /metrics body: the full registry snapshot
@@ -768,6 +788,8 @@ func classify(err error) (string, int) {
 		return "canceled", http.StatusServiceUnavailable
 	case errors.Is(err, crerr.ErrBodyTooLarge):
 		return "body_too_large", http.StatusRequestEntityTooLarge
+	case errors.Is(err, crerr.ErrStreamCorrupt):
+		return "stream_corrupt", http.StatusBadRequest
 	case errors.Is(err, crerr.ErrNonFiniteData):
 		return "non_finite_data", http.StatusBadRequest
 	case errors.Is(err, crerr.ErrInvalidBuffer):

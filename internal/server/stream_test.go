@@ -1,0 +1,246 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/crestlab/crest/internal/batch"
+	"github.com/crestlab/crest/internal/conformal"
+	"github.com/crestlab/crest/internal/core"
+	"github.com/crestlab/crest/internal/featcache"
+	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/predictors"
+)
+
+// encodeTestStream frames the buffers as a CRBS stream.
+func encodeTestStream(t testing.TB, bufs []*grid.Buffer, chunkRows int) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := grid.EncodeBuffers(&b, bufs, grid.DTypeF64, chunkRows); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+func postStream(t testing.TB, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, StreamContentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestStreamEstimateEndpoint posts a 3-slice binary stream and checks
+// every slice's estimate equals the in-memory JSON path's estimate for
+// the same slice — the end-to-end face of the bit-identity contract.
+func TestStreamEstimateEndpoint(t *testing.T) {
+	env := newTestServer(t, Config{}, false)
+
+	const rows, cols, steps = 24, 24, 3
+	bufs := make([]*grid.Buffer, steps)
+	for i := range bufs {
+		buf, err := grid.FromSlice(rows, cols, testBuffer(rows, cols, int64(10+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufs[i] = buf
+	}
+	resp, body := postStream(t, env.ts.URL+"/v1/estimate?eps=0.001", encodeTestStream(t, bufs, 7))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr StreamResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Slices) != steps {
+		t.Fatalf("got %d slices, want %d", len(sr.Slices), steps)
+	}
+	for i, se := range sr.Slices {
+		if se.Step != i {
+			t.Errorf("slice %d: step %d", i, se.Step)
+		}
+		jresp, jbody := postJSON(t, env.ts.URL+"/v1/estimate", mustJSON(t, EstimateRequest{
+			Rows: rows, Cols: cols, Data: bufs[i].Data, Eps: 0.001,
+		}))
+		if jresp.StatusCode != http.StatusOK {
+			t.Fatalf("json path status %d: %s", jresp.StatusCode, jbody)
+		}
+		var want EstimateResponse
+		if err := json.Unmarshal(jbody, &want); err != nil {
+			t.Fatal(err)
+		}
+		if se.CR != want.CR || se.Lo != want.Lo || se.Hi != want.Hi {
+			t.Errorf("slice %d: stream estimate %+v != json estimate %+v", i, se, want)
+		}
+	}
+}
+
+func TestStreamEstimateRequiresEps(t *testing.T) {
+	env := newTestServer(t, Config{}, false)
+	buf, err := grid.FromSlice(16, 16, testBuffer(16, 16, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postStream(t, env.ts.URL+"/v1/estimate", encodeTestStream(t, []*grid.Buffer{buf}, 4))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing eps: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestStreamEstimateCorruptBody checks a truncated stream fails closed:
+// typed 400 stream_corrupt, no partial slice list.
+func TestStreamEstimateCorruptBody(t *testing.T) {
+	env := newTestServer(t, Config{}, false)
+	buf, err := grid.FromSlice(24, 24, testBuffer(24, 24, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := encodeTestStream(t, []*grid.Buffer{buf, buf}, 5)
+	for _, tc := range []struct {
+		name string
+		body []byte
+	}{
+		{"truncated payload", raw[:len(raw)-9]},
+		{"garbage header", []byte("not a stream at all")},
+	} {
+		resp, body := postStream(t, env.ts.URL+"/v1/estimate?eps=0.001", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d: %s", tc.name, resp.StatusCode, body)
+		}
+		var we map[string]WireError
+		if err := json.Unmarshal(body, &we); err != nil {
+			t.Fatalf("%s: non-JSON error body %s", tc.name, body)
+		}
+		if we["error"].Kind != "stream_corrupt" {
+			t.Errorf("%s: kind %q, want stream_corrupt", tc.name, we["error"].Kind)
+		}
+	}
+}
+
+// onlineTestServer builds a server whose estimator has online
+// recalibration enabled with a tiny window, so feedback tests can drive
+// a recalibration quickly.
+func onlineTestServer(t *testing.T) (*testServer, *core.Estimator) {
+	t.Helper()
+	est := trainedEstimator(t)
+	est.EnableOnlineRecalibration(conformal.OnlineConfig{Window: 32, Band: 0.02, MinObserve: 16, Cooldown: 16})
+	cache := featcache.New(est.PredictorConfig())
+	srv, err := New(Config{Engine: batch.New(est, cache, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return &testServer{srv: srv, ts: ts}, est
+}
+
+func TestFeedbackEndpoint(t *testing.T) {
+	env, est := onlineTestServer(t)
+	features := func(seed int64) []float64 {
+		buf, err := grid.FromSlice(24, 24, testBuffer(24, 24, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := predictors.Compute(buf, 1e-3, est.PredictorConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.Vector()
+	}
+
+	// Grossly wrong truths drive coverage to 0 past the warm-up: the
+	// tracker must recalibrate and say so on the wire.
+	recalibrated := false
+	var last FeedbackResponse
+	for i := 0; i < 40; i++ {
+		fb := FeedbackRequest{Features: features(int64(i)), ActualCR: 95}
+		resp, body := postJSON(t, env.ts.URL+"/v1/feedback", mustJSON(t, fb))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("iter %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &last); err != nil {
+			t.Fatal(err)
+		}
+		if last.Recalibrated {
+			recalibrated = true
+		}
+	}
+	if !recalibrated {
+		t.Fatal("40 maximally-missed observations never recalibrated")
+	}
+	if last.Recalibrations == 0 || last.Windowed == 0 {
+		t.Fatalf("implausible final feedback %+v", last)
+	}
+	if math.IsNaN(last.Coverage) {
+		t.Fatal("coverage NaN after observations")
+	}
+
+	// The /statsz payload now carries the conformal block.
+	resp, body := postJSON(t, env.ts.URL+"/statsz", nil)
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("POST /statsz should 405, got %d", resp.StatusCode)
+	}
+	resp, err := http.Get(env.ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sp StatsPayload
+	if err := json.Unmarshal(body, &sp); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Conformal == nil {
+		t.Fatal("/statsz missing conformal block with recalibration enabled")
+	}
+	if sp.Conformal.Recalibrations != last.Recalibrations {
+		t.Errorf("statsz recalibrations %d != feedback %d", sp.Conformal.Recalibrations, last.Recalibrations)
+	}
+}
+
+func TestFeedbackDisabledConflicts(t *testing.T) {
+	env := newTestServer(t, Config{}, false)
+	fb := FeedbackRequest{Features: make([]float64, 5), ActualCR: 10}
+	resp, body := postJSON(t, env.ts.URL+"/v1/feedback", mustJSON(t, fb))
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status %d: %s (want 409 when recalibration disabled)", resp.StatusCode, body)
+	}
+	var we map[string]WireError
+	if err := json.Unmarshal(body, &we); err != nil {
+		t.Fatal(err)
+	}
+	if we["error"].Kind != "recalibration_disabled" {
+		t.Errorf("kind %q", we["error"].Kind)
+	}
+}
+
+func TestFeedbackRejectsBadCR(t *testing.T) {
+	env, _ := onlineTestServer(t)
+	for _, cr := range []float64{0, -3, math.NaN(), math.Inf(1)} {
+		fb := map[string]any{"features": make([]float64, 5), "actual_cr": cr}
+		raw, err := json.Marshal(fb)
+		if err != nil {
+			// NaN/Inf cannot be marshalled by encoding/json; send a raw body.
+			raw = []byte(`{"features":[0,0,0,0,0],"actual_cr":"bad"}`)
+		}
+		resp, body := postJSON(t, env.ts.URL+"/v1/feedback", raw)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("cr=%v: status %d: %s", cr, resp.StatusCode, body)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package stats
+
+import "math"
+
+// segments.go holds the segment-fed twins of the entropy estimators: the
+// same statistics computed over a virtual concatenation of slices, so the
+// streaming predictor pipeline — whose retained values live scattered
+// across vectorized blocks plus a crop remainder rather than in one
+// row-major buffer — can evaluate the error-bound-specific distortion
+// without reassembling the buffer.
+//
+// Bit-identity contract: both estimators are functions of the value
+// *multiset* only. Min/max are order-independent; bin counts are integer
+// tallies; and the final entropy sums run in a canonical order (bin index
+// for the histogram, sorted counts for the quantized form — see Entropy).
+// HistogramEntropySeg and QuantizedEntropySeg therefore return results
+// bit-identical to HistogramEntropy/QuantizedEntropy over any
+// concatenation order of the same values, which the streaming
+// differential suite pins against the in-memory path.
+
+// HistogramEntropySeg is HistogramEntropy over the concatenation of segs.
+func HistogramEntropySeg(segs [][]float64, bins int) float64 {
+	n := 0
+	for _, s := range segs {
+		n += len(s)
+	}
+	if n == 0 || bins <= 0 {
+		return 0
+	}
+	first := true
+	var lo, hi float64
+	for _, s := range segs {
+		for _, v := range s {
+			if first {
+				lo, hi = v, v
+				first = false
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi == lo {
+		return 0
+	}
+	counts := make([]int, bins)
+	w := float64(bins) / (hi - lo)
+	for _, s := range segs {
+		for _, v := range s {
+			b := int((v - lo) * w)
+			if b >= bins {
+				b = bins - 1
+			}
+			counts[b]++
+		}
+	}
+	var h float64
+	fn := float64(n)
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / fn
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// QuantizedEntropySeg is QuantizedEntropy over the concatenation of segs.
+func QuantizedEntropySeg(segs [][]float64, eps float64) float64 {
+	n := 0
+	for _, s := range segs {
+		n += len(s)
+	}
+	if eps <= 0 || n == 0 {
+		return 0
+	}
+	counts := make(map[int64]int, 64)
+	for _, s := range segs {
+		for _, v := range s {
+			counts[QuantizeBin(v, eps)]++
+		}
+	}
+	return Entropy(counts)
+}

@@ -1,0 +1,47 @@
+package synthdata
+
+import "github.com/crestlab/crest/internal/grid"
+
+// temporal.go extends the generator to the shapes the streaming ingest
+// path consumes: single-field 3D volumes (streamed slice by slice along
+// z) and time-evolving 2D fields (streamed step by step), without
+// building a whole multi-field Dataset.
+
+// Volume synthesizes one field's nz×ny×nx volume deterministically from
+// seed — the single-field face of Generate, for callers that stream a
+// volume rather than slice a dataset up front.
+func Volume(dataset string, spec FieldSpec, nz, ny, nx int, seed int64) *grid.Volume {
+	return synthesize(dataset, spec, nz, ny, nx, seed, nil)
+}
+
+// Temporal synthesizes a time series of ny×nx buffers for one field:
+// step 0 is the field itself, and each later step is an AR(1) evolution
+// b_t = rho·b_{t−1} + (1−rho)·e_t with an independent innovation field
+// e_t, mimicking the slow decorrelation of simulation output across
+// checkpoints (rho outside (0,1) defaults to 0.85). Buffers carry their
+// step index, so a stream encoded from the result round-trips the
+// temporal ordering.
+func Temporal(dataset string, spec FieldSpec, steps, ny, nx int, seed int64, rho float64) []*grid.Buffer {
+	if steps <= 0 {
+		return nil
+	}
+	if rho <= 0 || rho >= 1 {
+		rho = 0.85
+	}
+	out := make([]*grid.Buffer, steps)
+	prev := Volume(dataset, spec, 1, ny, nx, seed).Slice(0)
+	for t := 0; t < steps; t++ {
+		if t > 0 {
+			innov := Volume(dataset, spec, 1, ny, nx, seed+int64(t)*7919).Slice(0)
+			next := grid.NewBuffer(ny, nx)
+			for i := range next.Data {
+				next.Data[i] = rho*prev.Data[i] + (1-rho)*innov.Data[i]
+			}
+			prev = next
+		}
+		b := prev.Clone()
+		b.Dataset, b.Field, b.Step = dataset, spec.Name, t
+		out[t] = b
+	}
+	return out
+}

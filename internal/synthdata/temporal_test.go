@@ -1,0 +1,67 @@
+package synthdata
+
+import (
+	"math"
+	"testing"
+
+	"github.com/crestlab/crest/internal/stats"
+)
+
+func TestVolumeMatchesGenerate(t *testing.T) {
+	specs := HurricaneSpecs()
+	ds := Generate("hurricane", specs, 4, 32, 40, 7)
+	vol := Volume("hurricane", specs[7], 4, 32, 40, 7) // TC, uncoupled
+	want := ds.Fields[7].Buffers
+	for z := 0; z < 4; z++ {
+		got := vol.Slice(z)
+		for i := range got.Data {
+			if math.Float64bits(got.Data[i]) != math.Float64bits(want[z].Data[i]) {
+				t.Fatalf("slice %d element %d differs from Generate", z, i)
+			}
+		}
+	}
+}
+
+func TestTemporalDeterministicAndStamped(t *testing.T) {
+	spec := NYXSpecs()[0]
+	a := Temporal("nyx", spec, 5, 24, 24, 3, 0.9)
+	b := Temporal("nyx", spec, 5, 24, 24, 3, 0.9)
+	if len(a) != 5 {
+		t.Fatalf("got %d steps", len(a))
+	}
+	for tt := range a {
+		if a[tt].Step != tt || a[tt].Dataset != "nyx" || a[tt].Field != spec.Name {
+			t.Fatalf("step %d mis-stamped: %+v", tt, a[tt])
+		}
+		for i := range a[tt].Data {
+			if a[tt].Data[i] != b[tt].Data[i] {
+				t.Fatalf("step %d not deterministic", tt)
+			}
+		}
+	}
+}
+
+// TestTemporalEvolvesGradually: consecutive steps stay correlated (the
+// AR(1) persistence) while distant steps decorrelate — the property the
+// streaming pipeline's temporal mode exists to exercise.
+func TestTemporalEvolvesGradually(t *testing.T) {
+	spec := HurricaneSpecs()[7] // TC: smooth, no sparse clipping
+	series := Temporal("hurricane", spec, 12, 32, 32, 11, 0.8)
+	corr := func(x, y []float64) float64 {
+		mx, sx := stats.MeanStd(x)
+		my, sy := stats.MeanStd(y)
+		var c float64
+		for i := range x {
+			c += (x[i] - mx) * (y[i] - my)
+		}
+		return c / (float64(len(x)) * sx * sy)
+	}
+	adjacent := corr(series[0].Data, series[1].Data)
+	distant := corr(series[0].Data, series[11].Data)
+	if adjacent < 0.5 {
+		t.Fatalf("adjacent steps decorrelated too fast: r=%g", adjacent)
+	}
+	if distant >= adjacent {
+		t.Fatalf("no temporal decay: r(0,1)=%g r(0,11)=%g", adjacent, distant)
+	}
+}

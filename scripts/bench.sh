@@ -15,9 +15,14 @@
 #
 # A third phase benchmarks the fused predictor kernels (`crest predbench`)
 # and archives p50/p90 ComputeDataset latency plus allocs/op as
-# BENCH_predictors.json. Run one phase alone by naming it:
+# BENCH_predictors.json. A fourth phase benchmarks streaming ingest
+# (`crest streambench`) as BENCH_stream.json and *asserts* the O(block)
+# working-memory claim: allocations per slice must stay flat as the
+# stream grows (alloc_growth_ratio <= BENCH_STREAM_MAX_GROWTH, default
+# 1.25). Run one phase alone by naming it:
 #
-#   ./scripts/bench.sh predictors     # kernel phase only (the CI smoke step)
+#   ./scripts/bench.sh predictors     # kernel phase only (a CI smoke step)
+#   ./scripts/bench.sh stream         # streaming-ingest phase only (a CI smoke step)
 #   ./scripts/bench.sh server         # serving + observability phases only
 set -eu
 
@@ -33,6 +38,10 @@ WORK_DELAY="${BENCH_WORK_DELAY:-2ms}"
 PRED_OUT="${BENCH_PRED_OUT:-BENCH_predictors.json}"
 PRED_EDGE="${BENCH_PRED_EDGE:-512}"
 PRED_ITERS="${BENCH_PRED_ITERS:-10}"
+STREAM_OUT="${BENCH_STREAM_OUT:-BENCH_stream.json}"
+STREAM_EDGE="${BENCH_STREAM_EDGE:-256}"
+STREAM_SLICES="${BENCH_STREAM_SLICES:-2,8,32}"
+STREAM_MAX_GROWTH="${BENCH_STREAM_MAX_GROWTH:-1.25}"
 
 if [ "$MODE" = "all" ] || [ "$MODE" = "server" ]; then
     go run ./cmd/crest servebench \
@@ -62,4 +71,28 @@ if [ "$MODE" = "all" ] || [ "$MODE" = "predictors" ]; then
         -out "$PRED_OUT"
 
     echo "bench: wrote $PRED_OUT"
+fi
+
+if [ "$MODE" = "all" ] || [ "$MODE" = "stream" ]; then
+    go run ./cmd/crest streambench \
+        -ny "$STREAM_EDGE" \
+        -nx "$STREAM_EDGE" \
+        -slices "$STREAM_SLICES" \
+        -out "$STREAM_OUT"
+
+    # O(block) working-memory assertion: per-slice allocations must not
+    # grow with the stream length. The featurizer and kernel scratch are
+    # reused across slices, so allocs/slice at the longest stream should
+    # match the shortest; a drifting ratio means per-slice state is
+    # leaking into per-stream state.
+    growth=$(sed -n 's/.*"alloc_growth_ratio": \([0-9.eE+-]*\).*/\1/p' "$STREAM_OUT")
+    if [ -z "$growth" ]; then
+        echo "bench: FAIL: no alloc_growth_ratio in $STREAM_OUT" >&2
+        exit 1
+    fi
+    if ! awk -v g="$growth" -v max="$STREAM_MAX_GROWTH" 'BEGIN { exit !(g <= max) }'; then
+        echo "bench: FAIL: alloc growth ratio $growth exceeds $STREAM_MAX_GROWTH (streaming memory is not O(block))" >&2
+        exit 1
+    fi
+    echo "bench: wrote $STREAM_OUT (alloc growth x$growth <= $STREAM_MAX_GROWTH)"
 fi

@@ -14,6 +14,7 @@
 #   internal/featcache  FuzzKeyDerivation            (cache key derivation)
 #   internal/compressors  FuzzDecompress*            (all decoder hardening targets)
 #   internal/grid       FuzzBufferValidate           (public-boundary buffer validation)
+#   internal/grid       FuzzChunkDecode              (CRBS block-stream decoder hardening)
 #   internal/stats      FuzzQuantizeBin              (saturated quantizer bin index)
 #   snapshot            FuzzSnapshotDecode           (durable-model envelope decoder)
 set -eu
