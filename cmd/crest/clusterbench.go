@@ -1,0 +1,236 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	crest "github.com/crestlab/crest"
+	"github.com/crestlab/crest/internal/batch"
+	"github.com/crestlab/crest/internal/chaos"
+	"github.com/crestlab/crest/internal/cluster"
+	"github.com/crestlab/crest/internal/featcache"
+	"github.com/crestlab/crest/internal/obs"
+	"github.com/crestlab/crest/internal/server"
+)
+
+// clusterBenchReport is the JSON document `crest clusterbench` emits —
+// the replication-layer benchmark scripts/bench.sh archives as
+// BENCH_cluster.json. The headline number is TailRatio: hedged p99 over
+// the bound hedging promises, max(healthy p99, hedge-after) — with one
+// replica slowed by SlowDelayMs it should stay near 1, instead of
+// near SlowDelayMs/bound as it would without hedging.
+type clusterBenchReport struct {
+	Nodes        int     `json:"nodes"`
+	Replicas     int     `json:"replicas"`
+	Requests     int     `json:"requests"`
+	HealthyP50Ms float64 `json:"healthy_p50_ms"`
+	HealthyP99Ms float64 `json:"healthy_p99_ms"`
+	SlowDelayMs  float64 `json:"slow_delay_ms"`
+	HedgedP50Ms  float64 `json:"hedged_p50_ms"`
+	HedgedP99Ms  float64 `json:"hedged_p99_ms"`
+	TailRatio    float64 `json:"tail_ratio"`
+	HedgeAfterMs float64 `json:"hedge_after_ms"`
+	Forwarded    uint64  `json:"forwarded"`
+	Hedges       uint64  `json:"hedges"`
+	HedgeWins    uint64  `json:"hedge_wins"`
+	Errors       int     `json:"errors"`
+}
+
+// benchNode is one in-process replica: a full server with its own
+// cluster layer, obs registry and engine, listening on a loopback port.
+type benchNode struct {
+	addr string
+	cl   *cluster.Cluster
+	hs   *http.Server
+}
+
+// cmdClusterBench boots a local in-process N-node fleet sharing one
+// trained model, measures estimate latency through the routing layer
+// while healthy, then injects a fixed delay on every path to one replica
+// and measures again with hedging active. Without hedging the slow
+// replica would own ~1/N of the keys and set the p99 at the injected
+// delay; the report shows how close hedging keeps the tail to baseline.
+func cmdClusterBench(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("clusterbench", flag.ExitOnError)
+	nodes := fs.Int("nodes", 3, "fleet size")
+	n := fs.Int("n", 120, "requests per phase")
+	replicas := fs.Int("replicas", 2, "owner replica-set size per key")
+	hedgeAfter := fs.Duration("hedge-after", 20*time.Millisecond, "backup-request delay")
+	slowDelay := fs.Duration("slow-delay", 250*time.Millisecond, "injected one-way delay to the slow replica")
+	out := fs.String("out", "-", "write the JSON report here (-: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *nodes < 2 {
+		return fmt.Errorf("clusterbench needs at least 2 nodes, got %d", *nodes)
+	}
+
+	// One tiny shared model: the bench measures the replication layer.
+	rng := rand.New(rand.NewSource(23))
+	samples := make([]crest.Sample, 60)
+	for i := range samples {
+		f := make([]float64, 5)
+		for j := range f {
+			f[j] = rng.NormFloat64()
+		}
+		samples[i] = crest.Sample{Features: f, CR: 1 + 8*math.Exp(0.4*f[0])}
+	}
+	est, err := crest.TrainEstimatorContext(ctx, samples, crest.EstimatorConfig{})
+	if err != nil {
+		return err
+	}
+
+	lns := make([]net.Listener, *nodes)
+	addrs := make([]string, *nodes)
+	for i := range lns {
+		if lns[i], err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+			return err
+		}
+		addrs[i] = "http://" + lns[i].Addr().String()
+	}
+	net_ := chaos.NewNetwork()
+
+	fleet := make([]*benchNode, *nodes)
+	for i := range fleet {
+		cl, err := cluster.New(cluster.Config{
+			Self:           addrs[i],
+			Peers:          addrs,
+			Replicas:       *replicas,
+			HedgeAfter:     *hedgeAfter,
+			ForwardTimeout: 5 * time.Second,
+			Health:         cluster.HealthConfig{Interval: time.Hour, Seed: int64(i + 1)},
+			Transport:      net_.Transport(addrs[i], &http.Transport{}),
+			Obs:            obs.NewRegistry(),
+		})
+		if err != nil {
+			return err
+		}
+		srv, err := server.New(server.Config{
+			Engine:  batch.New(est, featcache.New(est.PredictorConfig()), 4),
+			Cluster: cl,
+			Obs:     obs.NewRegistry(),
+		})
+		if err != nil {
+			return err
+		}
+		node := &benchNode{addr: addrs[i], cl: cl, hs: &http.Server{Handler: srv.Handler()}}
+		go node.hs.Serve(lns[i])
+		defer node.hs.Close()
+		fleet[i] = node
+	}
+
+	body := func(i int) []byte {
+		data := make([]float64, 24*24)
+		for j := range data {
+			data[j] = math.Sin(float64(j)/9 + float64(i%7))
+		}
+		b, _ := json.Marshal(server.EstimateRequest{
+			Dataset: "bench", Field: fmt.Sprintf("f%d", i),
+			Rows: 24, Cols: 24, Data: data, Eps: 1e-3,
+		})
+		return b
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	errs := 0
+	run := func(count int) ([]time.Duration, error) {
+		lat := make([]time.Duration, 0, count)
+		for i := 0; i < count; i++ {
+			if ctx.Err() != nil {
+				return lat, ctx.Err()
+			}
+			t0 := time.Now()
+			resp, err := client.Post(fleet[0].addr+"/v1/estimate", "application/json", bytes.NewReader(body(i)))
+			if err != nil {
+				errs++
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs++
+				continue
+			}
+			lat = append(lat, time.Since(t0))
+		}
+		return lat, nil
+	}
+	pct := func(lat []time.Duration, p float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		s := append([]time.Duration(nil), lat...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		return float64(s[int(p*float64(len(s)-1))]) / float64(time.Millisecond)
+	}
+
+	healthy, err := run(*n)
+	if err != nil {
+		return err
+	}
+
+	// Slow one replica that node 0 forwards to: every path toward it
+	// (requests and hedges alike) pays the injected delay.
+	net_.SetLatency("", fleet[1].addr, *slowDelay)
+	hedged, err := run(*n)
+	if err != nil {
+		return err
+	}
+
+	st := fleet[0].cl.Stats()
+	hp99 := pct(healthy, 0.99)
+	sp99 := pct(hedged, 0.99)
+	bound := hp99
+	if ha := float64(*hedgeAfter) / float64(time.Millisecond); ha > bound {
+		bound = ha
+	}
+	ratio := 0.0
+	if bound > 0 {
+		ratio = sp99 / bound
+	}
+	report := clusterBenchReport{
+		Nodes:        *nodes,
+		Replicas:     *replicas,
+		Requests:     *n,
+		HealthyP50Ms: pct(healthy, 0.50),
+		HealthyP99Ms: hp99,
+		SlowDelayMs:  float64(*slowDelay) / float64(time.Millisecond),
+		HedgedP50Ms:  pct(hedged, 0.50),
+		HedgedP99Ms:  sp99,
+		TailRatio:    ratio,
+		HedgeAfterMs: float64(*hedgeAfter) / float64(time.Millisecond),
+		Forwarded:    st.Forwarded,
+		Hedges:       st.Hedges,
+		HedgeWins:    st.HedgeWins,
+		Errors:       errs,
+	}
+	for _, node := range fleet {
+		node.cl.Close()
+	}
+
+	doc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(doc)
+		return err
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (healthy p99 %.1fms, hedged p99 %.1fms, ratio %.2f, hedges %d/%d wins)\n",
+		*out, report.HealthyP99Ms, report.HedgedP99Ms, report.TailRatio, report.HedgeWins, report.Hedges)
+	return nil
+}

@@ -71,6 +71,8 @@ func main() {
 		err = cmdStreamBench(args)
 	case "servebench":
 		err = cmdServeBench(ctx, args)
+	case "clusterbench":
+		err = cmdClusterBench(ctx, args)
 	case "predbench":
 		err = cmdPredBench(args)
 	case "metricscheck":
@@ -113,6 +115,7 @@ commands:
   stream      out-of-core: generate, featurize, estimate or post CRBS block streams
   streambench streaming-ingest benchmark: per-slice cost must stay flat with stream length
   servebench  in-process serving benchmark: tail latency + shed rate
+  clusterbench in-process replicated-fleet benchmark: hedged tail latency with a slow replica
   predbench   predictor-kernel benchmark: ComputeDataset latency + allocs
   metricscheck verify a running server's GET /metrics exposes every expected series
   similarity  print the field-similarity (Mahalanobis) matrix of a dataset

@@ -8,9 +8,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	crest "github.com/crestlab/crest"
+	"github.com/crestlab/crest/internal/cluster"
 	"github.com/crestlab/crest/internal/obs"
 	"github.com/crestlab/crest/internal/server"
 )
@@ -38,6 +40,13 @@ func cmdServe(ctx context.Context, args []string) error {
 	recal := fs.Bool("recalibrate", false, "enable online conformal recalibration from POST /v1/feedback observations")
 	recalWindow := fs.Int("recal-window", 512, "rolling observation window for recalibration")
 	recalBand := fs.Float64("recal-band", 0.03, "coverage band half-width around the conformal target")
+	peers := fs.String("peers", "", "comma-separated replica base URLs (including this node); empty: single-node")
+	self := fs.String("self", "", "this node's base URL as it appears in -peers (default http://<addr>)")
+	replicas := fs.Int("replicas", 2, "owner replica-set size per routing key")
+	forwardDepth := fs.Int("forward-depth", 1, "max forwarding hops before a request is served locally")
+	hedgeAfter := fs.Duration("hedge-after", 0, "fixed backup-request delay (0: adaptive p90 of recent forwards; negative: no hedging)")
+	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive forward failures that open a peer's circuit breaker")
+	breakerOpenFor := fs.Duration("breaker-open-for", 2*time.Second, "how long an open breaker rejects a peer before half-open probing")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,8 +68,60 @@ func cmdServe(ctx context.Context, args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "crest serve: model %s (conformal radius %.4f)\n", from, est.IntervalRadius())
 	if *recal {
-		est.EnableOnlineRecalibration(crest.OnlineConformalConfig{Window: *recalWindow, Band: *recalBand})
-		fmt.Fprintf(os.Stderr, "crest serve: online recalibration on (window %d, band ±%.3f)\n", *recalWindow, *recalBand)
+		if est.OnlineRecalibrationEnabled() {
+			// The snapshot carried a live tracker; resume its window and
+			// recalibrated radius rather than resetting to the flags.
+			ost, _ := est.OnlineStats()
+			fmt.Fprintf(os.Stderr, "crest serve: online recalibration resumed from snapshot (observed %d, windowed %d, radius %.4f)\n",
+				ost.Observed, ost.Windowed, ost.Radius)
+		} else {
+			est.EnableOnlineRecalibration(crest.OnlineConformalConfig{Window: *recalWindow, Band: *recalBand})
+			fmt.Fprintf(os.Stderr, "crest serve: online recalibration on (window %d, band ±%.3f)\n", *recalWindow, *recalBand)
+		}
+	}
+
+	// The listener binds before the cluster layer so -self can default to
+	// the actually-bound address (port 0 picks a free port).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+
+	var cl *cluster.Cluster
+	if *peers != "" {
+		var list []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				list = append(list, p)
+			}
+		}
+		selfURL := *self
+		if selfURL == "" {
+			selfURL = "http://" + bound
+		}
+		cl, err = cluster.New(cluster.Config{
+			Self:            selfURL,
+			Peers:           list,
+			Replicas:        *replicas,
+			MaxForwardDepth: *forwardDepth,
+			HedgeAfter:      *hedgeAfter,
+			Breaker: cluster.BreakerConfig{
+				FailureThreshold: *breakerThreshold,
+				OpenFor:          *breakerOpenFor,
+			},
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "crest serve: cluster: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("cluster: %w", err)
+		}
+		cl.Start()
+		defer cl.Close()
+		fmt.Fprintf(os.Stderr, "crest serve: clustered as %s across %d peers (replicas %d)\n",
+			selfURL, len(list), *replicas)
 	}
 
 	engine := crest.NewBatchEstimator(est, nil, *workers)
@@ -72,20 +133,17 @@ func cmdServe(ctx context.Context, args []string) error {
 		RetryAfter:     *retryAfter,
 		EnablePprof:    *pprof,
 		SlowRequest:    *slowReq,
+		Cluster:        cl,
 		Logger:         obs.NewLogger(os.Stderr),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "crest serve: "+format+"\n", args...)
 		},
 	})
 	if err != nil {
+		ln.Close()
 		return err
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
-	}
-	bound := ln.Addr().String()
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
 			ln.Close()

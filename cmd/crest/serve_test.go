@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -286,5 +287,131 @@ func TestCmdServeBenchEmitsReport(t *testing.T) {
 	}
 	if rep.OK == 0 || rep.P50Ms <= 0 || rep.P99Ms < rep.P50Ms {
 		t.Fatalf("latency stats implausible: %+v", rep)
+	}
+}
+
+// TestCmdClusterBenchEmitsReport runs a miniature fleet bench and
+// validates the report invariants: no hard errors, hedges fired against
+// the slowed replica, and the hedged tail landed far below the injected
+// delay.
+func TestCmdClusterBenchEmitsReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	args := []string{"-n", "60", "-hedge-after", "15ms", "-slow-delay", "200ms", "-out", out}
+	if err := cmdClusterBench(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep clusterBenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report not JSON: %v: %s", err, raw)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("bench saw request errors: %+v", rep)
+	}
+	if rep.Hedges == 0 || rep.Forwarded == 0 {
+		t.Fatalf("bench never forwarded or hedged: %+v", rep)
+	}
+	if rep.HedgedP99Ms >= rep.SlowDelayMs {
+		t.Fatalf("hedging did not beat the slow replica: %+v", rep)
+	}
+	if rep.HealthyP50Ms <= 0 || rep.HedgedP99Ms <= 0 {
+		t.Fatalf("latency stats implausible: %+v", rep)
+	}
+}
+
+// TestServeClusterFlags boots two clustered serve processes (in-process)
+// that list each other as peers, and checks /statsz exposes the cluster
+// block with both peers while estimates still succeed end to end.
+func TestServeClusterFlags(t *testing.T) {
+	dir := t.TempDir()
+	trainTinySnapshot(t, dir)
+
+	// Reserve two ports by binding and releasing, so both nodes can know
+	// the full peer list up front.
+	reserve := func() string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		return addr
+	}
+	a1, a2 := reserve(), reserve()
+	peers := "http://" + a1 + ",http://" + a2
+
+	var cancels []context.CancelFunc
+	var dones []chan error
+	for _, a := range []string{a1, a2} {
+		addrFile := filepath.Join(t.TempDir(), "addr")
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func(a string) {
+			done <- cmdServe(ctx, []string{
+				"-model-dir", dir, "-addr", a, "-addr-file", addrFile,
+				"-peers", peers, "-self", "http://" + a, "-hedge-after", "-1ms",
+			})
+		}(a)
+		cancels = append(cancels, cancel)
+		dones = append(dones, done)
+	}
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+		for _, d := range dones {
+			select {
+			case err := <-d:
+				if err != nil {
+					t.Errorf("serve exited with %v", err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Error("serve did not drain after cancel")
+			}
+		}
+	}()
+
+	waitReady := func(addr string) {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := http.Get("http://" + addr + "/readyz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return
+				}
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("node %s never became ready", addr)
+	}
+	waitReady(a1)
+	waitReady(a2)
+
+	resp, err := http.Get("http://" + a1 + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var sp struct {
+		Cluster *struct {
+			Self  string `json:"self"`
+			Peers []struct {
+				Addr string `json:"addr"`
+			} `json:"peers"`
+		} `json:"cluster"`
+	}
+	if err := json.Unmarshal(body, &sp); err != nil {
+		t.Fatalf("statsz not JSON: %v: %s", err, body)
+	}
+	if sp.Cluster == nil {
+		t.Fatalf("clustered serve missing cluster block: %s", body)
+	}
+	if sp.Cluster.Self != "http://"+a1 || len(sp.Cluster.Peers) != 2 {
+		t.Fatalf("cluster block implausible: %s", body)
 	}
 }

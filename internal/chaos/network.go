@@ -1,0 +1,208 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Network is the network-fault half of the harness: a dynamically
+// togglable injector at the http.RoundTripper seam, keyed by directed
+// (origin, target) host pairs so multi-node chaos suites can impose
+// partial partitions — node A cannot reach node B while everyone else
+// can. Unlike the seeded Injector (whose fault schedule is fixed up
+// front), Network faults are flipped on and off mid-run: chaos tests
+// blackhole a peer, watch breakers trip, heal the route, and watch
+// recovery.
+//
+// Fault kinds per route: blackhole (the request hangs until its context
+// is canceled — dropped packets, not a polite RST), added latency, and a
+// 5xx storm (every request answered with a synthesized error status
+// without touching the wire). Blackhole dominates latency and storms.
+type Network struct {
+	mu     sync.Mutex
+	faults map[netRoute]*netFault
+
+	requests   atomic.Uint64
+	blackholed atomic.Uint64
+	delayed    atomic.Uint64
+	stormed    atomic.Uint64
+}
+
+// netRoute is a directed origin→target host pair; an empty side is a
+// wildcard.
+type netRoute struct{ from, to string }
+
+// netFault is the fault set active on one route.
+type netFault struct {
+	blackhole bool
+	latency   time.Duration
+	storm     int // synthesized status; 0 = off
+}
+
+// NewNetwork returns an injector with no active faults.
+func NewNetwork() *Network {
+	return &Network{faults: make(map[netRoute]*netFault)}
+}
+
+// NetworkCounts reports how many requests each fault kind has touched.
+type NetworkCounts struct {
+	Requests, Blackholed, Delayed, Stormed uint64
+}
+
+// Counts returns a snapshot of the fault counters.
+func (n *Network) Counts() NetworkCounts {
+	return NetworkCounts{
+		Requests:   n.requests.Load(),
+		Blackholed: n.blackholed.Load(),
+		Delayed:    n.delayed.Load(),
+		Stormed:    n.stormed.Load(),
+	}
+}
+
+// normalizeHost reduces a peer name or URL to a bare host[:port] so
+// routes match however the caller spells the peer.
+func normalizeHost(s string) string {
+	s = strings.TrimPrefix(s, "http://")
+	s = strings.TrimPrefix(s, "https://")
+	return strings.TrimSuffix(s, "/")
+}
+
+func (n *Network) fault(from, to string) *netFault {
+	f, ok := n.faults[netRoute{from, to}]
+	if !ok {
+		f = &netFault{}
+		n.faults[netRoute{from, to}] = f
+	}
+	return f
+}
+
+// Partition blackholes the directed route from→to. Empty strings are
+// wildcards: Partition("", target) drops everyone's traffic to target.
+func (n *Network) Partition(from, to string) {
+	n.mu.Lock()
+	n.fault(normalizeHost(from), normalizeHost(to)).blackhole = true
+	n.mu.Unlock()
+}
+
+// PartitionBoth blackholes both directions between two nodes.
+func (n *Network) PartitionBoth(a, b string) {
+	n.Partition(a, b)
+	n.Partition(b, a)
+}
+
+// SetLatency adds a fixed delay on the directed route (zero removes it).
+func (n *Network) SetLatency(from, to string, d time.Duration) {
+	n.mu.Lock()
+	n.fault(normalizeHost(from), normalizeHost(to)).latency = d
+	n.mu.Unlock()
+}
+
+// Storm answers every request on the directed route with the given
+// status (a 5xx, typically) without reaching the target; status 0 stops
+// the storm.
+func (n *Network) Storm(from, to string, status int) {
+	n.mu.Lock()
+	n.fault(normalizeHost(from), normalizeHost(to)).storm = status
+	n.mu.Unlock()
+}
+
+// Heal clears every fault on the directed route.
+func (n *Network) Heal(from, to string) {
+	n.mu.Lock()
+	delete(n.faults, netRoute{normalizeHost(from), normalizeHost(to)})
+	n.mu.Unlock()
+}
+
+// HealAll clears every fault on every route.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	n.faults = make(map[netRoute]*netFault)
+	n.mu.Unlock()
+}
+
+// effective merges the active rules covering origin→target: the exact
+// route plus the three wildcard grains. Any blackhole wins; latencies
+// take the max; the most specific storm wins.
+func (n *Network) effective(from, to string) netFault {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out netFault
+	for _, r := range [...]netRoute{{from, to}, {"", to}, {from, ""}, {"", ""}} {
+		f, ok := n.faults[r]
+		if !ok {
+			continue
+		}
+		out.blackhole = out.blackhole || f.blackhole
+		if f.latency > out.latency {
+			out.latency = f.latency
+		}
+		if out.storm == 0 {
+			out.storm = f.storm
+		}
+	}
+	return out
+}
+
+// Transport wraps base with this injector's faults for requests
+// originating at the named node. Each serving node in a chaos fleet gets
+// its own wrapped transport, all sharing one Network, so directional
+// faults compose naturally. A nil base uses http.DefaultTransport.
+func (n *Network) Transport(origin string, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &netTransport{net: n, origin: normalizeHost(origin), base: base}
+}
+
+// netTransport is one origin's fault-wrapped RoundTripper.
+type netTransport struct {
+	net    *Network
+	origin string
+	base   http.RoundTripper
+}
+
+// RoundTrip applies the effective faults of origin→target, then forwards
+// to the base transport.
+func (t *netTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.net.requests.Add(1)
+	target := normalizeHost(req.URL.Host)
+	f := t.net.effective(t.origin, target)
+	if f.blackhole {
+		t.net.blackholed.Add(1)
+		// A blackholed packet gets no answer: park until the caller's
+		// deadline or cancellation fires, mirroring a silent drop.
+		<-req.Context().Done()
+		return nil, fmt.Errorf("%w: blackholed %s->%s: %v",
+			ErrInjected, t.origin, target, req.Context().Err())
+	}
+	if f.latency > 0 {
+		t.net.delayed.Add(1)
+		timer := time.NewTimer(f.latency)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, fmt.Errorf("%w: canceled during injected latency %s->%s: %v",
+				ErrInjected, t.origin, target, req.Context().Err())
+		case <-timer.C:
+		}
+	}
+	if f.storm != 0 {
+		t.net.stormed.Add(1)
+		return &http.Response{
+			StatusCode: f.storm,
+			Status:     fmt.Sprintf("%d chaos storm", f.storm),
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1,
+			ProtoMinor: 1,
+			Header:     http.Header{"Content-Type": []string{"text/plain"}},
+			Body:       io.NopCloser(strings.NewReader("chaos: injected storm\n")),
+			Request:    req,
+		}, nil
+	}
+	return t.base.RoundTrip(req)
+}

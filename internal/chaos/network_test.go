@@ -1,0 +1,154 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestNetworkPassthroughWhenHealthy(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	n := NewNetwork()
+	client := &http.Client{Transport: n.Transport("http://node-a", nil)}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "ok" {
+		t.Fatalf("status %d body %q", resp.StatusCode, body)
+	}
+	if c := n.Counts(); c.Requests != 1 || c.Blackholed+c.Delayed+c.Stormed != 0 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestNetworkDirectionalPartition(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	n := NewNetwork()
+	n.Partition("node-a", srv.URL)
+
+	// node-a -> target hangs until the context dies.
+	clientA := &http.Client{Transport: n.Transport("node-a", nil)}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	_, err := clientA.Do(req)
+	if err == nil {
+		t.Fatal("blackholed request succeeded")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected in chain", err)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Fatal("blackhole returned before the context deadline — not a silent drop")
+	}
+
+	// node-b -> target is unaffected: the partition is directional.
+	clientB := &http.Client{Transport: n.Transport("node-b", nil)}
+	resp, err := clientB.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("healthy direction failed: %v", err)
+	}
+	resp.Body.Close()
+
+	// Healing restores node-a.
+	n.Heal("node-a", srv.URL)
+	resp, err = clientA.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("healed route still failing: %v", err)
+	}
+	resp.Body.Close()
+	if c := n.Counts(); c.Blackholed != 1 {
+		t.Fatalf("blackholed = %d, want 1", c.Blackholed)
+	}
+}
+
+func TestNetworkLatencyInjection(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+
+	n := NewNetwork()
+	n.SetLatency("", srv.URL, 60*time.Millisecond)
+	client := &http.Client{Transport: n.Transport("node-a", nil)}
+	start := time.Now()
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("request took %v, want >= injected 60ms", d)
+	}
+	if c := n.Counts(); c.Delayed != 1 {
+		t.Fatalf("delayed = %d, want 1", c.Delayed)
+	}
+}
+
+func TestNetworkStorm(t *testing.T) {
+	var hits int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+	}))
+	defer srv.Close()
+
+	n := NewNetwork()
+	n.Storm("node-a", srv.URL, http.StatusBadGateway)
+	client := &http.Client{Transport: n.Transport("node-a", nil)}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502 storm", resp.StatusCode)
+	}
+	if hits != 0 {
+		t.Fatal("storm request reached the real server")
+	}
+	n.Storm("node-a", srv.URL, 0)
+	n.Heal("node-a", srv.URL)
+	resp, err = client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || hits != 1 {
+		t.Fatalf("after storm off: status %d hits %d", resp.StatusCode, hits)
+	}
+}
+
+func TestNetworkWildcardAndHealAll(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+
+	n := NewNetwork()
+	n.Partition("", "") // drop the world
+	client := &http.Client{Transport: n.Transport("node-a", nil)}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	if _, err := client.Do(req); err == nil {
+		t.Fatal("global partition let a request through")
+	}
+	n.HealAll()
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("HealAll did not restore traffic: %v", err)
+	}
+	resp.Body.Close()
+}

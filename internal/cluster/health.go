@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HealthConfig tunes the per-peer readiness prober.
+type HealthConfig struct {
+	// Interval is the base probe period (default 2s). Each wait is
+	// jittered by ±Jitter·Interval so a fleet restarted together does not
+	// probe in lockstep.
+	Interval time.Duration
+	// Jitter is the relative probe-interval jitter (default 0.2;
+	// negative disables).
+	Jitter float64
+	// Timeout bounds one probe request (default min(Interval, 1s)).
+	Timeout time.Duration
+	// EjectAfter is the consecutive probe-failure count that ejects a
+	// peer from routing (default 3).
+	EjectAfter int
+	// Seed drives the deterministic jitter stream (tests); 0 seeds from
+	// the clock.
+	Seed int64
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Second
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.2
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = time.Second
+		if c.Timeout > c.Interval {
+			c.Timeout = c.Interval
+		}
+	}
+	if c.EjectAfter <= 0 {
+		c.EjectAfter = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = time.Now().UnixNano()
+	}
+	return c
+}
+
+// peerHealth is one peer's probe state. Routing reads healthy lock-free;
+// the prober goroutine is the only writer.
+type peerHealth struct {
+	healthy    atomic.Bool
+	consecFail atomic.Int64
+	probes     atomic.Uint64
+	failures   atomic.Uint64
+	ejections  atomic.Uint64
+}
+
+// prober drives the readiness probes of every remote peer. Peers start
+// healthy (optimistic: routing works before the first probe lands) and
+// are ejected after EjectAfter consecutive failures; a single successful
+// probe restores them — the health-level half of the recovery story, the
+// request-level half being the circuit breaker's half-open probes.
+type prober struct {
+	cfg    HealthConfig
+	client *http.Client
+	peers  map[string]*peerHealth
+	onFlip func(peer string, healthy bool)
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+func newProber(cfg HealthConfig, client *http.Client, peers []string, onFlip func(string, bool)) *prober {
+	p := &prober{
+		cfg:    cfg.withDefaults(),
+		client: client,
+		peers:  make(map[string]*peerHealth, len(peers)),
+		onFlip: onFlip,
+	}
+	for _, addr := range peers {
+		ph := &peerHealth{}
+		ph.healthy.Store(true)
+		p.peers[addr] = ph
+	}
+	return p
+}
+
+// start launches one probe loop per peer.
+func (p *prober) start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	p.cancel = cancel
+	seq := int64(0)
+	for addr, ph := range p.peers {
+		seq++
+		p.wg.Add(1)
+		go p.loop(ctx, addr, ph, p.cfg.Seed+seq)
+	}
+}
+
+// stop halts every probe loop and waits for them to exit.
+func (p *prober) stop() {
+	if p.cancel != nil {
+		p.cancel()
+	}
+	p.wg.Wait()
+}
+
+// loop probes one peer until ctx is done.
+func (p *prober) loop(ctx context.Context, addr string, ph *peerHealth, seed int64) {
+	defer p.wg.Done()
+	rng := rand.New(rand.NewSource(seed))
+	for {
+		wait := p.cfg.Interval
+		if p.cfg.Jitter > 0 {
+			u := 2*rng.Float64() - 1
+			wait = time.Duration(float64(wait) * (1 + p.cfg.Jitter*u))
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		p.probe(ctx, addr, ph)
+	}
+}
+
+// probe performs one readiness check and updates the peer's state.
+func (p *prober) probe(ctx context.Context, addr string, ph *peerHealth) {
+	ph.probes.Add(1)
+	pctx, cancel := context.WithTimeout(ctx, p.cfg.Timeout)
+	defer cancel()
+	ok := false
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, addr+"/readyz", nil)
+	if err == nil {
+		resp, rerr := p.client.Do(req)
+		if rerr == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			ok = resp.StatusCode == http.StatusOK
+		}
+	}
+	if ok {
+		ph.consecFail.Store(0)
+		if !ph.healthy.Swap(true) && p.onFlip != nil {
+			p.onFlip(addr, true)
+		}
+		return
+	}
+	ph.failures.Add(1)
+	if n := ph.consecFail.Add(1); n >= int64(p.cfg.EjectAfter) {
+		if ph.healthy.Swap(false) {
+			ph.ejections.Add(1)
+			if p.onFlip != nil {
+				p.onFlip(addr, false)
+			}
+		}
+	}
+}
+
+// healthyPeer reports the routing eligibility of addr (unknown peers are
+// healthy: the prober only tracks configured remotes).
+func (p *prober) healthyPeer(addr string) bool {
+	ph, ok := p.peers[addr]
+	if !ok {
+		return true
+	}
+	return ph.healthy.Load()
+}

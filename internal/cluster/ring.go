@@ -1,0 +1,124 @@
+// Package cluster is the coordinator-free replication layer of the
+// serving boundary: a static peer list, a consistent-hash ring that maps
+// every estimation key to an owner replica set, and a failure-aware
+// forwarding client — per-peer health probing with ejection, a
+// closed/open/half-open circuit breaker per peer, request hedging against
+// backup replicas, and per-peer Retry-After holds — so a fleet of
+// `crest serve` nodes keeps answering when individual replicas crash,
+// brown out, or flap, without any elected coordinator.
+//
+// The division of labor with internal/server: this package knows peers,
+// routing and failure state but nothing about wire formats; the server
+// knows the HTTP API and asks the cluster two questions — "who owns this
+// key?" and "forward these bytes to the owners, surviving what you can".
+// Degradation policy (serve locally and mark the response degraded when
+// every owner is unusable) also lives in the server, because only it can
+// produce a local answer.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// vnodes is the number of virtual ring points per peer. 64 points keeps
+// the per-peer load imbalance of FNV-placed tokens within a few percent
+// for small static fleets while the full ring stays tiny (N·64 entries).
+const vnodes = 64
+
+// ringPoint is one virtual node: a hash position owned by a peer.
+type ringPoint struct {
+	hash uint64
+	peer int // index into the peer list
+}
+
+// Ring is an immutable consistent-hash ring over a static peer list.
+// Construct with NewRing; methods are safe for concurrent use.
+type Ring struct {
+	peers  []string
+	points []ringPoint
+}
+
+// NewRing builds the ring. Peers must be non-empty and free of
+// duplicates; order does not affect placement (only the peer strings do).
+func NewRing(peers []string) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	seen := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty peer address")
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("cluster: duplicate peer %q", p)
+		}
+		seen[p] = true
+	}
+	r := &Ring{
+		peers:  append([]string(nil), peers...),
+		points: make([]ringPoint, 0, len(peers)*vnodes),
+	}
+	for pi, p := range r.peers {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", p, v)), peer: pi})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on peer index so placement is deterministic even in
+		// the (astronomically unlikely) event of a token collision.
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r, nil
+}
+
+// Peers returns the peer list in construction order.
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// Owners returns the first n distinct peers clockwise from the key's hash
+// position — the key's replica set in preference order. n is clamped to
+// the peer count.
+func (r *Ring) Owners(key string, n int) []string {
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(r.peers) {
+		n = len(r.peers)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	owners := make([]string, 0, n)
+	taken := make(map[int]bool, n)
+	for i := 0; i < len(r.points) && len(owners) < n; i++ {
+		pt := r.points[(start+i)%len(r.points)]
+		if taken[pt.peer] {
+			continue
+		}
+		taken[pt.peer] = true
+		owners = append(owners, r.peers[pt.peer])
+	}
+	return owners
+}
+
+// hash64 is the ring's placement hash: FNV-1a followed by a murmur-style
+// finalizer. Raw FNV-1a has weak avalanche — inputs differing only in a
+// trailing byte (peer vnode suffixes, sequential key names) keep their
+// high bytes, which would cluster each peer's 64 tokens into one arc and
+// hand whole key ranges to a single owner. The finalizer scatters those
+// clusters; routing only needs an even, stable spread, not cryptographic
+// strength.
+func hash64(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	h := f.Sum64()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -1,6 +1,7 @@
 package conformal
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"sync"
@@ -27,23 +28,24 @@ import (
 // radius but the reported coverage stays below the band forever and the
 // model thrashes through its cooldown.
 
-// OnlineConfig tunes the recalibration loop.
+// OnlineConfig tunes the recalibration loop. The JSON tags exist because
+// the config travels inside persisted OnlineState.
 type OnlineConfig struct {
 	// Window is the number of recent observations retained (default 512).
-	Window int
+	Window int `json:"window,omitempty"`
 	// Band is the half-width of the acceptable coverage band around 1−λ:
 	// recalibration triggers when rolling coverage leaves
 	// [1−λ−Band, min(1, 1−λ+Band)] (default 0.03).
-	Band float64
+	Band float64 `json:"band,omitempty"`
 	// MinObserve is the warm-up count before the tracker may trigger
 	// (default max(64, Window/4)); a handful of early misses would
 	// otherwise cause a recalibration from almost no data.
-	MinObserve int
+	MinObserve int `json:"min_observe,omitempty"`
 	// Cooldown is the minimum number of observations between
 	// recalibrations (default MinObserve), so one drift event produces
 	// one radius update, not a thrash per observation while the window
 	// refills.
-	Cooldown int
+	Cooldown int `json:"cooldown,omitempty"`
 }
 
 func (c OnlineConfig) withDefaults() OnlineConfig {
@@ -224,6 +226,96 @@ func (o *OnlineModel) recalibrate() {
 	}
 	o.recals++
 	o.lastRecal = o.observed
+}
+
+// OnlineState is the serializable tracker state: everything needed to
+// resume rolling recalibration exactly where a previous process stopped,
+// so a restart does not silently discard the coverage history that
+// justified the current radius. Residuals are ordered oldest → newest;
+// hit verdicts are not stored — they are a pure function of residuals and
+// radius and are recomputed on restore.
+type OnlineState struct {
+	Config         OnlineConfig `json:"config"`
+	Radius         float64      `json:"radius"`
+	Residuals      []float64    `json:"residuals,omitempty"`
+	Observed       int          `json:"observed"`
+	Recalibrations int          `json:"recalibrations"`
+	LastRecal      int          `json:"last_recal"`
+}
+
+// State extracts the tracker for persistence.
+func (o *OnlineModel) State() OnlineState {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	resid := make([]float64, o.n)
+	if o.n == o.cfg.Window {
+		// Full ring: head is the oldest entry.
+		k := copy(resid, o.resid[o.head:])
+		copy(resid[k:], o.resid[:o.head])
+	} else {
+		// Partially full: head has never wrapped, [0, n) is chronological.
+		copy(resid, o.resid[:o.n])
+	}
+	return OnlineState{
+		Config:         o.cfg,
+		Radius:         o.radius,
+		Residuals:      resid,
+		Observed:       o.observed,
+		Recalibrations: o.recals,
+		LastRecal:      o.lastRecal,
+	}
+}
+
+// NewOnlineFromState rebuilds a tracker around a restored model,
+// validating every invariant Observe relies on so corrupt snapshot bytes
+// cannot produce a panicking or silently wrong tracker. The restored
+// radius is the persisted (possibly recalibrated) one, not the model's
+// offline radius.
+func NewOnlineFromState(m *Model, st OnlineState) (*OnlineModel, error) {
+	cfg := st.Config.withDefaults()
+	if len(st.Residuals) > cfg.Window {
+		return nil, fmt.Errorf("conformal: online state has %d residuals for window %d",
+			len(st.Residuals), cfg.Window)
+	}
+	if math.IsNaN(st.Radius) || math.IsInf(st.Radius, 0) || st.Radius < 0 {
+		return nil, fmt.Errorf("conformal: online state radius %g", st.Radius)
+	}
+	for i, r := range st.Residuals {
+		if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+			return nil, fmt.Errorf("conformal: online state residual %d is %g", i, r)
+		}
+	}
+	if st.Observed < len(st.Residuals) {
+		return nil, fmt.Errorf("conformal: online state observed %d < %d windowed residuals",
+			st.Observed, len(st.Residuals))
+	}
+	if st.Recalibrations < 0 || st.LastRecal < 0 || st.LastRecal > st.Observed {
+		return nil, fmt.Errorf("conformal: online state recal counters %d/%d observed %d",
+			st.Recalibrations, st.LastRecal, st.Observed)
+	}
+	o := &OnlineModel{
+		inner:     m.inner,
+		lambda:    m.lambda,
+		radius:    st.Radius,
+		cfg:       cfg,
+		resid:     make([]float64, cfg.Window),
+		hits:      make([]bool, cfg.Window),
+		observed:  st.Observed,
+		recals:    st.Recalibrations,
+		lastRecal: st.LastRecal,
+	}
+	o.n = len(st.Residuals)
+	copy(o.resid, st.Residuals)
+	// head = n % Window: the next write lands after the newest entry, or
+	// on the oldest (index 0) when the window is exactly full.
+	o.head = o.n % cfg.Window
+	for i := 0; i < o.n; i++ {
+		o.hits[i] = o.resid[i] <= o.radius
+		if o.hits[i] {
+			o.nHits++
+		}
+	}
+	return o, nil
 }
 
 // Stats returns a snapshot of the tracker.

@@ -220,3 +220,100 @@ func TestOnlineCooldownPreventsThrash(t *testing.T) {
 		t.Fatalf("recalibrated %d times in 600 observations with cooldown 150 (max %d)", recals, max)
 	}
 }
+
+// TestOnlineStateRoundTrip: extracting the tracker state and rebuilding
+// from it must reproduce the stats exactly AND behave identically on all
+// future observations — including after the ring has wrapped and a
+// recalibration has moved the radius, the two regimes where a sloppy
+// ring-unroll or a reset-to-offline-radius restore would diverge.
+func TestOnlineStateRoundTrip(t *testing.T) {
+	m, rng := onlineFixture(t, 7, 0.5)
+	o := NewOnline(m, OnlineConfig{Window: 100, Band: 0.04, MinObserve: 50, Cooldown: 50})
+	// Warm in-distribution, then drift so at least one recalibration fires
+	// and the ring wraps (250 > Window).
+	feed(o, rng, 100, 0.5)
+	recals, _ := feed(o, rng, 150, 2.0)
+	if recals == 0 {
+		t.Fatal("fixture did not recalibrate; round-trip would not exercise the moved radius")
+	}
+
+	st := o.State()
+	if len(st.Residuals) != 100 {
+		t.Fatalf("state carries %d residuals, want full window 100", len(st.Residuals))
+	}
+	back, err := NewOnlineFromState(m, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := back.Stats(), o.Stats(); got != want {
+		t.Fatalf("restored stats %+v != original %+v", got, want)
+	}
+	if back.Radius() != o.Radius() {
+		t.Fatalf("restored radius %g != %g", back.Radius(), o.Radius())
+	}
+
+	// Same future stream into both must keep them in lockstep, including
+	// any further recalibration decisions.
+	futureRng := rand.New(rand.NewSource(77))
+	for i := 0; i < 300; i++ {
+		x := []float64{futureRng.NormFloat64(), futureRng.NormFloat64()}
+		y := x[0] + x[1] + 2.0*futureRng.NormFloat64()
+		so, ro := o.Observe(x, y)
+		sb, rb := back.Observe(x, y)
+		if so != sb || ro != rb {
+			t.Fatalf("observation %d diverged: original (%+v, %v) vs restored (%+v, %v)", i, so, ro, sb, rb)
+		}
+	}
+}
+
+// TestOnlineStatePartialWindowRoundTrip covers the not-yet-wrapped ring:
+// the chronological unroll is just [0, n).
+func TestOnlineStatePartialWindowRoundTrip(t *testing.T) {
+	m, rng := onlineFixture(t, 8, 0.5)
+	o := NewOnline(m, OnlineConfig{Window: 200, Band: 0.05, MinObserve: 100, Cooldown: 100})
+	feed(o, rng, 60, 0.5)
+	st := o.State()
+	if len(st.Residuals) != 60 {
+		t.Fatalf("state carries %d residuals, want 60", len(st.Residuals))
+	}
+	back, err := NewOnlineFromState(m, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := back.Stats(), o.Stats(); got != want {
+		t.Fatalf("restored stats %+v != original %+v", got, want)
+	}
+}
+
+// TestOnlineStateRejectsCorrupt: every invariant the restore validates.
+func TestOnlineStateRejectsCorrupt(t *testing.T) {
+	m, rng := onlineFixture(t, 9, 0.5)
+	o := NewOnline(m, OnlineConfig{Window: 50, Band: 0.05, MinObserve: 25, Cooldown: 25})
+	feed(o, rng, 80, 0.5)
+	good := o.State()
+
+	mutate := func(f func(*OnlineState)) OnlineState {
+		st := good
+		st.Residuals = append([]float64(nil), good.Residuals...)
+		f(&st)
+		return st
+	}
+	cases := map[string]OnlineState{
+		"overfull window":    mutate(func(st *OnlineState) { st.Config.Window = 10 }),
+		"negative radius":    mutate(func(st *OnlineState) { st.Radius = -1 }),
+		"NaN radius":         mutate(func(st *OnlineState) { st.Radius = math.NaN() }),
+		"NaN residual":       mutate(func(st *OnlineState) { st.Residuals[3] = math.NaN() }),
+		"negative residual":  mutate(func(st *OnlineState) { st.Residuals[3] = -0.5 }),
+		"observed too small": mutate(func(st *OnlineState) { st.Observed = 10 }),
+		"negative recals":    mutate(func(st *OnlineState) { st.Recalibrations = -1 }),
+		"lastRecal ahead":    mutate(func(st *OnlineState) { st.LastRecal = st.Observed + 1 }),
+	}
+	for name, st := range cases {
+		if _, err := NewOnlineFromState(m, st); err == nil {
+			t.Errorf("%s: restore accepted corrupt state", name)
+		}
+	}
+	if _, err := NewOnlineFromState(m, good); err != nil {
+		t.Errorf("unmutated state rejected: %v", err)
+	}
+}

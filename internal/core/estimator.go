@@ -316,10 +316,16 @@ func (e *Estimator) IntervalRadius() float64 {
 // rolling-coverage tracker (conformal.OnlineModel): subsequent Estimate
 // calls use the dynamic radius, and ObserveActual feeds ground truth into
 // the tracker. Call once, before serving traffic; it replaces any prior
-// online wrapper (resetting the window).
+// online wrapper (resetting the window), including one restored from a
+// snapshot — check OnlineRecalibrationEnabled first to resume instead.
 func (e *Estimator) EnableOnlineRecalibration(cfg conformal.OnlineConfig) {
 	e.online = conformal.NewOnline(e.model, cfg)
 }
+
+// OnlineRecalibrationEnabled reports whether a rolling tracker is
+// installed, either via EnableOnlineRecalibration or restored from a
+// snapshot that captured one.
+func (e *Estimator) OnlineRecalibrationEnabled() bool { return e.online != nil }
 
 // OnlineStats returns the rolling tracker snapshot, or (zero, false) when
 // online recalibration is not enabled.

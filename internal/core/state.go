@@ -43,6 +43,12 @@ type EstimatorState struct {
 	// wrapper: exactly one for a single-split fit, one per split for the
 	// multi-split mean ensemble.
 	Components []*mixreg.Model `json:"components"`
+
+	// Online is the rolling recalibration tracker state, present only
+	// when online recalibration was enabled at capture time. Absent in
+	// snapshots written before the field existed; those restore with no
+	// tracker, exactly as they always did.
+	Online *conformal.OnlineState `json:"online,omitempty"`
 }
 
 // ErrNotSnapshotable reports an estimator whose inner predictor is not
@@ -67,7 +73,7 @@ func (e *Estimator) State() (*EstimatorState, error) {
 	} else {
 		return nil, fmt.Errorf("%w: inner predictor %T", ErrNotSnapshotable, inner)
 	}
-	return &EstimatorState{
+	st := &EstimatorState{
 		Config:     e.cfg,
 		Mask:       append([]bool(nil), e.mask...),
 		Mean:       append([]float64(nil), e.mean...),
@@ -77,7 +83,12 @@ func (e *Estimator) State() (*EstimatorState, error) {
 		Lambda:     e.model.Lambda(),
 		NCalib:     e.model.CalibrationSize(),
 		Components: comps,
-	}, nil
+	}
+	if e.online != nil {
+		ost := e.online.State()
+		st.Online = &ost
+	}
+	return st, nil
 }
 
 // FromState reconstructs a usable estimator from a decoded state,
@@ -135,7 +146,7 @@ func FromState(st *EstimatorState) (*Estimator, error) {
 		inner = conformal.Ensemble(parts)
 	}
 	cfg := st.Config.withDefaults()
-	return &Estimator{
+	est := &Estimator{
 		cfg:      cfg,
 		model:    conformal.Restore(inner, st.Radius, st.Lambda, st.NCalib),
 		mask:     append([]bool(nil), st.Mask...),
@@ -143,7 +154,15 @@ func FromState(st *EstimatorState) (*Estimator, error) {
 		std:      append([]float64(nil), st.Std...),
 		nKept:    nKept,
 		fellBack: st.FellBack,
-	}, nil
+	}
+	if st.Online != nil {
+		om, err := conformal.NewOnlineFromState(est.model, *st.Online)
+		if err != nil {
+			return nil, fmt.Errorf("core: state online tracker: %w", err)
+		}
+		est.online = om
+	}
+	return est, nil
 }
 
 // validateComponent checks one mixture model's shape and numeric

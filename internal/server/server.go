@@ -54,6 +54,7 @@ import (
 	"time"
 
 	"github.com/crestlab/crest/internal/batch"
+	"github.com/crestlab/crest/internal/cluster"
 	"github.com/crestlab/crest/internal/crerr"
 	"github.com/crestlab/crest/internal/grid"
 	"github.com/crestlab/crest/internal/obs"
@@ -112,6 +113,14 @@ type Config struct {
 
 	// EnablePprof mounts the Go profiler under GET /debug/pprof/.
 	EnablePprof bool
+
+	// Cluster, when set, makes this server one node of a replicated
+	// fleet: estimate and batch keys are consistent-hash-routed to their
+	// owner replica set, non-owned requests are forwarded (with hedging
+	// and circuit breaking) and, when every remote owner is unusable, the
+	// request is served from the local model with `degraded: true`. The
+	// caller owns the cluster's lifecycle (Start/Close).
+	Cluster *cluster.Cluster
 }
 
 func (c Config) withDefaults() Config {
@@ -183,6 +192,7 @@ type Server struct {
 	// Registry handles, resolved once at construction.
 	m  serverMetrics
 	sm streamMetrics
+	cm clusterServerMetrics
 }
 
 // serverMetrics are the server's handles into the observability registry:
@@ -264,6 +274,7 @@ func New(cfg Config) (*Server, error) {
 		idleCh:   make(chan struct{}),
 		m:        newServerMetrics(cfg.Obs),
 		sm:       newStreamMetrics(cfg.Obs),
+		cm:       newClusterServerMetrics(cfg.Obs),
 	}
 	s.ready.Store(true)
 	return s, nil
@@ -487,11 +498,15 @@ func (er *EstimateRequest) buffer() (*grid.Buffer, error) {
 	return buf, nil
 }
 
-// EstimateResponse is one conformal estimate.
+// EstimateResponse is one conformal estimate. Degraded marks a clustered
+// response served from the local model because every owner replica was
+// unusable — the answer is real, but came from outside the key's replica
+// set (so its feature cache and online calibration may be colder).
 type EstimateResponse struct {
-	CR float64 `json:"cr"`
-	Lo float64 `json:"lo"`
-	Hi float64 `json:"hi"`
+	CR       float64 `json:"cr"`
+	Lo       float64 `json:"lo"`
+	Hi       float64 `json:"hi"`
+	Degraded bool    `json:"degraded,omitempty"`
 }
 
 // WireError is the JSON error body: a stable kind for routing plus the
@@ -527,7 +542,25 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.withAdmission(w, r, func(ctx context.Context) {
 		var req EstimateRequest
-		if err := s.decodeBody(w, r, &req); err != nil {
+		degraded := false
+		if s.clustered() {
+			// Clustered path: read raw bytes once so the same payload can
+			// be decoded for routing and forwarded verbatim.
+			raw, err := s.readBodyBytes(w, r)
+			if err != nil {
+				s.failRequest(w, err)
+				return
+			}
+			if err := strictDecode(raw, &req); err != nil {
+				s.failRequest(w, err)
+				return
+			}
+			var handled bool
+			handled, degraded = s.routeEstimate(ctx, w, r, &req, raw)
+			if handled {
+				return
+			}
+		} else if err := s.decodeBody(w, r, &req); err != nil {
 			s.failRequest(w, err)
 			return
 		}
@@ -547,7 +580,12 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		}
 		s.served.Add(1)
 		s.m.served.Inc()
-		s.writeJSON(w, http.StatusOK, EstimateResponse{CR: ests[0].CR, Lo: ests[0].Lo, Hi: ests[0].Hi})
+		if s.clustered() {
+			w.Header().Set(cluster.ServedByHeader, s.cfg.Cluster.Self())
+		}
+		s.writeJSON(w, http.StatusOK, EstimateResponse{
+			CR: ests[0].CR, Lo: ests[0].Lo, Hi: ests[0].Hi, Degraded: degraded,
+		})
 	})
 }
 
@@ -565,6 +603,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if len(wire.Requests) > s.cfg.MaxBatch {
 			s.failRequest(w, fmt.Errorf("%w: batch of %d exceeds limit %d",
 				crerr.ErrInvalidBuffer, len(wire.Requests), s.cfg.MaxBatch))
+			return
+		}
+		if s.clustered() {
+			s.runBatchClustered(ctx, w, r, &wire)
 			return
 		}
 		reqs := make([]batch.Request, len(wire.Requests))
@@ -682,10 +724,12 @@ type StatsPayload struct {
 	Engine batch.Stats `json:"engine"`
 	// Conformal is present when online recalibration is enabled.
 	Conformal *OnlineSnapshot `json:"conformal,omitempty"`
+	// Cluster is present when this node serves as part of a fleet.
+	Cluster *ClusterBlock `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
-	payload := StatsPayload{Server: s.Stats(), Engine: s.engine.Stats()}
+	payload := StatsPayload{Server: s.Stats(), Engine: s.engine.Stats(), Cluster: s.clusterBlock()}
 	if st, ok := s.engine.Estimator().OnlineStats(); ok {
 		payload.Conformal = onlineSnapshot(st)
 	}

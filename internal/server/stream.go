@@ -219,21 +219,23 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 }
 
 // OnlineSnapshot is the /statsz conformal block when online
-// recalibration is enabled.
+// recalibration is enabled. Coverage is null until the first
+// observation: the tracker reports NaN then, which encoding/json cannot
+// represent — serializing it raw would abort the whole /statsz payload
+// mid-response.
 type OnlineSnapshot struct {
-	Coverage       float64 `json:"coverage"`
-	Target         float64 `json:"target"`
-	Band           float64 `json:"band"`
-	Radius         float64 `json:"radius"`
-	Observed       int     `json:"observed"`
-	Windowed       int     `json:"windowed"`
-	Recalibrations int     `json:"recalibrations"`
-	InBand         bool    `json:"in_band"`
+	Coverage       *float64 `json:"coverage"`
+	Target         float64  `json:"target"`
+	Band           float64  `json:"band"`
+	Radius         float64  `json:"radius"`
+	Observed       int      `json:"observed"`
+	Windowed       int      `json:"windowed"`
+	Recalibrations int      `json:"recalibrations"`
+	InBand         bool     `json:"in_band"`
 }
 
 func onlineSnapshot(st conformal.OnlineStats) *OnlineSnapshot {
-	return &OnlineSnapshot{
-		Coverage:       st.Coverage,
+	snap := &OnlineSnapshot{
 		Target:         st.Target,
 		Band:           st.Band,
 		Radius:         st.Radius,
@@ -242,4 +244,9 @@ func onlineSnapshot(st conformal.OnlineStats) *OnlineSnapshot {
 		Recalibrations: st.Recalibrations,
 		InBand:         st.InBand(),
 	}
+	if !math.IsNaN(st.Coverage) {
+		cov := st.Coverage
+		snap.Coverage = &cov
+	}
+	return snap
 }

@@ -2,12 +2,15 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
+	"time"
 
 	"github.com/crestlab/crest/internal/batch"
 	"github.com/crestlab/crest/internal/conformal"
@@ -242,5 +245,175 @@ func TestFeedbackRejectsBadCR(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("cr=%v: status %d: %s", cr, resp.StatusCode, body)
 		}
+	}
+}
+
+// TestFeedbackDrainingRejects pins the drain taxonomy on the feedback
+// path: once Drain begins, POST /v1/feedback is 503 with a Retry-After
+// hint and kind "draining" — the same contract as the estimate paths,
+// so a feedback client's retry loop needs no special casing.
+func TestFeedbackDrainingRejects(t *testing.T) {
+	env, _ := onlineTestServer(t)
+	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := env.srv.Drain(drainCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	fb := FeedbackRequest{Features: make([]float64, 5), ActualCR: 10}
+	resp, body := postJSON(t, env.ts.URL+"/v1/feedback", mustJSON(t, fb))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d: %s (want 503 during drain)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("drained feedback rejection missing Retry-After")
+	}
+	var we map[string]WireError
+	if err := json.Unmarshal(body, &we); err != nil {
+		t.Fatal(err)
+	}
+	if we["error"].Kind != "draining" {
+		t.Errorf("kind %q, want draining", we["error"].Kind)
+	}
+}
+
+// TestFeedbackDrainRace drains while stream-ingest and feedback traffic
+// is in flight from concurrent clients. Every response must be either a
+// clean 200 (admitted before the drain) or a 503 with Retry-After (shed
+// by it) — never a hung request, a torn response, or a drain that
+// returns while work is still running. Run under -race this also proves
+// the tracker and drain bookkeeping tolerate the interleaving.
+func TestFeedbackDrainRace(t *testing.T) {
+	env, est := onlineTestServer(t)
+
+	buf, err := grid.FromSlice(24, 24, testBuffer(24, 24, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamBody := encodeTestStream(t, []*grid.Buffer{buf}, 7)
+	f, err := predictors.Compute(buf, 1e-3, est.PredictorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fbBody := mustJSON(t, FeedbackRequest{Features: f.Vector(), ActualCR: 12})
+
+	const workers = 6
+	type outcome struct {
+		status     int
+		retryAfter bool
+		body       []byte
+	}
+	results := make(chan outcome, workers*64)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	post := func(path, ctype string, body []byte) {
+		req, err := http.NewRequest(http.MethodPost, env.ts.URL+path, bytes.NewReader(body))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		req.Header.Set("Content-Type", ctype)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Errorf("transport error during drain race: %v", err)
+			return
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		results <- outcome{resp.StatusCode, resp.Header.Get("Retry-After") != "", out}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if w%2 == 0 {
+					post("/v1/estimate?eps=0.001", StreamContentType, streamBody)
+				} else {
+					post("/v1/feedback", "application/json", fbBody)
+				}
+			}
+		}(w)
+	}
+
+	// Let traffic establish, then drain mid-flight.
+	time.Sleep(20 * time.Millisecond)
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := env.srv.Drain(drainCtx); err != nil {
+		t.Fatalf("drain with inflight traffic: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	close(results)
+
+	var ok200, shed int
+	for r := range results {
+		switch r.status {
+		case http.StatusOK:
+			ok200++
+		case http.StatusServiceUnavailable:
+			shed++
+			if !r.retryAfter {
+				t.Errorf("503 without Retry-After: %s", r.body)
+			}
+		default:
+			t.Errorf("unexpected status %d during drain race: %s", r.status, r.body)
+		}
+	}
+	if ok200 == 0 {
+		t.Error("no request succeeded before the drain")
+	}
+	if shed == 0 {
+		t.Error("no request was shed by the drain")
+	}
+
+	// The server is now fully drained: stats must balance and a fresh
+	// feedback post is still a clean 503, not a hang.
+	st := env.srv.Stats()
+	if st.Inflight != 0 {
+		t.Errorf("drained server reports %d inflight", st.Inflight)
+	}
+	resp, _ := postJSON(t, env.ts.URL+"/v1/feedback", fbBody)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain feedback status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestStatszBeforeAnyFeedback: with recalibration enabled but zero
+// observations the tracker's coverage is NaN, which encoding/json cannot
+// represent — a raw pass-through aborts the whole /statsz payload after
+// the 200 header (empty body). The conformal block must report coverage
+// as null instead.
+func TestStatszBeforeAnyFeedback(t *testing.T) {
+	env, _ := onlineTestServer(t)
+	resp, err := http.Get(env.ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) == 0 {
+		t.Fatal("/statsz returned an empty body with recalibration enabled and no observations")
+	}
+	var sp StatsPayload
+	if err := json.Unmarshal(body, &sp); err != nil {
+		t.Fatalf("/statsz not JSON: %v: %s", err, body)
+	}
+	if sp.Conformal == nil {
+		t.Fatal("missing conformal block")
+	}
+	if sp.Conformal.Coverage != nil {
+		t.Errorf("coverage %v before any observation, want null", *sp.Conformal.Coverage)
+	}
+	if sp.Conformal.Observed != 0 {
+		t.Errorf("observed %d, want 0", sp.Conformal.Observed)
 	}
 }

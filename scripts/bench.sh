@@ -24,6 +24,12 @@
 #   ./scripts/bench.sh predictors     # kernel phase only (a CI smoke step)
 #   ./scripts/bench.sh stream         # streaming-ingest phase only (a CI smoke step)
 #   ./scripts/bench.sh server         # serving + observability phases only
+#   ./scripts/bench.sh cluster        # replicated-fleet phase only (a CI smoke step)
+#
+# The cluster phase (`crest clusterbench`) boots an in-process 3-node
+# fleet, slows one replica, and archives the hedged tail latency as
+# BENCH_cluster.json; it *asserts* that the hedged p99 stays below the
+# injected slow-replica delay (hedging bounds the tail).
 set -eu
 
 MODE="${1:-all}"
@@ -42,6 +48,11 @@ STREAM_OUT="${BENCH_STREAM_OUT:-BENCH_stream.json}"
 STREAM_EDGE="${BENCH_STREAM_EDGE:-256}"
 STREAM_SLICES="${BENCH_STREAM_SLICES:-2,8,32}"
 STREAM_MAX_GROWTH="${BENCH_STREAM_MAX_GROWTH:-1.25}"
+CLUSTER_OUT="${BENCH_CLUSTER_OUT:-BENCH_cluster.json}"
+CLUSTER_N="${BENCH_CLUSTER_N:-120}"
+CLUSTER_NODES="${BENCH_CLUSTER_NODES:-3}"
+CLUSTER_HEDGE_AFTER="${BENCH_CLUSTER_HEDGE_AFTER:-20ms}"
+CLUSTER_SLOW_DELAY="${BENCH_CLUSTER_SLOW_DELAY:-250ms}"
 
 if [ "$MODE" = "all" ] || [ "$MODE" = "server" ]; then
     go run ./cmd/crest servebench \
@@ -95,4 +106,28 @@ if [ "$MODE" = "all" ] || [ "$MODE" = "stream" ]; then
         exit 1
     fi
     echo "bench: wrote $STREAM_OUT (alloc growth x$growth <= $STREAM_MAX_GROWTH)"
+fi
+
+if [ "$MODE" = "all" ] || [ "$MODE" = "cluster" ]; then
+    go run ./cmd/crest clusterbench \
+        -nodes "$CLUSTER_NODES" \
+        -n "$CLUSTER_N" \
+        -hedge-after "$CLUSTER_HEDGE_AFTER" \
+        -slow-delay "$CLUSTER_SLOW_DELAY" \
+        -out "$CLUSTER_OUT"
+
+    # Tail-bound assertion: with one replica slowed, the hedged p99 must
+    # land below the injected delay — the request raced a backup replica
+    # instead of waiting out the slow one.
+    hedged=$(sed -n 's/.*"hedged_p99_ms": \([0-9.eE+-]*\).*/\1/p' "$CLUSTER_OUT")
+    slow=$(sed -n 's/.*"slow_delay_ms": \([0-9.eE+-]*\).*/\1/p' "$CLUSTER_OUT")
+    if [ -z "$hedged" ] || [ -z "$slow" ]; then
+        echo "bench: FAIL: missing hedged_p99_ms/slow_delay_ms in $CLUSTER_OUT" >&2
+        exit 1
+    fi
+    if ! awk -v h="$hedged" -v s="$slow" 'BEGIN { exit !(h < s) }'; then
+        echo "bench: FAIL: hedged p99 ${hedged}ms did not beat the ${slow}ms slow replica" >&2
+        exit 1
+    fi
+    echo "bench: wrote $CLUSTER_OUT (hedged p99 ${hedged}ms < slow ${slow}ms)"
 fi

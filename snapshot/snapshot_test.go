@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/crestlab/crest/internal/conformal"
 	"github.com/crestlab/crest/internal/core"
 	"github.com/crestlab/crest/internal/crerr"
 )
@@ -261,5 +262,138 @@ func TestLoadLatestEmptyAndAllCorrupt(t *testing.T) {
 	_, _, err := LoadLatest(dir)
 	if !errors.Is(err, ErrNoSnapshots) || !errors.Is(err, crerr.ErrSnapshotCorrupt) {
 		t.Fatalf("all-corrupt dir: want ErrNoSnapshots+ErrSnapshotCorrupt, got %v", err)
+	}
+}
+
+// TestOnlineTrackerRestartRoundTrip: a snapshot taken while online
+// recalibration is live must carry the rolling window, so the restarted
+// process resumes with the recalibrated radius and full coverage history
+// instead of silently resetting to the offline calibration. The restored
+// estimator must match the original's tracker stats exactly and stay in
+// lockstep on future observations.
+func TestOnlineTrackerRestartRoundTrip(t *testing.T) {
+	est := trainedEstimator(t, core.Config{})
+	est.EnableOnlineRecalibration(conformal.OnlineConfig{Window: 48, Band: 0.02, MinObserve: 24, Cooldown: 24})
+
+	// Feed drifted ground truth (3x the estimate) until the radius moves
+	// and the ring wraps (80 > Window) — the two regimes a restart must
+	// not lose.
+	rng := rand.New(rand.NewSource(13))
+	recals := 0
+	for i := 0; i < 80; i++ {
+		f := make([]float64, 5)
+		for j := range f {
+			f[j] = rng.NormFloat64()
+		}
+		e, err := est.Estimate(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, recal, err := est.ObserveActual(f, 3*e.CR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if recal {
+			recals++
+		}
+	}
+	if recals == 0 {
+		t.Fatal("fixture did not recalibrate; restart test would not exercise the moved radius")
+	}
+
+	data, err := Encode(est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.OnlineRecalibrationEnabled() {
+		t.Fatal("restored estimator lost the online tracker")
+	}
+	wantStats, _ := est.OnlineStats()
+	gotStats, _ := back.OnlineStats()
+	if gotStats != wantStats {
+		t.Fatalf("restored tracker stats %+v != original %+v", gotStats, wantStats)
+	}
+	if back.IntervalRadius() != est.IntervalRadius() {
+		t.Fatalf("restored radius %g != recalibrated %g", back.IntervalRadius(), est.IntervalRadius())
+	}
+	assertBitIdentical(t, est, back)
+
+	// Identical future traffic must produce identical tracker evolution,
+	// including any further recalibration decisions.
+	futureRng := rand.New(rand.NewSource(17))
+	for i := 0; i < 100; i++ {
+		f := make([]float64, 5)
+		for j := range f {
+			f[j] = futureRng.NormFloat64()
+		}
+		e, err := est.Estimate(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr := 2 * e.CR
+		so, ro, err1 := est.ObserveActual(f, cr)
+		sb, rb, err2 := back.ObserveActual(f, cr)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("observation %d: errors %v / %v", i, err1, err2)
+		}
+		if so != sb || ro != rb {
+			t.Fatalf("observation %d diverged: original (%+v, %v) vs restored (%+v, %v)", i, so, ro, sb, rb)
+		}
+	}
+}
+
+// TestSnapshotWithoutOnlineFieldRestoresPlain: snapshots written before
+// the online field existed (or with recalibration off) must keep
+// restoring with no tracker installed.
+func TestSnapshotWithoutOnlineFieldRestoresPlain(t *testing.T) {
+	est := trainedEstimator(t, core.Config{})
+	data, err := Encode(est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.OnlineRecalibrationEnabled() {
+		t.Fatal("plain snapshot restored with an online tracker")
+	}
+}
+
+// TestDecodeRejectsCorruptOnlineState: a valid envelope whose online
+// block violates tracker invariants is ErrSnapshotCorrupt, not a panic
+// or a silently reset tracker.
+func TestDecodeRejectsCorruptOnlineState(t *testing.T) {
+	est := trainedEstimator(t, core.Config{})
+	est.EnableOnlineRecalibration(conformal.OnlineConfig{Window: 16, Band: 0.05, MinObserve: 8, Cooldown: 8})
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 20; i++ {
+		f := make([]float64, 5)
+		for j := range f {
+			f[j] = rng.NormFloat64()
+		}
+		e, err := est.Estimate(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := est.ObserveActual(f, e.CR); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := est.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Online.Residuals[0] = -1
+	mutated, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(reEnvelope(mutated)); !errors.Is(err, crerr.ErrSnapshotCorrupt) {
+		t.Fatalf("corrupt online state decoded with err %v, want ErrSnapshotCorrupt", err)
 	}
 }
