@@ -69,8 +69,9 @@ func cmdClient(ctx context.Context, args []string) error {
 }
 
 // postEstimate performs one estimate POST, translating HTTP failures into
-// the retry taxonomy: 503 carries its Retry-After as a typed hint, other
-// 4xx are permanent, 5xx and transport errors retry on backoff alone.
+// the retry taxonomy: 503 (overload) and 429 (quota) carry their
+// Retry-After as a typed hint and retry; other 4xx are permanent; 5xx and
+// transport errors retry on backoff alone.
 func postEstimate(ctx context.Context, client *http.Client, url string, body []byte) (*server.EstimateResponse, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
@@ -95,6 +96,15 @@ func postEstimate(ctx context.Context, client *http.Client, url string, body []b
 		return &out, nil
 	case resp.StatusCode == http.StatusServiceUnavailable:
 		err := fmt.Errorf("%w: %s", crerr.ErrOverloaded, wireMessage(payload))
+		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+			err = retry.WithRetryAfter(err, time.Duration(secs)*time.Second)
+		}
+		return nil, err
+	case resp.StatusCode == http.StatusTooManyRequests:
+		// Quota exhaustion is transient — the tenant's bucket refills — so
+		// unlike other 4xx it retries, waiting at least the server's
+		// per-tenant Retry-After.
+		err := fmt.Errorf("%w: %s", crerr.ErrQuotaExceeded, wireMessage(payload))
 		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
 			err = retry.WithRetryAfter(err, time.Duration(secs)*time.Second)
 		}

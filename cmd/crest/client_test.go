@@ -1,0 +1,100 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/crestlab/crest/internal/crerr"
+	"github.com/crestlab/crest/internal/retry"
+	"github.com/crestlab/crest/internal/server"
+)
+
+// quotaThenOK answers n requests with 429 + Retry-After, then 200s.
+func quotaThenOK(n int32, retryAfter string) (*httptest.Server, *int32) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) <= n {
+			w.Header().Set("Retry-After", retryAfter)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]server.WireError{
+				"error": {Kind: "quota_exceeded", Message: "tenant over budget"},
+			})
+			return
+		}
+		json.NewEncoder(w).Encode(server.EstimateResponse{CR: 2.5, Lo: 2, Hi: 3})
+	}))
+	return ts, &calls
+}
+
+// TestPostEstimateQuota429Retryable pins the quota wire contract on the
+// client side: a 429 is NOT permanent (the budget refills), it types as
+// ErrQuotaExceeded, and it carries the server's Retry-After as a backoff
+// hint — unlike other 4xx, which remain permanent.
+func TestPostEstimateQuota429Retryable(t *testing.T) {
+	ts, _ := quotaThenOK(1, "1")
+	defer ts.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	_, err := postEstimate(context.Background(), client, ts.URL, []byte("{}"))
+	if err == nil {
+		t.Fatal("first call should surface the 429")
+	}
+	if !errors.Is(err, crerr.ErrQuotaExceeded) {
+		t.Fatalf("429 error = %v, want ErrQuotaExceeded in chain", err)
+	}
+	if retry.IsPermanent(err) {
+		t.Fatalf("429 marked permanent: %v", err)
+	}
+	hint, ok := retry.RetryAfterHint(err)
+	if !ok || hint != time.Second {
+		t.Fatalf("Retry-After hint = %v, %v; want 1s, true", hint, ok)
+	}
+}
+
+// TestClientRetriesThroughQuota drives the real retry loop through a
+// transient 429 to a success.
+func TestClientRetriesThroughQuota(t *testing.T) {
+	ts, calls := quotaThenOK(1, "0") // no usable hint: backoff alone
+	defer ts.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+	policy := retry.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond}
+	var out *server.EstimateResponse
+	err := policy.Do(context.Background(), func(ctx context.Context) error {
+		res, err := postEstimate(ctx, client, ts.URL, []byte("{}"))
+		if err != nil {
+			return err
+		}
+		out = res
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("retry loop failed: %v", err)
+	}
+	if out == nil || out.CR != 2.5 {
+		t.Fatalf("response = %+v", out)
+	}
+	if got := atomic.LoadInt32(calls); got != 2 {
+		t.Fatalf("server saw %d calls, want 2 (one 429, one success)", got)
+	}
+}
+
+// TestPostEstimateOther4xxStillPermanent guards the boundary: only 429
+// became retryable; a 400 stays permanent.
+func TestPostEstimateOther4xxStillPermanent(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bad request", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+	_, err := postEstimate(context.Background(), client, ts.URL, []byte("{}"))
+	if err == nil || !retry.IsPermanent(err) {
+		t.Fatalf("400 should be permanent, got %v", err)
+	}
+}

@@ -13,6 +13,8 @@
 //	crest rawfile    -file data.f64 -rows 512 -cols 512 -compressor zfplike -eps 1e-3
 //	crest train      -dataset hurricane -field TC -dir models/
 //	crest serve      -model-dir models/ -addr localhost:8080
+//	crest serve      -registry registry/ -quota "alice=5:10,*=100"
+//	crest models     list -url http://localhost:8080
 //	crest client     -url http://localhost:8080 -dataset hurricane -step 3
 //	crest stream     gen -dataset hurricane -field TC -nz 16 -o tc.crbs
 //	crest stream     features -file tc.crbs -eps 1e-3
@@ -65,6 +67,10 @@ func main() {
 		err = cmdServe(ctx, args)
 	case "client":
 		err = cmdClient(ctx, args)
+	case "models":
+		err = cmdModels(ctx, args)
+	case "registrybench":
+		err = cmdRegistryBench(ctx, args)
 	case "stream":
 		err = cmdStream(ctx, args)
 	case "streambench":
@@ -112,6 +118,8 @@ commands:
   train       train an estimator and persist it as a durable snapshot
   serve       serve the estimation HTTP API from a model snapshot
   client      estimate one buffer against a running server (with backoff)
+  models      list, promote or roll back a registry server's model lineages
+  registrybench model-lifecycle benchmark: canary decision latency + quota overhead
   stream      out-of-core: generate, featurize, estimate or post CRBS block streams
   streambench streaming-ingest benchmark: per-slice cost must stay flat with stream length
   servebench  in-process serving benchmark: tail latency + shed rate

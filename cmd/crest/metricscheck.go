@@ -48,6 +48,36 @@ var requiredHistograms = []struct {
 
 var requiredGauges = []string{"server_queue_depth", "server_inflight"}
 
+// registryHistograms/Gauges/Counters are additionally required when
+// -registry is set: the series a registry-mode server must expose after
+// serving at least one routed estimate. Lifecycle counters (publishes,
+// promotions, rollbacks, retrains) must exist but need not have fired.
+var registryHistograms = []struct {
+	name    string
+	nonzero bool
+}{
+	{"registry_decision_seconds", false},
+}
+
+var registryGauges = []string{"registry_lineages"}
+
+var registryCounters = []struct {
+	name    string
+	nonzero bool
+}{
+	{"registry_requests_total", true},
+	{"registry_canary_requests_total", false},
+	{"registry_publishes_total", false},
+	{"registry_promotions_total", false},
+	{"registry_rollbacks_total", false},
+	{"registry_retrains_total", false},
+	{"registry_retrain_failures_total", false},
+	{"tenant_requests_total", true},
+	{"tenant_quota_rejections_total", false},
+	{"snapshot_pruned_total", false},
+	{"snapshot_prune_passes_total", false},
+}
+
 var requiredCounters = []struct {
 	name    string
 	nonzero bool
@@ -70,6 +100,7 @@ func cmdMetricsCheck(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("metricscheck", flag.ExitOnError)
 	url := fs.String("url", "http://localhost:8080", "server base URL")
 	timeout := fs.Duration("timeout", 10*time.Second, "fetch deadline")
+	registryMode := fs.Bool("registry", false, "also require the registry/tenant lifecycle series (registry-mode servers)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,8 +123,21 @@ func cmdMetricsCheck(ctx context.Context, args []string) error {
 		return fmt.Errorf("/metrics is not valid JSON: %w", err)
 	}
 
+	histChecks, gaugeChecks, counterChecks := requiredHistograms, requiredGauges, requiredCounters
+	if *registryMode {
+		histChecks = append(append([]struct {
+			name    string
+			nonzero bool
+		}{}, histChecks...), registryHistograms...)
+		gaugeChecks = append(append([]string{}, gaugeChecks...), registryGauges...)
+		counterChecks = append(append([]struct {
+			name    string
+			nonzero bool
+		}{}, counterChecks...), registryCounters...)
+	}
+
 	var problems []string
-	for _, h := range requiredHistograms {
+	for _, h := range histChecks {
 		s, ok := doc.Histograms[h.name]
 		switch {
 		case !ok:
@@ -105,12 +149,12 @@ func cmdMetricsCheck(ctx context.Context, args []string) error {
 				h.name, s.P50, s.P90, s.P99))
 		}
 	}
-	for _, g := range requiredGauges {
+	for _, g := range gaugeChecks {
 		if _, ok := doc.Gauges[g]; !ok {
 			problems = append(problems, "missing gauge "+g)
 		}
 	}
-	for _, c := range requiredCounters {
+	for _, c := range counterChecks {
 		v, ok := doc.Counters[c.name]
 		if !ok {
 			problems = append(problems, "missing counter "+c.name)

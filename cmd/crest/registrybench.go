@@ -1,0 +1,227 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	crest "github.com/crestlab/crest"
+	"github.com/crestlab/crest/internal/obs"
+	"github.com/crestlab/crest/internal/registry"
+)
+
+// registryBenchReport is the JSON document `crest registrybench` emits —
+// the model-lifecycle benchmark scripts/bench.sh archives as
+// BENCH_registry.json. The numbers that matter operationally: how much
+// the routing hot path costs per request, how long a canary takes to
+// reach a promote/rollback verdict (decision latency), and what a quota
+// check adds to admission.
+type registryBenchReport struct {
+	RouteP50Us    float64 `json:"route_p50_us"`
+	RouteP99Us    float64 `json:"route_p99_us"`
+	FeedbackP50Us float64 `json:"feedback_p50_us"`
+	FeedbackP99Us float64 `json:"feedback_p99_us"`
+
+	PromoteObservations  int     `json:"promote_observations"`
+	PromoteWallMs        float64 `json:"promote_wall_ms"`
+	RollbackObservations int     `json:"rollback_observations"`
+	RollbackWallMs       float64 `json:"rollback_wall_ms"`
+
+	QuotaAllowNs  float64 `json:"quota_allow_ns"`
+	QuotaRejectNs float64 `json:"quota_reject_ns"`
+
+	Routes    int `json:"routes"`
+	Feedbacks int `json:"feedbacks"`
+}
+
+// cmdRegistryBench benchmarks the registry's lifecycle paths in-process:
+// route resolution under an active canary split, feedback scoring with
+// the double-estimate comparison, end-to-end decision latency for a
+// promotion and a rollback, and the token-bucket quota check.
+func cmdRegistryBench(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("registrybench", flag.ExitOnError)
+	routes := fs.Int("routes", 20000, "route resolutions to time")
+	out := fs.String("out", "-", "write the JSON report here (-: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	truth := func(f []float64) float64 { return 1 + 10*math.Exp(0.5*f[0]-0.3*f[1]) }
+	train := func(seed int64, shuffle bool) (*crest.Estimator, error) {
+		rng := rand.New(rand.NewSource(seed))
+		samples := make([]crest.Sample, 80)
+		for i := range samples {
+			f := make([]float64, 5)
+			for j := range f {
+				f[j] = rng.NormFloat64()
+			}
+			samples[i] = crest.Sample{Features: f, CR: truth(f)}
+		}
+		if shuffle {
+			rng.Shuffle(len(samples), func(i, j int) {
+				samples[i].CR, samples[j].CR = samples[j].CR, samples[i].CR
+			})
+		}
+		return crest.TrainEstimatorContext(ctx, samples, crest.EstimatorConfig{})
+	}
+
+	canary := registry.CanaryConfig{
+		Fraction:     0.25,
+		Window:       64,
+		MinObs:       16,
+		EvalEvery:    8,
+		SustainEvals: 3,
+	}
+	reg, err := registry.Open(registry.Config{
+		Root:   must(os.MkdirTemp("", "registrybench")),
+		Obs:    obs.NewRegistry(),
+		Canary: canary,
+		Quota: registry.QuotaConfig{
+			Tenants: map[string]registry.TenantQuota{
+				"open":   {Rate: 1e9, Burst: 1 << 30},
+				"closed": {Rate: 0.001, Burst: 1},
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer reg.Close()
+
+	active, err := train(7, false)
+	if err != nil {
+		return err
+	}
+	if _, err := reg.Publish("bench", active); err != nil {
+		return err
+	}
+
+	// Phase 1: routing hot path, with a canary split in flight so the
+	// measurement includes the split decision and counter persistence.
+	good, err := train(11, false)
+	if err != nil {
+		return err
+	}
+	if _, err := reg.Publish("bench", good); err != nil {
+		return err
+	}
+	routeLat := make([]time.Duration, 0, *routes)
+	for i := 0; i < *routes; i++ {
+		t0 := time.Now()
+		if _, err := reg.Route("bench"); err != nil {
+			return err
+		}
+		routeLat = append(routeLat, time.Since(t0))
+	}
+
+	// Phase 2: drive feedback until the good candidate auto-promotes,
+	// timing each observation (the double-estimate comparison) and the
+	// wall time from first observation to the verdict.
+	rng := rand.New(rand.NewSource(23))
+	feedback := func() (obsCount int, wall time.Duration, lat []time.Duration, decision string, err error) {
+		start := time.Now()
+		for i := 0; i < 5000; i++ {
+			f := make([]float64, 5)
+			for j := range f {
+				f[j] = rng.NormFloat64()
+			}
+			t0 := time.Now()
+			res, ferr := reg.ObserveFeedback("bench", f, truth(f))
+			if ferr != nil {
+				return 0, 0, nil, "", ferr
+			}
+			lat = append(lat, time.Since(t0))
+			if res.Decision != "" {
+				return i + 1, time.Since(start), lat, res.Decision, nil
+			}
+		}
+		return 0, 0, lat, "", fmt.Errorf("no canary decision after 5000 observations")
+	}
+	promoteObs, promoteWall, feedLat, decision, err := feedback()
+	if err != nil {
+		return err
+	}
+	if decision != "promote" {
+		return fmt.Errorf("good candidate decided %q, want promote", decision)
+	}
+
+	// Phase 3: a regressed candidate must roll back; time the verdict.
+	bad, err := train(13, true)
+	if err != nil {
+		return err
+	}
+	if _, err := reg.Publish("bench", bad); err != nil {
+		return err
+	}
+	rollbackObs, rollbackWall, moreLat, decision, err := feedback()
+	if err != nil {
+		return err
+	}
+	if decision != "rollback" {
+		return fmt.Errorf("regressed candidate decided %q, want rollback", decision)
+	}
+	feedLat = append(feedLat, moreLat...)
+
+	// Phase 4: quota check overhead on both verdicts.
+	quotaNs := func(tenant string) float64 {
+		const n = 200000
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			reg.AllowTenant(tenant)
+		}
+		return float64(time.Since(t0).Nanoseconds()) / n
+	}
+	allowNs := quotaNs("open")
+	rejectNs := quotaNs("closed")
+
+	us := func(lat []time.Duration, p float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		sorted := append([]time.Duration(nil), lat...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		return float64(sorted[int(p*float64(len(sorted)-1))]) / float64(time.Microsecond)
+	}
+	report := registryBenchReport{
+		RouteP50Us:           us(routeLat, 0.50),
+		RouteP99Us:           us(routeLat, 0.99),
+		FeedbackP50Us:        us(feedLat, 0.50),
+		FeedbackP99Us:        us(feedLat, 0.99),
+		PromoteObservations:  promoteObs,
+		PromoteWallMs:        float64(promoteWall) / float64(time.Millisecond),
+		RollbackObservations: rollbackObs,
+		RollbackWallMs:       float64(rollbackWall) / float64(time.Millisecond),
+		QuotaAllowNs:         allowNs,
+		QuotaRejectNs:        rejectNs,
+		Routes:               len(routeLat),
+		Feedbacks:            len(feedLat),
+	}
+	doc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(doc)
+		return err
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (route p99 %.1fus, promote after %d obs, quota allow %.0fns)\n",
+		*out, report.RouteP99Us, report.PromoteObservations, report.QuotaAllowNs)
+	return nil
+}
+
+func must(s string, err error) string {
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

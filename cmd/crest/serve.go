@@ -14,6 +14,7 @@ import (
 	crest "github.com/crestlab/crest"
 	"github.com/crestlab/crest/internal/cluster"
 	"github.com/crestlab/crest/internal/obs"
+	"github.com/crestlab/crest/internal/registry"
 	"github.com/crestlab/crest/internal/server"
 )
 
@@ -47,36 +48,75 @@ func cmdServe(ctx context.Context, args []string) error {
 	hedgeAfter := fs.Duration("hedge-after", 0, "fixed backup-request delay (0: adaptive p90 of recent forwards; negative: no hedging)")
 	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive forward failures that open a peer's circuit breaker")
 	breakerOpenFor := fs.Duration("breaker-open-for", 2*time.Second, "how long an open breaker rejects a peer before half-open probing")
+	registryDir := fs.String("registry", "", "serve from a model registry root (each subdirectory is one lineage); mutually exclusive with -model/-model-dir/-peers")
+	canaryFraction := fs.Float64("canary-fraction", 0.1, "traffic fraction routed to a canary candidate (registry mode)")
+	keep := fs.Int("keep", 0, "per-lineage snapshot retention budget (registry mode; 0: default, negative: keep all)")
+	quota := fs.String("quota", "", `per-tenant admission quotas "name=rate[:burst],..." in req/s (registry mode; entry "*=..." bounds unlisted tenants)`)
+	driftThreshold := fs.Float64("drift-threshold", 0, "rolling feedback MedAPE %% that triggers background retraining (registry mode; 0: off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if (*model == "") == (*modelDir == "") {
-		return fmt.Errorf("need exactly one of -model or -model-dir")
+	sources := 0
+	for _, set := range []bool{*model != "", *modelDir != "", *registryDir != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return fmt.Errorf("need exactly one of -model, -model-dir or -registry")
+	}
+	if *registryDir != "" && *peers != "" {
+		return fmt.Errorf("-registry and -peers are mutually exclusive")
 	}
 
 	var est *crest.Estimator
-	var from string
+	var reg *registry.Registry
 	var err error
-	if *model != "" {
-		from = *model
-		est, err = crest.LoadEstimator(*model)
+	if *registryDir != "" {
+		qcfg, qerr := parseQuotaSpec(*quota)
+		if qerr != nil {
+			return qerr
+		}
+		reg, err = registry.Open(registry.Config{
+			Root:    *registryDir,
+			Workers: *workers,
+			Keep:    *keep,
+			Canary:  registry.CanaryConfig{Fraction: *canaryFraction},
+			Quota:   qcfg,
+			Drift:   registry.DriftConfig{MedAPEThreshold: *driftThreshold},
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "crest serve: registry: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("open registry: %w", err)
+		}
+		defer reg.Close()
+		fmt.Fprintf(os.Stderr, "crest serve: registry %s hosting lineages %v (canary fraction %g)\n",
+			*registryDir, reg.Lineages(), *canaryFraction)
 	} else {
-		est, from, err = crest.LoadLatestEstimator(*modelDir)
-	}
-	if err != nil {
-		return fmt.Errorf("load model: %w", err)
-	}
-	fmt.Fprintf(os.Stderr, "crest serve: model %s (conformal radius %.4f)\n", from, est.IntervalRadius())
-	if *recal {
-		if est.OnlineRecalibrationEnabled() {
-			// The snapshot carried a live tracker; resume its window and
-			// recalibrated radius rather than resetting to the flags.
-			ost, _ := est.OnlineStats()
-			fmt.Fprintf(os.Stderr, "crest serve: online recalibration resumed from snapshot (observed %d, windowed %d, radius %.4f)\n",
-				ost.Observed, ost.Windowed, ost.Radius)
+		var from string
+		if *model != "" {
+			from = *model
+			est, err = crest.LoadEstimator(*model)
 		} else {
-			est.EnableOnlineRecalibration(crest.OnlineConformalConfig{Window: *recalWindow, Band: *recalBand})
-			fmt.Fprintf(os.Stderr, "crest serve: online recalibration on (window %d, band ±%.3f)\n", *recalWindow, *recalBand)
+			est, from, err = crest.LoadLatestEstimator(*modelDir)
+		}
+		if err != nil {
+			return fmt.Errorf("load model: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "crest serve: model %s (conformal radius %.4f)\n", from, est.IntervalRadius())
+		if *recal {
+			if est.OnlineRecalibrationEnabled() {
+				// The snapshot carried a live tracker; resume its window and
+				// recalibrated radius rather than resetting to the flags.
+				ost, _ := est.OnlineStats()
+				fmt.Fprintf(os.Stderr, "crest serve: online recalibration resumed from snapshot (observed %d, windowed %d, radius %.4f)\n",
+					ost.Observed, ost.Windowed, ost.Radius)
+			} else {
+				est.EnableOnlineRecalibration(crest.OnlineConformalConfig{Window: *recalWindow, Band: *recalBand})
+				fmt.Fprintf(os.Stderr, "crest serve: online recalibration on (window %d, band ±%.3f)\n", *recalWindow, *recalBand)
+			}
 		}
 	}
 
@@ -124,9 +164,13 @@ func cmdServe(ctx context.Context, args []string) error {
 			selfURL, len(list), *replicas)
 	}
 
-	engine := crest.NewBatchEstimator(est, nil, *workers)
+	var engine *crest.BatchEstimator
+	if est != nil {
+		engine = crest.NewBatchEstimator(est, nil, *workers)
+	}
 	srv, err := server.New(server.Config{
 		Engine:         engine,
+		Registry:       reg,
 		MaxInflight:    *maxInflight,
 		MaxQueue:       *maxQueue,
 		RequestTimeout: *reqTimeout,

@@ -415,3 +415,120 @@ func TestServeClusterFlags(t *testing.T) {
 		t.Fatalf("cluster block implausible: %s", body)
 	}
 }
+
+// TestServeRegistryRoundTrip is the registry-mode CLI round trip: train
+// seeds a lineage directory, serve -registry adopts it (re-sequenced as
+// v1), estimates route with version headers, `crest models list` renders
+// the lineage, and a configured tenant quota answers 429 with Retry-After
+// once its burst is spent.
+func TestServeRegistryRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	trainTinySnapshot(t, filepath.Join(root, "default"))
+
+	addr, cancel, done := startServe(t,
+		"-registry", root, "-quota", "tiny=0.1:1,*=1000")
+	defer cancel()
+	base := "http://" + addr
+
+	clientArgs := append([]string{"-url", base, "-dataset", "miranda",
+		"-field", "density", "-step", "2", "-eps", "1e-3"}, "-nz", "8", "-ny", "24", "-nx", "24")
+	if err := cmdClient(context.Background(), clientArgs); err != nil {
+		t.Fatalf("client: %v", err)
+	}
+
+	// The models admin surface answers and carries the adopted version.
+	r, err := http.Get(base + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	var doc struct {
+		Lineages []struct {
+			Name   string `json:"name"`
+			Active int    `json:"active"`
+		} `json:"lineages"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("models list: %v: %s", err, body)
+	}
+	if len(doc.Lineages) != 1 || doc.Lineages[0].Name != "default" || doc.Lineages[0].Active != 1 {
+		t.Fatalf("lineages = %s", body)
+	}
+	if err := cmdModels(context.Background(), []string{"list", "-url", base}); err != nil {
+		t.Fatalf("models list CLI: %v", err)
+	}
+
+	// The tiny tenant's burst of 1 is spent by the first request; the
+	// second must be a 429 with a Retry-After hint.
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = float64(i % 8)
+	}
+	estBody, err := json.Marshal(map[string]any{"rows": 8, "cols": 8, "data": data, "eps": 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{http.StatusOK, http.StatusTooManyRequests} {
+		req, _ := http.NewRequest(http.MethodPost, base+"/v1/estimate", bytes.NewReader(estBody))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Crest-Tenant", "tiny")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("tiny tenant request %d: status %d, want %d", i, resp.StatusCode, want)
+		}
+		if want == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+			t.Fatal("429 without Retry-After")
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve did not drain cleanly: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not exit after cancellation")
+	}
+}
+
+// TestServeRegistryFlagValidation pins the mutual-exclusion rules.
+func TestServeRegistryFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-registry", "x", "-model", "y"},
+		{"-registry", "x", "-model-dir", "y"},
+		{"-registry", "x", "-peers", "http://a,http://b"},
+		{},
+	} {
+		if err := cmdServe(context.Background(), args); err == nil {
+			t.Errorf("args %v: expected a flag validation error", args)
+		}
+	}
+}
+
+// TestParseQuotaSpec covers the -quota grammar.
+func TestParseQuotaSpec(t *testing.T) {
+	cfg, err := parseQuotaSpec("alice=5:10, bob=2 ,*=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := cfg.Tenants["alice"]; q.Rate != 5 || q.Burst != 10 {
+		t.Fatalf("alice = %+v", q)
+	}
+	if q := cfg.Tenants["bob"]; q.Rate != 2 || q.Burst != 0 {
+		t.Fatalf("bob = %+v", q)
+	}
+	if cfg.Default.Rate != 100 {
+		t.Fatalf("default = %+v", cfg.Default)
+	}
+	for _, bad := range []string{"alice", "alice=", "alice=x", "alice=1:x", "=5"} {
+		if _, err := parseQuotaSpec(bad); err == nil {
+			t.Errorf("spec %q: expected an error", bad)
+		}
+	}
+}

@@ -369,6 +369,10 @@ type Result struct {
 	Body        []byte
 	ContentType string
 	Peer        string
+	// RetryAfter carries the peer's Retry-After header on pass-through
+	// responses (a tenant quota 429), so the relaying node can hand the
+	// backoff hint on to the client instead of dropping it.
+	RetryAfter string
 	// Hedged reports that the backup leg produced this result.
 	Hedged bool
 }
@@ -625,6 +629,11 @@ func (c *Cluster) forwardOnce(ctx context.Context, peer string, req DoRequest) (
 		return Result{}, fmt.Errorf("cluster: peer %s answered HTTP %d: %s",
 			peer, resp.StatusCode, firstLine(body))
 	default:
+		// Everything else — including a tenant quota 429 — passes through
+		// as a breaker Success with no per-peer hold: the peer answered
+		// promptly and authoritatively; a single tenant being over budget
+		// says nothing about the peer's health, and holding or ejecting it
+		// would let one tenant's storm evict the peer for everyone.
 		b.Success()
 		dur := time.Since(t0).Seconds()
 		c.lat.observe(dur)
@@ -634,6 +643,7 @@ func (c *Cluster) forwardOnce(ctx context.Context, peer string, req DoRequest) (
 			Status:      resp.StatusCode,
 			Body:        body,
 			ContentType: resp.Header.Get("Content-Type"),
+			RetryAfter:  resp.Header.Get("Retry-After"),
 			Peer:        peer,
 		}, nil
 	}

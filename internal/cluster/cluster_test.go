@@ -612,3 +612,56 @@ func TestNewClusterValidation(t *testing.T) {
 		t.Fatal("missing self accepted")
 	}
 }
+
+// TestClusterQuota429IsBreakerSuccessNoHold pins the quota wire contract
+// at the forwarding layer: a tenant's 429 passes through verbatim with
+// its Retry-After preserved, counts as a breaker Success (the peer
+// answered authoritatively — one tenant being over budget is not peer
+// unhealth), and records no per-peer hold, so the same peer keeps
+// serving other tenants immediately.
+func TestClusterQuota429IsBreakerSuccessNoHold(t *testing.T) {
+	var log attemptLog
+	rt := rtFunc(func(r *http.Request) (*http.Response, error) {
+		log.add(r.URL.Host)
+		return statusResponse(http.StatusTooManyRequests,
+			http.Header{"Retry-After": []string{"7"}}), nil
+	})
+	c := newTestCluster(t, []string{"http://self", "http://b", "http://cc"}, rt, nil)
+
+	res, err := c.Do(context.Background(), DoRequest{
+		Peers: []string{"http://b", "http://cc"},
+		Path:  "/v1/estimate",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusTooManyRequests || res.Peer != "http://b" {
+		t.Fatalf("res = %+v, want 429 passthrough from http://b", res)
+	}
+	if res.RetryAfter != "7" {
+		t.Fatalf("RetryAfter = %q, want the peer's hint preserved", res.RetryAfter)
+	}
+	if got := log.list(); len(got) != 1 {
+		t.Fatalf("429 was retried across peers: attempts %v", got)
+	}
+
+	// No hold and no breaker damage: the very next request must go straight
+	// back to the same primary.
+	log.mu.Lock()
+	log.hosts = nil
+	log.mu.Unlock()
+	if _, err := c.Do(context.Background(), DoRequest{
+		Peers: []string{"http://b", "http://cc"},
+		Path:  "/v1/estimate",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := log.list(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("attempts = %v, want [b]: a quota 429 must not hold or eject the peer", got)
+	}
+	for _, p := range c.Stats().Peers {
+		if p.Addr == "http://b" && p.HoldMs > 0 {
+			t.Fatalf("quota 429 recorded a per-peer hold: %+v", p)
+		}
+	}
+}

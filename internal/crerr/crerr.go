@@ -82,6 +82,20 @@ var (
 	// reader are wrapped alongside this sentinel, so both
 	// errors.Is(err, ErrStreamCorrupt) and errors.Is(err, <cause>) hold.
 	ErrStreamCorrupt = errors.New("crest: block stream corrupt")
+
+	// ErrQuotaExceeded reports work refused because the requesting tenant
+	// spent its admission quota. Deliberately distinct from ErrOverloaded:
+	// quota exhaustion is the *tenant's* backpressure (HTTP 429 with a
+	// per-tenant Retry-After), not the server's (503) — the server has
+	// capacity, this tenant just is not entitled to more of it right now.
+	// Clients should wait out the Retry-After hint and resume; the
+	// condition says nothing about server health, so it must not trip
+	// circuit breakers or count toward peer failure ejection.
+	ErrQuotaExceeded = errors.New("crest: tenant quota exceeded")
+
+	// ErrUnknownLineage reports a request routed at a model lineage the
+	// registry does not host (and that has no default to fall back to).
+	ErrUnknownLineage = errors.New("crest: unknown model lineage")
 )
 
 // Canceled wraps a context error (or nil, treated as context.Canceled) so

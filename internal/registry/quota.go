@@ -1,0 +1,122 @@
+package registry
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// TenantQuota is one tenant's admission budget: a token bucket refilled
+// at Rate tokens/second with capacity Burst. A zero Rate means unlimited.
+type TenantQuota struct {
+	Rate  float64
+	Burst float64
+}
+
+func (q TenantQuota) withDefaults() TenantQuota {
+	if q.Rate > 0 && q.Burst <= 0 {
+		q.Burst = math.Max(1, q.Rate)
+	}
+	return q
+}
+
+// QuotaConfig configures per-tenant admission quotas. Quota exhaustion is
+// the tenant's backpressure (429 + Retry-After), layered in front of the
+// server's inflight/queue admission control (503): a tenant over budget
+// is rejected before it can occupy queue slots other tenants need.
+type QuotaConfig struct {
+	// Default applies to tenants without an explicit entry. The zero
+	// value (Rate 0) admits everything — quotas are opt-in.
+	Default TenantQuota
+
+	// Tenants maps tenant name to its quota, overriding Default.
+	Tenants map[string]TenantQuota
+
+	// MaxTenants bounds the bucket table (default 1024). Tenants beyond
+	// the bound share one overflow bucket sized like Default, so an
+	// adversarial flood of fresh tenant names cannot grow memory — it
+	// only starves itself.
+	MaxTenants int
+}
+
+// defaultMaxTenants bounds the per-tenant bucket table.
+const defaultMaxTenants = 1024
+
+// bucket is one token bucket.
+type bucket struct {
+	quota  TenantQuota
+	tokens float64
+	last   time.Time
+}
+
+// take refills the bucket to now and tries to spend one token. On denial
+// it returns the wait until a token accrues.
+func (b *bucket) take(now time.Time) (time.Duration, bool) {
+	if b.quota.Rate <= 0 {
+		return 0, true
+	}
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.quota.Rate
+	} else {
+		b.tokens = b.quota.Burst
+	}
+	if b.tokens > b.quota.Burst {
+		b.tokens = b.quota.Burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	wait := time.Duration((1 - b.tokens) / b.quota.Rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return wait, false
+}
+
+// Quotas is the tenant admission table.
+type Quotas struct {
+	mu       sync.Mutex
+	cfg      QuotaConfig
+	now      func() time.Time
+	buckets  map[string]*bucket
+	overflow bucket
+}
+
+func newQuotas(cfg QuotaConfig, now func() time.Time) *Quotas {
+	cfg.Default = cfg.Default.withDefaults()
+	for name, q := range cfg.Tenants {
+		cfg.Tenants[name] = q.withDefaults()
+	}
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = defaultMaxTenants
+	}
+	return &Quotas{
+		cfg:      cfg,
+		now:      now,
+		buckets:  make(map[string]*bucket),
+		overflow: bucket{quota: cfg.Default},
+	}
+}
+
+// Allow spends one admission token of the tenant's bucket. It returns
+// ok=true when admitted, else the Retry-After duration.
+func (q *Quotas) Allow(tenant string) (time.Duration, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[tenant]
+	if b == nil {
+		if len(q.buckets) >= q.cfg.MaxTenants {
+			b = &q.overflow
+		} else {
+			quota, ok := q.cfg.Tenants[tenant]
+			if !ok {
+				quota = q.cfg.Default
+			}
+			b = &bucket{quota: quota}
+			q.buckets[tenant] = b
+		}
+	}
+	return b.take(q.now())
+}

@@ -158,6 +158,13 @@ func Permanent(err error) error {
 	return &permanentError{err: err}
 }
 
+// IsPermanent reports whether err was marked non-retryable by Permanent
+// anywhere in its chain.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
 // retryAfterError carries a server-issued minimum wait.
 type retryAfterError struct {
 	err  error
@@ -170,7 +177,8 @@ func (e *retryAfterError) Error() string {
 func (e *retryAfterError) Unwrap() error { return e.err }
 
 // WithRetryAfter attaches a minimum backoff wait to err — the typed form
-// of an HTTP 503 Retry-After header. A nil err stays nil.
+// of an HTTP Retry-After header, whether from an overload 503 or a
+// per-tenant quota 429. A nil err stays nil.
 func WithRetryAfter(err error, wait time.Duration) error {
 	if err == nil {
 		return nil

@@ -141,6 +141,9 @@ func (s *Server) relay(w http.ResponseWriter, res cluster.Result) {
 	}
 	w.Header().Set("Content-Type", ct)
 	w.Header().Set(cluster.ServedByHeader, res.Peer)
+	if res.RetryAfter != "" {
+		w.Header().Set("Retry-After", res.RetryAfter)
+	}
 	w.WriteHeader(res.Status)
 	if _, err := w.Write(res.Body); err != nil {
 		s.cfg.Logf("server: relay response: %v", err)

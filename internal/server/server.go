@@ -49,6 +49,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +59,7 @@ import (
 	"github.com/crestlab/crest/internal/crerr"
 	"github.com/crestlab/crest/internal/grid"
 	"github.com/crestlab/crest/internal/obs"
+	"github.com/crestlab/crest/internal/registry"
 )
 
 // Config tunes the serving boundary. Engine is required; everything else
@@ -121,6 +123,15 @@ type Config struct {
 	// request is served from the local model with `degraded: true`. The
 	// caller owns the cluster's lifecycle (Start/Close).
 	Cluster *cluster.Cluster
+
+	// Registry, when set, puts the server in multi-tenant registry mode:
+	// requests route to named model lineages (LineageHeader) with canary
+	// splitting, tenants (TenantHeader) run under admission quotas (429 +
+	// Retry-After on exhaustion, distinct from overload 503), feedback
+	// feeds the canary comparison, and the /v1/models admin endpoints are
+	// mounted. Engine may then be nil; the registry's default lineage
+	// stands in for introspection. Mutually exclusive with Cluster.
+	Registry *registry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -188,6 +199,7 @@ type Server struct {
 	drainRejected atomic.Uint64
 	timeouts      atomic.Uint64
 	panics        atomic.Uint64
+	quotaRejected atomic.Uint64
 
 	// Registry handles, resolved once at construction.
 	m  serverMetrics
@@ -216,7 +228,7 @@ type serverMetrics struct {
 
 // endpointLabels are the route labels carrying their own latency series;
 // anything else records under "other".
-var endpointLabels = []string{"estimate", "batch", "feedback", "healthz", "readyz", "statsz", "metrics", "other"}
+var endpointLabels = []string{"estimate", "batch", "feedback", "healthz", "readyz", "statsz", "metrics", "models", "other"}
 
 func newServerMetrics(r *obs.Registry) serverMetrics {
 	m := serverMetrics{
@@ -256,14 +268,29 @@ func endpointLabel(path string) string {
 	case "/metrics":
 		return "metrics"
 	default:
+		if strings.HasPrefix(path, "/v1/models") {
+			return "models"
+		}
 		return "other"
 	}
 }
 
-// New builds a server over an engine.
+// New builds a server over an engine, or — in registry mode — over the
+// registry's lineages, with the default lineage's engine standing in for
+// capacity sizing and introspection.
 func New(cfg Config) (*Server, error) {
+	if cfg.Registry != nil && cfg.Cluster != nil {
+		return nil, errors.New("server: registry and cluster modes are mutually exclusive")
+	}
 	if cfg.Engine == nil {
-		return nil, errors.New("server: nil engine")
+		if cfg.Registry == nil {
+			return nil, errors.New("server: nil engine")
+		}
+		eng, err := registryFallbackEngine(cfg.Registry)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Engine = eng
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -392,6 +419,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.Registry != nil {
+		mux.HandleFunc("GET /v1/models", s.handleModelsList)
+		mux.HandleFunc("GET /v1/models/{lineage}", s.handleModelGet)
+		mux.HandleFunc("POST /v1/models/{lineage}/promote", s.handleModelPromote)
+		mux.HandleFunc("POST /v1/models/{lineage}/rollback", s.handleModelRollback)
+	}
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -541,6 +574,11 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.withAdmission(w, r, func(ctx context.Context) {
+		engine, err := s.engineFor(w, r)
+		if err != nil {
+			s.failRequest(w, err)
+			return
+		}
 		var req EstimateRequest
 		degraded := false
 		if s.clustered() {
@@ -569,7 +607,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			s.failRequest(w, err)
 			return
 		}
-		ests, err := s.engine.EstimateAllContext(ctx, []batch.Request{{Buf: buf, Eps: req.Eps}})
+		ests, err := engine.EstimateAllContext(ctx, []batch.Request{{Buf: buf, Eps: req.Eps}})
 		if err != nil {
 			var agg *crerr.AggregateError
 			if errors.As(err, &agg) {
@@ -591,6 +629,11 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.withAdmission(w, r, func(ctx context.Context) {
+		engine, err := s.engineFor(w, r)
+		if err != nil {
+			s.failRequest(w, err)
+			return
+		}
 		var wire BatchWireRequest
 		if err := s.decodeBody(w, r, &wire); err != nil {
 			s.failRequest(w, err)
@@ -629,7 +672,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				validIdx = append(validIdx, i)
 			}
 		}
-		ests, err := s.engine.EstimateAllContext(ctx, valid)
+		ests, err := engine.EstimateAllContext(ctx, valid)
 		// A whole-batch cancellation is a request-level failure.
 		if err != nil && errors.Is(err, crerr.ErrCanceled) {
 			s.failRequest(w, err)
@@ -668,9 +711,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// withAdmission runs fn under the full admission pipeline: drain check,
-// semaphore/queue, per-request deadline.
+// withAdmission runs fn under the full admission pipeline: per-tenant
+// quota (registry mode), drain check, semaphore/queue, per-request
+// deadline.
 func (s *Server) withAdmission(w http.ResponseWriter, r *http.Request, fn func(ctx context.Context)) {
+	if !s.checkQuota(w, r) {
+		return
+	}
 	if !s.ready.Load() || !s.beginRequest() {
 		s.drainRejected.Add(1)
 		s.m.drainRejected.Inc()
@@ -726,11 +773,19 @@ type StatsPayload struct {
 	Conformal *OnlineSnapshot `json:"conformal,omitempty"`
 	// Cluster is present when this node serves as part of a fleet.
 	Cluster *ClusterBlock `json:"cluster,omitempty"`
+	// Registry is present in registry mode: one entry per lineage.
+	Registry []registry.LineageInfo `json:"registry,omitempty"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
-	payload := StatsPayload{Server: s.Stats(), Engine: s.engine.Stats(), Cluster: s.clusterBlock()}
-	if st, ok := s.engine.Estimator().OnlineStats(); ok {
+	engine := s.currentEngine()
+	payload := StatsPayload{
+		Server:   s.Stats(),
+		Engine:   engine.Stats(),
+		Cluster:  s.clusterBlock(),
+		Registry: s.registryBlock(),
+	}
+	if st, ok := engine.Estimator().OnlineStats(); ok {
 		payload.Conformal = onlineSnapshot(st)
 	}
 	s.writeJSON(w, http.StatusOK, payload)
@@ -754,7 +809,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, MetricsPayload{
 		Snapshot: s.cfg.Obs.Snapshot(),
 		Derived: DerivedMetrics{
-			FeatcacheHitRate: s.engine.Stats().Cache.HitRate(),
+			FeatcacheHitRate: s.currentEngine().Stats().Cache.HitRate(),
 		},
 	})
 }
@@ -778,6 +833,10 @@ type Stats struct {
 	DrainRejected   uint64 `json:"drain_rejected"`
 	Timeouts        uint64 `json:"timeouts"`
 	RecoveredPanics uint64 `json:"recovered_panics"`
+	// QuotaRejected counts 429s from per-tenant quota exhaustion
+	// (registry mode) — deliberately separate from Shed: quota is the
+	// tenant's backpressure, shed is the server's.
+	QuotaRejected uint64 `json:"quota_rejected"`
 
 	// Inflight and Queued are current occupancy; MaxInflight and
 	// MaxQueue the configured bounds.
@@ -806,6 +865,7 @@ func (s *Server) Stats() Stats {
 		DrainRejected:   s.drainRejected.Load(),
 		Timeouts:        s.timeouts.Load(),
 		RecoveredPanics: s.panics.Load(),
+		QuotaRejected:   s.quotaRejected.Load(),
 		Inflight:        len(s.inflight),
 		Queued:          int(s.queued.Load()),
 		MaxInflight:     s.cfg.MaxInflight,
@@ -822,6 +882,10 @@ func (s *Server) Stats() Stats {
 // crerr taxonomy.
 func classify(err error) (string, int) {
 	switch {
+	case errors.Is(err, crerr.ErrQuotaExceeded):
+		return "quota_exceeded", http.StatusTooManyRequests
+	case errors.Is(err, crerr.ErrUnknownLineage):
+		return "unknown_lineage", http.StatusNotFound
 	case errors.Is(err, crerr.ErrOverloaded):
 		return "overloaded", http.StatusServiceUnavailable
 	case errors.Is(err, crerr.ErrDraining):

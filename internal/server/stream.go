@@ -119,7 +119,11 @@ func (s *Server) handleEstimateStream(w http.ResponseWriter, r *http.Request) {
 			s.failRequest(w, err)
 			return
 		}
-		est := s.engine.Estimator()
+		est, err := s.estimatorFor(w, r)
+		if err != nil {
+			s.failRequest(w, err)
+			return
+		}
 		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		cr, err := grid.NewChunkReader(body, s.cfg.StreamLimits)
 		if err != nil {
@@ -163,7 +167,8 @@ type FeedbackRequest struct {
 }
 
 // FeedbackResponse reports the tracker state after absorbing the
-// observation.
+// observation. Decision is present in registry mode when this very
+// observation concluded a canary rollout ("promote" or "rollback").
 type FeedbackResponse struct {
 	Coverage       float64 `json:"coverage"`
 	Target         float64 `json:"target"`
@@ -171,6 +176,7 @@ type FeedbackResponse struct {
 	Recalibrated   bool    `json:"recalibrated"`
 	Recalibrations int     `json:"recalibrations"`
 	Windowed       int     `json:"windowed"`
+	Decision       string  `json:"decision,omitempty"`
 }
 
 // handleFeedback feeds one ground-truth observation into the online
@@ -180,6 +186,10 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		var req FeedbackRequest
 		if err := s.decodeBody(w, r, &req); err != nil {
 			s.failRequest(w, err)
+			return
+		}
+		if s.cfg.Registry != nil {
+			s.registryFeedback(w, r, &req)
 			return
 		}
 		st, recal, err := s.engine.Estimator().ObserveActual(req.Features, req.ActualCR)

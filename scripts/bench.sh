@@ -25,6 +25,13 @@
 #   ./scripts/bench.sh stream         # streaming-ingest phase only (a CI smoke step)
 #   ./scripts/bench.sh server         # serving + observability phases only
 #   ./scripts/bench.sh cluster        # replicated-fleet phase only (a CI smoke step)
+#   ./scripts/bench.sh registry       # model-lifecycle phase only (a CI smoke step)
+#
+# The registry phase (`crest registrybench`) drives a full canary cycle —
+# publish, promote on a winning candidate, roll back a regressed one —
+# and archives routing/feedback latency plus quota-check overhead as
+# BENCH_registry.json; it *asserts* the route hot path stays under
+# BENCH_REGISTRY_MAX_ROUTE_US (default 1000us).
 #
 # The cluster phase (`crest clusterbench`) boots an in-process 3-node
 # fleet, slows one replica, and archives the hedged tail latency as
@@ -53,6 +60,9 @@ CLUSTER_N="${BENCH_CLUSTER_N:-120}"
 CLUSTER_NODES="${BENCH_CLUSTER_NODES:-3}"
 CLUSTER_HEDGE_AFTER="${BENCH_CLUSTER_HEDGE_AFTER:-20ms}"
 CLUSTER_SLOW_DELAY="${BENCH_CLUSTER_SLOW_DELAY:-250ms}"
+REGISTRY_OUT="${BENCH_REGISTRY_OUT:-BENCH_registry.json}"
+REGISTRY_ROUTES="${BENCH_REGISTRY_ROUTES:-20000}"
+REGISTRY_MAX_ROUTE_US="${BENCH_REGISTRY_MAX_ROUTE_US:-1000}"
 
 if [ "$MODE" = "all" ] || [ "$MODE" = "server" ]; then
     go run ./cmd/crest servebench \
@@ -130,4 +140,25 @@ if [ "$MODE" = "all" ] || [ "$MODE" = "cluster" ]; then
         exit 1
     fi
     echo "bench: wrote $CLUSTER_OUT (hedged p99 ${hedged}ms < slow ${slow}ms)"
+fi
+
+if [ "$MODE" = "all" ] || [ "$MODE" = "registry" ]; then
+    go run ./cmd/crest registrybench \
+        -routes "$REGISTRY_ROUTES" \
+        -out "$REGISTRY_OUT"
+
+    # Decision-latency assertion: the canary controller must reach both a
+    # promote and a rollback verdict (registrybench itself fails if either
+    # verdict is wrong), and the routing hot path must stay cheap — a p99
+    # above 1ms means lineage routing grew a lock convoy or an allocation.
+    route_p99=$(sed -n 's/.*"route_p99_us": \([0-9.eE+-]*\).*/\1/p' "$REGISTRY_OUT")
+    if [ -z "$route_p99" ]; then
+        echo "bench: FAIL: no route_p99_us in $REGISTRY_OUT" >&2
+        exit 1
+    fi
+    if ! awk -v r="$route_p99" -v max="$REGISTRY_MAX_ROUTE_US" 'BEGIN { exit !(r <= max) }'; then
+        echo "bench: FAIL: route p99 ${route_p99}us exceeds ${REGISTRY_MAX_ROUTE_US}us" >&2
+        exit 1
+    fi
+    echo "bench: wrote $REGISTRY_OUT (route p99 ${route_p99}us <= ${REGISTRY_MAX_ROUTE_US}us)"
 fi

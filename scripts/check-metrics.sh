@@ -5,7 +5,18 @@
 # unreachable, returns malformed JSON, or is missing any expected series
 # (per-endpoint latency histograms, per-predictor timings, cache
 # counters, occupancy gauges, snapshot-load latency).
+#
+# The registry phase re-serves the same snapshot through a model registry
+# (`serve -registry`) and verifies the lifecycle series on top
+# (`metricscheck -registry`): registry_*/tenant_* counters, the lineage
+# gauge and the canary decision histogram. Run one phase alone by naming
+# it:
+#
+#   ./scripts/check-metrics.sh single      # fixed-model server only
+#   ./scripts/check-metrics.sh registry    # registry-mode server only
 set -eu
+
+MODE="${1:-all}"
 
 WORK="$(mktemp -d)"
 SERVE_PID=""
@@ -20,29 +31,64 @@ go build -o "$WORK/crest" ./cmd/crest
 
 "$WORK/crest" train -dataset hurricane -nz 12 -ny 64 -nx 64 -dir "$WORK/models"
 
-"$WORK/crest" serve -model-dir "$WORK/models" \
-    -addr localhost:0 -addr-file "$WORK/addr" -pprof &
-SERVE_PID=$!
+# wait_addr <file>: block until the server publishes its bound address.
+wait_addr() {
+    i=0
+    while [ ! -s "$1" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "check-metrics: server never published its address" >&2
+            exit 1
+        fi
+        if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+            echo "check-metrics: server exited before listening" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
 
-# Wait for the server to publish its bound address.
-i=0
-while [ ! -s "$WORK/addr" ]; do
-    i=$((i + 1))
-    if [ "$i" -gt 100 ]; then
-        echo "check-metrics: server never published its address" >&2
-        exit 1
-    fi
-    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
-        echo "check-metrics: server exited before listening" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
-URL="http://$(cat "$WORK/addr")"
+stop_serve() {
+    kill "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
+    SERVE_PID=""
+}
 
-# One real estimate populates the predictor, cache and endpoint series.
-"$WORK/crest" client -url "$URL" -dataset hurricane -nz 12 -ny 64 -nx 64 -step 3
+if [ "$MODE" = "all" ] || [ "$MODE" = "single" ]; then
+    "$WORK/crest" serve -model-dir "$WORK/models" \
+        -addr localhost:0 -addr-file "$WORK/addr" -pprof &
+    SERVE_PID=$!
+    wait_addr "$WORK/addr"
+    URL="http://$(cat "$WORK/addr")"
 
-"$WORK/crest" metricscheck -url "$URL"
+    # One real estimate populates the predictor, cache and endpoint series.
+    "$WORK/crest" client -url "$URL" -dataset hurricane -nz 12 -ny 64 -nx 64 -step 3
+
+    "$WORK/crest" metricscheck -url "$URL"
+    stop_serve
+    echo "check-metrics: single-model ok"
+fi
+
+if [ "$MODE" = "all" ] || [ "$MODE" = "registry" ]; then
+    # The registry adopts the trained snapshot as lineage "default" v1.
+    mkdir -p "$WORK/registry"
+    cp -r "$WORK/models" "$WORK/registry/default"
+
+    "$WORK/crest" serve -registry "$WORK/registry" \
+        -quota "smoke=0.1:1,*=1000" \
+        -addr localhost:0 -addr-file "$WORK/addr-registry" &
+    SERVE_PID=$!
+    wait_addr "$WORK/addr-registry"
+    URL="http://$(cat "$WORK/addr-registry")"
+
+    # A routed estimate moves registry_requests_total/tenant_requests_total;
+    # `crest models list` proves the admin surface is up.
+    "$WORK/crest" client -url "$URL" -dataset hurricane -nz 12 -ny 64 -nx 64 -step 3
+    "$WORK/crest" models list -url "$URL"
+
+    "$WORK/crest" metricscheck -url "$URL" -registry
+    stop_serve
+    echo "check-metrics: registry ok"
+fi
 
 echo "check-metrics: ok"

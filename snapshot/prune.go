@@ -1,0 +1,122 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sort"
+
+	"github.com/crestlab/crest/internal/crerr"
+	"github.com/crestlab/crest/internal/obs"
+	"github.com/crestlab/crest/internal/vfs"
+)
+
+// Pruning metrics: how many snapshot files retention has removed, and how
+// many prune passes ran — a registry that churns candidates shows up here.
+var (
+	obsPruned      = obs.Default().Counter("snapshot_pruned_total")
+	obsPrunePasses = obs.Default().Counter("snapshot_prune_passes_total")
+)
+
+// Prune enforces keep-N retention on a snapshot directory: the newest keep
+// valid snapshots are retained, older valid snapshots are deleted, and
+// corrupt snapshots (torn writes, bit rot) are deleted as garbage.
+//
+// Safety invariants, in order of precedence:
+//
+//   - The newest *valid* snapshot is never deleted, whatever keep says
+//     (keep < 1 is treated as 1). A corrupt head therefore never causes
+//     the fallback target under it to be removed: validity is verified by
+//     decoding, not assumed from position.
+//   - A path listed in protect is never deleted, valid or not — the hook
+//     for a registry's active and last-known-good versions, which must
+//     survive retention even when newer candidates exist.
+//   - Only files that decode as corrupt (crerr.ErrSnapshotCorrupt) are
+//     treated as garbage. A snapshot from another format version
+//     (crerr.ErrSnapshotVersion) or one that cannot be read at all is
+//     kept: version skew is another build's data, and a read error is not
+//     evidence of corruption.
+//
+// It returns the paths removed.
+func Prune(dir string, keep int, protect ...string) ([]string, error) {
+	return PruneFS(vfs.OS, dir, keep, protect...)
+}
+
+// PruneFS is Prune on an explicit filesystem, the seam the chaos harness
+// injects torn writes and read failures through.
+func PruneFS(fsys vfs.FS, dir string, keep int, protect ...string) ([]string, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("snapshot: prune scan %s: %w", dir, err)
+	}
+	protected := make(map[string]bool, len(protect))
+	for _, p := range protect {
+		protected[filepath.Clean(p)] = true
+	}
+	type candidate struct {
+		name string
+		mod  int64
+	}
+	var cands []candidate
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != Ext {
+			continue
+		}
+		var mod int64
+		if info, err := e.Info(); err == nil {
+			mod = info.ModTime().UnixNano()
+		}
+		cands = append(cands, candidate{name: e.Name(), mod: mod})
+	}
+	// Newest first — the same ordering LoadLatest scans in, so "the newest
+	// valid snapshot" means the same file to both.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].mod != cands[j].mod {
+			return cands[i].mod > cands[j].mod
+		}
+		return cands[i].name > cands[j].name
+	})
+
+	obsPrunePasses.Inc()
+	var removed []string
+	validKept := 0
+	for _, c := range cands {
+		path := filepath.Join(dir, c.name)
+		if protected[filepath.Clean(path)] {
+			continue
+		}
+		data, rerr := fsys.ReadFile(path)
+		if rerr != nil {
+			// Unreadable is not provably corrupt; keep it.
+			continue
+		}
+		_, derr := Decode(data)
+		switch {
+		case derr == nil:
+			if validKept < keep {
+				validKept++
+				continue
+			}
+		case errors.Is(derr, crerr.ErrSnapshotVersion):
+			// Another build's snapshot: not ours to garbage-collect.
+			continue
+		case !errors.Is(derr, crerr.ErrSnapshotCorrupt):
+			continue
+		}
+		// Either a valid snapshot beyond the keep budget or provably
+		// corrupt garbage: delete it.
+		if err := fsys.Remove(path); err != nil {
+			return removed, fmt.Errorf("snapshot: prune %s: %w", path, err)
+		}
+		obsPruned.Inc()
+		removed = append(removed, path)
+	}
+	return removed, nil
+}

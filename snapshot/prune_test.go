@@ -1,0 +1,192 @@
+package snapshot
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/crestlab/crest/internal/chaos"
+	"github.com/crestlab/crest/internal/core"
+	"github.com/crestlab/crest/internal/vfs"
+)
+
+// writeSeq writes n sequenced snapshots into dir with strictly increasing
+// mtimes and returns their paths, oldest first.
+func writeSeq(t *testing.T, dir string, est *core.Estimator, n int) []string {
+	t.Helper()
+	paths := make([]string, n)
+	base := time.Now().Add(-time.Duration(n+1) * time.Minute)
+	for i := 0; i < n; i++ {
+		p, err := WriteNew(dir, est)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pin mtimes so newest-first ordering does not depend on write
+		// speed or filesystem timestamp resolution.
+		mt := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(p, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+		paths[i] = p
+	}
+	return paths
+}
+
+func names(paths []string) map[string]bool {
+	m := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		m[filepath.Base(p)] = true
+	}
+	return m
+}
+
+func TestPruneKeepsNewestN(t *testing.T) {
+	est := trainedEstimator(t, core.Config{})
+	dir := t.TempDir()
+	paths := writeSeq(t, dir, est, 5)
+
+	removed, err := Prune(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 3 {
+		t.Fatalf("removed %d snapshots, want 3: %v", len(removed), removed)
+	}
+	rm := names(removed)
+	for _, p := range paths[:3] {
+		if !rm[filepath.Base(p)] {
+			t.Errorf("old snapshot %s survived prune", p)
+		}
+	}
+	for _, p := range paths[3:] {
+		if rm[filepath.Base(p)] {
+			t.Errorf("recent snapshot %s was pruned", p)
+		}
+	}
+	if _, _, err := LoadLatest(dir); err != nil {
+		t.Fatalf("LoadLatest after prune: %v", err)
+	}
+}
+
+func TestPruneKeepFloorIsOne(t *testing.T) {
+	est := trainedEstimator(t, core.Config{})
+	dir := t.TempDir()
+	writeSeq(t, dir, est, 3)
+	if _, err := Prune(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadLatest(dir); err != nil {
+		t.Fatalf("keep=0 deleted every snapshot: %v", err)
+	}
+}
+
+func TestPruneProtectsNamedPaths(t *testing.T) {
+	est := trainedEstimator(t, core.Config{})
+	dir := t.TempDir()
+	paths := writeSeq(t, dir, est, 4)
+
+	lkg := paths[0] // the oldest, which keep=1 would otherwise delete
+	removed, err := Prune(dir, 1, lkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range removed {
+		if p == lkg {
+			t.Fatalf("protected path %s was pruned", lkg)
+		}
+	}
+	if _, err := os.Stat(lkg); err != nil {
+		t.Fatalf("protected path gone: %v", err)
+	}
+}
+
+// TestPruneCorruptHeadInteraction is the corrupt-head × prune regression:
+// a torn write leaves a corrupt snapshot as the newest file; prune with
+// keep=1 must delete the garbage and keep the newest *valid* snapshot —
+// never the other way around — so LoadLatest still serves a model.
+func TestPruneCorruptHeadInteraction(t *testing.T) {
+	est := trainedEstimator(t, core.Config{})
+	dir := t.TempDir()
+	paths := writeSeq(t, dir, est, 2)
+	goodHead := paths[1]
+
+	// Torn write via the chaos filesystem: every write persists half its
+	// bytes while reporting success, so the new head lands corrupt under
+	// its final name.
+	torn := chaos.WrapFS(vfs.OS, chaos.FSPlan{ShortWriteEvery: 1})
+	badHead, err := WriteNewFS(torn, dir, est)
+	if err != nil {
+		t.Fatalf("torn write should report success, got %v", err)
+	}
+	future := time.Now().Add(time.Minute)
+	if err := os.Chtimes(badHead, future, future); err != nil {
+		t.Fatal(err)
+	}
+	if _, lerr := Load(badHead); !errors.Is(lerr, ErrNoSnapshots) && lerr == nil {
+		t.Fatalf("head unexpectedly valid")
+	}
+
+	removed, err := Prune(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := names(removed)
+	if rm[filepath.Base(goodHead)] {
+		t.Fatalf("prune deleted the newest valid snapshot %s", goodHead)
+	}
+	if !rm[filepath.Base(badHead)] {
+		t.Errorf("prune kept the corrupt head %s", badHead)
+	}
+	if !rm[filepath.Base(paths[0])] {
+		t.Errorf("prune kept stale snapshot %s beyond keep=1", paths[0])
+	}
+	_, from, err := LoadLatest(dir)
+	if err != nil {
+		t.Fatalf("LoadLatest after corrupt-head prune: %v", err)
+	}
+	if from != goodHead {
+		t.Fatalf("LoadLatest served %s, want %s", from, goodHead)
+	}
+}
+
+// TestPruneSparesVersionSkewAndUnreadable: version-skewed snapshots are
+// another build's data and unreadable files are not provably corrupt —
+// neither is garbage-collected.
+func TestPruneSparesVersionSkewAndUnreadable(t *testing.T) {
+	est := trainedEstimator(t, core.Config{})
+	dir := t.TempDir()
+	writeSeq(t, dir, est, 2)
+
+	skew := filepath.Join(dir, "model-999990"+Ext)
+	data, err := Encode(est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(skew, []byte(strings.Replace(string(data), Magic+" 1", Magic+" 99", 1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(skew, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	failRead := chaos.WrapFS(vfs.OS, chaos.FSPlan{ReadErrorEvery: 1})
+	if _, err := PruneFS(failRead, dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Every read failed, so nothing was provably prunable.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 3 {
+		t.Fatalf("prune under read faults removed files: %d left, want 3", len(entries))
+	}
+
+	if _, err := Prune(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, statErr := os.Stat(skew); statErr != nil {
+		t.Fatalf("version-skewed snapshot was pruned: %v", statErr)
+	}
+}
