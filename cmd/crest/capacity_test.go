@@ -1,0 +1,100 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCmdCapacitySynthetic pins the acceptance bar of the committed
+// benchmark: the synthetic sweep with the default (λ, σ, κ) and seed
+// must fit with < 10% relative error on σ and κ and forecast a peak
+// inside the swept range.
+func TestCmdCapacitySynthetic(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "cap.json")
+	args := []string{"-synthetic", "-levels", "1,2,4,8,16,32,64", "-out", out}
+	if err := cmdCapacity(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r capacityReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		t.Fatalf("report not JSON: %v: %s", err, raw)
+	}
+	if r.Mode != "synthetic" || r.Fit == nil || r.RelErr == nil {
+		t.Fatalf("incomplete synthetic report: %s", raw)
+	}
+	if !r.PeakInRange {
+		t.Fatalf("forecast N* = %g outside swept range [%d, %d]", r.NStar, r.SweptMin, r.SweptMax)
+	}
+	if r.RelErr.Sigma >= 0.10 {
+		t.Fatalf("sigma relative error %.3f >= 0.10", r.RelErr.Sigma)
+	}
+	if r.RelErr.Kappa >= 0.10 {
+		t.Fatalf("kappa relative error %.3f >= 0.10", r.RelErr.Kappa)
+	}
+	if r.RelErr.Lambda >= 0.10 {
+		t.Fatalf("lambda relative error %.3f >= 0.10", r.RelErr.Lambda)
+	}
+}
+
+// TestCmdCapacityServerSweep drives the in-process server mode at a
+// small scale: the sweep must measure every level with served requests
+// and no errors.
+func TestCmdCapacityServerSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps a live in-process server")
+	}
+	out := filepath.Join(t.TempDir(), "cap.json")
+	args := []string{"-levels", "1,2,4", "-per-level", "12", "-work-delay", "1ms",
+		"-rows", "16", "-cols", "16", "-out", out}
+	if err := cmdCapacity(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r capacityReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		t.Fatalf("report not JSON: %v: %s", err, raw)
+	}
+	if len(r.Levels) != 3 {
+		t.Fatalf("swept %d levels, want 3: %s", len(r.Levels), raw)
+	}
+	for _, l := range r.Levels {
+		if l.OK == 0 {
+			t.Errorf("level N=%d served nothing: %+v", l.N, l)
+		}
+		if l.Errors != 0 {
+			t.Errorf("level N=%d had %d error(s)", l.N, l.Errors)
+		}
+	}
+}
+
+func TestParseLevels(t *testing.T) {
+	got, err := parseLevels(" 8, 1,2, 4,2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("levels = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("levels = %v, want %v (sorted, deduplicated)", got, want)
+		}
+	}
+	if _, err := parseLevels("0,2,4"); err == nil {
+		t.Fatal("level 0 accepted")
+	}
+	if _, err := parseLevels(""); err == nil {
+		t.Fatal("empty levels accepted")
+	}
+}

@@ -8,15 +8,13 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"math/rand"
 	"net"
 	"net/http"
 	"os"
-	"sort"
 	"time"
 
-	crest "github.com/crestlab/crest"
 	"github.com/crestlab/crest/internal/batch"
+	"github.com/crestlab/crest/internal/capacity"
 	"github.com/crestlab/crest/internal/chaos"
 	"github.com/crestlab/crest/internal/cluster"
 	"github.com/crestlab/crest/internal/featcache"
@@ -45,6 +43,20 @@ type clusterBenchReport struct {
 	Hedges       uint64  `json:"hedges"`
 	HedgeWins    uint64  `json:"hedge_wins"`
 	Errors       int     `json:"errors"`
+	// PerPeer breaks the entry node's forward legs down by replica —
+	// the per-peer span tagging `crest capacity -nodes` builds its
+	// per-replica USL fits from.
+	PerPeer map[string]clusterPeerSpans `json:"per_peer"`
+}
+
+// clusterPeerSpans summarizes one replica's forward legs as seen from
+// the entry node's span recorder.
+type clusterPeerSpans struct {
+	OK       int     `json:"ok"`
+	Shed     int     `json:"shed"`
+	Errors   int     `json:"errors"`
+	Canceled int     `json:"canceled"`
+	P99Ms    float64 `json:"p99_ms"`
 }
 
 // benchNode is one in-process replica: a full server with its own
@@ -77,16 +89,7 @@ func cmdClusterBench(ctx context.Context, args []string) error {
 	}
 
 	// One tiny shared model: the bench measures the replication layer.
-	rng := rand.New(rand.NewSource(23))
-	samples := make([]crest.Sample, 60)
-	for i := range samples {
-		f := make([]float64, 5)
-		for j := range f {
-			f[j] = rng.NormFloat64()
-		}
-		samples[i] = crest.Sample{Features: f, CR: 1 + 8*math.Exp(0.4*f[0])}
-	}
-	est, err := crest.TrainEstimatorContext(ctx, samples, crest.EstimatorConfig{})
+	est, err := benchEstimator(ctx, 23)
 	if err != nil {
 		return err
 	}
@@ -101,9 +104,10 @@ func cmdClusterBench(ctx context.Context, args []string) error {
 	}
 	net_ := chaos.NewNetwork()
 
+	var rec capacity.Recorder
 	fleet := make([]*benchNode, *nodes)
 	for i := range fleet {
-		cl, err := cluster.New(cluster.Config{
+		ccfg := cluster.Config{
 			Self:           addrs[i],
 			Peers:          addrs,
 			Replicas:       *replicas,
@@ -112,7 +116,13 @@ func cmdClusterBench(ctx context.Context, args []string) error {
 			Health:         cluster.HealthConfig{Interval: time.Hour, Seed: int64(i + 1)},
 			Transport:      net_.Transport(addrs[i], &http.Transport{}),
 			Obs:            obs.NewRegistry(),
-		})
+		}
+		if i == 0 {
+			// The entry node records one span per forward leg, tagged
+			// with the replica that handled it.
+			ccfg.Spans = &rec
+		}
+		cl, err := cluster.New(ccfg)
 		if err != nil {
 			return err
 		}
@@ -165,13 +175,10 @@ func cmdClusterBench(ctx context.Context, args []string) error {
 		}
 		return lat, nil
 	}
+	// Nearest-rank percentiles from the shared capacity convention —
+	// the same code path servebench and `crest capacity` report through.
 	pct := func(lat []time.Duration, p float64) float64 {
-		if len(lat) == 0 {
-			return 0
-		}
-		s := append([]time.Duration(nil), lat...)
-		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-		return float64(s[int(p*float64(len(s)-1))]) / float64(time.Millisecond)
+		return float64(capacity.Percentile(lat, p)) / float64(time.Millisecond)
 	}
 
 	healthy, err := run(*n)
@@ -198,6 +205,27 @@ func cmdClusterBench(ctx context.Context, args []string) error {
 	if bound > 0 {
 		ratio = sp99 / bound
 	}
+	perPeer := make(map[string]clusterPeerSpans)
+	peerLats := make(map[string][]time.Duration)
+	for _, sp := range rec.Spans() {
+		agg := perPeer[sp.Peer]
+		switch sp.Outcome {
+		case capacity.OK:
+			agg.OK++
+			peerLats[sp.Peer] = append(peerLats[sp.Peer], sp.Duration)
+		case capacity.Shed:
+			agg.Shed++
+		case capacity.Canceled:
+			agg.Canceled++
+		default:
+			agg.Errors++
+		}
+		perPeer[sp.Peer] = agg
+	}
+	for peer, agg := range perPeer {
+		agg.P99Ms = pct(peerLats[peer], 0.99)
+		perPeer[peer] = agg
+	}
 	report := clusterBenchReport{
 		Nodes:        *nodes,
 		Replicas:     *replicas,
@@ -213,6 +241,7 @@ func cmdClusterBench(ctx context.Context, args []string) error {
 		Hedges:       st.Hedges,
 		HedgeWins:    st.HedgeWins,
 		Errors:       errs,
+		PerPeer:      perPeer,
 	}
 	for _, node := range fleet {
 		node.cl.Close()

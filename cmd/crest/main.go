@@ -79,6 +79,8 @@ func main() {
 		err = cmdServeBench(ctx, args)
 	case "clusterbench":
 		err = cmdClusterBench(ctx, args)
+	case "capacity":
+		err = cmdCapacity(ctx, args)
 	case "predbench":
 		err = cmdPredBench(args)
 	case "metricscheck":
@@ -124,6 +126,7 @@ commands:
   streambench streaming-ingest benchmark: per-slice cost must stay flat with stream length
   servebench  in-process serving benchmark: tail latency + shed rate
   clusterbench in-process replicated-fleet benchmark: hedged tail latency with a slow replica
+  capacity    concurrency sweep + Universal Scalability Law fit: contention, coherence, forecast peak
   predbench   predictor-kernel benchmark: ComputeDataset latency + allocs
   metricscheck verify a running server's GET /metrics exposes every expected series
   similarity  print the field-similarity (Mahalanobis) matrix of a dataset

@@ -78,6 +78,20 @@ var registryCounters = []struct {
 	{"snapshot_prune_passes_total", false},
 }
 
+// capacityGauges/Counters are additionally required when -capacity is
+// set: the series the online capacity sampler maintains when the server
+// runs with -capacity-window. The tick counter must have fired (the
+// sampler ticks on wall time, traffic or not); the gauges only need to
+// exist, since a briefly-idle server can legitimately sit at zero.
+var capacityGauges = []string{"capacity_levels", "capacity_last_inflight"}
+
+var capacityCounters = []struct {
+	name    string
+	nonzero bool
+}{
+	{"capacity_samples_total", true},
+}
+
 var requiredCounters = []struct {
 	name    string
 	nonzero bool
@@ -101,6 +115,7 @@ func cmdMetricsCheck(ctx context.Context, args []string) error {
 	url := fs.String("url", "http://localhost:8080", "server base URL")
 	timeout := fs.Duration("timeout", 10*time.Second, "fetch deadline")
 	registryMode := fs.Bool("registry", false, "also require the registry/tenant lifecycle series (registry-mode servers)")
+	capacityMode := fs.Bool("capacity", false, "also require the capacity_* series (servers running with -capacity-window)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -124,6 +139,13 @@ func cmdMetricsCheck(ctx context.Context, args []string) error {
 	}
 
 	histChecks, gaugeChecks, counterChecks := requiredHistograms, requiredGauges, requiredCounters
+	if *capacityMode {
+		gaugeChecks = append(append([]string{}, gaugeChecks...), capacityGauges...)
+		counterChecks = append(append([]struct {
+			name    string
+			nonzero bool
+		}{}, counterChecks...), capacityCounters...)
+	}
 	if *registryMode {
 		histChecks = append(append([]struct {
 			name    string

@@ -38,6 +38,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for inflight requests at shutdown")
 	pprof := fs.Bool("pprof", false, "mount the Go profiler under /debug/pprof/")
 	slowReq := fs.Duration("slow-request", time.Second, "log requests slower than this with their request ID (negative: never)")
+	capacityWindow := fs.Duration("capacity-window", 0, "online capacity sampling interval: pair served-counter deltas with the inflight gauge into an X(N) curve exposed at /statsz (0: off)")
 	recal := fs.Bool("recalibrate", false, "enable online conformal recalibration from POST /v1/feedback observations")
 	recalWindow := fs.Int("recal-window", 512, "rolling observation window for recalibration")
 	recalBand := fs.Float64("recal-band", 0.03, "coverage band half-width around the conformal target")
@@ -177,6 +178,7 @@ func cmdServe(ctx context.Context, args []string) error {
 		RetryAfter:     *retryAfter,
 		EnablePprof:    *pprof,
 		SlowRequest:    *slowReq,
+		CapacityWindow: *capacityWindow,
 		Cluster:        cl,
 		Logger:         obs.NewLogger(os.Stderr),
 		Logf: func(format string, args ...any) {
@@ -193,6 +195,9 @@ func cmdServe(ctx context.Context, args []string) error {
 			ln.Close()
 			return err
 		}
+	}
+	if *capacityWindow > 0 {
+		fmt.Fprintf(os.Stderr, "crest serve: online capacity sampling every %s\n", *capacityWindow)
 	}
 	fmt.Fprintf(os.Stderr, "crest serve: listening on %s\n", bound)
 

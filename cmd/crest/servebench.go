@@ -7,17 +7,15 @@ import (
 	"flag"
 	"fmt"
 	"math"
-	"math/rand"
 	"net"
 	"net/http"
 	"os"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	crest "github.com/crestlab/crest"
 	"github.com/crestlab/crest/internal/batch"
+	"github.com/crestlab/crest/internal/capacity"
 	"github.com/crestlab/crest/internal/featcache"
 	"github.com/crestlab/crest/internal/grid"
 	"github.com/crestlab/crest/internal/predictors"
@@ -45,6 +43,8 @@ type serveBenchReport struct {
 // reports tail latency and shed rate: every feature computation carries a
 // fixed work delay, the offered concurrency exceeds the admission bounds,
 // and the overflow must be shed with 503 instead of queuing unboundedly.
+// Span bookkeeping and percentiles come from internal/capacity, the same
+// convention `crest capacity` fits against.
 func cmdServeBench(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("servebench", flag.ExitOnError)
 	n := fs.Int("n", 400, "total requests to offer")
@@ -61,16 +61,7 @@ func cmdServeBench(ctx context.Context, args []string) error {
 
 	// A tiny synthetic model: the bench measures the serving layer, not
 	// model quality.
-	rng := rand.New(rand.NewSource(17))
-	samples := make([]crest.Sample, 60)
-	for i := range samples {
-		f := make([]float64, 5)
-		for j := range f {
-			f[j] = rng.NormFloat64()
-		}
-		samples[i] = crest.Sample{Features: f, CR: 1 + 8*math.Exp(0.4*f[0])}
-	}
-	est, err := crest.TrainEstimatorContext(ctx, samples, crest.EstimatorConfig{})
+	est, err := benchEstimator(ctx, 17)
 	if err != nil {
 		return err
 	}
@@ -114,15 +105,15 @@ func cmdServeBench(ctx context.Context, args []string) error {
 		}
 	}
 
+	var rec capacity.Recorder
+	rec.SetLevel(*concurrency)
 	var next atomic.Int64
-	var okN, shedN, errN atomic.Int64
-	lat := make([][]time.Duration, *concurrency)
 	client := &http.Client{Timeout: 30 * time.Second}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < *concurrency; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
@@ -130,52 +121,44 @@ func cmdServeBench(ctx context.Context, args []string) error {
 					return
 				}
 				t0 := time.Now()
+				span := capacity.Span{Start: t0}
 				resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[i]))
-				if err != nil {
-					errN.Add(1)
-					continue
-				}
-				resp.Body.Close()
-				switch resp.StatusCode {
-				case http.StatusOK:
-					okN.Add(1)
-					lat[w] = append(lat[w], time.Since(t0))
-				case http.StatusServiceUnavailable:
-					shedN.Add(1)
+				span.Duration = time.Since(t0)
+				switch {
+				case err != nil:
+					span.Outcome = capacity.Error
+				case resp.StatusCode == http.StatusOK:
+					span.Outcome = capacity.OK
+				case resp.StatusCode == http.StatusServiceUnavailable:
+					span.Outcome = capacity.Shed
 				default:
-					errN.Add(1)
+					span.Outcome = capacity.Error
 				}
+				if err == nil {
+					resp.Body.Close()
+				}
+				rec.Record(span)
 			}
-		}(w)
+		}()
 	}
 	wg.Wait()
 	wall := time.Since(start)
 
-	var all []time.Duration
-	for _, l := range lat {
-		all = append(all, l...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	pct := func(p float64) float64 {
-		if len(all) == 0 {
-			return 0
-		}
-		idx := int(p * float64(len(all)-1))
-		return float64(all[idx]) / float64(time.Millisecond)
-	}
+	st := capacity.Aggregate(rec.Spans(), *concurrency, wall)
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	report := serveBenchReport{
 		Requests:    *n,
-		OK:          int(okN.Load()),
-		Shed:        int(shedN.Load()),
-		Errors:      int(errN.Load()),
-		P50Ms:       pct(0.50),
-		P99Ms:       pct(0.99),
-		ShedRate:    float64(shedN.Load()) / float64(*n),
-		WallMs:      float64(wall) / float64(time.Millisecond),
+		OK:          st.OK,
+		Shed:        st.Shed,
+		Errors:      st.Errors,
+		P50Ms:       ms(st.P50),
+		P99Ms:       ms(st.P99),
+		ShedRate:    float64(st.Shed) / float64(*n),
+		WallMs:      ms(wall),
 		Concurrency: *concurrency,
 		MaxInflight: *maxInflight,
 		MaxQueue:    *maxQueue,
-		WorkDelayMs: float64(*workDelay) / float64(time.Millisecond),
+		WorkDelayMs: ms(*workDelay),
 	}
 	doc, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -186,9 +186,20 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 }
 
 // quantile estimates the q-quantile by linear interpolation inside the
-// bucket holding the target rank. The overflow bucket has no upper bound,
-// so ranks landing there report the exact observed maximum.
+// bucket holding the target rank, with the interpolation span clamped
+// into the exact observed [Min, Max] before interpolating. The clamp
+// matters at the edges:
+//
+//   - A single observation (or a rank bucket whose nominal range
+//     extends past the observed extremes) must report a value that was
+//     actually observed, not a mid-bucket point outside [Min, Max].
+//   - The overflow bucket has no upper bound; its span is
+//     [max(lastBound, Min), Max], so an all-overflow distribution
+//     interpolates between its observed extremes instead of pinning
+//     every quantile — P50 included — to the maximum.
 func (h *Histogram) quantile(counts []uint64, total uint64, q float64) float64 {
+	min := math.Float64frombits(h.min.Load())
+	max := math.Float64frombits(h.max.Load())
 	rank := q * float64(total)
 	var cum float64
 	for i, c := range counts {
@@ -197,33 +208,35 @@ func (h *Histogram) quantile(counts []uint64, total uint64, q float64) float64 {
 		}
 		next := cum + float64(c)
 		if rank <= next {
-			if i == len(h.bounds) {
-				return math.Float64frombits(h.max.Load())
-			}
-			lo := 0.0
+			lo, hi := 0.0, max
 			if i > 0 {
 				lo = h.bounds[i-1]
 			}
-			hi := h.bounds[i]
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			}
+			// Clamp the bucket span to the observed range: observations
+			// in this bucket cannot lie below Min or above Max.
+			if lo < min {
+				lo = min
+			}
+			if hi > max {
+				hi = max
+			}
+			if hi < lo {
+				hi = lo
+			}
 			frac := (rank - cum) / float64(c)
 			if frac < 0 {
 				frac = 0
 			} else if frac > 1 {
 				frac = 1
 			}
-			v := lo + frac*(hi-lo)
-			// Never report an estimate outside the observed range.
-			if max := math.Float64frombits(h.max.Load()); v > max {
-				v = max
-			}
-			if min := math.Float64frombits(h.min.Load()); v < min {
-				v = min
-			}
-			return v
+			return lo + frac*(hi-lo)
 		}
 		cum = next
 	}
-	return math.Float64frombits(h.max.Load())
+	return max
 }
 
 // ---------------------------------------------------------------------------

@@ -103,8 +103,67 @@ func TestHistogramOverflowAndClamp(t *testing.T) {
 	if s.Max != 100 || s.Min != 0 {
 		t.Fatalf("min/max = %g/%g", s.Min, s.Max)
 	}
-	if s.P99 != 100 {
-		t.Fatalf("overflow-bucket quantile should report the observed max, got %g", s.P99)
+	// The overflow bucket has no upper bound; its quantiles interpolate
+	// over [lastBound, Max] rather than pinning to Max.
+	if s.P99 < 2 || s.P99 > s.Max {
+		t.Fatalf("overflow-bucket p99 = %g, want within [2, %g]", s.P99, s.Max)
+	}
+}
+
+// TestHistogramAllOverflowBucket is the regression test for the
+// overflow-pinning bug: when every observation lands past the last
+// bucket boundary, quantiles used to collapse to Max — the median of
+// {42, 55} reported 55. They must interpolate over the observed span.
+func TestHistogramAllOverflowBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ofonly", []float64{1, 2})
+	h.Observe(42)
+	h.Observe(55)
+	s := h.Snapshot()
+	if s.Min != 42 || s.Max != 55 {
+		t.Fatalf("min/max = %g/%g, want 42/55", s.Min, s.Max)
+	}
+	if s.P50 >= s.Max {
+		t.Fatalf("all-overflow p50 = %g pinned to max %g", s.P50, s.Max)
+	}
+	if s.P50 < s.Min {
+		t.Fatalf("all-overflow p50 = %g below min %g", s.P50, s.Min)
+	}
+	if s.P50 > s.P90 || s.P90 > s.P99 {
+		t.Fatalf("quantiles must be ordered: p50=%g p90=%g p99=%g", s.P50, s.P90, s.P99)
+	}
+}
+
+// TestHistogramQuantilesWithinRange: for any mix of observations —
+// sub-minimum bucket spans, overflow bucket, single values — every
+// reported quantile must lie inside the exact observed [Min, Max].
+func TestHistogramQuantilesWithinRange(t *testing.T) {
+	cases := [][]float64{
+		{0.42},
+		{0.42, 0.55},
+		{100, 200, 300},          // all overflow with DefBuckets' 10s cap... still in-range
+		{1e-7},                   // far below the first bound
+		{1e-7, 1e-6, 11, 12, 13}, // both tails at once
+		{0.003, 0.003, 0.003},    // repeated value inside one bucket
+	}
+	for ci, vals := range cases {
+		r := NewRegistry()
+		h := r.Histogram("rng", nil)
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		s := h.Snapshot()
+		for _, q := range []struct {
+			name string
+			v    float64
+		}{{"p50", s.P50}, {"p90", s.P90}, {"p99", s.P99}} {
+			if q.v < s.Min || q.v > s.Max {
+				t.Errorf("case %d %v: %s = %g outside [%g, %g]", ci, vals, q.name, q.v, s.Min, s.Max)
+			}
+		}
+		if s.P50 > s.P90 || s.P90 > s.P99 {
+			t.Errorf("case %d %v: quantiles out of order: %g/%g/%g", ci, vals, s.P50, s.P90, s.P99)
+		}
 	}
 }
 

@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"github.com/crestlab/crest/internal/batch"
+	"github.com/crestlab/crest/internal/capacity"
 	"github.com/crestlab/crest/internal/cluster"
 	"github.com/crestlab/crest/internal/crerr"
 	"github.com/crestlab/crest/internal/grid"
@@ -115,6 +116,17 @@ type Config struct {
 
 	// EnablePprof mounts the Go profiler under GET /debug/pprof/.
 	EnablePprof bool
+
+	// CapacityWindow, when positive, starts the online capacity sampler:
+	// every interval the server pairs its served-counter delta with the
+	// admission-semaphore occupancy (the concurrency level it actually
+	// ran at), accumulating an X(N) curve that /statsz exposes — with a
+	// USL fit and saturation forecast once enough distinct busy levels
+	// exist — under the "capacity" key. The sampler also maintains the
+	// capacity_* series: capacity_samples_total (ticks taken),
+	// capacity_levels (distinct busy levels), capacity_last_inflight.
+	// Zero disables sampling entirely.
+	CapacityWindow time.Duration
 
 	// Cluster, when set, makes this server one node of a replicated
 	// fleet: estimate and batch keys are consistent-hash-routed to their
@@ -205,6 +217,21 @@ type Server struct {
 	m  serverMetrics
 	sm streamMetrics
 	cm clusterServerMetrics
+
+	// Online capacity sampling (Config.CapacityWindow > 0 only).
+	capWin      *capacity.Window
+	capStop     chan struct{}
+	capStopOnce sync.Once
+	capMetrics  capacityMetrics
+}
+
+// capacityMetrics are the capacity_* series handles, resolved only when
+// the online sampler is enabled so a sampler-less server does not
+// advertise empty capacity series.
+type capacityMetrics struct {
+	samples      *obs.Counter
+	levels       *obs.Gauge
+	lastInflight *obs.Gauge
 }
 
 // serverMetrics are the server's handles into the observability registry:
@@ -304,7 +331,44 @@ func New(cfg Config) (*Server, error) {
 		cm:       newClusterServerMetrics(cfg.Obs),
 	}
 	s.ready.Store(true)
+	if cfg.CapacityWindow > 0 {
+		s.capWin = capacity.NewWindow()
+		s.capStop = make(chan struct{})
+		s.capMetrics = capacityMetrics{
+			samples:      cfg.Obs.Counter("capacity_samples_total"),
+			levels:       cfg.Obs.Gauge("capacity_levels"),
+			lastInflight: cfg.Obs.Gauge("capacity_last_inflight"),
+		}
+		go s.capacitySampler()
+	}
 	return s, nil
+}
+
+// capacitySampler ticks the online capacity window until Drain stops it.
+func (s *Server) capacitySampler() {
+	t := time.NewTicker(s.cfg.CapacityWindow)
+	defer t.Stop()
+	for {
+		select {
+		case now := <-t.C:
+			inflight := len(s.inflight)
+			s.capWin.Tick(now, s.served.Load(), inflight)
+			s.capMetrics.samples.Inc()
+			s.capMetrics.levels.Set(int64(s.capWin.DistinctLevels()))
+			s.capMetrics.lastInflight.Set(int64(inflight))
+		case <-s.capStop:
+			return
+		}
+	}
+}
+
+// stopCapacitySampler halts the sampler goroutine (idempotent, safe when
+// the sampler was never started).
+func (s *Server) stopCapacitySampler() {
+	if s.capStop == nil {
+		return
+	}
+	s.capStopOnce.Do(func() { close(s.capStop) })
 }
 
 // SetReady flips admission readiness without draining (manual maintenance
@@ -325,6 +389,7 @@ func (s *Server) Ready() bool {
 // expires, returning its error with work still in flight). Drain is
 // idempotent; concurrent calls all block until idle.
 func (s *Server) Drain(ctx context.Context) error {
+	s.stopCapacitySampler()
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
@@ -775,6 +840,10 @@ type StatsPayload struct {
 	Cluster *ClusterBlock `json:"cluster,omitempty"`
 	// Registry is present in registry mode: one entry per lineage.
 	Registry []registry.LineageInfo `json:"registry,omitempty"`
+	// Capacity is present when the online sampler runs
+	// (Config.CapacityWindow > 0): the observed X(N) curve and, with
+	// enough distinct busy levels, its USL fit and saturation forecast.
+	Capacity *capacity.WindowSnapshot `json:"capacity,omitempty"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
@@ -787,6 +856,10 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	}
 	if st, ok := engine.Estimator().OnlineStats(); ok {
 		payload.Conformal = onlineSnapshot(st)
+	}
+	if s.capWin != nil {
+		snap := s.capWin.Snapshot()
+		payload.Capacity = &snap
 	}
 	s.writeJSON(w, http.StatusOK, payload)
 }

@@ -26,6 +26,7 @@
 #   ./scripts/bench.sh server         # serving + observability phases only
 #   ./scripts/bench.sh cluster        # replicated-fleet phase only (a CI smoke step)
 #   ./scripts/bench.sh registry       # model-lifecycle phase only (a CI smoke step)
+#   ./scripts/bench.sh capacity       # USL capacity-planning phase only (a CI smoke step)
 #
 # The registry phase (`crest registrybench`) drives a full canary cycle —
 # publish, promote on a winning candidate, roll back a regressed one —
@@ -37,6 +38,13 @@
 # fleet, slows one replica, and archives the hedged tail latency as
 # BENCH_cluster.json; it *asserts* that the hedged p99 stays below the
 # injected slow-replica delay (hedging bounds the tail).
+#
+# The capacity phase (`crest capacity -synthetic`) fits the Universal
+# Scalability Law to a deterministic synthetic sweep with known
+# contention/coherence and archives the fit as BENCH_capacity.json; it
+# *asserts* that the forecast peak N* lands inside the swept range and
+# that sigma and kappa are recovered within BENCH_CAPACITY_MAX_RELERR
+# (default 0.10) relative error.
 set -eu
 
 MODE="${1:-all}"
@@ -61,6 +69,9 @@ CLUSTER_NODES="${BENCH_CLUSTER_NODES:-3}"
 CLUSTER_HEDGE_AFTER="${BENCH_CLUSTER_HEDGE_AFTER:-20ms}"
 CLUSTER_SLOW_DELAY="${BENCH_CLUSTER_SLOW_DELAY:-250ms}"
 REGISTRY_OUT="${BENCH_REGISTRY_OUT:-BENCH_registry.json}"
+CAPACITY_OUT="${BENCH_CAPACITY_OUT:-BENCH_capacity.json}"
+CAPACITY_LEVELS="${BENCH_CAPACITY_LEVELS:-1,2,4,8,16,32,64}"
+CAPACITY_MAX_RELERR="${BENCH_CAPACITY_MAX_RELERR:-0.10}"
 REGISTRY_ROUTES="${BENCH_REGISTRY_ROUTES:-20000}"
 REGISTRY_MAX_ROUTE_US="${BENCH_REGISTRY_MAX_ROUTE_US:-1000}"
 
@@ -161,4 +172,34 @@ if [ "$MODE" = "all" ] || [ "$MODE" = "registry" ]; then
         exit 1
     fi
     echo "bench: wrote $REGISTRY_OUT (route p99 ${route_p99}us <= ${REGISTRY_MAX_ROUTE_US}us)"
+fi
+
+if [ "$MODE" = "all" ] || [ "$MODE" = "capacity" ]; then
+    go run ./cmd/crest capacity \
+        -synthetic \
+        -levels "$CAPACITY_LEVELS" \
+        -out "$CAPACITY_OUT"
+
+    # Fit-sanity assertions: the USL fit over the synthetic workload must
+    # put the saturation peak inside the swept concurrency range and
+    # recover the generating contention/coherence parameters. A peak
+    # outside the range or a drifting parameter means the least-squares
+    # fit (or its constraint back-off) regressed.
+    in_range=$(sed -n 's/.*"peak_in_range": \([a-z]*\).*/\1/p' "$CAPACITY_OUT")
+    sigma_err=$(sed -n 's/.*"sigma_rel_err": \([0-9.eE+-]*\).*/\1/p' "$CAPACITY_OUT")
+    kappa_err=$(sed -n 's/.*"kappa_rel_err": \([0-9.eE+-]*\).*/\1/p' "$CAPACITY_OUT")
+    if [ -z "$in_range" ] || [ -z "$sigma_err" ] || [ -z "$kappa_err" ]; then
+        echo "bench: FAIL: missing peak_in_range/sigma_rel_err/kappa_rel_err in $CAPACITY_OUT" >&2
+        exit 1
+    fi
+    if [ "$in_range" != "true" ]; then
+        echo "bench: FAIL: forecast peak N* fell outside the swept range (peak_in_range=$in_range)" >&2
+        exit 1
+    fi
+    if ! awk -v s="$sigma_err" -v k="$kappa_err" -v max="$CAPACITY_MAX_RELERR" \
+            'BEGIN { exit !(s <= max && k <= max) }'; then
+        echo "bench: FAIL: USL fit error sigma=$sigma_err kappa=$kappa_err exceeds $CAPACITY_MAX_RELERR" >&2
+        exit 1
+    fi
+    echo "bench: wrote $CAPACITY_OUT (peak in range; sigma err $sigma_err, kappa err $kappa_err <= $CAPACITY_MAX_RELERR)"
 fi

@@ -9,11 +9,16 @@
 # The registry phase re-serves the same snapshot through a model registry
 # (`serve -registry`) and verifies the lifecycle series on top
 # (`metricscheck -registry`): registry_*/tenant_* counters, the lineage
-# gauge and the canary decision histogram. Run one phase alone by naming
-# it:
+# gauge and the canary decision histogram.
+#
+# The capacity phase serves with `-capacity-window` so the server samples
+# its own throughput-vs-inflight curve online, then verifies the
+# capacity_* series (`metricscheck -capacity`). Run one phase alone by
+# naming it:
 #
 #   ./scripts/check-metrics.sh single      # fixed-model server only
 #   ./scripts/check-metrics.sh registry    # registry-mode server only
+#   ./scripts/check-metrics.sh capacity    # capacity-window server only
 set -eu
 
 MODE="${1:-all}"
@@ -89,6 +94,25 @@ if [ "$MODE" = "all" ] || [ "$MODE" = "registry" ]; then
     "$WORK/crest" metricscheck -url "$URL" -registry
     stop_serve
     echo "check-metrics: registry ok"
+fi
+
+if [ "$MODE" = "all" ] || [ "$MODE" = "capacity" ]; then
+    "$WORK/crest" serve -model-dir "$WORK/models" \
+        -capacity-window 25ms \
+        -addr localhost:0 -addr-file "$WORK/addr-capacity" &
+    SERVE_PID=$!
+    wait_addr "$WORK/addr-capacity"
+    URL="http://$(cat "$WORK/addr-capacity")"
+
+    # A burst of estimates gives the online sampler busy ticks to pair
+    # served-counter deltas with inflight levels.
+    "$WORK/crest" client -url "$URL" -dataset hurricane -nz 12 -ny 64 -nx 64 -step 3
+    "$WORK/crest" client -url "$URL" -dataset hurricane -nz 12 -ny 64 -nx 64 -step 2
+    sleep 0.2
+
+    "$WORK/crest" metricscheck -url "$URL" -capacity
+    stop_serve
+    echo "check-metrics: capacity ok"
 fi
 
 echo "check-metrics: ok"
