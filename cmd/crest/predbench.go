@@ -18,11 +18,12 @@ import (
 // (ComputeDataset) on a synthetic buffer. scripts/bench.sh archives it and
 // CI runs a small smoke configuration to catch kernel regressions.
 type predBenchReport struct {
-	Edge    int `json:"edge"`
-	K       int `json:"k"`
-	Blocks  int `json:"blocks"`
-	Iters   int `json:"iters"`
-	Workers int `json:"workers"`
+	Edge    int    `json:"edge"`
+	K       int    `json:"k"`
+	Blocks  int    `json:"blocks"`
+	Iters   int    `json:"iters"`
+	Workers int    `json:"workers"`
+	DType   string `json:"dtype"`
 
 	P50Seconds  float64 `json:"p50_seconds"`
 	P90Seconds  float64 `json:"p90_seconds"`
@@ -42,6 +43,7 @@ func cmdPredBench(args []string) error {
 	iters := fs.Int("iters", 20, "timed iterations")
 	warmup := fs.Int("warmup", 2, "untimed warmup iterations (fill the scratch pools)")
 	workers := fs.Int("workers", 0, "predictor workers (0: GOMAXPROCS)")
+	dtype := fs.String("dtype", "f64", "element type of the benchmarked buffer: f64 or f32 (native single-precision kernels)")
 	out := fs.String("out", "BENCH_predictors.json", "write the JSON report to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,14 +51,36 @@ func cmdPredBench(args []string) error {
 	if *edge < *k || *iters < 1 {
 		return fmt.Errorf("need edge ≥ k and iters ≥ 1")
 	}
+	if *dtype != "f64" && *dtype != "f32" {
+		return fmt.Errorf("unknown -dtype %q (want f64 or f32)", *dtype)
+	}
 
 	buf, err := synthBuffer(*edge)
 	if err != nil {
 		return err
 	}
 	cfg := crest.PredictorConfig{K: *k, Workers: *workers}
+	var op func() error
+	if *dtype == "f32" {
+		buf32, err := crest.NewBuffer32(*edge, *edge)
+		if err != nil {
+			return err
+		}
+		for i, v := range buf.Data {
+			buf32.Data[i] = float32(v)
+		}
+		op = func() error {
+			_, err := crest.ComputeDatasetFeatures32(buf32, cfg)
+			return err
+		}
+	} else {
+		op = func() error {
+			_, err := crest.ComputeDatasetFeatures(buf, cfg)
+			return err
+		}
+	}
 	for i := 0; i < *warmup; i++ {
-		if _, err := crest.ComputeDatasetFeatures(buf, cfg); err != nil {
+		if err := op(); err != nil {
 			return err
 		}
 	}
@@ -67,7 +91,7 @@ func cmdPredBench(args []string) error {
 	runtime.ReadMemStats(&before)
 	for i := range lat {
 		t0 := time.Now()
-		if _, err := crest.ComputeDatasetFeatures(buf, cfg); err != nil {
+		if err := op(); err != nil {
 			return err
 		}
 		lat[i] = time.Since(t0).Seconds()
@@ -86,6 +110,7 @@ func cmdPredBench(args []string) error {
 		Blocks:      (*edge / *k) * (*edge / *k),
 		Iters:       *iters,
 		Workers:     *workers,
+		DType:       *dtype,
 		P50Seconds:  quantileSorted(lat, 0.50),
 		P90Seconds:  quantileSorted(lat, 0.90),
 		MeanSeconds: sum / float64(*iters),
@@ -99,8 +124,8 @@ func cmdPredBench(args []string) error {
 	if err := os.WriteFile(*out, append(doc, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("predbench: %dx%d k=%d: p50 %.1fms p90 %.1fms, %d allocs/op %d B/op -> %s\n",
-		*edge, *edge, *k, 1e3*rep.P50Seconds, 1e3*rep.P90Seconds,
+	fmt.Printf("predbench: %dx%d k=%d %s: p50 %.1fms p90 %.1fms, %d allocs/op %d B/op -> %s\n",
+		*edge, *edge, *k, *dtype, 1e3*rep.P50Seconds, 1e3*rep.P90Seconds,
 		rep.AllocsPerOp, rep.BytesPerOp, *out)
 	return nil
 }

@@ -23,12 +23,13 @@ import (
 // (allocs/slice at the shortest); scripts/bench.sh asserts it stays
 // under a small bound.
 type streamBenchReport struct {
-	Rows      int   `json:"rows"`
-	Cols      int   `json:"cols"`
-	K         int   `json:"k"`
-	Workers   int   `json:"workers"`
-	ChunkRows int   `json:"chunk_rows"`
-	Slices    []int `json:"slice_counts"`
+	Rows      int    `json:"rows"`
+	Cols      int    `json:"cols"`
+	K         int    `json:"k"`
+	Workers   int    `json:"workers"`
+	ChunkRows int    `json:"chunk_rows"`
+	DType     string `json:"dtype"`
+	Slices    []int  `json:"slice_counts"`
 
 	SecondsPerSlice []float64 `json:"seconds_per_slice"`
 	AllocsPerSlice  []int64   `json:"allocs_per_slice"`
@@ -48,6 +49,7 @@ func cmdStreamBench(args []string) error {
 	k := fs.Int("k", 8, "block edge length")
 	workers := fs.Int("workers", 0, "feature workers (0: GOMAXPROCS)")
 	chunkRows := fs.Int("chunk-rows", 32, "rows per stream chunk")
+	dtype := fs.String("dtype", "f64", "stream element encoding: f64 or f32 (featurized natively at float32)")
 	slicesList := fs.String("slices", "2,8,32", "comma-separated slice counts to sweep")
 	out := fs.String("out", "BENCH_stream.json", "write the JSON report to this path")
 	if err := fs.Parse(args); err != nil {
@@ -63,6 +65,14 @@ func cmdStreamBench(args []string) error {
 	if len(counts) < 2 {
 		return fmt.Errorf("need at least two slice counts to measure growth")
 	}
+	sdt := crest.StreamF64
+	switch *dtype {
+	case "f64":
+	case "f32":
+		sdt = crest.StreamF32
+	default:
+		return fmt.Errorf("unknown -dtype %q (want f64 or f32)", *dtype)
+	}
 
 	// One long temporal series, encoded once per sweep point.
 	maxSlices := counts[len(counts)-1]
@@ -72,11 +82,11 @@ func cmdStreamBench(args []string) error {
 
 	rep := streamBenchReport{
 		Rows: *ny, Cols: *nx, K: *k, Workers: *workers,
-		ChunkRows: *chunkRows, Slices: counts,
+		ChunkRows: *chunkRows, DType: *dtype, Slices: counts,
 	}
 	run := func(n int) error {
 		var enc bytes.Buffer
-		if err := crest.EncodeBuffers(&enc, series[:n], crest.StreamF64, *chunkRows); err != nil {
+		if err := crest.EncodeBuffers(&enc, series[:n], sdt, *chunkRows); err != nil {
 			return err
 		}
 		raw := enc.Bytes()
@@ -127,7 +137,7 @@ func cmdStreamBench(args []string) error {
 	if err := os.WriteFile(*out, append(doc, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("streambench: %dx%d k=%d chunk=%d:", *ny, *nx, *k, *chunkRows)
+	fmt.Printf("streambench: %dx%d k=%d chunk=%d %s:", *ny, *nx, *k, *chunkRows, *dtype)
 	for i, n := range counts {
 		fmt.Printf(" [%d slices: %.1fms, %d allocs, %dB /slice]",
 			n, 1e3*rep.SecondsPerSlice[i], rep.AllocsPerSlice[i], rep.BytesPerSlice[i])

@@ -16,6 +16,7 @@ package batch
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -28,11 +29,21 @@ import (
 )
 
 // Request asks for one compression-ratio estimate: one buffer at one
-// absolute error bound.
+// absolute error bound. Exactly one of Buf and Buf32 must be set;
+// Buf32 routes the request through the native float32 predictor
+// pipeline (no widening copy) and the cache's float32 key space.
 type Request struct {
-	Buf *grid.Buffer
-	Eps float64
+	Buf   *grid.Buffer
+	Buf32 *grid.Buffer32
+	Eps   float64
 }
+
+// featsPool recycles the per-request feature vectors across workers and
+// batches; see EstimateAllContext's feature stage.
+var featsPool = sync.Pool{New: func() any {
+	s := make([]float64, 0, 8)
+	return &s
+}}
 
 // Engine evaluates batches of requests against one trained estimator,
 // sharing a feature cache across requests and batches. An Engine is safe
@@ -159,8 +170,24 @@ func (e *Engine) EstimateAllContext(ctx context.Context, reqs []Request) ([]core
 			}
 		}()
 
+		// Feature vectors are assembled into recycled per-worker buffers
+		// so a warm-cache request allocates nothing in the feature stage.
+		fp := featsPool.Get().(*[]float64)
+		defer featsPool.Put(fp)
 		t0 := time.Now()
-		feats, err := e.cache.Features(reqs[i].Buf, reqs[i].Eps)
+		var feats []float64
+		var err error
+		switch {
+		case reqs[i].Buf != nil && reqs[i].Buf32 != nil:
+			err = fmt.Errorf("%w: request sets both Buf and Buf32", crerr.ErrInvalidBuffer)
+		case reqs[i].Buf32 != nil:
+			feats, err = e.cache.Features32Into((*fp)[:0], reqs[i].Buf32, reqs[i].Eps)
+		default:
+			feats, err = e.cache.FeaturesInto((*fp)[:0], reqs[i].Buf, reqs[i].Eps)
+		}
+		if cap(feats) > cap(*fp) {
+			*fp = feats
+		}
 		featDur := time.Since(t0)
 		atomic.AddInt64(&e.featureNanos, int64(featDur))
 		e.hFeature.Observe(featDur.Seconds())
@@ -193,15 +220,22 @@ func (e *Engine) EstimateAllContext(ctx context.Context, reqs []Request) ([]core
 	for i, err := range errs {
 		if err != nil {
 			nFailed++
-			b := reqs[i].Buf
-			if b != nil {
-				if rid != "" {
-					errs[i] = fmt.Errorf("batch: rid %s: %s/%s step %d @ eps %g: %w",
-						rid, b.Dataset, b.Field, b.Step, reqs[i].Eps, err)
-				} else {
-					errs[i] = fmt.Errorf("batch: %s/%s step %d @ eps %g: %w",
-						b.Dataset, b.Field, b.Step, reqs[i].Eps, err)
-				}
+			var dataset, field string
+			var step int
+			switch {
+			case reqs[i].Buf != nil:
+				dataset, field, step = reqs[i].Buf.Dataset, reqs[i].Buf.Field, reqs[i].Buf.Step
+			case reqs[i].Buf32 != nil:
+				dataset, field, step = reqs[i].Buf32.Dataset, reqs[i].Buf32.Field, reqs[i].Buf32.Step
+			default:
+				continue
+			}
+			if rid != "" {
+				errs[i] = fmt.Errorf("batch: rid %s: %s/%s step %d @ eps %g: %w",
+					rid, dataset, field, step, reqs[i].Eps, err)
+			} else {
+				errs[i] = fmt.Errorf("batch: %s/%s step %d @ eps %g: %w",
+					dataset, field, step, reqs[i].Eps, err)
 			}
 		}
 	}

@@ -1,0 +1,101 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/crestlab/crest/internal/crerr"
+)
+
+// Buffer32 is the float32 sibling of Buffer: a dense, row-major 2D array
+// holding the payload of a dtype-1 CRBS stream (or any native float32
+// source) without widening. The float32 prediction pipeline consumes it
+// directly at half the memory traffic of Buffer; Widen converts to a
+// Buffer exactly when a float64 consumer is unavoidable.
+type Buffer32 struct {
+	Dataset string
+	Field   string
+	Step    int
+
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols, row-major
+}
+
+// NewBuffer32 allocates a zeroed rows×cols float32 buffer.
+func NewBuffer32(rows, cols int) *Buffer32 {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("grid: invalid buffer shape %dx%d", rows, cols))
+	}
+	return &Buffer32{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice32 wraps data (row-major, len rows*cols) in a Buffer32 without
+// copying. The caller must not alias data afterwards.
+func FromSlice32(rows, cols int, data []float32) (*Buffer32, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("grid: invalid shape %dx%d", rows, cols)
+	}
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("grid: data length %d != %d*%d", len(data), rows, cols)
+	}
+	return &Buffer32{Rows: rows, Cols: cols, Data: data}, nil
+}
+
+// At returns the element at row r, column c.
+func (b *Buffer32) At(r, c int) float32 { return b.Data[r*b.Cols+c] }
+
+// Set assigns the element at row r, column c.
+func (b *Buffer32) Set(r, c int, v float32) { b.Data[r*b.Cols+c] = v }
+
+// Len returns the number of elements.
+func (b *Buffer32) Len() int { return len(b.Data) }
+
+// SizeBytes returns the uncompressed size in bytes (4 bytes per element).
+func (b *Buffer32) SizeBytes() int { return 4 * len(b.Data) }
+
+// Validate mirrors Buffer.Validate for float32 data: shape violations
+// wrap crerr.ErrInvalidBuffer, non-finite data past the policy's bound
+// wraps crerr.ErrNonFiniteData.
+func (b *Buffer32) Validate(p ValidationPolicy) error {
+	if b == nil {
+		return fmt.Errorf("%w: nil buffer", crerr.ErrInvalidBuffer)
+	}
+	if b.Rows <= 0 || b.Cols <= 0 {
+		return fmt.Errorf("%w: shape %dx%d", crerr.ErrInvalidBuffer, b.Rows, b.Cols)
+	}
+	if len(b.Data) != b.Rows*b.Cols {
+		return fmt.Errorf("%w: data length %d != %d*%d", crerr.ErrInvalidBuffer, len(b.Data), b.Rows, b.Cols)
+	}
+	bad := 0
+	for _, v := range b.Data {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			bad++
+		}
+	}
+	if bad > 0 {
+		frac := float64(bad) / float64(len(b.Data))
+		if frac > p.MaxNonFiniteFraction {
+			return fmt.Errorf("%w: %d of %d values (%.3g%% > %.3g%% allowed)",
+				crerr.ErrNonFiniteData, bad, len(b.Data), 100*frac, 100*p.MaxNonFiniteFraction)
+		}
+	}
+	return nil
+}
+
+// Widen returns a float64 Buffer with every element converted exactly
+// (float32 → float64 is lossless). Identity metadata is carried over.
+func (b *Buffer32) Widen() *Buffer {
+	out := &Buffer{
+		Dataset: b.Dataset,
+		Field:   b.Field,
+		Step:    b.Step,
+		Rows:    b.Rows,
+		Cols:    b.Cols,
+		Data:    make([]float64, len(b.Data)),
+	}
+	for i, v := range b.Data {
+		out.Data[i] = float64(v)
+	}
+	return out
+}

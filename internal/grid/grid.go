@@ -304,14 +304,25 @@ type Blocking struct {
 // largest multiple of k in each dimension, matching the paper's row-wise
 // division of X ∈ R^{p×p} into B blocks with p² = B·k².
 func NewBlocking(buf *Buffer, k int) (*Blocking, error) {
+	t, err := MakeBlocking(buf, k)
+	if err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// MakeBlocking is NewBlocking returning the Blocking by value, so
+// zero-allocation hot paths (the pooled predictor scratch) can tile a
+// buffer without the pointer escaping to the heap.
+func MakeBlocking(buf *Buffer, k int) (Blocking, error) {
 	if k <= 0 {
-		return nil, fmt.Errorf("grid: invalid block size %d", k)
+		return Blocking{}, fmt.Errorf("grid: invalid block size %d", k)
 	}
 	br, bc := buf.Rows/k, buf.Cols/k
 	if br == 0 || bc == 0 {
-		return nil, fmt.Errorf("%w: %dx%d buffer with k=%d", ErrNotTileable, buf.Rows, buf.Cols, k)
+		return Blocking{}, fmt.Errorf("%w: %dx%d buffer with k=%d", ErrNotTileable, buf.Rows, buf.Cols, k)
 	}
-	return &Blocking{K: k, Br: br, Bc: bc, buf: buf}, nil
+	return Blocking{K: k, Br: br, Bc: bc, buf: buf}, nil
 }
 
 // NumBlocks returns B = Br*Bc.

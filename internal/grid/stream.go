@@ -232,14 +232,43 @@ func (cr *ChunkReader) SlicesRead() int { return int(cr.rowsRead / int64(cr.hdr.
 // same error, so a partial stream can never be mistaken for a complete
 // one.
 func (cr *ChunkReader) ReadRow(dst []float64) error {
+	if err := cr.fetchRow(len(dst)); err != nil {
+		return err
+	}
+	cr.decodeRow(dst)
+	return cr.advanceRow()
+}
+
+// ReadRow32 is ReadRow for float32 streams without the widening step:
+// dtype-1 payload bits land in dst unchanged, which keeps the
+// end-to-end float32 pipeline (featurizer, batch, server ingest) at
+// half the memory traffic. It refuses float64 streams — narrowing is a
+// lossy decision the caller must make explicitly.
+func (cr *ChunkReader) ReadRow32(dst []float32) error {
+	if cr.hdr.DType != DTypeF32 {
+		return fmt.Errorf("%w: ReadRow32 on a %s stream", crerr.ErrInvalidBuffer, cr.hdr.DType)
+	}
+	if err := cr.fetchRow(len(dst)); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(cr.rowBuf[4*i:]))
+	}
+	return cr.advanceRow()
+}
+
+// fetchRow runs the shared pre-decode half of ReadRow/ReadRow32: sticky
+// error and EOF state, destination-length validation, chunk-frame
+// advance, and the raw payload read into rowBuf.
+func (cr *ChunkReader) fetchRow(dstLen int) error {
 	if cr.err != nil {
 		return cr.err
 	}
 	if cr.done {
 		return io.EOF
 	}
-	if len(dst) != cr.hdr.Cols {
-		return fmt.Errorf("%w: ReadRow dst length %d, want %d", crerr.ErrInvalidBuffer, len(dst), cr.hdr.Cols)
+	if dstLen != cr.hdr.Cols {
+		return fmt.Errorf("%w: ReadRow dst length %d, want %d", crerr.ErrInvalidBuffer, dstLen, cr.hdr.Cols)
 	}
 	if cr.chunkLeft == 0 {
 		if err := cr.nextChunk(); err != nil {
@@ -255,7 +284,12 @@ func (cr *ChunkReader) ReadRow(dst []float64) error {
 		cr.err = streamErr(err, "row %d truncated", cr.rowsRead)
 		return cr.err
 	}
-	cr.decodeRow(dst)
+	return nil
+}
+
+// advanceRow runs the shared post-decode half: row accounting and the
+// declared-shape overrun check.
+func (cr *ChunkReader) advanceRow() error {
 	cr.chunkLeft--
 	cr.rowsRead++
 	if cr.totalRows >= 0 && cr.rowsRead == cr.totalRows {
@@ -382,7 +416,13 @@ func NewChunkWriter(w io.Writer, hdr StreamHeader, chunkRows int) (*ChunkWriter,
 }
 
 // WriteRow appends one row (length Cols). float32 streams narrow each
-// value with the usual round-to-nearest conversion.
+// value with the usual round-to-nearest conversion; a finite value whose
+// magnitude exceeds MaxFloat32 would silently round to ±Inf — and only
+// fail much later, far from the source, when a reader validates the
+// decoded buffer — so the writer rejects it up front with a typed error
+// naming the offending coordinate. NaN and ±Inf inputs pass through
+// unchanged (they are non-finite in either precision; readers apply
+// their own ValidationPolicy).
 func (cw *ChunkWriter) WriteRow(row []float64) error {
 	if cw.closed {
 		return errors.New("grid: write on closed ChunkWriter")
@@ -393,11 +433,22 @@ func (cw *ChunkWriter) WriteRow(row []float64) error {
 	if cw.hdr.Slices > 0 && cw.rowsDone >= int64(cw.hdr.Rows)*int64(cw.hdr.Slices) {
 		return fmt.Errorf("%w: row past the declared %d slices", crerr.ErrInvalidBuffer, cw.hdr.Slices)
 	}
-	for _, v := range row {
-		if cw.hdr.DType == DTypeF32 {
+	if cw.hdr.DType == DTypeF32 {
+		// Validate the whole row before encoding any of it, so a
+		// rejected row leaves the chunk buffer frame-aligned.
+		for c, v := range row {
+			if math.IsInf(float64(float32(v)), 0) && !math.IsInf(v, 0) {
+				return fmt.Errorf("%w: float32 narrowing of %g overflows at slice %d row %d col %d",
+					crerr.ErrNonFiniteData, v,
+					cw.rowsDone/int64(cw.hdr.Rows), cw.rowsDone%int64(cw.hdr.Rows), c)
+			}
+		}
+		for _, v := range row {
 			binary.LittleEndian.PutUint32(cw.scratch[:4], math.Float32bits(float32(v)))
 			cw.buf = append(cw.buf, cw.scratch[:4]...)
-		} else {
+		}
+	} else {
+		for _, v := range row {
 			binary.LittleEndian.PutUint64(cw.scratch[:8], math.Float64bits(v))
 			cw.buf = append(cw.buf, cw.scratch[:8]...)
 		}

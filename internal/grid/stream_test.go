@@ -6,6 +6,7 @@ import (
 	"errors"
 	"io"
 	"math"
+	"strings"
 	"testing"
 
 	"github.com/crestlab/crest/internal/crerr"
@@ -231,5 +232,98 @@ func TestChunkWriterContracts(t *testing.T) {
 	}
 	if err := cw2.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestWriteRowF32OverflowRejected is the regression test for the silent
+// float32 narrowing overflow: before the fix, a finite float64 with
+// |x| > MaxFloat32 was cast straight to ±Inf and written into the
+// stream, surfacing only (if ever) as a reader-side validation failure
+// far from the source. The writer must now reject the row with a typed
+// error naming the coordinate, and genuinely non-finite inputs (NaN,
+// ±Inf) must still pass through unchanged.
+func TestWriteRowF32OverflowRejected(t *testing.T) {
+	var b bytes.Buffer
+	cw, err := NewChunkWriter(&b, StreamHeader{DType: DTypeF32, Rows: 2, Cols: 3, Slices: 2}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.WriteRow([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	err = cw.WriteRow([]float64{1, 2, 1e39}) // finite in f64, Inf in f32
+	if !errors.Is(err, crerr.ErrNonFiniteData) {
+		t.Fatalf("overflowing row admitted: %v", err)
+	}
+	for _, frag := range []string{"slice 0", "row 1", "col 2", "1e+39"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q does not name %q", err, frag)
+		}
+	}
+	// -MaxFloat32 is exactly representable and must be admitted; the
+	// first value past it must not.
+	if err := cw.WriteRow([]float64{-math.MaxFloat32, 0, 0}); err != nil {
+		t.Fatalf("-MaxFloat32 rejected: %v", err)
+	}
+	if err := cw.WriteRow([]float64{-math.Nextafter(math.MaxFloat32, math.Inf(1)) * 2, 0, 0}); !errors.Is(err, crerr.ErrNonFiniteData) {
+		t.Fatalf("past-MaxFloat32 row admitted: %v", err)
+	}
+
+	// NaN and ±Inf inputs are already non-finite in both precisions:
+	// they encode as before (readers gate them via ValidationPolicy).
+	if err := cw.WriteRow([]float64{math.NaN(), math.Inf(1), math.Inf(-1)}); err != nil {
+		t.Fatalf("non-finite passthrough rejected: %v", err)
+	}
+	// Rejected rows must not advance the row counter: exactly one more
+	// row completes the declared 2×2-slice stream.
+	if err := cw.WriteRow([]float64{4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadRow32NativeDecode checks that ReadRow32 yields the stored
+// float32 bits without a widen/narrow round trip, and refuses float64
+// streams.
+func TestReadRow32NativeDecode(t *testing.T) {
+	buf := NewBuffer(3, 4)
+	for i := range buf.Data {
+		buf.Data[i] = math.Sin(float64(i)) * 1e-3
+	}
+	var b bytes.Buffer
+	if err := EncodeBuffer(&b, buf, DTypeF32, 2); err != nil {
+		t.Fatal(err)
+	}
+	cr, err := NewChunkReader(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float32, 4)
+	for r := 0; r < 3; r++ {
+		if err := cr.ReadRow32(dst); err != nil {
+			t.Fatalf("row %d: %v", r, err)
+		}
+		for c, v := range dst {
+			if want := float32(buf.Data[r*4+c]); math.Float32bits(v) != math.Float32bits(want) {
+				t.Fatalf("row %d col %d: %v != %v", r, c, v, want)
+			}
+		}
+	}
+	if err := cr.ReadRow32(dst); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+
+	var b64 bytes.Buffer
+	if err := EncodeBuffer(&b64, buf, DTypeF64, 2); err != nil {
+		t.Fatal(err)
+	}
+	cr64, err := NewChunkReader(bytes.NewReader(b64.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cr64.ReadRow32(dst); !errors.Is(err, crerr.ErrInvalidBuffer) {
+		t.Fatalf("ReadRow32 on f64 stream admitted: %v", err)
 	}
 }

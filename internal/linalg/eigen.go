@@ -2,6 +2,7 @@ package linalg
 
 import (
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -22,6 +23,36 @@ func SymEigenValues(a *Matrix) []float64 {
 	return values
 }
 
+// SymEigenValuesInto is SymEigenValues with caller-provided storage for
+// zero-allocation hot paths: out receives the eigenvalues (descending,
+// length ≥ n) and work (length ≥ n²) holds the Jacobi iterate, so the
+// call allocates nothing. The sweep schedule is identical to
+// SymEigenValues, and sorting a multiset of values descending is
+// order-insensitive, so the returned slice is bit-identical to
+// SymEigenValues(a).
+func SymEigenValuesInto(a *Matrix, out, work []float64) []float64 {
+	n := a.Rows
+	if a.Cols != n {
+		panic("linalg: SymEigen of non-square matrix")
+	}
+	if len(out) < n || len(work) < n*n {
+		panic("linalg: SymEigenValuesInto storage too short")
+	}
+	work = work[:n*n]
+	copy(work, a.Data)
+	w := Matrix{Rows: n, Cols: n, Data: work}
+	jacobiSweeps(&w, nil)
+	out = out[:n]
+	for i := 0; i < n; i++ {
+		out[i] = work[i*n+i]
+	}
+	slices.Sort(out)
+	for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
 func symEigen(a *Matrix, wantVectors bool) (values []float64, vectors *Matrix) {
 	n := a.Rows
 	if a.Cols != n {
@@ -36,6 +67,36 @@ func symEigen(a *Matrix, wantVectors bool) (values []float64, vectors *Matrix) {
 			v.Set(i, i, 1)
 		}
 	}
+	jacobiSweeps(w, v)
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = w.At(i, i)
+	}
+	// Sort descending, permuting eigenvector columns to match.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return values[idx[i]] > values[idx[j]] })
+	sorted := make([]float64, n)
+	if wantVectors {
+		vectors = NewMatrix(n, n)
+	}
+	for newCol, oldCol := range idx {
+		sorted[newCol] = values[oldCol]
+		if wantVectors {
+			for r := 0; r < n; r++ {
+				vectors.Set(r, newCol, v.At(r, oldCol))
+			}
+		}
+	}
+	return sorted, vectors
+}
+
+// jacobiSweeps runs the thresholded cyclic Jacobi iteration on w in
+// place, accumulating rotations into v when non-nil.
+func jacobiSweeps(w, v *Matrix) {
+	n := w.Rows
 	const maxSweeps = 48
 	for sweep := 0; sweep < maxSweeps; sweep++ {
 		off := offDiagNorm(w)
@@ -72,35 +133,12 @@ func symEigen(a *Matrix, wantVectors bool) (values []float64, vectors *Matrix) {
 				c := 1 / math.Sqrt(1+t*t)
 				s := t * c
 				rotate(w, p, q, c, s)
-				if wantVectors {
+				if v != nil {
 					rotateCols(v, p, q, c, s)
 				}
 			}
 		}
 	}
-	values = make([]float64, n)
-	for i := 0; i < n; i++ {
-		values[i] = w.At(i, i)
-	}
-	// Sort descending, permuting eigenvector columns to match.
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(i, j int) bool { return values[idx[i]] > values[idx[j]] })
-	sorted := make([]float64, n)
-	if wantVectors {
-		vectors = NewMatrix(n, n)
-	}
-	for newCol, oldCol := range idx {
-		sorted[newCol] = values[oldCol]
-		if wantVectors {
-			for r := 0; r < n; r++ {
-				vectors.Set(r, newCol, v.At(r, oldCol))
-			}
-		}
-	}
-	return sorted, vectors
 }
 
 // rotate applies the two-sided Jacobi rotation J(p,q,θ)ᵀ A J(p,q,θ) in

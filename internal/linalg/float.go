@@ -1,0 +1,15 @@
+package linalg
+
+// Float constrains the generic kernels to the two element types the
+// pipeline moves end to end: float64 (the reference precision) and
+// float32 (the sensor-data precision that halves memory bandwidth).
+//
+// Precision contract: regardless of F, every *reduction* a kernel
+// performs — moments, norms, triangle accumulations — runs in float64.
+// Only the stored elements and the Gram dot products themselves narrow
+// to F, so the float32 pipeline's divergence from float64 is bounded by
+// the ULP of the standardized values and their k²-term dot products,
+// not by accumulated drift over B blocks.
+type Float interface {
+	~float32 | ~float64
+}

@@ -1,0 +1,84 @@
+package linalg
+
+import "math"
+
+// fused.go is the tentpole of the single-traversal predictor pass: the
+// standardization of the B×k² block matrix, the per-block moments
+// (mean, standard deviation, squared norm) that SD/SC consume, and the
+// second-moment lower triangle Σ = scale·Σ_i v[i]·v[i]ᵀ that CG/CovSVD
+// consume were previously three separate walks over the 16 MB (f64 at
+// 512²/k=8) block matrix. FusedBlockMoments performs all of them in one
+// pass while each block row is L1-resident.
+
+// FusedBlockMoments standardizes every row of v in place with the global
+// moments (gm, gsd) — v[i][j] ← F((v[i][j]−gm)/gsd) — and, in the same
+// traversal, fills the per-row statistics and the scaled second-moment
+// lower triangle:
+//
+//	mean[i]  = (1/k)·Σ_j v[i][j]          (after standardization)
+//	sd[i]    = sqrt(max(0, Σv²/k − mean²))
+//	norm2[i] = Σ_j v[i][j]²
+//	lower    = row-major lower triangle (diagonal included, length
+//	           k·(k+1)/2) of Σ_i scale·v[i]·v[i]ᵀ, overwritten
+//
+// All accumulators are float64 regardless of F; for F = float32 each
+// element is widened exactly before accumulation, so the moment sums
+// carry no accumulated narrowing drift — only the stored standardized
+// values are rounded to float32.
+//
+// Bit-identity contract (F = float64): every accumulation chain here is
+// the exact sequence of the unfused reference — per-row forward s/s²
+// sums (stats.MeanStd's order), norm2 sharing the s² chain, and the
+// triangle accumulated in SecondMomentLower's order (i ascending, terms
+// formed as (v[i][p]·scale)·v[i][q]). Interleaving the rows of the three
+// walks does not reorder any individual chain, so the fused pass is
+// bit-identical to the separate passes at every worker count.
+func FusedBlockMoments[F Float](v [][]F, gm, gsd, scale float64, mean, sd, norm2, lower []float64) {
+	for i := range lower {
+		lower[i] = 0
+	}
+	if len(v) == 0 {
+		return
+	}
+	k := len(v[0])
+	if len(lower) != k*(k+1)/2 {
+		panic("linalg: FusedBlockMoments lower-triangle length mismatch")
+	}
+	if len(mean) < len(v) || len(sd) < len(v) || len(norm2) < len(v) {
+		panic("linalg: FusedBlockMoments moment buffers too short")
+	}
+	fk := float64(k)
+	for bi, vec := range v {
+		if len(vec) != k {
+			panic("linalg: FusedBlockMoments rows of unequal length")
+		}
+		var s, s2 float64
+		for j, raw := range vec {
+			x := (float64(raw) - gm) / gsd
+			xf := F(x)
+			vec[j] = xf
+			xs := float64(xf)
+			s += xs
+			s2 += xs * xs
+		}
+		m := s / fk
+		va := s2/fk - m*m
+		if va < 0 {
+			va = 0
+		}
+		mean[bi] = m
+		sd[bi] = math.Sqrt(va)
+		norm2[bi] = s2
+		// Rank-1 lower-triangle update in SecondMomentLower's order,
+		// while this row is still cache-hot.
+		idx := 0
+		for p := 0; p < k; p++ {
+			xp := float64(vec[p]) * scale
+			row := lower[idx : idx+p+1]
+			for q := 0; q <= p; q++ {
+				row[q] += xp * float64(vec[q])
+			}
+			idx += p + 1
+		}
+	}
+}

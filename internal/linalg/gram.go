@@ -12,13 +12,25 @@ package linalg
 // fixed, every element is bit-identical to the naive per-pair loop — and
 // to its mirrored element, so symmetric reuse is bit-safe. Speed comes
 // from cache blocking and instruction-level parallelism *across*
-// independent output elements (register-blocked rows), never from
+// independent output elements (register-blocked rows, and on amd64 SIMD
+// lanes spanning adjacent output columns — see GramBlockT), never from
 // splitting one element's accumulation chain.
+//
+// The float64 kernels honor that contract even in the vector path: the
+// AVX2 kernel broadcasts a[i][x] against four adjacent columns of the
+// transposed right-hand side and issues separate multiply and add
+// instructions, so each lane performs the identical round(mul) →
+// round(add) sequence of the scalar loop. The float32 kernels instead
+// use FMA (one rounding per step); they remain deterministic — a fixed
+// instruction sequence per element — but are only ULP-equivalent, not
+// bit-equal, to the float32 scalar fallback. The f32-vs-f64 differential
+// suite in internal/predictors bounds that divergence.
 
 // gramPanelRows is the default panel height used by Gram: the number of
 // left-hand rows processed per pass over V. At k² = 64 a panel is
 // 4·64·8 = 2 KiB of left-hand vectors, comfortably L1-resident, while the
-// 4-row register block gives four independent FMA chains per column.
+// 4-row register block gives four independent accumulation chains per
+// column.
 const gramPanelRows = 4
 
 // GramPanel computes rows [lo, hi) of the Gram matrix G = V·Vᵀ over the
@@ -28,24 +40,36 @@ const gramPanelRows = 4
 // forward-order accumulation, so the result is bit-identical to the
 // naive scalar loop regardless of how callers tile or parallelize the
 // panels.
-func GramPanel(v [][]float64, lo, hi int, out []float64) {
+func GramPanel[F Float](v [][]F, lo, hi int, out []F) {
 	GramBlock(v, lo, hi, 0, len(v), out, len(v))
 }
 
 // GramBlock computes the rectangular Gram block
 // out[(i−lo)·stride + j] = ⟨v[i], v[j]⟩ for i in [lo, hi), j in [jlo, jhi)
-// with the given output row stride. It is the register-blocked kernel
-// under GramPanel and GramInto, exported so callers can tile a symmetric
-// fill themselves (e.g. parallelize panels of the lower triangle).
-func GramBlock(v [][]float64, lo, hi, jlo, jhi int, out []float64, stride int) {
+// with the given output row stride. It is the register-blocked scalar
+// kernel under GramPanel and GramInto, exported so callers can tile a
+// symmetric fill themselves (e.g. parallelize panels of the lower
+// triangle). Hot paths that can afford a transposed copy of v should
+// prefer GramBlockT, which dispatches to the SIMD kernel when available.
+func GramBlock[F Float](v [][]F, lo, hi, jlo, jhi int, out []F, stride int) {
+	k, ok := checkGramBounds(v, lo, hi, jlo, jhi, out, stride)
+	if !ok {
+		return
+	}
+	gramBlockScalar(v, k, lo, hi, jlo, jhi, out, stride)
+}
+
+// checkGramBounds validates a Gram block request and returns the shared
+// row length. ok=false flags an empty (but valid) block.
+func checkGramBounds[F Float](v [][]F, lo, hi, jlo, jhi int, out []F, stride int) (k int, ok bool) {
 	n := len(v)
 	if lo < 0 || hi > n || jlo < 0 || jhi > n {
 		panic("linalg: gram panel bounds out of range")
 	}
 	if hi <= lo || jhi <= jlo {
-		return
+		return 0, false
 	}
-	k := len(v[lo])
+	k = len(v[lo])
 	if len(out) < (hi-lo-1)*stride+jhi {
 		panic("linalg: gram panel output too short")
 	}
@@ -59,6 +83,12 @@ func GramBlock(v [][]float64, lo, hi, jlo, jhi int, out []float64, stride int) {
 			panic("linalg: gram rows of unequal length")
 		}
 	}
+	return k, true
+}
+
+// gramBlockScalar is the portable register-blocked kernel behind
+// GramBlock; bounds are already validated.
+func gramBlockScalar[F Float](v [][]F, k, lo, hi, jlo, jhi int, out []F, stride int) {
 	i := lo
 	// 4-row register block: one pass over columns j streams v[j] once
 	// against four L1-resident left-hand rows, giving four independent
@@ -74,7 +104,7 @@ func GramBlock(v [][]float64, lo, hi, jlo, jhi int, out []float64, stride int) {
 		o3 := out[(i-lo+3)*stride : (i-lo+3)*stride+jhi]
 		for j := jlo; j < jhi; j++ {
 			vj := v[j][:k]
-			var d0, d1, d2, d3 float64
+			var d0, d1, d2, d3 F
 			for x := 0; x < k; x++ {
 				c := vj[x]
 				d0 += v0[x] * c
@@ -94,11 +124,83 @@ func GramBlock(v [][]float64, lo, hi, jlo, jhi int, out []float64, stride int) {
 		oi := out[(i-lo)*stride : (i-lo)*stride+jhi]
 		for j := jlo; j < jhi; j++ {
 			vj := v[j][:k]
-			var d float64
+			var d F
 			for x := 0; x < k; x++ {
 				d += vi[x] * vj[x]
 			}
 			oi[j] = d
+		}
+	}
+}
+
+// GramBlockT is GramBlock with a caller-maintained transposed copy of
+// the full row set: vt[x·len(v) + j] = v[j][x] (see TransposeInto). The
+// transpose turns the column dimension into the contiguous one, which
+// lets the amd64 SIMD kernel broadcast a[i][x] against adjacent output
+// columns — vector lanes span *independent output elements*, so each
+// element keeps the scalar loop's single forward accumulation chain and
+// the float64 result stays bit-identical to GramBlock. Rows v[lo..hi)
+// must additionally lie at a constant stride in one backing array (the
+// layout the predictors' pooled scratch carves); when they don't, or on
+// platforms without the kernel, GramBlockT falls back to GramBlock.
+func GramBlockT[F Float](v [][]F, vt []F, lo, hi, jlo, jhi int, out []F, stride int) {
+	k, ok := checkGramBounds(v, lo, hi, jlo, jhi, out, stride)
+	if !ok {
+		return
+	}
+	if len(vt) < k*len(v) {
+		panic("linalg: gram transpose buffer too short")
+	}
+	jcut := jlo
+	if k > 0 {
+		switch vv := any(v).(type) {
+		case [][]float64:
+			jcut = gramTransF64(vv, any(vt).([]float64), lo, hi, jlo, jhi, any(out).([]float64), stride)
+		case [][]float32:
+			jcut = gramTransF32(vv, any(vt).([]float32), lo, hi, jlo, jhi, any(out).([]float32), stride)
+		}
+	}
+	if jcut < jhi {
+		gramBlockScalar(v, k, lo, hi, jcut, jhi, out, stride)
+	}
+}
+
+// TransposeInto fills dst with the k×n transpose of the n-row, k-column
+// row set v: dst[x·n + j] = v[j][x], row-major with rows of length n.
+// dst must hold at least n·k elements. The copy is tiled so the strided
+// reads stay cache-resident; it is the one-time setup cost that lets
+// GramBlockT stream unit-stride SIMD loads for the whole pairwise pass.
+func TransposeInto[F Float](v [][]F, dst []F) {
+	n := len(v)
+	if n == 0 {
+		return
+	}
+	k := len(v[0])
+	if len(dst) < n*k {
+		panic("linalg: TransposeInto destination too short")
+	}
+	for _, row := range v {
+		if len(row) != k {
+			panic("linalg: TransposeInto rows of unequal length")
+		}
+	}
+	const tile = 32
+	for j0 := 0; j0 < n; j0 += tile {
+		j1 := j0 + tile
+		if j1 > n {
+			j1 = n
+		}
+		for x0 := 0; x0 < k; x0 += tile {
+			x1 := x0 + tile
+			if x1 > k {
+				x1 = k
+			}
+			for x := x0; x < x1; x++ {
+				row := dst[x*n : x*n+n]
+				for j := j0; j < j1; j++ {
+					row[j] = v[j][x]
+				}
+			}
 		}
 	}
 }
@@ -144,11 +246,11 @@ func GramInto(v [][]float64, out []float64) {
 // matrix m onto the upper triangle, completing a symmetric fill. The copy
 // runs over square tiles (a blocked transpose) so the strided source
 // reads stay cache-resident at large n.
-func MirrorLowerUpper(m []float64, n int) {
+func MirrorLowerUpper[F Float](m []F, n int) {
 	if len(m) < n*n {
 		panic("linalg: MirrorLowerUpper matrix too short")
 	}
-	const tile = 64
+	const tile = 32
 	for i0 := 0; i0 < n; i0 += tile {
 		i1 := i0 + tile
 		if i1 > n {
@@ -182,9 +284,10 @@ func MirrorLowerUpper(m []float64, n int) {
 // is exactly the serial loop the mutex-guarded VecAccumulator ran under
 // workers=1 — i ascending, each term formed as (v[i][p]·scale)·v[i][q] —
 // so the result is bit-identical to that path and independent of caller
-// parallelism (the routine is deliberately serial: profiling shows the
-// O(B·k⁴/2) accumulation is dwarfed by the O(B²·k²) pairwise pass, and
-// the old single-mutex design serialized it anyway).
+// parallelism. FusedBlockMoments performs the same accumulation (same
+// order, same float64 arithmetic) inside the standardization pass; this
+// standalone routine remains as the reference the fused pass is tested
+// against.
 func SecondMomentLower(v [][]float64, scale float64, out []float64) {
 	if len(v) == 0 {
 		for i := range out {

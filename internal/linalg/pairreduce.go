@@ -1,0 +1,65 @@
+package linalg
+
+import "math"
+
+// pairreduce.go is the float32 fast path of the predictors' pairwise
+// SD/SC reduction. The float64 path keeps its scalar loop in
+// internal/predictors (its per-pair division and square root are the
+// bit-identity reference); the float32 path has no bitwise-vs-naive
+// obligation, so it trades the division for a multiplication by a
+// precomputed 1/sd and vectorizes eight pairs at a time on amd64.
+
+// PairReduceF32 folds row i of the float32 Gram matrix into the three
+// pairwise sums of the SD/SC predictors:
+//
+//	ds_j  = |posR[i]−posR[j]| + |posC[i]−posC[j]|   (Manhattan distance)
+//	de_j  = sqrt(max(0, norm2[i]+norm2[j]−2·row[j])) (Euclidean distance)
+//	rho_j = clamp(|(row[j]·invK2 − mean[i]·mean[j]) · invSd[i]·invSd[j]|, 0, 1)
+//
+// returning (Σ ds, Σ ds·de, Σ ds·rho) over all j including j == i, whose
+// ds of zero makes it a no-op in every sum. invSd must hold 1/sd with
+// exact zeros where sd == 0, which reproduces the f64 path's "both sds
+// positive" gate: a zero-variance block contributes rho = 0.
+//
+// Determinism: the AVX2 kernel accumulates in a fixed lane structure
+// with a fixed horizontal fold, and the scalar tail continues from those
+// partials in index order; the scalar fallback is a plain forward loop.
+// Either way the result is a deterministic function of the inputs for a
+// given binary and CPU — worker count and chunking never affect it.
+func PairReduceF32(row, posR, posC, norm2, mean, invSd []float32, i int, invK2 float32) (sumDs, sumDsDe, sumDsV float64) {
+	c := pairConsts32{
+		ri:     posR[i],
+		ci:     posC[i],
+		n2i:    norm2[i],
+		mi:     mean[i],
+		invSdI: invSd[i],
+		invK2:  invK2,
+	}
+	j, sums := pairReduceVecF32(row, posR, posC, norm2, mean, invSd, c)
+	sDs, sDsDe, sDsV := sums[0], sums[1], sums[2]
+	for ; j < len(row); j++ {
+		ds := abs32(c.ri-posR[j]) + abs32(c.ci-posC[j])
+		dot := row[j]
+		de2 := (c.n2i + norm2[j]) - 2*dot
+		if de2 < 0 {
+			de2 = 0
+		}
+		de := float32(math.Sqrt(float64(de2)))
+		rho := (dot*invK2 - c.mi*mean[j]) * c.invSdI * invSd[j]
+		rho = abs32(rho)
+		if rho > 1 {
+			rho = 1
+		}
+		sDs += ds
+		sDsDe += ds * de
+		sDsV += ds * rho
+	}
+	return float64(sDs), float64(sDsDe), float64(sDsV)
+}
+
+func abs32(x float32) float32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

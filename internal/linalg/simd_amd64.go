@@ -1,0 +1,157 @@
+//go:build amd64
+
+package linalg
+
+import "unsafe"
+
+// simd_amd64.go dispatches the hot kernels to the AVX2 routines in
+// simd_amd64.s when the CPU (and OS) support them. Detection is done
+// once at init via raw CPUID/XGETBV — no build tags or cgo, so a binary
+// built anywhere runs anywhere and simply falls back to the portable
+// scalar kernels on older hardware.
+
+// haveAVX2FMA gates every SIMD kernel: AVX2 for the 256-bit integer/FP
+// lane operations, FMA for the float32 kernels, and OS-enabled YMM state
+// (OSXSAVE + XCR0) so the registers survive context switches.
+var haveAVX2FMA = detectAVX2FMA()
+
+// SIMDEnabled reports whether the AVX2 kernels are active on this
+// process (exported for benchmarks and the differential tests, which
+// document which code path their ULP bounds were measured against).
+func SIMDEnabled() bool { return haveAVX2FMA }
+
+func detectAVX2FMA() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	if c1&fma == 0 || c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX): the OS saves YMM state.
+	eax, _ := xgetbv0()
+	if eax&6 != 6 {
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return b7&avx2 != 0
+}
+
+// cpuid and xgetbv0 are implemented in simd_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+// rowsStrided reports whether rows [lo, hi) of v lie at a constant
+// stride of k elements from v[lo] in one backing array — the layout the
+// predictors' pooled scratch carves — so the assembly kernels can
+// address row r as base + r·k·sizeof(F).
+func rowsStrided[F Float](v [][]F, lo, hi, k int) bool {
+	var z F
+	es := unsafe.Sizeof(z)
+	base := unsafe.Pointer(unsafe.SliceData(v[lo]))
+	for i := lo + 1; i < hi; i++ {
+		if unsafe.Pointer(unsafe.SliceData(v[i])) != unsafe.Add(base, uintptr(i-lo)*uintptr(k)*es) {
+			return false
+		}
+	}
+	return true
+}
+
+// gramTransF64 runs the AVX2 float64 Gram kernel over columns
+// [jlo, jlo+njv) where njv is the widest multiple of 4 that fits, and
+// returns the first column it did NOT compute (the caller finishes the
+// ragged tail with the scalar kernel). The kernel issues separate
+// VMULPD/VADDPD per element — no FMA — so each output element performs
+// the scalar loop's exact round(mul) → round(add) sequence and the
+// result is bit-identical to GramBlock.
+func gramTransF64(v [][]float64, vt []float64, lo, hi, jlo, jhi int, out []float64, stride int) int {
+	if !haveAVX2FMA {
+		return jlo
+	}
+	k := len(v[lo])
+	njv := (jhi - jlo) &^ 3
+	if k == 0 || njv == 0 || !rowsStrided(v, lo, hi, k) {
+		return jlo
+	}
+	gramTransKernelF64(
+		unsafe.Pointer(unsafe.SliceData(v[lo])),
+		unsafe.Pointer(&vt[jlo]),
+		unsafe.Pointer(&out[jlo]),
+		uint64(k), uint64(hi-lo), uint64(njv),
+		uint64(k), uint64(len(v)), uint64(stride))
+	return jlo + njv
+}
+
+// gramTransF32 is the float32 variant: 8 lanes with FMA. Deterministic
+// (fixed instruction sequence per element) but only ULP-equivalent to
+// the float32 scalar fallback, since FMA rounds once per step.
+func gramTransF32(v [][]float32, vt []float32, lo, hi, jlo, jhi int, out []float32, stride int) int {
+	if !haveAVX2FMA {
+		return jlo
+	}
+	k := len(v[lo])
+	njv := (jhi - jlo) &^ 7
+	if k == 0 || njv == 0 || !rowsStrided(v, lo, hi, k) {
+		return jlo
+	}
+	gramTransKernelF32(
+		unsafe.Pointer(unsafe.SliceData(v[lo])),
+		unsafe.Pointer(&vt[jlo]),
+		unsafe.Pointer(&out[jlo]),
+		uint64(k), uint64(hi-lo), uint64(njv),
+		uint64(k), uint64(len(v)), uint64(stride))
+	return jlo + njv
+}
+
+// gramTransKernelF64 computes out[i·ldo+j] = Σ_x a[i·lda+x]·bt[x·ldb+j]
+// for i in [0,ni), j in [0,nj) with nj a positive multiple of 4 and
+// k ≥ 1; strides are in elements. Implemented in simd_amd64.s.
+//
+//go:noescape
+func gramTransKernelF64(a, bt, out unsafe.Pointer, k, ni, nj, lda, ldb, ldo uint64)
+
+// gramTransKernelF32 is the 8-lane FMA float32 variant; nj must be a
+// positive multiple of 8.
+//
+//go:noescape
+func gramTransKernelF32(a, bt, out unsafe.Pointer, k, ni, nj, lda, ldb, ldo uint64)
+
+// pairConsts32 carries the left-block constants of one pairwise-reduce
+// row; the layout is mirrored by the VBROADCASTSS offsets in the
+// assembly, so the field order is load-bearing.
+type pairConsts32 struct {
+	ri, ci, n2i, mi, invSdI, invK2 float32
+}
+
+// pairReduceKernelF32 accumulates the three pairwise sums over
+// j in [0, n) with n a positive multiple of 8, writing the lane-reduced
+// partial sums into sums. Implemented in simd_amd64.s.
+//
+//go:noescape
+func pairReduceKernelF32(row, posR, posC, norm2, mean, invSd unsafe.Pointer, n uint64, consts *pairConsts32, sums *[3]float32)
+
+// pairReduceVecF32 runs the AVX2 pairwise reduce over the widest
+// multiple-of-8 prefix and returns how many elements it consumed plus
+// the three partial sums; the caller finishes the tail in scalar code.
+func pairReduceVecF32(row, posR, posC, norm2, mean, invSd []float32, c pairConsts32) (n int, sums [3]float32) {
+	nv := len(row) &^ 7
+	if !haveAVX2FMA || nv == 0 {
+		return 0, sums
+	}
+	pairReduceKernelF32(
+		unsafe.Pointer(unsafe.SliceData(row)),
+		unsafe.Pointer(unsafe.SliceData(posR)),
+		unsafe.Pointer(unsafe.SliceData(posC)),
+		unsafe.Pointer(unsafe.SliceData(norm2)),
+		unsafe.Pointer(unsafe.SliceData(mean)),
+		unsafe.Pointer(unsafe.SliceData(invSd)),
+		uint64(nv), &c, &sums)
+	return nv, sums
+}

@@ -1,0 +1,325 @@
+// AVX2 kernels behind simd_amd64.go. See gram.go for the determinism
+// contract: the float64 Gram kernel uses separate VMULPD/VADDPD (no FMA)
+// so every output element performs the scalar loop's exact rounding
+// sequence; the float32 kernels use FMA and are deterministic but only
+// ULP-equivalent to the scalar fallback.
+
+#include "textflag.h"
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func gramTransKernelF64(a, bt, out unsafe.Pointer, k, ni, nj, lda, ldb, ldo uint64)
+//
+// out[i*ldo+j] = sum_x a[i*lda+x] * bt[x*ldb+j], i in [0,ni), j in [0,nj);
+// nj is a positive multiple of 4, k >= 1, strides in elements.
+//
+// Micro-kernel: 4 left rows x 4 output columns. Per x step one VMOVUPD
+// streams bt row x, four VBROADCASTSD replay a[i..i+3][x], and each
+// accumulator takes a separate multiply then add — four independent
+// scalar-order chains per vector lane.
+TEXT ·gramTransKernelF64(SB), NOSPLIT, $0-72
+	MOVQ a+0(FP), R15
+	MOVQ out+16(FP), DI
+	MOVQ ni+32(FP), BX
+	MOVQ lda+48(FP), R9
+	SHLQ $3, R9             // a row stride, bytes
+	LEAQ (R9)(R9*2), R10    // 3 * a row stride
+	MOVQ ldb+56(FP), R11
+	SHLQ $3, R11            // bt row stride, bytes
+	MOVQ ldo+64(FP), R8
+	SHLQ $3, R8             // out row stride, bytes
+
+d64iblock:
+	CMPQ BX, $4
+	JLT  d64itail
+	XORQ R12, R12           // j element index
+
+d64jloop4:
+	MOVQ bt+8(FP), R13
+	LEAQ (R13)(R12*8), R13  // bt column base + j
+	MOVQ R15, AX            // a row-block base
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	MOVQ k+24(FP), R14
+
+d64xloop4:
+	VMOVUPD (R13), Y4
+	VBROADCASTSD (AX), Y5
+	VMULPD Y4, Y5, Y6
+	VADDPD Y6, Y0, Y0
+	VBROADCASTSD (AX)(R9*1), Y5
+	VMULPD Y4, Y5, Y6
+	VADDPD Y6, Y1, Y1
+	VBROADCASTSD (AX)(R9*2), Y5
+	VMULPD Y4, Y5, Y6
+	VADDPD Y6, Y2, Y2
+	VBROADCASTSD (AX)(R10*1), Y5
+	VMULPD Y4, Y5, Y6
+	VADDPD Y6, Y3, Y3
+	ADDQ $8, AX
+	ADDQ R11, R13
+	DECQ R14
+	JNZ  d64xloop4
+
+	LEAQ (DI)(R12*8), DX
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, (DX)(R8*1)
+	VMOVUPD Y2, (DX)(R8*2)
+	LEAQ (R8)(R8*2), CX
+	VMOVUPD Y3, (DX)(CX*1)
+	ADDQ $4, R12
+	MOVQ nj+40(FP), CX
+	CMPQ R12, CX
+	JLT  d64jloop4
+
+	LEAQ (R15)(R9*4), R15
+	LEAQ (DI)(R8*4), DI
+	SUBQ $4, BX
+	JMP  d64iblock
+
+d64itail:
+	TESTQ BX, BX
+	JZ   d64done
+	XORQ R12, R12
+
+d64jloop1:
+	MOVQ bt+8(FP), R13
+	LEAQ (R13)(R12*8), R13
+	MOVQ R15, AX
+	VXORPD Y0, Y0, Y0
+	MOVQ k+24(FP), R14
+
+d64xloop1:
+	VMOVUPD (R13), Y4
+	VBROADCASTSD (AX), Y5
+	VMULPD Y4, Y5, Y6
+	VADDPD Y6, Y0, Y0
+	ADDQ $8, AX
+	ADDQ R11, R13
+	DECQ R14
+	JNZ  d64xloop1
+
+	LEAQ (DI)(R12*8), DX
+	VMOVUPD Y0, (DX)
+	ADDQ $4, R12
+	MOVQ nj+40(FP), CX
+	CMPQ R12, CX
+	JLT  d64jloop1
+
+	ADDQ R9, R15
+	ADDQ R8, DI
+	DECQ BX
+	JMP  d64itail
+
+d64done:
+	VZEROUPPER
+	RET
+
+// func gramTransKernelF32(a, bt, out unsafe.Pointer, k, ni, nj, lda, ldb, ldo uint64)
+//
+// Float32 variant: 8 lanes, FMA. nj is a positive multiple of 8.
+TEXT ·gramTransKernelF32(SB), NOSPLIT, $0-72
+	MOVQ a+0(FP), R15
+	MOVQ out+16(FP), DI
+	MOVQ ni+32(FP), BX
+	MOVQ lda+48(FP), R9
+	SHLQ $2, R9
+	LEAQ (R9)(R9*2), R10
+	MOVQ ldb+56(FP), R11
+	SHLQ $2, R11
+	MOVQ ldo+64(FP), R8
+	SHLQ $2, R8
+
+d32iblock:
+	CMPQ BX, $4
+	JLT  d32itail
+	XORQ R12, R12
+
+d32jloop4:
+	MOVQ bt+8(FP), R13
+	LEAQ (R13)(R12*4), R13
+	MOVQ R15, AX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	MOVQ k+24(FP), R14
+
+d32xloop4:
+	VMOVUPS (R13), Y4
+	VBROADCASTSS (AX), Y5
+	VFMADD231PS Y4, Y5, Y0
+	VBROADCASTSS (AX)(R9*1), Y5
+	VFMADD231PS Y4, Y5, Y1
+	VBROADCASTSS (AX)(R9*2), Y5
+	VFMADD231PS Y4, Y5, Y2
+	VBROADCASTSS (AX)(R10*1), Y5
+	VFMADD231PS Y4, Y5, Y3
+	ADDQ $4, AX
+	ADDQ R11, R13
+	DECQ R14
+	JNZ  d32xloop4
+
+	LEAQ (DI)(R12*4), DX
+	VMOVUPS Y0, (DX)
+	VMOVUPS Y1, (DX)(R8*1)
+	VMOVUPS Y2, (DX)(R8*2)
+	LEAQ (R8)(R8*2), CX
+	VMOVUPS Y3, (DX)(CX*1)
+	ADDQ $8, R12
+	MOVQ nj+40(FP), CX
+	CMPQ R12, CX
+	JLT  d32jloop4
+
+	LEAQ (R15)(R9*4), R15
+	LEAQ (DI)(R8*4), DI
+	SUBQ $4, BX
+	JMP  d32iblock
+
+d32itail:
+	TESTQ BX, BX
+	JZ   d32done
+	XORQ R12, R12
+
+d32jloop1:
+	MOVQ bt+8(FP), R13
+	LEAQ (R13)(R12*4), R13
+	MOVQ R15, AX
+	VXORPS Y0, Y0, Y0
+	MOVQ k+24(FP), R14
+
+d32xloop1:
+	VMOVUPS (R13), Y4
+	VBROADCASTSS (AX), Y5
+	VFMADD231PS Y4, Y5, Y0
+	ADDQ $4, AX
+	ADDQ R11, R13
+	DECQ R14
+	JNZ  d32xloop1
+
+	LEAQ (DI)(R12*4), DX
+	VMOVUPS Y0, (DX)
+	ADDQ $8, R12
+	MOVQ nj+40(FP), CX
+	CMPQ R12, CX
+	JLT  d32jloop1
+
+	ADDQ R9, R15
+	ADDQ R8, DI
+	DECQ BX
+	JMP  d32itail
+
+d32done:
+	VZEROUPPER
+	RET
+
+// func pairReduceKernelF32(row, posR, posC, norm2, mean, invSd unsafe.Pointer, n uint64, consts *pairConsts32, sums *[3]float32)
+//
+// Eight pairs per iteration of the SD/SC pairwise reduction:
+//
+//	ds   = |ri - posR[j]| + |ci - posC[j]|
+//	de   = sqrt(max(0, n2i + norm2[j] - 2*row[j]))
+//	rho  = clamp(|(row[j]*invK2 - mi*mean[j]) * invSdI * invSd[j]|, 0, 1)
+//	sums = (sum ds, sum ds*de, sum ds*rho)
+//
+// Lane accumulators are horizontally folded with a fixed VHADDPS tree,
+// so the result is deterministic for a given n.
+TEXT ·pairReduceKernelF32(SB), NOSPLIT, $0-72
+	MOVQ row+0(FP), SI
+	MOVQ posR+8(FP), R8
+	MOVQ posC+16(FP), R9
+	MOVQ norm2+24(FP), R10
+	MOVQ mean+32(FP), R11
+	MOVQ invSd+40(FP), R12
+	MOVQ n+48(FP), CX
+	MOVQ consts+56(FP), DX
+	VBROADCASTSS 0(DX), Y8      // ri
+	VBROADCASTSS 4(DX), Y9      // ci
+	VBROADCASTSS 8(DX), Y10     // n2i
+	VBROADCASTSS 12(DX), Y11    // mi
+	VBROADCASTSS 16(DX), Y12    // invSdI
+	VBROADCASTSS 20(DX), Y13    // invK2
+	MOVL $0x7FFFFFFF, AX        // abs mask
+	MOVL AX, X14
+	VBROADCASTSS X14, Y14
+	MOVL $0x3F800000, AX        // 1.0f
+	MOVL AX, X15
+	VBROADCASTSS X15, Y15
+	VXORPS Y0, Y0, Y0           // sum ds
+	VXORPS Y1, Y1, Y1           // sum ds*de
+	VXORPS Y2, Y2, Y2           // sum ds*rho
+
+prloop:
+	VMOVUPS (R8), Y3
+	VSUBPS Y3, Y8, Y4           // ri - posR
+	VANDPS Y14, Y4, Y4
+	VMOVUPS (R9), Y3
+	VSUBPS Y3, Y9, Y5           // ci - posC
+	VANDPS Y14, Y5, Y5
+	VADDPS Y5, Y4, Y4           // ds
+	VMOVUPS (SI), Y5            // dot
+	VMOVUPS (R10), Y3
+	VADDPS Y10, Y3, Y3          // n2i + norm2[j]
+	VADDPS Y5, Y5, Y6           // 2*dot
+	VSUBPS Y6, Y3, Y3           // de2
+	VXORPS Y6, Y6, Y6
+	VMAXPS Y6, Y3, Y3           // clamp to >= 0
+	VSQRTPS Y3, Y3              // de
+	VMULPS Y13, Y5, Y5          // dot * invK2
+	VMOVUPS (R11), Y6
+	VMULPS Y11, Y6, Y6          // mi * mean[j]
+	VSUBPS Y6, Y5, Y5           // cov
+	VMULPS Y12, Y5, Y5          // * invSdI
+	VMOVUPS (R12), Y6
+	VMULPS Y6, Y5, Y5           // rho
+	VANDPS Y14, Y5, Y5          // |rho|
+	VMINPS Y15, Y5, Y5          // min(|rho|, 1)
+	VADDPS Y4, Y0, Y0
+	VFMADD231PS Y3, Y4, Y1      // += ds*de
+	VFMADD231PS Y5, Y4, Y2      // += ds*rho
+	ADDQ $32, SI
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, R11
+	ADDQ $32, R12
+	SUBQ $8, CX
+	JNZ  prloop
+
+	MOVQ sums+64(FP), DX
+	VEXTRACTF128 $1, Y0, X3
+	VADDPS X3, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	VMOVSS X0, 0(DX)
+	VEXTRACTF128 $1, Y1, X3
+	VADDPS X3, X1, X1
+	VHADDPS X1, X1, X1
+	VHADDPS X1, X1, X1
+	VMOVSS X1, 4(DX)
+	VEXTRACTF128 $1, Y2, X3
+	VADDPS X3, X2, X2
+	VHADDPS X2, X2, X2
+	VHADDPS X2, X2, X2
+	VMOVSS X2, 8(DX)
+	VZEROUPPER
+	RET

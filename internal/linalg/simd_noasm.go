@@ -1,0 +1,26 @@
+//go:build !amd64
+
+package linalg
+
+// Portable stubs: without the amd64 kernels every dispatch returns "not
+// handled" and the callers run the scalar fallbacks.
+
+// SIMDEnabled reports whether the AVX2 kernels are active (never, off
+// amd64).
+func SIMDEnabled() bool { return false }
+
+func gramTransF64(v [][]float64, vt []float64, lo, hi, jlo, jhi int, out []float64, stride int) int {
+	return jlo
+}
+
+func gramTransF32(v [][]float32, vt []float32, lo, hi, jlo, jhi int, out []float32, stride int) int {
+	return jlo
+}
+
+type pairConsts32 struct {
+	ri, ci, n2i, mi, invSdI, invK2 float32
+}
+
+func pairReduceVecF32(row, posR, posC, norm2, mean, invSd []float32, c pairConsts32) (n int, sums [3]float32) {
+	return 0, sums
+}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/crestlab/crest/internal/grid"
 	"github.com/crestlab/crest/internal/linalg"
+	"github.com/crestlab/crest/internal/stats"
 )
 
 // TestReductionDeterminismAcrossWorkers pins the deterministic-reduction
@@ -78,26 +79,29 @@ func TestStreamingPathMatchesFullGram(t *testing.T) {
 	for i := range buf.Data {
 		buf.Data[i] = rng.NormFloat64() * float64(int(1)<<uint(rng.Intn(20)))
 	}
-	tl, err := grid.NewBlocking(buf, 8)
+	tl, err := grid.MakeBlocking(buf, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
 	b := tl.NumBlocks()
 	k2 := 64
+	gm, gsd := stats.MeanStd(buf.Data)
 
-	full := getScratch(b, k2)
-	fillBlockStats(full, buf, tl)
+	full := getScratch[float64](b, k2)
+	full.vecs = tl.VecAllInto(full.vecs, full.backing)
+	fillBlockStats(full, gm, gsd, b, tl.Bc)
 	full.fk2, full.invK2 = float64(k2), 1/float64(k2)
 	full.pairwisePass(b, 4) // b²·8 ≪ budget → full-Gram path
 
-	stream := getScratch(b, k2)
-	fillBlockStats(stream, buf, tl)
+	stream := getScratch[float64](b, k2)
+	stream.vecs = tl.VecAllInto(stream.vecs, stream.backing)
+	fillBlockStats(stream, gm, gsd, b, tl.Bc)
 	stream.fk2, stream.invK2 = float64(k2), 1/float64(k2)
 	nPanels := (b + streamPanelRows - 1) / streamPanelRows
 	for p := 0; p < nPanels; p++ {
 		lo := p * streamPanelRows
 		hi := min(lo+streamPanelRows, b)
-		panel := getPanel((hi - lo) * b)
+		panel := getPanel[float64]((hi - lo) * b)
 		linalg.GramPanel(stream.vecs, lo, hi, panel)
 		for i := lo; i < hi; i++ {
 			stream.reduceRow(i, panel[(i-lo)*b:(i-lo+1)*b])

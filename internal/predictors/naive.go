@@ -161,6 +161,6 @@ func naiveCovSVD(buf *grid.Buffer, cfg Config) (float64, []float64, error) {
 		return 0, nil, err
 	}
 	eig := linalg.SymEigenValues(sigma)
-	trunc, profile := covSVDTrunc(eig)
+	trunc, profile := covSVDTrunc(eig, false)
 	return trunc, profile, nil
 }

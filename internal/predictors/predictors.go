@@ -16,22 +16,33 @@
 //     documented deviations from the paper's printed formula).
 //
 // The first four are dataset-specific but error-bound agnostic
-// ("dset_predictors" in Algorithm 2) and are computed in a single fused
-// pass; D̂ depends on the error bound ("eb_predictors"). Following §IV-C,
-// the pairwise pass is driven off rows of the Gram matrix G = V·Vᵀ
-// produced by the cache-blocked kernels in internal/linalg, with panels
-// striped across workers; every floating-point reduction combines
+// ("dset_predictors" in Algorithm 2) and share ONE fused traversal of the
+// block matrix (linalg.FusedBlockMoments standardizes, computes every
+// per-block moment, and accumulates the k²×k² second-moment matrix in a
+// single pass) followed by one Gram-driven pairwise pass; D̂ depends on
+// the error bound ("eb_predictors"). Following §IV-C, the pairwise pass
+// is driven off rows of the Gram matrix G = V·Vᵀ produced by the
+// cache-blocked (and, on amd64, SIMD) kernels in internal/linalg, with
+// panels striped across workers; every float64 reduction combines
 // per-index terms in fixed index order, so results are bit-identical for
 // every worker count (the earlier compare-and-swap accumulators made the
-// SD/SC reduction order follow goroutine scheduling). Per-call working
-// memory comes from a sync.Pool — see scratch.go and DESIGN.md
-// "Performance".
+// SD/SC reduction order follow goroutine scheduling).
+//
+// The whole pipeline is generic over the stored element type: the
+// float64 instantiation is the bit-exact reference, and the float32
+// instantiation (ComputeDataset32 and friends) keeps dtype-1 stream
+// payloads narrow end to end — every accumulator still runs in float64,
+// so features agree with the float64 path within the documented ULP
+// bounds (see DESIGN.md "Performance" and the f32-vs-f64 differential
+// suite). Per-call working memory comes from a sync.Pool — see
+// scratch.go.
 package predictors
 
 import (
 	"fmt"
 	"math"
 	"time"
+	"unsafe"
 
 	"github.com/crestlab/crest/internal/crerr"
 	"github.com/crestlab/crest/internal/grid"
@@ -44,11 +55,13 @@ import (
 // Per-predictor latency histograms, recorded into the process-wide
 // registry on every successful computation. The four dataset predictors
 // share fused passes (§IV-C), so shared cost is split by a fixed,
-// documented attribution: the block-vectorization setup is divided
-// equally across all four; the pairwise pass and its reduction are split
-// between SD and SC; the covariance accumulation and eigendecomposition
-// are split between CodingGain and CovSVDTrunc, each of which then adds
-// its own (cheap) finishing stage. See DESIGN.md "Observability".
+// documented attribution — each histogram reports an even-split share of
+// one pass, not an independently measured walk: the fused
+// standardize/moments/second-moment traversal is divided equally across
+// all four; the pairwise pass and its reduction are split between SD and
+// SC; the eigendecomposition is split between CodingGain and
+// CovSVDTrunc, each of which then adds its own (cheap) finishing stage.
+// See DESIGN.md "Observability".
 var (
 	obsSD   = obs.Default().Histogram("predictor_sd_seconds", nil)
 	obsSC   = obs.Default().Histogram("predictor_sc_seconds", nil)
@@ -74,6 +87,12 @@ type Config struct {
 	Bins int
 	// Workers bounds the parallelism (default: GOMAXPROCS).
 	Workers int
+	// SkipProfile drops DatasetFeatures.SingularProfile, the one output
+	// whose length depends on k² and therefore cannot come from the
+	// pooled scratch. Hot paths that only need the scalar features
+	// (batch serving, benchmarks) set it to make ComputeDataset
+	// allocation-free in steady state.
+	SkipProfile bool
 }
 
 func (c Config) withDefaults() Config {
@@ -95,7 +114,7 @@ type DatasetFeatures struct {
 
 	// SingularProfile is the relative decay of the singular values of the
 	// block covariance (σ_i / Σσ), consumed by the field-similarity
-	// analysis of §VI-E.
+	// analysis of §VI-E. Nil when Config.SkipProfile is set.
 	SingularProfile []float64
 }
 
@@ -112,44 +131,67 @@ func (f Features) Vector() []float64 {
 	return []float64{f.SD, f.SC, f.CodingGain, f.CovSVDTrunc, f.Distortion}
 }
 
-// fillBlockStats vectorizes the blocks into the pooled scratch after
-// standardizing the buffer globally (zero mean, unit variance). The four
-// error-bound-agnostic predictors are thereby scale-free descriptors of
-// *spatial structure*: two fields with the same shape but different
-// physical units get the same SD/SC/CG/CovSVD, which is what makes
-// out-of-field model transfer (§VI-C) possible. The amplitude-versus-bound
-// information the compressors react to enters through the error-bound-
-// specific generic distortion, which is computed on the raw values.
-func fillBlockStats(s *dsScratch, buf *grid.Buffer, t *grid.Blocking) {
-	b := t.NumBlocks()
-	s.vecs = t.VecAllInto(s.vecs, s.backing)
-	gm, gsd := stats.MeanStd(buf.Data)
+// fillBlockStats runs the fused traversal over the raw block matrix in
+// s.vecs: one pass standardizes every block vector in place against the
+// global moments (gm, gsd), computes the per-block mean/sd/norm², and
+// accumulates the k²×k² second-moment lower triangle (see
+// linalg.FusedBlockMoments — bit-identical at float64 to the separate
+// passes it replaced). Block positions land as floats so the pairwise
+// pass computes Manhattan distances without per-pair div/mod; the
+// float32 instantiation additionally fills the narrow stat mirrors its
+// vectorized pairwise reduce consumes.
+//
+// Standardizing first makes the four error-bound-agnostic predictors
+// scale-free descriptors of *spatial structure*: two fields with the
+// same shape but different physical units get the same SD/SC/CG/CovSVD,
+// which is what makes out-of-field model transfer (§VI-C) possible. The
+// amplitude-versus-bound information the compressors react to enters
+// through the error-bound-specific generic distortion, computed on the
+// raw values.
+func fillBlockStats[F linalg.Float](s *dsScratch[F], gm, gsd float64, b, bc int) {
 	if gsd == 0 {
 		gsd = 1
 	}
+	linalg.FusedBlockMoments(s.vecs, gm, gsd, 1/float64(b), s.mean, s.sd, s.norm2, s.lower)
 	for i := 0; i < b; i++ {
-		vec := s.vecs[i]
-		for j, v := range vec {
-			vec[j] = (v - gm) / gsd
+		s.posR[i], s.posC[i] = float64(i/bc), float64(i%bc)
+	}
+	if isF32[F]() {
+		for i := 0; i < b; i++ {
+			s.posR32[i] = float32(s.posR[i])
+			s.posC32[i] = float32(s.posC[i])
+			s.norm232[i] = float32(s.norm2[i])
+			s.mean32[i] = float32(s.mean[i])
+			if sd := s.sd[i]; sd > 0 {
+				s.invSd32[i] = float32(1 / sd)
+			} else {
+				s.invSd32[i] = 0
+			}
 		}
-		m, sd := stats.MeanStd(vec)
-		s.mean[i], s.sd[i] = m, sd
-		var n2 float64
-		for _, v := range vec {
-			n2 += v * v
-		}
-		s.norm2[i] = n2
-		br, bc := t.BlockPos(i)
-		s.posR[i], s.posC[i] = float64(br), float64(bc)
 	}
 }
 
 // reduceRow folds row i of the Gram matrix into the pairwise-pass outputs
-// wInter[i] and scBlock[i]. row[j] must be ⟨v[i], v[j]⟩ for every j. The
-// fold runs j = 0 → B−1 with serial accumulators, the exact order of the
-// pre-Gram per-pair loop, so results are bit-identical to it; rows are
-// independent, so callers may stripe them across workers freely.
-func (s *dsScratch) reduceRow(i int, row []float64) {
+// wInter[i] and scBlock[i]. row[j] must be ⟨v[i], v[j]⟩ for every j.
+//
+// The float64 fold runs j = 0 → B−1 with serial accumulators, the exact
+// order of the pre-Gram per-pair loop, so results are bit-identical to
+// it; rows are independent, so callers may stripe them across workers
+// freely. The float32 fold dispatches to linalg.PairReduceF32, which
+// vectorizes eight pairs at a time — deterministic for a given binary
+// and CPU, ULP-equivalent (not bit-equal) to the scalar order.
+func (s *dsScratch[F]) reduceRow(i int, row []F) {
+	if r32, ok := any(row).([]float32); ok {
+		sumDs, sumDsDe, sumDsV := linalg.PairReduceF32(
+			r32, s.posR32, s.posC32, s.norm232, s.mean32, s.invSd32, i, float32(1/s.fk2))
+		if sumDs > 0 {
+			s.wInter[i] = sumDsDe / sumDs
+			s.scBlock[i] = sumDsV / sumDs
+		} else {
+			s.wInter[i], s.scBlock[i] = 0, 0
+		}
+		return
+	}
 	b := len(s.vecs)
 	ri, ci := s.posR[i], s.posC[i]
 	n2i, mi, sdi := s.norm2[i], s.mean[i], s.sd[i]
@@ -158,7 +200,7 @@ func (s *dsScratch) reduceRow(i int, row []float64) {
 		if j == i {
 			continue
 		}
-		dot := row[j]
+		dot := float64(row[j])
 		ds := math.Abs(ri-s.posR[j]) + math.Abs(ci-s.posC[j])
 		de2 := n2i + s.norm2[j] - 2*dot
 		if de2 < 0 {
@@ -197,17 +239,40 @@ func (s *dsScratch) reduceRow(i int, row []float64) {
 
 // pairwisePass fills s.wInter and s.scBlock from Gram rows. When the full
 // B×B Gram matrix fits the pool budget it is materialized once — computing
-// only the lower triangle and mirroring, which halves the dot-product work
-// and is bit-safe because IEEE multiplication commutes. Past the budget the
-// pass streams row panels instead, recomputing each dot once per side.
-func (s *dsScratch) pairwisePass(b, workers int) {
-	if b*b*8 <= maxGramBytes {
-		s.gram = growF(s.gram, b*b)
+// only the lower triangle from the transposed block matrix (the layout
+// the SIMD kernel broadcasts over) and mirroring, which halves the
+// dot-product work and is bit-safe because IEEE multiplication commutes.
+// Past the budget the pass streams row panels instead, recomputing each
+// dot once per side.
+func (s *dsScratch[F]) pairwisePass(b, workers int) {
+	var z F
+	if b*b*int(unsafe.Sizeof(z)) <= maxGramBytes {
+		k2 := len(s.backing) / b
+		s.gram = grow(s.gram, b*b)
+		s.vt = grow(s.vt, b*k2)
+		linalg.TransposeInto(s.vecs, s.vt)
 		nPanels := (b + symPanelRows - 1) / symPanelRows
+		// The serial branch repeats the loop bodies instead of calling
+		// the parallel helpers: fn escapes into their goroutine path, so
+		// even a workers==1 call would heap-allocate the closures —
+		// which is exactly what the zero-steady-state-allocation
+		// contract of the saturated batch path forbids.
+		if parallel.Workers(workers) == 1 {
+			for p := 0; p < nPanels; p++ {
+				lo := p * symPanelRows
+				hi := min(lo+symPanelRows, b)
+				linalg.GramBlockT(s.vecs, s.vt, lo, hi, 0, hi, s.gram[lo*b:], b)
+			}
+			linalg.MirrorLowerUpper(s.gram, b)
+			for i := 0; i < b; i++ {
+				s.reduceRow(i, s.gram[i*b:(i+1)*b])
+			}
+			return
+		}
 		parallel.ForEachDynamic(nPanels, workers, func(p int) {
 			lo := p * symPanelRows
 			hi := min(lo+symPanelRows, b)
-			linalg.GramBlock(s.vecs, lo, hi, 0, hi, s.gram[lo*b:], b)
+			linalg.GramBlockT(s.vecs, s.vt, lo, hi, 0, hi, s.gram[lo*b:], b)
 		})
 		linalg.MirrorLowerUpper(s.gram, b)
 		parallel.ForEach(b, workers, func(i int) {
@@ -216,10 +281,23 @@ func (s *dsScratch) pairwisePass(b, workers int) {
 		return
 	}
 	nPanels := (b + streamPanelRows - 1) / streamPanelRows
+	if parallel.Workers(workers) == 1 {
+		for p := 0; p < nPanels; p++ {
+			lo := p * streamPanelRows
+			hi := min(lo+streamPanelRows, b)
+			panel := getPanel[F]((hi - lo) * b)
+			linalg.GramPanel(s.vecs, lo, hi, panel)
+			for i := lo; i < hi; i++ {
+				s.reduceRow(i, panel[(i-lo)*b:(i-lo+1)*b])
+			}
+			putPanel(panel)
+		}
+		return
+	}
 	parallel.ForEachDynamic(nPanels, workers, func(p int) {
 		lo := p * streamPanelRows
 		hi := min(lo+streamPanelRows, b)
-		panel := getPanel((hi - lo) * b)
+		panel := getPanel[F]((hi - lo) * b)
 		linalg.GramPanel(s.vecs, lo, hi, panel)
 		for i := lo; i < hi; i++ {
 			s.reduceRow(i, panel[(i-lo)*b:(i-lo+1)*b])
@@ -231,41 +309,54 @@ func (s *dsScratch) pairwisePass(b, workers int) {
 // ComputeDataset evaluates the four error-bound-agnostic predictors in one
 // fused pass over block pairs (§IV-C). Results are bit-identical across
 // worker counts and across calls: every reduction runs in fixed index
-// order (see reduceRow, parallel.SumOrderedInto, linalg.SecondMomentLower).
+// order (see reduceRow, parallel.SumOrderedInto, linalg.FusedBlockMoments).
 func ComputeDataset(buf *grid.Buffer, cfg Config) (DatasetFeatures, error) {
 	cfg = cfg.withDefaults()
 	if err := buf.Validate(grid.DefaultValidation); err != nil {
 		return DatasetFeatures{}, fmt.Errorf("predictors: %w", err)
 	}
 	tSetup := time.Now()
-	t, err := grid.NewBlocking(buf, cfg.K)
+	t, err := grid.MakeBlocking(buf, cfg.K)
 	if err != nil {
 		return DatasetFeatures{}, fmt.Errorf("predictors: %w", err)
 	}
 	b := t.NumBlocks()
 	k2 := cfg.K * cfg.K
-	s := getScratch(b, k2)
+	s := getScratch[float64](b, k2)
 	defer putScratch(s)
-	fillBlockStats(s, buf, t)
+	s.vecs = t.VecAllInto(s.vecs, s.backing)
+	gm, gsd := stats.MeanStd(buf.Data)
+	fillBlockStats(s, gm, gsd, b, t.Bc)
 	s.fk2 = float64(k2)
 	s.invK2 = 0
 	if k2&(k2-1) == 0 {
 		s.invK2 = 1 / s.fk2
 	}
 	setup := time.Since(tSetup).Seconds()
-	return finishDataset(s, b, k2, cfg.Workers, setup), nil
+	return finishDataset(s, b, k2, cfg.Workers, cfg.SkipProfile, setup), nil
+}
+
+// ComputeDataset32 is ComputeDataset for native float32 data. It routes
+// the buffer through the same generic core as the float32 streaming
+// path (scatter, fused moments, SIMD Gram, vectorized pairwise reduce),
+// so its features are bit-identical to streaming the same slice as a
+// dtype-1 CRBS stream — and agree with ComputeDataset over the widened
+// buffer within the documented ULP bounds.
+func ComputeDataset32(buf *grid.Buffer32, cfg Config) (DatasetFeatures, error) {
+	df, _, err := compute32(buf, nil, cfg)
+	return df, err
 }
 
 // finishDataset evaluates the four dataset predictors from a scratch
-// whose block matrix V is already vectorized and standardized (s.vecs,
-// s.mean, s.sd, s.norm2, s.posR/posC and the reduction constants are
-// filled). It is the shared back half of the in-memory and streaming
-// paths: both feed the identical scratch state through the identical
-// fixed-order kernels, which is what makes the streaming result
-// bit-identical to ComputeDataset by construction rather than by
-// tolerance. setup is the vectorization cost attributed across the four
-// predictors' histograms.
-func finishDataset(s *dsScratch, b, k2, workers int, setup float64) DatasetFeatures {
+// whose block matrix V is already standardized and whose moments and
+// second-moment triangle are filled (fillBlockStats). It is the shared
+// back half of the in-memory and streaming paths: both feed the
+// identical scratch state through the identical fixed-order kernels,
+// which is what makes the streaming result bit-identical to
+// ComputeDataset by construction rather than by tolerance. setup is the
+// fused-traversal cost attributed across the four predictors'
+// histograms.
+func finishDataset[F linalg.Float](s *dsScratch[F], b, k2, workers int, skipProfile bool, setup float64) DatasetFeatures {
 	// Pairwise pass: per-block inter weights and spatial correlations,
 	// driven off Gram rows. Rows are independent, so panels are striped
 	// across workers with no shared mutable state.
@@ -277,28 +368,40 @@ func finishDataset(s *dsScratch, b, k2, workers int, setup float64) DatasetFeatu
 	// Each sum combines per-block terms in index order, so the totals are
 	// independent of the worker count.
 	logB := math.Log2(float64(b))
-	sd := parallel.SumOrderedInto(s.terms, workers, func(i int) float64 {
-		return s.sd[i] * s.wInter[i] * logB / float64(b)
-	})
-	scNum := parallel.SumOrderedInto(s.terms, workers, func(i int) float64 {
-		return s.scBlock[i] * s.sd[i]
-	})
-	scDen := parallel.SumOrderedInto(s.terms, workers, func(i int) float64 {
-		return s.sd[i]
-	})
+	var sd, scNum, scDen float64
+	if parallel.Workers(workers) == 1 {
+		// Serial fast path without escaping closures (see pairwisePass).
+		// Each accumulator sums its terms i = 0 → B−1 in one chain —
+		// exactly the order SumOrderedInto sums its scratch — so the
+		// two branches are bit-identical.
+		for i := 0; i < b; i++ {
+			sd += s.sd[i] * s.wInter[i] * logB / float64(b)
+			scNum += s.scBlock[i] * s.sd[i]
+			scDen += s.sd[i]
+		}
+	} else {
+		sd = parallel.SumOrderedInto(s.terms, workers, func(i int) float64 {
+			return s.sd[i] * s.wInter[i] * logB / float64(b)
+		})
+		scNum = parallel.SumOrderedInto(s.terms, workers, func(i int) float64 {
+			return s.scBlock[i] * s.sd[i]
+		})
+		scDen = parallel.SumOrderedInto(s.terms, workers, func(i int) float64 {
+			return s.sd[i]
+		})
+	}
 	sc := 0.0
 	if scDen > 0 {
 		sc = scNum / scDen
 	}
 	pair := time.Since(tPair).Seconds()
 
-	// Block second-moment matrix Σ = (1/B) Σ_b X^b (X^b)ᵀ. The serial
-	// lower-triangle accumulation reproduces the old mutex-guarded order
-	// exactly (see linalg.SecondMomentLower); it is a vanishing share of
-	// the pass next to the O(B²k²) pairwise work.
+	// The block second-moment matrix Σ = (1/B) Σ_b X^b (X^b)ᵀ was
+	// already accumulated by the fused traversal (fillBlockStats) in
+	// linalg.SecondMomentLower's exact serial order; unpack the triangle
+	// and eigendecompose into the pooled working set.
 	tCov := time.Now()
-	linalg.SecondMomentLower(s.vecs, 1/float64(b), s.lower)
-	sigma := &linalg.Matrix{Rows: k2, Cols: k2, Data: s.sigma}
+	sigma := linalg.Matrix{Rows: k2, Cols: k2, Data: s.sigma}
 	idx := 0
 	for i := 0; i < k2; i++ {
 		for j := 0; j <= i; j++ {
@@ -308,14 +411,14 @@ func finishDataset(s *dsScratch, b, k2, workers int, setup float64) DatasetFeatu
 			idx++
 		}
 	}
-	eig := linalg.SymEigenValues(sigma)
+	eig := linalg.SymEigenValuesInto(&sigma, s.eigVals, s.eigWork)
 	covEig := time.Since(tCov).Seconds()
 
 	tCG := time.Now()
-	cg := codingGain(sigma, eig)
+	cg := codingGain(&sigma, eig)
 	cgOwn := time.Since(tCG).Seconds()
 	tTrunc := time.Now()
-	trunc, profile := covSVDTrunc(eig)
+	trunc, profile := covSVDTrunc(eig, skipProfile)
 	truncOwn := time.Since(tTrunc).Seconds()
 
 	// Record per-predictor cost under the documented fused-pass
@@ -363,31 +466,42 @@ func codingGain(sigma *linalg.Matrix, eig []float64) float64 {
 }
 
 // covSVDTrunc returns the percentage of singular values needed to reach
-// 99% of the spectrum mass, plus the normalized decay profile.
-func covSVDTrunc(eig []float64) (float64, []float64) {
+// 99% of the spectrum mass, plus (unless skipped) the normalized decay
+// profile.
+func covSVDTrunc(eig []float64, skipProfile bool) (float64, []float64) {
 	n := len(eig)
 	var total float64
-	profile := make([]float64, n)
-	for i, v := range eig {
-		if v < 0 {
-			v = 0
+	for _, v := range eig {
+		if v > 0 {
+			total += v
 		}
-		profile[i] = v
-		total += v
 	}
 	if total == 0 {
+		var profile []float64
+		if !skipProfile {
+			profile = make([]float64, n)
+		}
 		return 100.0 / float64(n), profile // degenerate: rank ≤ 1 behavior
-	}
-	for i := range profile {
-		profile[i] /= total
 	}
 	var cum float64
 	m := n
-	for i := 0; i < n; i++ {
-		cum += profile[i]
+	for i, v := range eig {
+		if v > 0 {
+			cum += v / total
+		}
 		if cum >= 0.99 {
 			m = i + 1
 			break
+		}
+	}
+	var profile []float64
+	if !skipProfile {
+		profile = make([]float64, n)
+		for i, v := range eig {
+			if v < 0 {
+				v = 0
+			}
+			profile[i] = v / total
 		}
 	}
 	return 100 * float64(m) / float64(n), profile
@@ -407,22 +521,54 @@ func covSVDTrunc(eig []float64) (float64, []float64) {
 // would divide a per-sample quantity by k² a second time.
 func ComputeEB(buf *grid.Buffer, eps float64, cfg Config) (float64, error) {
 	cfg = cfg.withDefaults()
-	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
-		return 0, fmt.Errorf("predictors: %w: error bound must be positive and finite, got %g",
-			crerr.ErrInvalidBuffer, eps)
+	if err := validateEps(eps); err != nil {
+		return 0, err
 	}
 	if err := buf.Validate(grid.DefaultValidation); err != nil {
 		return 0, fmt.Errorf("predictors: %w", err)
 	}
-	bins := cfg.Bins
-	if bins < 256 {
-		bins = 1024 // buffer-level estimation supports a finer histogram
-	}
 	t0 := time.Now()
-	h := stats.HistogramEntropy(buf.Data, bins)
+	h := stats.HistogramEntropy(buf.Data, ebBins(cfg))
 	hq := stats.QuantizedEntropy(buf.Data, eps)
 	obsDist.Observe(time.Since(t0).Seconds())
 	return 2*h - 2*hq - math.Log2(12), nil
+}
+
+// ComputeEB32 is ComputeEB for native float32 data. The entropy
+// estimators widen each element exactly and bin in float64, so the
+// result is bit-identical to ComputeEB over the widened buffer.
+func ComputeEB32(buf *grid.Buffer32, eps float64, cfg Config) (float64, error) {
+	cfg = cfg.withDefaults()
+	if err := validateEps(eps); err != nil {
+		return 0, err
+	}
+	if err := buf.Validate(grid.DefaultValidation); err != nil {
+		return 0, fmt.Errorf("predictors: %w", err)
+	}
+	t0 := time.Now()
+	seg := [][]float32{buf.Data}
+	h := stats.HistogramEntropySeg(seg, ebBins(cfg))
+	hq := stats.QuantizedEntropySeg(seg, eps)
+	obsDist.Observe(time.Since(t0).Seconds())
+	return 2*h - 2*hq - math.Log2(12), nil
+}
+
+func validateEps(eps float64) error {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return fmt.Errorf("predictors: %w: error bound must be positive and finite, got %g",
+			crerr.ErrInvalidBuffer, eps)
+	}
+	return nil
+}
+
+// ebBins is the histogram resolution of the buffer-level entropy
+// estimators: buffer-level estimation supports a finer histogram than
+// the per-block default.
+func ebBins(cfg Config) int {
+	if cfg.Bins < 256 {
+		return 1024
+	}
+	return cfg.Bins
 }
 
 // Compute evaluates the full 5-feature covariate vector.
@@ -436,6 +582,40 @@ func Compute(buf *grid.Buffer, eps float64, cfg Config) (Features, error) {
 		return Features{}, err
 	}
 	return Features{DatasetFeatures: df, Distortion: d}, nil
+}
+
+// Compute32 evaluates the full 5-feature covariate vector from native
+// float32 data in one pass over the generic core.
+func Compute32(buf *grid.Buffer32, eps float64, cfg Config) (Features, error) {
+	if err := validateEps(eps); err != nil {
+		return Features{}, err
+	}
+	df, dist, err := compute32(buf, []float64{eps}, cfg)
+	if err != nil {
+		return Features{}, err
+	}
+	return Features{DatasetFeatures: df, Distortion: dist[0]}, nil
+}
+
+// compute32 feeds a float32 buffer row by row through the generic
+// streaming core — the identical code path a dtype-1 CRBS stream takes —
+// so the in-memory and streamed float32 features are bit-identical by
+// construction.
+func compute32(buf *grid.Buffer32, eps []float64, cfg Config) (DatasetFeatures, []float64, error) {
+	if err := buf.Validate(grid.DefaultValidation); err != nil {
+		return DatasetFeatures{}, nil, fmt.Errorf("predictors: %w", err)
+	}
+	f, err := getCore[float32](buf.Rows, buf.Cols, cfg)
+	if err != nil {
+		return DatasetFeatures{}, nil, err
+	}
+	defer putCore(f)
+	for r := 0; r < buf.Rows; r++ {
+		if err := f.AddRow(buf.Data[r*buf.Cols : (r+1)*buf.Cols]); err != nil {
+			return DatasetFeatures{}, nil, err
+		}
+	}
+	return f.Finish(eps...)
 }
 
 // Combine merges previously computed dataset features with a fresh

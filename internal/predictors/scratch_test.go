@@ -1,0 +1,119 @@
+package predictors
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/testutil"
+)
+
+// TestScratchShapeChurnHammer hammers the scratch pools with concurrent
+// calls of churning shapes and block sizes — the PR 6 arm() bug class:
+// a scratch checked out after a differently shaped call must be fully
+// re-sliced for the new (B, k²), never trusted. Each goroutine checks
+// its results bitwise against a per-shape reference computed before the
+// churn, so any stale-geometry reuse (wrong vecs stride, stale moment
+// tail, leaked pairwise output) shows up as a bit difference, and the
+// race detector sees any cross-checkout sharing. Run under -race in CI.
+func TestScratchShapeChurnHammer(t *testing.T) {
+	type shape struct {
+		rows, cols, k int
+	}
+	// Deliberately interleaved sizes: growing, shrinking, k-churn, and a
+	// ragged shape whose blocking crops both axes.
+	shapes := []shape{
+		{96, 96, 8},
+		{32, 32, 4},
+		{90, 101, 8},
+		{64, 48, 16},
+		{40, 56, 8},
+	}
+	bufs := make([]*grid.Buffer, len(shapes))
+	refs := make([]DatasetFeatures, len(shapes))
+	for i, sh := range shapes {
+		bufs[i] = mixedMagnitudeBuffer(sh.rows, sh.cols, int64(1000+i))
+		want, err := ComputeDataset(bufs[i], Config{K: sh.k, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = want
+	}
+
+	const goroutines = 8
+	const iters = 30
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				i := (g + it) % len(shapes)
+				got, err := ComputeDataset(bufs[i], Config{K: shapes[i].k, Workers: 1 + it%3})
+				if err != nil {
+					errc <- err
+					return
+				}
+				checkBitIdentical(t, refs[i], got, g, it)
+				// Interleave float32 calls so both pool instantiations
+				// churn against each other.
+				if it%3 == 0 {
+					n := grid.NewBuffer32(bufs[i].Rows, bufs[i].Cols)
+					for j, v := range bufs[i].Data {
+						n.Data[j] = float32(v)
+					}
+					if _, err := ComputeDataset32(n, Config{K: shapes[i].k, Workers: 1}); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestComputeDatasetZeroAlloc pins the zero-steady-state-allocation
+// contract of the pooled predictor path: once the pools are warm, a
+// serial ComputeDataset with the profile output suppressed allocates
+// nothing — no closures, no scratch, no result slices. This is the
+// per-request feature cost inside a saturated batch worker.
+func TestComputeDatasetZeroAlloc(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("sync.Pool drops items randomly under -race; alloc counts are nondeterministic")
+	}
+	buf := mixedMagnitudeBuffer(128, 128, 3)
+	cfg := Config{K: 8, Workers: 1, SkipProfile: true}
+	if _, err := ComputeDataset(buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := ComputeDataset(buf, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm ComputeDataset (SkipProfile, workers=1): %.1f allocs/op, want 0", allocs)
+	}
+
+	narrow := grid.NewBuffer32(buf.Rows, buf.Cols)
+	for i, v := range buf.Data {
+		narrow.Data[i] = float32(v)
+	}
+	if _, err := ComputeDataset32(narrow, cfg); err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(50, func() {
+		if _, err := ComputeDataset32(narrow, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm ComputeDataset32 (SkipProfile, workers=1): %.1f allocs/op, want 0", allocs)
+	}
+}

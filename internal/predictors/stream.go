@@ -11,47 +11,57 @@ package predictors
 //
 // Bit-identity contract (enforced by the differential suite): for every
 // chunk size and worker count, the streamed features are bit-identical to
-// ComputeDataset/ComputeEB over the same slice held in memory, because
-// each reduction is fed the identical values in the identical order:
+// the same-precision in-memory path over the same slice, because each
+// reduction is fed the identical values in the identical order:
 //
-//   - The global moments accumulate s += v, s2 += v*v per element in
-//     row-major arrival order — exactly stats.MeanStd's single pass.
+//   - The global moments accumulate s += v, s2 += v*v per (widened)
+//     element in row-major arrival order — exactly stats.MeanStd's
+//     single pass.
 //   - Block vectorization places each element at the same V coordinate a
-//     grid.Blocking.Vec copy would; standardization and the per-block
-//     moments then run the same per-block loops as fillBlockStats.
+//     grid.Blocking.Vec copy would; standardization, the per-block
+//     moments, and the second-moment triangle then run as one fused
+//     traversal (linalg.FusedBlockMoments) shared with the in-memory
+//     path.
 //   - The pairwise/Gram/eigen back half is literally shared code
 //     (finishDataset), already bit-identical across worker counts.
 //   - The entropy estimators are functions of the value multiset only
 //     (see stats/segments.go), so feeding them V-plus-crop instead of
 //     the row-major buffer changes nothing.
 //
-// float32 streams are widened exactly by the reader, so the contract
-// holds verbatim against the in-memory path over the widened values; the
-// only loss is the encoder's ½-ULP-of-float32 narrowing.
+// The core is generic over the element type. float64 streams take the
+// bit-exact reference path. float32 streams (dtype 1) are consumed
+// natively — payload bits land in a float32 V at half the memory
+// traffic, and the in-memory float32 entry points (ComputeDataset32,
+// Compute32) run through this same core, so in-memory and streamed
+// float32 features are bit-identical by construction. Against the
+// float64 path over the widened values, float32 features carry the
+// documented ULP-level differences of the narrow kernels (see DESIGN.md
+// "Performance").
 
 import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 	"time"
 
 	"github.com/crestlab/crest/internal/crerr"
 	"github.com/crestlab/crest/internal/grid"
+	"github.com/crestlab/crest/internal/linalg"
 	"github.com/crestlab/crest/internal/stats"
 )
 
-// StreamFeaturizer computes the predictor features of one 2D slice from
-// rows fed incrementally. It is not safe for concurrent use; Reset
-// re-arms it for the next slice of the same shape reusing all of its
-// memory, so a long stream costs a constant number of allocations per
-// slice.
-type StreamFeaturizer struct {
+// streamFeaturizer is the precision-generic core of StreamFeaturizer and
+// StreamFeaturizer32. It is not safe for concurrent use; Reset re-arms
+// it for the next slice of the same shape reusing all of its memory, so
+// a long stream costs a constant number of allocations per slice.
+type streamFeaturizer[F linalg.Float] struct {
 	cfg        Config
 	rows, cols int
 	k, br, bc  int
 	b, k2      int
 
-	s *dsScratch
+	s *dsScratch[F]
 
 	rowIdx int
 	// Global moments accumulated in row-major element order (the exact
@@ -60,18 +70,18 @@ type StreamFeaturizer struct {
 	// crop holds the raw values outside the k-divisible region (right
 	// margin and bottom rows) so the error-bound entropies see the whole
 	// slice, exactly like the in-memory path.
-	crop []float64
+	crop []F
 	// segs is the pooled segment list handed to the entropy estimators.
-	segs [][]float64
+	segs [][]F
 
 	tStart   time.Time
 	finished bool
 }
 
-// NewStreamFeaturizer prepares a featurizer for rows×cols slices under
+// newStreamCore prepares a featurizer core for rows×cols slices under
 // cfg. Like grid.NewBlocking it crops to the largest multiple of K and
 // rejects slices smaller than one block.
-func NewStreamFeaturizer(rows, cols int, cfg Config) (*StreamFeaturizer, error) {
+func newStreamCore[F linalg.Float](rows, cols int, cfg Config) (*streamFeaturizer[F], error) {
 	cfg = cfg.withDefaults()
 	if rows <= 0 || cols <= 0 {
 		return nil, fmt.Errorf("predictors: %w: slice shape %dx%d", crerr.ErrInvalidBuffer, rows, cols)
@@ -81,7 +91,7 @@ func NewStreamFeaturizer(rows, cols int, cfg Config) (*StreamFeaturizer, error) 
 		return nil, fmt.Errorf("predictors: %w: %dx%d slice with k=%d", grid.ErrNotTileable, rows, cols, cfg.K)
 	}
 	k2 := cfg.K * cfg.K
-	f := &StreamFeaturizer{
+	f := &streamFeaturizer[F]{
 		cfg:  cfg,
 		rows: rows, cols: cols,
 		k: cfg.K, br: br, bc: bc,
@@ -91,17 +101,68 @@ func NewStreamFeaturizer(rows, cols int, cfg Config) (*StreamFeaturizer, error) 
 	return f, nil
 }
 
-// arm checks out pooled scratch and zeroes the per-slice state.
-func (f *StreamFeaturizer) arm() {
-	f.s = getScratch(f.b, f.k2)
-	// getScratch sizes the backing but leaves carving it into block rows
-	// to the in-memory path's VecAllInto; the streaming scatter writes
-	// through the rows directly, so carve them here — never trusting
-	// whatever stale rows a pooled scratch may carry from a differently
-	// shaped earlier call.
-	for i := 0; i < f.b; i++ {
-		f.s.vecs[i] = f.s.backing[i*f.k2 : (i+1)*f.k2]
+// corePool64/corePool32 recycle whole featurizer cores for the internal
+// in-memory entry points (compute32), which otherwise allocate one core
+// struct per call. The public constructors deliberately do NOT use the
+// pools: they copy the core into an exported wrapper struct, and a
+// pooled object must never alias a caller-held copy.
+var (
+	corePool64 = sync.Pool{New: func() any { return new(streamFeaturizer[float64]) }}
+	corePool32 = sync.Pool{New: func() any { return new(streamFeaturizer[float32]) }}
+)
+
+// getCore is newStreamCore backed by the core pools; release with
+// putCore (not Close).
+func getCore[F linalg.Float](rows, cols int, cfg Config) (*streamFeaturizer[F], error) {
+	cfg = cfg.withDefaults()
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("predictors: %w: slice shape %dx%d", crerr.ErrInvalidBuffer, rows, cols)
 	}
+	br, bc := rows/cfg.K, cols/cfg.K
+	if br == 0 || bc == 0 {
+		return nil, fmt.Errorf("predictors: %w: %dx%d slice with k=%d", grid.ErrNotTileable, rows, cols, cfg.K)
+	}
+	var f *streamFeaturizer[F]
+	switch p := any(&f).(type) {
+	case **streamFeaturizer[float64]:
+		*p = corePool64.Get().(*streamFeaturizer[float64])
+	case **streamFeaturizer[float32]:
+		*p = corePool32.Get().(*streamFeaturizer[float32])
+	}
+	// Reinitialize every shape field while keeping the recycled crop and
+	// segment capacity (the same shape-reuse contract as getScratch).
+	crop, segs := f.crop, f.segs
+	*f = streamFeaturizer[F]{
+		cfg:  cfg,
+		rows: rows, cols: cols,
+		k: cfg.K, br: br, bc: bc,
+		b: br * bc, k2: cfg.K * cfg.K,
+		crop: crop[:0], segs: segs[:0],
+	}
+	f.arm()
+	return f, nil
+}
+
+// putCore releases a getCore featurizer and its scratch to the pools.
+func putCore[F linalg.Float](f *streamFeaturizer[F]) {
+	if f.s != nil {
+		putScratch(f.s)
+		f.s = nil
+	}
+	switch t := any(f).(type) {
+	case *streamFeaturizer[float64]:
+		corePool64.Put(t)
+	case *streamFeaturizer[float32]:
+		corePool32.Put(t)
+	}
+}
+
+// arm checks out pooled scratch and zeroes the per-slice state.
+// getScratch re-carves the block rows from the backing for the current
+// shape, so a pooled scratch can never leak geometry from a differently
+// shaped earlier call.
+func (f *streamFeaturizer[F]) arm() {
+	f.s = getScratch[F](f.b, f.k2)
 	f.s.fk2 = float64(f.k2)
 	f.s.invK2 = 0
 	if f.k2&(f.k2-1) == 0 {
@@ -119,7 +180,7 @@ func (f *StreamFeaturizer) arm() {
 // Non-finite values fail fast with a typed error — the strict
 // DefaultValidation policy of the in-memory path — so a poisoned stream
 // can never produce partial or NaN features.
-func (f *StreamFeaturizer) AddRow(row []float64) error {
+func (f *streamFeaturizer[F]) AddRow(row []F) error {
 	if f.finished {
 		return fmt.Errorf("predictors: %w: AddRow after Finish", crerr.ErrInvalidBuffer)
 	}
@@ -129,7 +190,8 @@ func (f *StreamFeaturizer) AddRow(row []float64) error {
 	if f.rowIdx >= f.rows {
 		return fmt.Errorf("predictors: %w: row %d past slice of %d rows", crerr.ErrInvalidBuffer, f.rowIdx, f.rows)
 	}
-	for c, v := range row {
+	for c, raw := range row {
+		v := float64(raw)
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return fmt.Errorf("predictors: %w: value at row %d col %d is %g",
 				crerr.ErrNonFiniteData, f.rowIdx, c, v)
@@ -158,13 +220,13 @@ func (f *StreamFeaturizer) AddRow(row []float64) error {
 }
 
 // RowsFed returns how many rows of the current slice have arrived.
-func (f *StreamFeaturizer) RowsFed() int { return f.rowIdx }
+func (f *streamFeaturizer[F]) RowsFed() int { return f.rowIdx }
 
 // Finish evaluates the four dataset predictors — and one generic
 // distortion per requested error bound — for the completed slice. The
 // distortions slice is aligned with eps. After Finish the featurizer
 // must be Reset (next slice) or Closed (done).
-func (f *StreamFeaturizer) Finish(eps ...float64) (DatasetFeatures, []float64, error) {
+func (f *streamFeaturizer[F]) Finish(eps ...float64) (DatasetFeatures, []float64, error) {
 	if f.finished {
 		return DatasetFeatures{}, nil, fmt.Errorf("predictors: %w: Finish called twice", crerr.ErrInvalidBuffer)
 	}
@@ -173,9 +235,8 @@ func (f *StreamFeaturizer) Finish(eps ...float64) (DatasetFeatures, []float64, e
 			crerr.ErrInvalidBuffer, f.rowIdx, f.rows)
 	}
 	for _, e := range eps {
-		if e <= 0 || math.IsNaN(e) || math.IsInf(e, 0) {
-			return DatasetFeatures{}, nil, fmt.Errorf("predictors: %w: error bound must be positive and finite, got %g",
-				crerr.ErrInvalidBuffer, e)
+		if err := validateEps(e); err != nil {
+			return DatasetFeatures{}, nil, err
 		}
 	}
 	f.finished = true
@@ -185,12 +246,8 @@ func (f *StreamFeaturizer) Finish(eps ...float64) (DatasetFeatures, []float64, e
 	// unstandardized here), matching ComputeEB over the whole buffer.
 	var distortions []float64
 	if len(eps) > 0 {
-		bins := f.cfg.Bins
-		if bins < 256 {
-			bins = 1024 // buffer-level estimation supports a finer histogram
-		}
 		if cap(f.segs) < f.b+1 {
-			f.segs = make([][]float64, f.b+1)
+			f.segs = make([][]F, 0, f.b+1)
 		}
 		f.segs = f.segs[:0]
 		for i := 0; i < f.b; i++ {
@@ -201,7 +258,7 @@ func (f *StreamFeaturizer) Finish(eps ...float64) (DatasetFeatures, []float64, e
 		}
 		distortions = make([]float64, len(eps))
 		t0 := time.Now()
-		h := stats.HistogramEntropySeg(f.segs, bins)
+		h := stats.HistogramEntropySeg(f.segs, ebBins(f.cfg))
 		for i, e := range eps {
 			hq := stats.QuantizedEntropySeg(f.segs, e)
 			distortions[i] = 2*h - 2*hq - math.Log2(12)
@@ -211,40 +268,25 @@ func (f *StreamFeaturizer) Finish(eps ...float64) (DatasetFeatures, []float64, e
 
 	// Global standardization from the streamed moments: the accumulation
 	// order was row-major element order, so gm/gsd carry the same bits as
-	// stats.MeanStd over the assembled buffer.
+	// stats.MeanStd over the assembled buffer. The fused traversal then
+	// standardizes V and fills every per-block moment plus the
+	// second-moment triangle in one pass.
 	n := float64(f.rows) * float64(f.cols)
 	gm := f.sum / n
 	gv := f.sum2/n - gm*gm
 	if gv < 0 {
 		gv = 0 // numerical guard (same as stats.MeanStd)
 	}
-	gsd := math.Sqrt(gv)
-	if gsd == 0 {
-		gsd = 1
-	}
-	for i := 0; i < f.b; i++ {
-		vec := f.s.vecs[i]
-		for j, v := range vec {
-			vec[j] = (v - gm) / gsd
-		}
-		m, sd := stats.MeanStd(vec)
-		s.mean[i], s.sd[i] = m, sd
-		var n2 float64
-		for _, v := range vec {
-			n2 += v * v
-		}
-		s.norm2[i] = n2
-		s.posR[i], s.posC[i] = float64(i/f.bc), float64(i%f.bc)
-	}
+	fillBlockStats(s, gm, math.Sqrt(gv), f.b, f.bc)
 	setup := time.Since(f.tStart).Seconds()
-	df := finishDataset(s, f.b, f.k2, f.cfg.Workers, setup)
+	df := finishDataset(s, f.b, f.k2, f.cfg.Workers, f.cfg.SkipProfile, setup)
 	return df, distortions, nil
 }
 
 // Reset re-arms the featurizer for the next slice of the same shape,
 // reusing the held scratch — the piece that keeps a long stream's
 // allocations per slice constant.
-func (f *StreamFeaturizer) Reset() {
+func (f *streamFeaturizer[F]) Reset() {
 	if f.s == nil {
 		f.arm()
 		return
@@ -257,11 +299,45 @@ func (f *StreamFeaturizer) Reset() {
 }
 
 // Close releases the pooled scratch. The featurizer is unusable after.
-func (f *StreamFeaturizer) Close() {
+func (f *streamFeaturizer[F]) Close() {
 	if f.s != nil {
 		putScratch(f.s)
 		f.s = nil
 	}
+}
+
+// StreamFeaturizer computes the predictor features of one 2D slice from
+// float64 rows fed incrementally — the bit-exact reference path. See
+// streamFeaturizer for the reuse contract.
+type StreamFeaturizer struct {
+	streamFeaturizer[float64]
+}
+
+// NewStreamFeaturizer prepares a float64 featurizer for rows×cols slices
+// under cfg.
+func NewStreamFeaturizer(rows, cols int, cfg Config) (*StreamFeaturizer, error) {
+	core, err := newStreamCore[float64](rows, cols, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamFeaturizer{streamFeaturizer: *core}, nil
+}
+
+// StreamFeaturizer32 computes the predictor features of one 2D slice
+// from native float32 rows — the half-bandwidth path dtype-1 CRBS
+// streams take.
+type StreamFeaturizer32 struct {
+	streamFeaturizer[float32]
+}
+
+// NewStreamFeaturizer32 prepares a float32 featurizer for rows×cols
+// slices under cfg.
+func NewStreamFeaturizer32(rows, cols int, cfg Config) (*StreamFeaturizer32, error) {
+	core, err := newStreamCore[float32](rows, cols, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamFeaturizer32{streamFeaturizer: *core}, nil
 }
 
 // SliceFeatures are the streamed predictor outputs of one slice.
@@ -280,22 +356,44 @@ func (sf SliceFeatures) FeaturesAt(i int) Features {
 	return Combine(sf.Dataset, sf.Distortions[i])
 }
 
+// readRowInto reads the next stream row at the core's native precision.
+func readRowInto[F linalg.Float](cr *grid.ChunkReader, row []F) error {
+	switch r := any(row).(type) {
+	case []float64:
+		return cr.ReadRow(r)
+	case []float32:
+		return cr.ReadRow32(r)
+	}
+	panic("predictors: unreachable row type")
+}
+
 // ForEachSlice drains a chunk stream slice by slice, invoking fn with
 // each slice's features as soon as its last row arrives. Working memory
 // is one slice plus pooled scratch, independent of the stream's length;
 // fn returning an error aborts the drain. The row buffer and featurizer
 // are reused across slices.
+//
+// dtype-1 (float32) streams are processed natively at float32: half the
+// memory traffic, features within the documented ULP bounds of the
+// float64 path instead of bit-equal to it.
 func ForEachSlice(cr *grid.ChunkReader, eps []float64, cfg Config, fn func(SliceFeatures) error) error {
+	if cr.Header().DType == grid.DTypeF32 {
+		return forEachSlice[float32](cr, eps, cfg, fn)
+	}
+	return forEachSlice[float64](cr, eps, cfg, fn)
+}
+
+func forEachSlice[F linalg.Float](cr *grid.ChunkReader, eps []float64, cfg Config, fn func(SliceFeatures) error) error {
 	hdr := cr.Header()
-	f, err := NewStreamFeaturizer(hdr.Rows, hdr.Cols, cfg)
+	f, err := newStreamCore[F](hdr.Rows, hdr.Cols, cfg)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	row := make([]float64, hdr.Cols)
+	row := make([]F, hdr.Cols)
 	step := 0
 	for {
-		err := cr.ReadRow(row)
+		err := readRowInto(cr, row)
 		if err == io.EOF {
 			if f.RowsFed() != 0 {
 				// Unreachable with a contract-honoring ChunkReader (EOF

@@ -87,32 +87,41 @@ func TestStreamingDifferentialBitIdentity(t *testing.T) {
 	}
 }
 
-// TestStreamingFloat32WideningContract pins the documented float32
-// accuracy contract: the reader widens exactly, so the streamed features
-// are bit-identical to the in-memory path over the widened values.
-func TestStreamingFloat32WideningContract(t *testing.T) {
+// TestStreamingFloat32NativeContract pins the float32 accuracy contract
+// after the native-f32 pipeline: a dtype-1 stream is processed at
+// float32 end to end, and its features are bit-identical to the
+// in-memory float32 entry points (Compute32/ComputeDataset32) over the
+// narrowed buffer — both run the identical generic core. The distortion
+// additionally matches ComputeEB over the widened buffer bit-for-bit,
+// because the entropy estimators widen exactly and bin in float64.
+func TestStreamingFloat32NativeContract(t *testing.T) {
 	buf := mixedMagnitudeBuffer(64, 72, 7)
 	raw := encodeStream(t, buf, grid.DTypeF32, 5)
 
-	// The in-memory reference is the buffer narrowed then widened —
-	// exactly what the decoder delivers.
-	widened := buf.Clone()
-	for i, v := range widened.Data {
-		widened.Data[i] = float64(float32(v))
+	narrow := grid.NewBuffer32(buf.Rows, buf.Cols)
+	for i, v := range buf.Data {
+		narrow.Data[i] = float32(v)
 	}
 	cfg := Config{K: 8, Workers: 4}
-	want, err := ComputeDataset(widened, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	wantD, err := ComputeEB(widened, 1e-2, cfg)
+	want, err := Compute32(narrow, 1e-2, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	got := streamOnce(t, raw, 1e-2, cfg)
-	checkBitIdentical(t, want, got.Dataset, 4, 5)
+	checkBitIdentical(t, want.DatasetFeatures, got.Dataset, 4, 5)
+	if math.Float64bits(got.Distortions[0]) != math.Float64bits(want.Distortion) {
+		t.Errorf("float32 distortion differs bitwise: %.17g vs %.17g", got.Distortions[0], want.Distortion)
+	}
+
+	// The widened buffer's float64 distortion must agree bit-for-bit:
+	// entropy is a function of the value multiset, widened exactly.
+	widened := narrow.Widen()
+	wantD, err := ComputeEB(widened, 1e-2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Float64bits(got.Distortions[0]) != math.Float64bits(wantD) {
-		t.Errorf("float32 distortion differs bitwise: %.17g vs %.17g", got.Distortions[0], wantD)
+		t.Errorf("widened distortion differs bitwise: %.17g vs %.17g", got.Distortions[0], wantD)
 	}
 }
 

@@ -17,9 +17,18 @@ import "math"
 // bit-identical to HistogramEntropy/QuantizedEntropy over any
 // concatenation order of the same values, which the streaming
 // differential suite pins against the in-memory path.
+//
+// Both estimators are generic over the stored element type: float32
+// segments are widened per element (exactly) and every accumulation,
+// bin-edge computation, and entropy sum runs in float64, so feeding
+// float32 segments is bit-identical to widening them first and calling
+// the float64 form.
+
+// Real is the element-type constraint of the segment estimators.
+type Real interface{ ~float32 | ~float64 }
 
 // HistogramEntropySeg is HistogramEntropy over the concatenation of segs.
-func HistogramEntropySeg(segs [][]float64, bins int) float64 {
+func HistogramEntropySeg[F Real](segs [][]F, bins int) float64 {
 	n := 0
 	for _, s := range segs {
 		n += len(s)
@@ -30,7 +39,8 @@ func HistogramEntropySeg(segs [][]float64, bins int) float64 {
 	first := true
 	var lo, hi float64
 	for _, s := range segs {
-		for _, v := range s {
+		for _, raw := range s {
+			v := float64(raw)
 			if first {
 				lo, hi = v, v
 				first = false
@@ -50,8 +60,8 @@ func HistogramEntropySeg(segs [][]float64, bins int) float64 {
 	counts := make([]int, bins)
 	w := float64(bins) / (hi - lo)
 	for _, s := range segs {
-		for _, v := range s {
-			b := int((v - lo) * w)
+		for _, raw := range s {
+			b := int((float64(raw) - lo) * w)
 			if b >= bins {
 				b = bins - 1
 			}
@@ -71,7 +81,7 @@ func HistogramEntropySeg(segs [][]float64, bins int) float64 {
 }
 
 // QuantizedEntropySeg is QuantizedEntropy over the concatenation of segs.
-func QuantizedEntropySeg(segs [][]float64, eps float64) float64 {
+func QuantizedEntropySeg[F Real](segs [][]F, eps float64) float64 {
 	n := 0
 	for _, s := range segs {
 		n += len(s)
@@ -82,7 +92,7 @@ func QuantizedEntropySeg(segs [][]float64, eps float64) float64 {
 	counts := make(map[int64]int, 64)
 	for _, s := range segs {
 		for _, v := range s {
-			counts[QuantizeBin(v, eps)]++
+			counts[QuantizeBin(float64(v), eps)]++
 		}
 	}
 	return Entropy(counts)

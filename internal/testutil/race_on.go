@@ -1,0 +1,10 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. Allocation-count assertions must skip when it is set:
+// sync.Pool deliberately drops puts and gets at random under the race
+// detector to shake out lifetime bugs, so testing.AllocsPerRun over a
+// pooled path is nondeterministic there.
+const RaceEnabled = true

@@ -15,7 +15,10 @@
 #
 # A third phase benchmarks the fused predictor kernels (`crest predbench`)
 # and archives p50/p90 ComputeDataset latency plus allocs/op as
-# BENCH_predictors.json. A fourth phase benchmarks streaming ingest
+# BENCH_predictors.json; it *asserts* that the fresh p50 has not
+# regressed by more than BENCH_PRED_MAX_REGRESSION (default 1.3) times
+# the committed baseline's p50, when a comparable committed report
+# exists. A fourth phase benchmarks streaming ingest
 # (`crest streambench`) as BENCH_stream.json and *asserts* the O(block)
 # working-memory claim: allocations per slice must stay flat as the
 # stream grows (alloc_growth_ratio <= BENCH_STREAM_MAX_GROWTH, default
@@ -59,6 +62,8 @@ WORK_DELAY="${BENCH_WORK_DELAY:-2ms}"
 PRED_OUT="${BENCH_PRED_OUT:-BENCH_predictors.json}"
 PRED_EDGE="${BENCH_PRED_EDGE:-512}"
 PRED_ITERS="${BENCH_PRED_ITERS:-10}"
+PRED_DTYPE="${BENCH_PRED_DTYPE:-f64}"
+PRED_MAX_REGRESSION="${BENCH_PRED_MAX_REGRESSION:-1.3}"
 STREAM_OUT="${BENCH_STREAM_OUT:-BENCH_stream.json}"
 STREAM_EDGE="${BENCH_STREAM_EDGE:-256}"
 STREAM_SLICES="${BENCH_STREAM_SLICES:-2,8,32}"
@@ -97,12 +102,43 @@ if [ "$MODE" = "all" ] || [ "$MODE" = "server" ]; then
 fi
 
 if [ "$MODE" = "all" ] || [ "$MODE" = "predictors" ]; then
+    # Capture the committed baseline's p50 BEFORE the fresh run overwrites
+    # the report. The gate only fires when the committed report covers the
+    # same operating point (edge/dtype), so a sweep at another size does
+    # not compare apples to oranges.
+    base_p50=""
+    if [ -f "$PRED_OUT" ]; then
+        base_edge=$(sed -n 's/.*"edge": \([0-9]*\).*/\1/p' "$PRED_OUT")
+        base_dtype=$(sed -n 's/.*"dtype": "\([a-z0-9]*\)".*/\1/p' "$PRED_OUT")
+        if [ "$base_edge" = "$PRED_EDGE" ] && [ "${base_dtype:-f64}" = "$PRED_DTYPE" ]; then
+            base_p50=$(sed -n 's/.*"p50_seconds": \([0-9.eE+-]*\).*/\1/p' "$PRED_OUT")
+        fi
+    fi
+
     go run ./cmd/crest predbench \
         -edge "$PRED_EDGE" \
         -iters "$PRED_ITERS" \
+        -dtype "$PRED_DTYPE" \
         -out "$PRED_OUT"
 
-    echo "bench: wrote $PRED_OUT"
+    # Kernel-regression assertion: the fresh p50 must stay within
+    # PRED_MAX_REGRESSION x the committed baseline. A jump past that bound
+    # means a fused-kernel or scratch-pool change slowed the hot path.
+    if [ -n "$base_p50" ]; then
+        new_p50=$(sed -n 's/.*"p50_seconds": \([0-9.eE+-]*\).*/\1/p' "$PRED_OUT")
+        if [ -z "$new_p50" ]; then
+            echo "bench: FAIL: no p50_seconds in $PRED_OUT" >&2
+            exit 1
+        fi
+        if ! awk -v n="$new_p50" -v b="$base_p50" -v max="$PRED_MAX_REGRESSION" \
+                'BEGIN { exit !(n <= b * max) }'; then
+            echo "bench: FAIL: predictor p50 ${new_p50}s regressed past ${PRED_MAX_REGRESSION}x baseline ${base_p50}s" >&2
+            exit 1
+        fi
+        echo "bench: wrote $PRED_OUT (p50 ${new_p50}s <= ${PRED_MAX_REGRESSION}x baseline ${base_p50}s)"
+    else
+        echo "bench: wrote $PRED_OUT (no comparable committed baseline; regression gate skipped)"
+    fi
 fi
 
 if [ "$MODE" = "all" ] || [ "$MODE" = "stream" ]; then
